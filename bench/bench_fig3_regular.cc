@@ -1,0 +1,135 @@
+// Figure 3, column AC^{reg}_{K,FK}: unary regular-path constraints —
+// NEXPTIME upper bound (Theorem 3.4a), PSPACE-hard (Theorem 3.4b).
+// Measured families:
+//   * BM_QbfRegular: the QBF reduction, scaling in quantified
+//     variables — the z_theta block doubles per constraint pair, so
+//     exponential growth in both size and time is the expected shape;
+//   * BM_SchoolFamily: school-style specifications with a growing
+//     number of course/lab branches — realistic consistent inputs;
+//   * BM_ExpressionBlowup: constraint count k against the 2^k
+//     value-partition variables (size counter), the NEXPTIME driver.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/consistency.h"
+#include "reductions/qbf.h"
+#include "reductions/qbf_regular.h"
+
+namespace xmlverify {
+namespace {
+
+void BM_QbfRegular(benchmark::State& state) {
+  const int num_variables = static_cast<int>(state.range(0));
+  QbfFormula formula = QbfFormula::Random(num_variables, 3, 2, 7);
+  Specification spec = QbfToRegularSpec(formula).ValueOrDie();
+  ConsistencyChecker::Options options;
+  options.max_expressions = 20;
+  ConsistencyChecker checker(options);
+  ConsistencyVerdict verdict;
+  for (auto _ : state) {
+    verdict = checker.Check(spec).ValueOrDie();
+    benchmark::DoNotOptimize(verdict.outcome);
+  }
+  RecordStats(state, verdict);
+  state.counters["consistent"] = verdict.consistent() ? 1 : 0;
+  state.counters["valid_qbf"] = formula.Evaluate() ? 1 : 0;
+}
+BENCHMARK(BM_QbfRegular)
+    ->DenseRange(1, 3, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// A consistent school-like specification with `branches` course
+// branches, each carrying a key and a foreign key into the student
+// registry.
+Specification SchoolFamily(int branches) {
+  std::string dtd_text =
+      "<!ELEMENT r (students, courses)>\n"
+      "<!ELEMENT students (student+)>\n"
+      "<!ELEMENT student (record)>\n"
+      "<!ELEMENT record EMPTY>\n"
+      "<!ATTLIST record id>\n";
+  std::string courses;
+  std::string constraints =
+      "r._*.record.id -> r._*.record\n";
+  for (int b = 0; b < branches; ++b) {
+    std::string course = "course" + std::to_string(b);
+    if (!courses.empty()) courses += ",";
+    courses += course;
+    dtd_text += "<!ELEMENT " + course + " (takenBy" + std::to_string(b) +
+                "+)>\n<!ATTLIST takenBy" + std::to_string(b) + " sid>\n";
+    constraints += "fk r.courses." + course + ".takenBy" + std::to_string(b) +
+                   ".sid <= r._*.student.record.id\n";
+  }
+  dtd_text += "<!ELEMENT courses (" + courses + ")>\n";
+  return Specification::Parse(dtd_text, constraints).ValueOrDie();
+}
+
+void BM_SchoolFamily(benchmark::State& state) {
+  Specification spec = SchoolFamily(static_cast<int>(state.range(0)));
+  ConsistencyChecker::Options options;
+  options.max_expressions = 20;
+  ConsistencyChecker checker(options);
+  ConsistencyVerdict verdict;
+  for (auto _ : state) {
+    verdict = checker.Check(spec).ValueOrDie();
+    benchmark::DoNotOptimize(verdict.outcome);
+  }
+  RecordStats(state, verdict);
+  state.counters["consistent"] = verdict.consistent() ? 1 : 0;
+}
+BENCHMARK(BM_SchoolFamily)
+    ->DenseRange(1, 5, 1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExpressionBlowup(benchmark::State& state) {
+  // k parallel item branches, each with its own key constraint: the
+  // number of distinct expressions is k+... and the encoded program
+  // doubles its z block per expression.
+  const int k = static_cast<int>(state.range(0));
+  std::string dtd_text = "<!ELEMENT r (";
+  std::string constraints;
+  for (int b = 0; b < k; ++b) {
+    if (b > 0) dtd_text += ",";
+    dtd_text += "br" + std::to_string(b);
+  }
+  dtd_text += ")>\n";
+  for (int b = 0; b < k; ++b) {
+    dtd_text += "<!ELEMENT br" + std::to_string(b) + " (item+)>\n";
+  }
+  dtd_text += "<!ATTLIST item id>\n";
+  for (int b = 0; b < k; ++b) {
+    constraints += "r.br" + std::to_string(b) + ".item.id -> r.br" +
+                   std::to_string(b) + ".item\n";
+  }
+  Specification spec =
+      Specification::Parse(dtd_text, constraints).ValueOrDie();
+  ConsistencyChecker::Options options;
+  options.max_expressions = 20;
+  ConsistencyChecker checker(options);
+  ConsistencyVerdict verdict;
+  for (auto _ : state) {
+    verdict = checker.Check(spec).ValueOrDie();
+    benchmark::DoNotOptimize(verdict.outcome);
+  }
+  RecordStats(state, verdict);
+}
+BENCHMARK(BM_ExpressionBlowup)
+    ->DenseRange(1, 7, 2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlverify
+
+int main(int argc, char** argv) {
+  xmlverify::PrintPaperRow(
+      "Figure 3 / column 3", "AC^{reg}_{K,FK}",
+      "unary regular path constraints (keys, foreign keys)",
+      "NEXPTIME (state-tagged cardinality coding, exponential z block)",
+      "PSPACE-hard (QBF reduction, Theorem 3.4b)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

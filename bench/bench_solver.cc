@@ -1,0 +1,98 @@
+// Substrate benchmark: the exact integer solver (rational simplex +
+// branch and bound) that underlies every consistency verdict. Not a
+// paper figure — it calibrates where encoder-level costs end and
+// solver-level costs begin, and tracks the effect of the BigInt
+// small-value fast paths.
+#include <benchmark/benchmark.h>
+
+#include "ilp/simplex.h"
+#include "ilp/solver.h"
+
+namespace xmlverify {
+namespace {
+
+// A dense feasible LP: n variables, n rows of sum-style constraints.
+void BM_SimplexDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<LinearConstraint> constraints;
+  for (int r = 0; r < n; ++r) {
+    LinearConstraint c;
+    for (int v = 0; v < n; ++v) {
+      c.lhs.Add(v, BigInt((v + r) % 5 + 1));
+    }
+    c.relation = r % 2 == 0 ? Relation::kGe : Relation::kLe;
+    c.rhs = BigInt(r % 2 == 0 ? n : 10 * n);
+    constraints.push_back(std::move(c));
+  }
+  int64_t pivots = 0;
+  for (auto _ : state) {
+    SimplexResult result = SolveLp(n, constraints);
+    benchmark::DoNotOptimize(result.feasible);
+    pivots = result.pivots;
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+}
+BENCHMARK(BM_SimplexDense)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Integer feasibility with branching: knapsack-style equality.
+void BM_BranchAndBound(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  IntegerProgram program;
+  LinearExpr sum;
+  for (int v = 0; v < n; ++v) {
+    VarId var = program.NewVariable("x" + std::to_string(v));
+    program.SetUpperBound(var, BigInt(1));
+    sum.Add(var, BigInt(2 * v + 3));
+  }
+  // Target chosen to require search: half the total, offset by one.
+  int64_t total = 0;
+  for (int v = 0; v < n; ++v) total += 2 * v + 3;
+  program.AddLinear(std::move(sum), Relation::kEq, BigInt(total / 2 + 1));
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    SolveResult result = IlpSolver().Solve(program);
+    benchmark::DoNotOptimize(result.outcome);
+    nodes = result.nodes_explored;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_BranchAndBound)
+    ->Arg(6)
+    ->Arg(10)
+    ->Arg(14)
+    ->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+
+// Coefficient growth: the same system scaled by 10^k exercises the
+// BigInt paths beyond the 64-bit fast lane.
+void BM_BigCoefficients(benchmark::State& state) {
+  const int scale_digits = static_cast<int>(state.range(0));
+  BigInt scale = BigInt::Pow(BigInt(10), scale_digits);
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  LinearExpr a;
+  a.Add(x, BigInt(3) * scale);
+  a.Add(y, BigInt(5) * scale);
+  program.AddLinear(std::move(a), Relation::kEq, BigInt(17) * scale);
+  for (auto _ : state) {
+    SolveResult result = IlpSolver().Solve(program);
+    benchmark::DoNotOptimize(result.outcome);
+  }
+}
+BENCHMARK(BM_BigCoefficients)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(30)
+    ->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace xmlverify
+
+BENCHMARK_MAIN();

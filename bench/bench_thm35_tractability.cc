@@ -1,0 +1,114 @@
+// Theorem 3.5: the tractability crossover for non-recursive no-star
+// DTDs.
+//   (a) bounding only the DTD depth (depth-2 CNF family) or only the
+//       constraint count (2-constraint SUBSET-SUM family) leaves the
+//       problem NP-hard — expected exponential scaling;
+//   (b) bounding BOTH (fixed k constraints and depth d) admits the
+//       polynomial Count-style procedure — BM_FixedKD scales the DTD
+//       width |D| and should stay near-linear.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/sat_bounded.h"
+#include "core/specification.h"
+#include "reductions/cnf.h"
+#include "reductions/cnf_depth2.h"
+#include "reductions/subset_sum.h"
+
+namespace xmlverify {
+namespace {
+
+void BM_DepthBoundedOnly_CnfFamily(benchmark::State& state) {
+  // Depth fixed at 2, constraints grow with the formula: NP-hard.
+  // Larger instances overflow the achievable-vector cap — that blow-up
+  // IS the measurement, so it is reported rather than fatal.
+  const int num_variables = static_cast<int>(state.range(0));
+  CnfFormula formula =
+      CnfFormula::Random(num_variables, 2 * num_variables, 3, 23);
+  Specification spec = CnfToDepth2Spec(formula).ValueOrDie();
+  NoStarCheckOptions options;
+  options.max_vectors = 2000000;
+  ConsistencyVerdict verdict;
+  for (auto _ : state) {
+    Result<ConsistencyVerdict> result =
+        CheckNoStarConsistency(spec.dtd, spec.constraints, options);
+    if (!result.ok()) {
+      state.SkipWithError(
+          ("vector-set blow-up: " + result.status().message()).c_str());
+      return;
+    }
+    verdict = std::move(result).value();
+    benchmark::DoNotOptimize(verdict.outcome);
+  }
+  state.counters["constraints"] =
+      static_cast<double>(spec.constraints.size());
+  state.counters["root_vectors"] =
+      static_cast<double>(verdict.stats.subproblems);
+}
+BENCHMARK(BM_DepthBoundedOnly_CnfFamily)
+    ->DenseRange(2, 8, 2)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConstraintBoundedOnly_SubsetSum(benchmark::State& state) {
+  // Two constraints, depth grows with the bit width: NP-hard.
+  const int bits = static_cast<int>(state.range(0));
+  SubsetSumInstance instance;
+  instance.target = (int64_t{1} << bits) - 1;
+  for (int b = 0; b < bits; ++b) instance.items.push_back(int64_t{1} << b);
+  Specification spec = SubsetSumToSpec(instance).ValueOrDie();
+  ConsistencyVerdict verdict;
+  for (auto _ : state) {
+    verdict =
+        CheckNoStarConsistency(spec.dtd, spec.constraints).ValueOrDie();
+    benchmark::DoNotOptimize(verdict.outcome);
+  }
+  state.counters["depth"] =
+      static_cast<double>(spec.dtd.Depth().ValueOrDie());
+}
+BENCHMARK(BM_ConstraintBoundedOnly_SubsetSum)
+    ->DenseRange(2, 9, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FixedKD_WideDtd(benchmark::State& state) {
+  // k = 2 constraints, depth 2, but the DTD grows wide: tractable.
+  const int width = static_cast<int>(state.range(0));
+  std::string dtd_text = "<!ELEMENT r (a,(a|b),b";
+  for (int w = 0; w < width; ++w) {
+    dtd_text += ",(f" + std::to_string(w) + "|g" + std::to_string(w) + ")";
+  }
+  dtd_text += ")>\n<!ATTLIST a v>\n<!ATTLIST b v>\n";
+  Specification spec =
+      Specification::Parse(dtd_text, "a.v -> a\nfk a.v <= b.v\n")
+          .ValueOrDie();
+  ConsistencyVerdict verdict;
+  for (auto _ : state) {
+    verdict =
+        CheckNoStarConsistency(spec.dtd, spec.constraints).ValueOrDie();
+    benchmark::DoNotOptimize(verdict.outcome);
+  }
+  state.counters["dtd_types"] =
+      static_cast<double>(spec.dtd.num_element_types());
+  state.counters["consistent"] = verdict.consistent() ? 1 : 0;
+}
+BENCHMARK(BM_FixedKD_WideDtd)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlverify
+
+int main(int argc, char** argv) {
+  xmlverify::PrintPaperRow(
+      "Theorem 3.5 (tractable restrictions)", "AC_{K,FK} restricted",
+      "k-constraint and/or depth-d restrictions on no-star DTDs",
+      "NLOGSPACE when BOTH k and d are fixed (3.5b)",
+      "NP-hard when only one of them is (3.5a)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared benchmark helpers: every bench binary prints the paper row it
+// reproduces (Figures 3/4) before running its measurements, so the
+// bench output reads as "claimed complexity" vs "measured scaling".
+#ifndef XMLVERIFY_BENCH_BENCH_UTIL_H_
+#define XMLVERIFY_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/verdict.h"
+
+namespace xmlverify {
+
+inline void PrintPaperRow(const char* figure, const char* klass,
+                          const char* description, const char* upper,
+                          const char* lower) {
+  std::printf("== %s ==\n", figure);
+  std::printf("   class:       %s\n", klass);
+  std::printf("   description: %s\n", description);
+  std::printf("   paper upper bound: %s | paper lower bound: %s\n", upper,
+              lower);
+}
+
+/// Records verdict statistics on benchmark counters.
+inline void RecordStats(benchmark::State& state,
+                        const ConsistencyVerdict& verdict) {
+  state.counters["solver_nodes"] = static_cast<double>(
+      verdict.stats.solver_nodes);
+  state.counters["lp_pivots"] = static_cast<double>(verdict.stats.lp_pivots);
+  state.counters["variables"] = static_cast<double>(
+      verdict.stats.num_variables);
+}
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BENCH_BENCH_UTIL_H_

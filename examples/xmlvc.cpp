@@ -1,0 +1,192 @@
+// xmlvc: the command-line consistency checker.
+//
+//   xmlvc check <spec.dtd> <constraints.txt> [--witness <out.xml>]
+//       Decides consistency of the specification and optionally
+//       writes a witness document.
+//   xmlvc validate <spec.dtd> <constraints.txt> <document.xml>
+//       Dynamically validates one document against the DTD and the
+//       constraints (the "dynamic approach" of the paper's intro).
+//   xmlvc classify <spec.dtd> <constraints.txt>
+//       Reports the constraint class (Figures 3/4) and, for relative
+//       constraints, the hierarchy/locality analysis.
+//   xmlvc diagnose <spec.dtd> <constraints.txt>
+//       For an inconsistent specification, prints a minimal
+//       inconsistent core (drop any one of its constraints and a
+//       document exists).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "checker/document_checker.h"
+#include "core/consistency.h"
+#include "core/diagnosis.h"
+#include "core/sat_hierarchical.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using namespace xmlverify;
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  xmlvc check <spec.dtd> <constraints.txt> "
+               "[--witness <out.xml>]\n"
+               "  xmlvc validate <spec.dtd> <constraints.txt> <doc.xml>\n"
+               "  xmlvc classify <spec.dtd> <constraints.txt>\n"
+               "  xmlvc diagnose <spec.dtd> <constraints.txt>\n"
+               "  xmlvc simplify <spec.dtd> <constraints.txt>\n"
+               "(a single combined <spec.xvc> may replace the file pair)\n");
+  return 2;
+}
+
+// Either two files (DTD + constraints) or one combined `.xvc` file
+// with a `%%` separator line.
+Result<Specification> LoadSpec(const std::string& dtd_path,
+                               const std::string& constraints_path) {
+  if (constraints_path.empty()) {
+    ASSIGN_OR_RETURN(std::string combined, ReadFile(dtd_path));
+    return Specification::ParseCombined(combined);
+  }
+  ASSIGN_OR_RETURN(std::string dtd_text, ReadFile(dtd_path));
+  ASSIGN_OR_RETURN(std::string constraints_text, ReadFile(constraints_path));
+  return Specification::Parse(dtd_text, constraints_text);
+}
+
+int RunCheck(const Specification& spec, const std::string& witness_path) {
+  ConsistencyChecker checker;
+  Result<ConsistencyVerdict> verdict = checker.Check(spec);
+  if (!verdict.ok()) {
+    std::fprintf(stderr, "error: %s\n", verdict.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s\n", OutcomeName(verdict->outcome).c_str());
+  if (!verdict->note.empty()) std::printf("note: %s\n", verdict->note.c_str());
+  if (verdict->witness.has_value() && !witness_path.empty()) {
+    std::ofstream out(witness_path);
+    out << verdict->witness->ToXml(spec.dtd);
+    std::printf("witness written to %s\n", witness_path.c_str());
+  }
+  // Exit codes: 0 consistent, 1 inconsistent, 3 unknown.
+  switch (verdict->outcome) {
+    case ConsistencyOutcome::kConsistent: return 0;
+    case ConsistencyOutcome::kInconsistent: return 1;
+    case ConsistencyOutcome::kUnknown: return 3;
+  }
+  return 2;
+}
+
+int RunValidate(const Specification& spec, const std::string& doc_path) {
+  Result<std::string> text = ReadFile(doc_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+    return 2;
+  }
+  Result<XmlTree> tree = ParseXmlDocument(*text, spec.dtd);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 tree.status().ToString().c_str());
+    return 2;
+  }
+  Status valid = CheckDocument(*tree, spec.dtd, spec.constraints);
+  if (valid.ok()) {
+    std::printf("VALID\n");
+    return 0;
+  }
+  std::printf("INVALID: %s\n", valid.message().c_str());
+  return 1;
+}
+
+int RunClassify(const Specification& spec) {
+  std::printf("class: %s\n",
+              ConstraintClassName(spec.Classify()).c_str());
+  std::printf("DTD: %s, %s, depth %s\n",
+              spec.dtd.IsRecursive() ? "recursive" : "non-recursive",
+              spec.dtd.IsNoStar() ? "no-star" : "with Kleene star",
+              spec.dtd.IsRecursive()
+                  ? "unbounded"
+                  : std::to_string(spec.dtd.Depth().ValueOrDie()).c_str());
+  if (spec.constraints.HasRelative()) {
+    Result<RelativeClassification> rc =
+        ClassifyRelative(spec.dtd, spec.constraints);
+    if (rc.ok()) {
+      std::printf("relative geometry: %s",
+                  rc->hierarchical ? "hierarchical" : "NOT hierarchical");
+      if (rc->hierarchical) {
+        std::printf(", %d-local", rc->locality);
+      } else {
+        std::printf(" (%s)", rc->conflict.c_str());
+      }
+      std::printf("\n");
+    } else {
+      std::printf("relative geometry: %s\n",
+                  rc.status().ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  // A spec is either one combined `.xvc` file or a DTD + constraints
+  // file pair; remaining arguments follow the spec.
+  std::string first = argv[2];
+  bool combined = first.size() > 4 &&
+                  first.compare(first.size() - 4, 4, ".xvc") == 0;
+  int rest = combined ? 3 : 4;
+  if (!combined && argc < 4) return Usage();
+  Result<Specification> spec =
+      LoadSpec(first, combined ? std::string() : argv[3]);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "error: %s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  if (command == "check") {
+    std::string witness_path;
+    for (int arg = rest; arg + 1 < argc; ++arg) {
+      if (std::string(argv[arg]) == "--witness") witness_path = argv[arg + 1];
+    }
+    return RunCheck(*spec, witness_path);
+  }
+  if (command == "validate") {
+    if (argc < rest + 1) return Usage();
+    return RunValidate(*spec, argv[rest]);
+  }
+  if (command == "classify") return RunClassify(*spec);
+  if (command == "simplify") {
+    Result<ConstraintSet> pruned =
+        RemoveRedundantConstraints(spec->dtd, spec->constraints);
+    if (!pruned.ok()) {
+      std::fprintf(stderr, "error: %s\n", pruned.status().ToString().c_str());
+      return 2;
+    }
+    int removed = spec->constraints.size() - pruned->size();
+    std::printf("# %d redundant constraint(s) removed\n%s", removed,
+                pruned->ToString(spec->dtd).c_str());
+    return 0;
+  }
+  if (command == "diagnose") {
+    Result<ConstraintSet> core =
+        MinimizeInconsistentCore(spec->dtd, spec->constraints);
+    if (!core.ok()) {
+      std::fprintf(stderr, "error: %s\n", core.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("minimal inconsistent core (%d constraints):\n%s",
+                core->size(), core->ToString(spec->dtd).c_str());
+    return 0;
+  }
+  return Usage();
+}

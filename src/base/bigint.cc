@@ -1,0 +1,450 @@
+#include "base/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace xmlverify {
+
+namespace {
+
+constexpr uint64_t kLimbBase = uint64_t{1} << 32;
+
+using Limbs = internal_bigint::LimbVector;
+
+// Shifts a magnitude left by `bits` (< 32) bit positions, in place.
+void ShiftLeftSmall(Limbs* limbs, unsigned bits) {
+  if (bits == 0 || limbs->empty()) return;
+  uint32_t carry = 0;
+  for (uint32_t& limb : *limbs) {
+    uint64_t shifted = (uint64_t{limb} << bits) | carry;
+    limb = static_cast<uint32_t>(shifted);
+    carry = static_cast<uint32_t>(shifted >> 32);
+  }
+  if (carry != 0) limbs->push_back(carry);
+}
+
+uint64_t NativeGcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+BigInt::BigInt(int64_t value) {
+  negative_ = value < 0;
+  // Careful with INT64_MIN: negate in unsigned space.
+  uint64_t magnitude =
+      negative_ ? ~static_cast<uint64_t>(value) + 1 : static_cast<uint64_t>(value);
+  SetMagnitude64(magnitude);
+}
+
+Result<BigInt> BigInt::FromString(const std::string& text) {
+  size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) {
+    negative = text[pos] == '-';
+    ++pos;
+  }
+  if (pos >= text.size()) {
+    return Status::InvalidArgument("empty integer literal: '" + text + "'");
+  }
+  BigInt result;
+  const BigInt ten(10);
+  for (; pos < text.size(); ++pos) {
+    char c = text[pos];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad digit in integer literal: '" + text +
+                                     "'");
+    }
+    result = result * ten + BigInt(c - '0');
+  }
+  result.negative_ = negative && !result.is_zero();
+  return result;
+}
+
+BigInt BigInt::Pow2(uint64_t exponent) {
+  BigInt result;
+  result.limbs_.assign(exponent / 32 + 1, 0);
+  result.limbs_.back() = uint32_t{1} << (exponent % 32);
+  return result;
+}
+
+BigInt BigInt::Pow(const BigInt& base, uint64_t exponent) {
+  BigInt result(1);
+  BigInt acc = base;
+  while (exponent > 0) {
+    if (exponent & 1) result *= acc;
+    exponent >>= 1;
+    if (exponent > 0) acc *= acc;
+  }
+  return result;
+}
+
+bool BigInt::FitsInt64() const {
+  if (limbs_.size() > 2) return false;
+  uint64_t magnitude = Magnitude64();
+  if (negative_) return magnitude <= (uint64_t{1} << 63);
+  return magnitude < (uint64_t{1} << 63);
+}
+
+int64_t BigInt::ToInt64() const {
+  if (!FitsInt64()) {
+    std::fprintf(stderr, "BigInt::ToInt64: %s does not fit\n",
+                 ToString().c_str());
+    std::abort();
+  }
+  uint64_t magnitude = Magnitude64();
+  return negative_ ? -static_cast<int64_t>(magnitude)
+                   : static_cast<int64_t>(magnitude);
+}
+
+double BigInt::ToDouble() const {
+  double value = 0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    value = value * static_cast<double>(kLimbBase) + limbs_[i];
+  }
+  return negative_ ? -value : value;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  // Repeatedly divide by 10^9 (single-limb divisor).
+  constexpr uint32_t kChunk = 1000000000;
+  Limbs work = limbs_;
+  std::string digits;
+  while (!work.empty()) {
+    uint64_t remainder = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (remainder << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / kChunk);
+      remainder = cur % kChunk;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    char buf[16];
+    if (work.empty()) {
+      std::snprintf(buf, sizeof(buf), "%u", static_cast<uint32_t>(remainder));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%09u", static_cast<uint32_t>(remainder));
+    }
+    std::string chunk(buf);
+    std::reverse(chunk.begin(), chunk.end());
+    digits += chunk;
+  }
+  if (negative_) digits += '-';
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+int BigInt::CompareMagnitude(const Limbs& a, const Limbs& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+Limbs BigInt::AddMagnitude(const Limbs& a, const Limbs& b) {
+  const Limbs& longer = a.size() >= b.size() ? a : b;
+  const Limbs& shorter = a.size() >= b.size() ? b : a;
+  Limbs result;
+  result.assign(longer.size(), 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < longer.size(); ++i) {
+    uint64_t sum = carry + longer[i] + (i < shorter.size() ? shorter[i] : 0);
+    result[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry != 0) result.push_back(static_cast<uint32_t>(carry));
+  return result;
+}
+
+Limbs BigInt::SubMagnitude(const Limbs& a, const Limbs& b) {
+  Limbs result;
+  result.assign(a.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a[i]) - borrow -
+                   (i < b.size() ? static_cast<int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result[i] = static_cast<uint32_t>(diff);
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+Limbs BigInt::MulMagnitude(const Limbs& a, const Limbs& b) {
+  Limbs result;
+  if (a.empty() || b.empty()) return result;
+  result.assign(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      uint64_t cur =
+          result[i + j] + carry + uint64_t{a[i]} * uint64_t{b[j]};
+      result[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.size();
+    while (carry != 0) {
+      uint64_t cur = result[k] + carry;
+      result[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!result.empty() && result.back() == 0) result.pop_back();
+  return result;
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+BigInt BigInt::operator+(const BigInt& other) const {
+  BigInt result;
+  // Fast path: both magnitudes fit in 64 bits.
+  if (limbs_.size() <= 2 && other.limbs_.size() <= 2) {
+    unsigned __int128 a = Magnitude64();
+    unsigned __int128 b = other.Magnitude64();
+    if (negative_ == other.negative_) {
+      unsigned __int128 sum = a + b;
+      if (sum >> 64) {
+        result.limbs_.push_back(static_cast<uint32_t>(sum));
+        result.limbs_.push_back(static_cast<uint32_t>(sum >> 32));
+        result.limbs_.push_back(static_cast<uint32_t>(sum >> 64));
+      } else {
+        result.SetMagnitude64(static_cast<uint64_t>(sum));
+      }
+      result.negative_ = !result.limbs_.empty() && negative_;
+    } else {
+      uint64_t ua = Magnitude64();
+      uint64_t ub = other.Magnitude64();
+      if (ua == ub) return BigInt();
+      if (ua > ub) {
+        result.SetMagnitude64(ua - ub);
+        result.negative_ = negative_;
+      } else {
+        result.SetMagnitude64(ub - ua);
+        result.negative_ = other.negative_;
+      }
+    }
+    return result;
+  }
+  if (negative_ == other.negative_) {
+    result.limbs_ = AddMagnitude(limbs_, other.limbs_);
+    result.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitude(limbs_, other.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      result.limbs_ = SubMagnitude(limbs_, other.limbs_);
+      result.negative_ = negative_;
+    } else {
+      result.limbs_ = SubMagnitude(other.limbs_, limbs_);
+      result.negative_ = other.negative_;
+    }
+  }
+  result.Normalize();
+  return result;
+}
+
+BigInt BigInt::operator-(const BigInt& other) const { return *this + (-other); }
+
+BigInt BigInt::operator*(const BigInt& other) const {
+  BigInt result;
+  // Fast path: product fits in 128 bits.
+  if (limbs_.size() <= 2 && other.limbs_.size() <= 2) {
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(Magnitude64()) * other.Magnitude64();
+    if (product == 0) return result;
+    result.limbs_.push_back(static_cast<uint32_t>(product));
+    if (product >> 32) result.limbs_.push_back(static_cast<uint32_t>(product >> 32));
+    if (product >> 64) result.limbs_.push_back(static_cast<uint32_t>(product >> 64));
+    if (product >> 96) result.limbs_.push_back(static_cast<uint32_t>(product >> 96));
+    result.negative_ = negative_ != other.negative_;
+    return result;
+  }
+  result.limbs_ = MulMagnitude(limbs_, other.limbs_);
+  result.negative_ = !result.limbs_.empty() && (negative_ != other.negative_);
+  return result;
+}
+
+void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
+                    BigInt* remainder) const {
+  if (divisor.is_zero()) {
+    std::fprintf(stderr, "BigInt::DivMod: division by zero\n");
+    std::abort();
+  }
+  // Fast path: both magnitudes fit in 64 bits.
+  if (limbs_.size() <= 2 && divisor.limbs_.size() <= 2) {
+    uint64_t a = Magnitude64();
+    uint64_t b = divisor.Magnitude64();
+    if (quotient != nullptr) {
+      BigInt q;
+      q.SetMagnitude64(a / b);
+      *quotient = std::move(q);
+    }
+    if (remainder != nullptr) {
+      BigInt r;
+      r.SetMagnitude64(a % b);
+      *remainder = std::move(r);
+    }
+    return;
+  }
+  // Fast path: single-limb divisor.
+  if (divisor.limbs_.size() == 1) {
+    uint64_t b = divisor.limbs_[0];
+    Limbs q;
+    q.assign(limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | limbs_[i];
+      q[i] = static_cast<uint32_t>(cur / b);
+      rem = cur % b;
+    }
+    if (quotient != nullptr) {
+      quotient->limbs_ = std::move(q);
+      quotient->negative_ = false;
+      quotient->Normalize();
+    }
+    if (remainder != nullptr) {
+      BigInt r;
+      r.SetMagnitude64(rem);
+      *remainder = std::move(r);
+    }
+    return;
+  }
+  // Binary long division on magnitudes: scan dividend bits from the
+  // most significant downward, maintaining the running remainder.
+  BigInt rem;
+  BigInt quot;
+  const size_t bits = BitLength();
+  quot.limbs_.assign(bits / 32 + 1, 0);
+  for (size_t i = bits; i-- > 0;) {
+    ShiftLeftSmall(&rem.limbs_, 1);
+    uint32_t bit = (limbs_[i / 32] >> (i % 32)) & 1;
+    if (bit != 0) {
+      if (rem.limbs_.empty()) {
+        rem.limbs_.push_back(1);
+      } else {
+        rem.limbs_[0] |= 1;
+      }
+    }
+    if (CompareMagnitude(rem.limbs_, divisor.limbs_) >= 0) {
+      rem.limbs_ = SubMagnitude(rem.limbs_, divisor.limbs_);
+      quot.limbs_[i / 32] |= uint32_t{1} << (i % 32);
+    }
+  }
+  quot.Normalize();
+  rem.Normalize();
+  if (quotient != nullptr) *quotient = std::move(quot);
+  if (remainder != nullptr) *remainder = std::move(rem);
+}
+
+BigInt BigInt::operator/(const BigInt& other) const {
+  BigInt quotient;
+  DivMod(other, &quotient, nullptr);
+  quotient.negative_ = !quotient.is_zero() && (negative_ != other.negative_);
+  return quotient;
+}
+
+BigInt BigInt::operator%(const BigInt& other) const {
+  BigInt remainder;
+  DivMod(other, nullptr, &remainder);
+  remainder.negative_ = !remainder.is_zero() && negative_;
+  return remainder;
+}
+
+BigInt BigInt::FloorDiv(const BigInt& other) const {
+  BigInt quotient;
+  BigInt remainder;
+  DivMod(other, &quotient, &remainder);
+  bool exact = remainder.is_zero();
+  bool negative_result = negative_ != other.negative_;
+  quotient.negative_ = !quotient.is_zero() && negative_result;
+  if (!exact && negative_result) quotient -= 1;
+  return quotient;
+}
+
+BigInt BigInt::CeilDiv(const BigInt& other) const {
+  BigInt quotient;
+  BigInt remainder;
+  DivMod(other, &quotient, &remainder);
+  bool exact = remainder.is_zero();
+  bool negative_result = negative_ != other.negative_;
+  quotient.negative_ = !quotient.is_zero() && negative_result;
+  if (!exact && !negative_result) quotient += 1;
+  return quotient;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  // Fast path: both fit in 64 bits.
+  if (a.limbs_.size() <= 2 && b.limbs_.size() <= 2) {
+    BigInt result;
+    result.SetMagnitude64(NativeGcd(a.Magnitude64(), b.Magnitude64()));
+    return result;
+  }
+  // Euclid on magnitudes; falls into the native path as soon as both
+  // operands shrink below 64 bits.
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  while (!y.is_zero()) {
+    if (x.limbs_.size() <= 2 && y.limbs_.size() <= 2) {
+      BigInt result;
+      result.SetMagnitude64(NativeGcd(x.Magnitude64(), y.Magnitude64()));
+      return result;
+    }
+    BigInt remainder;
+    x.DivMod(y, nullptr, &remainder);
+    x = std::move(y);
+    y = std::move(remainder);
+  }
+  return x;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int magnitude_cmp = CompareMagnitude(limbs_, other.limbs_);
+  return negative_ ? -magnitude_cmp : magnitude_cmp;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,225 @@
+// Arbitrary-precision signed integers.
+//
+// The exact rational simplex underlying the consistency checkers can
+// produce coefficients far beyond 64 bits (tableau entries grow
+// multiplicatively during pivoting, and Papadimitriou-style solution
+// bounds are themselves exponential), so the solver is built on this
+// sign-magnitude big integer. Magnitudes are little-endian vectors of
+// 32-bit limbs; arithmetic is schoolbook, which is ample for the
+// instance sizes produced by the encodings.
+#ifndef XMLVERIFY_BASE_BIGINT_H_
+#define XMLVERIFY_BASE_BIGINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xmlverify {
+
+namespace internal_bigint {
+
+/// Minimal vector of 32-bit limbs with inline storage for values up
+/// to 64 bits. The exact simplex creates and destroys enormous
+/// numbers of small BigInts; avoiding heap traffic for the common
+/// single/double-limb case is the dominant performance lever.
+class LimbVector {
+ public:
+  LimbVector() = default;
+  LimbVector(const LimbVector& other) { CopyFrom(other); }
+  LimbVector(LimbVector&& other) noexcept { MoveFrom(&other); }
+  LimbVector& operator=(const LimbVector& other) {
+    if (this != &other) {
+      Reset();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  LimbVector& operator=(LimbVector&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+  ~LimbVector() { Reset(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t* data() { return heap_ == nullptr ? inline_ : heap_; }
+  const uint32_t* data() const { return heap_ == nullptr ? inline_ : heap_; }
+  uint32_t& operator[](size_t i) { return data()[i]; }
+  uint32_t operator[](size_t i) const { return data()[i]; }
+  uint32_t& back() { return data()[size_ - 1]; }
+  uint32_t back() const { return data()[size_ - 1]; }
+  uint32_t* begin() { return data(); }
+  uint32_t* end() { return data() + size_; }
+  const uint32_t* begin() const { return data(); }
+  const uint32_t* end() const { return data() + size_; }
+
+  void push_back(uint32_t limb) {
+    Reserve(size_ + 1);
+    data()[size_++] = limb;
+  }
+  void pop_back() { --size_; }
+  void clear() { size_ = 0; }
+  void assign(size_t count, uint32_t value) {
+    Reserve(count);
+    uint32_t* d = data();
+    for (size_t i = 0; i < count; ++i) d[i] = value;
+    size_ = count;
+  }
+
+ private:
+  static constexpr size_t kInline = 3;
+
+  void Reserve(size_t count) {
+    if (count <= capacity_) return;
+    size_t new_capacity = capacity_ * 2 < count ? count : capacity_ * 2;
+    uint32_t* fresh = new uint32_t[new_capacity];
+    std::memcpy(fresh, data(), size_ * sizeof(uint32_t));
+    delete[] heap_;
+    heap_ = fresh;
+    capacity_ = new_capacity;
+  }
+  void Reset() {
+    delete[] heap_;
+    heap_ = nullptr;
+    size_ = 0;
+    capacity_ = kInline;
+  }
+  void CopyFrom(const LimbVector& other) {
+    Reserve(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(uint32_t));
+    size_ = other.size_;
+  }
+  void MoveFrom(LimbVector* other) {
+    if (other->heap_ != nullptr) {
+      heap_ = other->heap_;
+      capacity_ = other->capacity_;
+      size_ = other->size_;
+      other->heap_ = nullptr;
+      other->size_ = 0;
+      other->capacity_ = kInline;
+    } else {
+      std::memcpy(inline_, other->inline_, other->size_ * sizeof(uint32_t));
+      size_ = other->size_;
+      other->size_ = 0;
+    }
+  }
+
+  uint32_t inline_[kInline];
+  uint32_t* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = kInline;
+};
+
+}  // namespace internal_bigint
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(int64_t value);  // NOLINT: implicit by design (literals)
+
+  /// Parses an optionally-signed decimal string.
+  static Result<BigInt> FromString(const std::string& text);
+
+  /// 2^exponent.
+  static BigInt Pow2(uint64_t exponent);
+
+  /// base^exponent (exponent >= 0).
+  static BigInt Pow(const BigInt& base, uint64_t exponent);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  /// True if the value fits in int64_t.
+  bool FitsInt64() const;
+  /// Value as int64_t; aborts if it does not fit (use FitsInt64 first).
+  int64_t ToInt64() const;
+
+  /// Approximate double conversion (for reporting only).
+  double ToDouble() const;
+
+  std::string ToString() const;
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  size_t BitLength() const;
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt operator+(const BigInt& other) const;
+  BigInt operator-(const BigInt& other) const;
+  BigInt operator*(const BigInt& other) const;
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& other) const;
+  /// Remainder with the sign of the dividend (C++ semantics).
+  BigInt operator%(const BigInt& other) const;
+
+  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
+  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
+  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+
+  /// Floor division: quotient rounds toward negative infinity.
+  BigInt FloorDiv(const BigInt& other) const;
+  /// Ceiling division: quotient rounds toward positive infinity.
+  BigInt CeilDiv(const BigInt& other) const;
+
+  /// Quotient and remainder of |*this| / |divisor| in one pass.
+  /// Both results are nonnegative. divisor must be nonzero.
+  void DivMod(const BigInt& divisor, BigInt* quotient, BigInt* remainder) const;
+
+  /// Greatest common divisor of magnitudes (always nonnegative).
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+
+  /// Three-way comparison: -1, 0, or 1.
+  int Compare(const BigInt& other) const;
+
+  bool operator==(const BigInt& other) const { return Compare(other) == 0; }
+  bool operator!=(const BigInt& other) const { return Compare(other) != 0; }
+  bool operator<(const BigInt& other) const { return Compare(other) < 0; }
+  bool operator<=(const BigInt& other) const { return Compare(other) <= 0; }
+  bool operator>(const BigInt& other) const { return Compare(other) > 0; }
+  bool operator>=(const BigInt& other) const { return Compare(other) >= 0; }
+
+ private:
+  using Limbs = internal_bigint::LimbVector;
+
+  // Magnitude as uint64 when it fits (size <= 2).
+  uint64_t Magnitude64() const {
+    uint64_t magnitude = 0;
+    if (!limbs_.empty()) magnitude = limbs_[0];
+    if (limbs_.size() > 1) magnitude |= uint64_t{limbs_[1]} << 32;
+    return magnitude;
+  }
+  void SetMagnitude64(uint64_t magnitude) {
+    limbs_.clear();
+    if (magnitude != 0) limbs_.push_back(static_cast<uint32_t>(magnitude));
+    if (magnitude >> 32) {
+      limbs_.push_back(static_cast<uint32_t>(magnitude >> 32));
+    }
+  }
+
+  // Magnitude comparison: -1/0/1 for |a| vs |b|.
+  static int CompareMagnitude(const Limbs& a, const Limbs& b);
+  static Limbs AddMagnitude(const Limbs& a, const Limbs& b);
+  // Requires |a| >= |b|.
+  static Limbs SubMagnitude(const Limbs& a, const Limbs& b);
+  static Limbs MulMagnitude(const Limbs& a, const Limbs& b);
+  void Normalize();
+
+  // Little-endian 32-bit limbs; empty means zero.
+  Limbs limbs_;
+  bool negative_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_BIGINT_H_

@@ -1,0 +1,100 @@
+#include "base/rational.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace xmlverify {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  if (denominator_.is_zero()) {
+    std::fprintf(stderr, "Rational: zero denominator\n");
+    std::abort();
+  }
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  if (denominator_ == BigInt(1)) return;
+  BigInt gcd = BigInt::Gcd(numerator_, denominator_);
+  if (gcd != BigInt(1)) {
+    numerator_ = numerator_ / gcd;
+    denominator_ = denominator_ / gcd;
+  }
+}
+
+double Rational::ToDouble() const {
+  return numerator_.ToDouble() / denominator_.ToDouble();
+}
+
+std::string Rational::ToString() const {
+  if (is_integer()) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  // Integer fast path (the dominant case in the simplex tableau).
+  if (is_integer() && other.is_integer()) {
+    Rational result;
+    result.numerator_ = numerator_ + other.numerator_;
+    return result;
+  }
+  return Rational(
+      numerator_ * other.denominator_ + other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  if (is_integer() && other.is_integer()) {
+    Rational result;
+    result.numerator_ = numerator_ - other.numerator_;
+    return result;
+  }
+  return Rational(
+      numerator_ * other.denominator_ - other.numerator_ * denominator_,
+      denominator_ * other.denominator_);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  return Rational(numerator_ * other.numerator_,
+                  denominator_ * other.denominator_);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  if (other.is_zero()) {
+    std::fprintf(stderr, "Rational: division by zero\n");
+    std::abort();
+  }
+  return Rational(numerator_ * other.denominator_,
+                  denominator_ * other.numerator_);
+}
+
+int Rational::Compare(const Rational& other) const {
+  if (is_integer() && other.is_integer()) {
+    return numerator_.Compare(other.numerator_);
+  }
+  // Denominators are positive, so cross-multiplication preserves order.
+  BigInt lhs = numerator_ * other.denominator_;
+  BigInt rhs = other.numerator_ * denominator_;
+  return lhs.Compare(rhs);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace xmlverify

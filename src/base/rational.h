@@ -1,0 +1,70 @@
+// Exact rational numbers over BigInt, always kept in canonical form
+// (normalized sign in the numerator, positive denominator, reduced by
+// gcd). Used by the simplex LP relaxation so that feasibility verdicts
+// from the consistency checkers are exact, never subject to floating
+// point error.
+#ifndef XMLVERIFY_BASE_RATIONAL_H_
+#define XMLVERIFY_BASE_RATIONAL_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "base/bigint.h"
+
+namespace xmlverify {
+
+class Rational {
+ public:
+  Rational() : numerator_(0), denominator_(1) {}
+  Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
+  Rational(int64_t value) : numerator_(value), denominator_(1) {}            // NOLINT
+  Rational(BigInt numerator, BigInt denominator);
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+
+  bool is_zero() const { return numerator_.is_zero(); }
+  bool is_negative() const { return numerator_.is_negative(); }
+  bool is_integer() const { return denominator_ == BigInt(1); }
+  int sign() const { return numerator_.sign(); }
+
+  /// Largest integer <= *this.
+  BigInt Floor() const { return numerator_.FloorDiv(denominator_); }
+  /// Smallest integer >= *this.
+  BigInt Ceil() const { return numerator_.CeilDiv(denominator_); }
+
+  double ToDouble() const;
+  std::string ToString() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& other) { return *this = *this + other; }
+  Rational& operator-=(const Rational& other) { return *this = *this - other; }
+  Rational& operator*=(const Rational& other) { return *this = *this * other; }
+  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+
+  int Compare(const Rational& other) const;
+
+  bool operator==(const Rational& other) const { return Compare(other) == 0; }
+  bool operator!=(const Rational& other) const { return Compare(other) != 0; }
+  bool operator<(const Rational& other) const { return Compare(other) < 0; }
+  bool operator<=(const Rational& other) const { return Compare(other) <= 0; }
+  bool operator>(const Rational& other) const { return Compare(other) > 0; }
+  bool operator>=(const Rational& other) const { return Compare(other) >= 0; }
+
+ private:
+  void Normalize();
+
+  BigInt numerator_;
+  BigInt denominator_;  // Always positive.
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_RATIONAL_H_

@@ -1,0 +1,126 @@
+// Status / Result<T> error model, in the style of Apache Arrow and
+// RocksDB. The library does not throw exceptions: every fallible
+// operation returns a Status (no payload) or a Result<T> (payload or
+// error). Callers propagate with RETURN_IF_ERROR / ASSIGN_OR_RETURN.
+#ifndef XMLVERIFY_BASE_STATUS_H_
+#define XMLVERIFY_BASE_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xmlverify {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (parse errors, bad specifications)
+  kNotFound,          // referenced entity does not exist
+  kUnsupported,       // valid input outside the implemented fragment
+  kResourceExhausted, // configured search/size limit exceeded
+  kInternal,          // invariant violation inside the library
+};
+
+/// Success-or-error outcome of an operation, without a payload.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  /// Aborts the process if this status is an error. Use only where an
+  /// error indicates a programming bug (e.g., in tests and examples).
+  void CheckOK() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T, or the Status explaining why it is absent.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both T and Status keep call sites
+  // natural: `return value;` and `return Status::...;` both work.
+  Result(T value) : value_(std::move(value)) {}            // NOLINT
+  Result(Status status) : status_(std::move(status)) {     // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { CheckHasValue(); return *value_; }
+  T& value() & { CheckHasValue(); return *value_; }
+  T&& value() && { CheckHasValue(); return *std::move(value_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, aborting on error. For tests/examples.
+  T ValueOrDie() && {
+    status_.CheckOK();
+    return *std::move(value_);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) status_.CheckOK();
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define XMLVERIFY_CONCAT_IMPL(a, b) a##b
+#define XMLVERIFY_CONCAT(a, b) XMLVERIFY_CONCAT_IMPL(a, b)
+
+/// Propagates an error Status from the enclosing function.
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::xmlverify::Status _st = (expr);          \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on success binds the value to
+/// `lhs`, otherwise returns the error from the enclosing function.
+#define ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  ASSIGN_OR_RETURN_IMPL(XMLVERIFY_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                          \
+  if (!result.ok()) return result.status();       \
+  lhs = std::move(result).value();
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_STATUS_H_

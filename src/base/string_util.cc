@@ -1,0 +1,64 @@
+#include "base/string_util.h"
+
+#include <cctype>
+
+namespace xmlverify {
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitAndTrim(std::string_view text, char separator) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(separator, start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = StripWhitespace(text.substr(start, end - start));
+    if (!piece.empty()) pieces.emplace_back(piece);
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += separator;
+    result += pieces[i];
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool IsValidName(std::string_view name) {
+  if (name.empty()) return false;
+  char first = name[0];
+  if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != '.' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,31 @@
+// Small string helpers shared across parsers and pretty-printers.
+#ifndef XMLVERIFY_BASE_STRING_UTIL_H_
+#define XMLVERIFY_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xmlverify {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Splits on `separator`, trimming whitespace from each piece and
+/// dropping empty pieces.
+std::vector<std::string> SplitAndTrim(std::string_view text, char separator);
+
+/// Joins the pieces with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_.-]*.
+/// (XML names allow '.' and '-'; we accept them after the first char.)
+bool IsValidName(std::string_view name);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_STRING_UTIL_H_

@@ -1,0 +1,145 @@
+#include "checker/document_checker.h"
+
+#include <set>
+#include <vector>
+
+#include "regex/automaton.h"
+#include "xml/validator.h"
+
+namespace xmlverify {
+
+namespace {
+
+std::vector<int> NonRootTypes(const Dtd& dtd) {
+  std::vector<int> symbols;
+  for (int type = 0; type < dtd.num_element_types(); ++type) {
+    if (type != dtd.root()) symbols.push_back(type);
+  }
+  return symbols;
+}
+
+// Attribute tuple of `node` for `attributes`; error if any is absent.
+Result<std::vector<std::string>> Tuple(
+    const XmlTree& tree, NodeId node,
+    const std::vector<std::string>& attributes) {
+  std::vector<std::string> tuple;
+  tuple.reserve(attributes.size());
+  for (const std::string& attribute : attributes) {
+    ASSIGN_OR_RETURN(std::string value, tree.Attribute(node, attribute));
+    tuple.push_back(std::move(value));
+  }
+  return tuple;
+}
+
+Status CheckKeyOver(const XmlTree& tree, const std::vector<NodeId>& nodes,
+                    const std::vector<std::string>& attributes,
+                    const std::string& what) {
+  std::set<std::vector<std::string>> seen;
+  for (NodeId node : nodes) {
+    ASSIGN_OR_RETURN(std::vector<std::string> tuple,
+                     Tuple(tree, node, attributes));
+    if (!seen.insert(std::move(tuple)).second) {
+      return Status::InvalidArgument("key violated: " + what);
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckInclusionOver(const XmlTree& tree,
+                          const std::vector<NodeId>& child_nodes,
+                          const std::vector<std::string>& child_attributes,
+                          const std::vector<NodeId>& parent_nodes,
+                          const std::vector<std::string>& parent_attributes,
+                          const std::string& what) {
+  std::set<std::vector<std::string>> parent_tuples;
+  for (NodeId node : parent_nodes) {
+    ASSIGN_OR_RETURN(std::vector<std::string> tuple,
+                     Tuple(tree, node, parent_attributes));
+    parent_tuples.insert(std::move(tuple));
+  }
+  for (NodeId node : child_nodes) {
+    ASSIGN_OR_RETURN(std::vector<std::string> tuple,
+                     Tuple(tree, node, child_attributes));
+    if (parent_tuples.count(tuple) == 0) {
+      return Status::InvalidArgument("inclusion violated: " + what);
+    }
+  }
+  return Status::OK();
+}
+
+// Descendants of `ancestor` with the given type.
+std::vector<NodeId> DescendantsOfType(const XmlTree& tree, NodeId ancestor,
+                                      int type) {
+  std::vector<NodeId> result;
+  for (NodeId node : tree.AllElements()) {
+    if (tree.TypeOf(node) == type && tree.IsDescendant(ancestor, node)) {
+      result.push_back(node);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<NodeId> NodesOnPath(const XmlTree& tree, const Dtd& dtd,
+                                const Regex& node_path) {
+  Regex expanded = ExpandWildcard(node_path, NonRootTypes(dtd));
+  Dfa dfa =
+      Dfa::Determinize(BuildNfa(expanded, dtd.num_element_types()));
+  std::vector<NodeId> result;
+  for (NodeId node : tree.AllElements()) {
+    if (dfa.Accepts(tree.PathFromRoot(node))) result.push_back(node);
+  }
+  return result;
+}
+
+Status CheckConstraints(const XmlTree& tree, const Dtd& dtd,
+                        const ConstraintSet& constraints) {
+  for (const AbsoluteKey& key : constraints.absolute_keys()) {
+    RETURN_IF_ERROR(CheckKeyOver(tree, tree.ElementsOfType(key.type),
+                                 key.attributes, key.ToString(dtd)));
+  }
+  for (const AbsoluteInclusion& inclusion : constraints.absolute_inclusions()) {
+    RETURN_IF_ERROR(CheckInclusionOver(
+        tree, tree.ElementsOfType(inclusion.child_type),
+        inclusion.child_attributes, tree.ElementsOfType(inclusion.parent_type),
+        inclusion.parent_attributes, inclusion.ToString(dtd)));
+  }
+  for (const RegularKey& key : constraints.regular_keys()) {
+    RETURN_IF_ERROR(CheckKeyOver(tree, NodesOnPath(tree, dtd, key.node_path),
+                                 {key.attribute}, key.ToString(dtd)));
+  }
+  for (const RegularInclusion& inclusion : constraints.regular_inclusions()) {
+    RETURN_IF_ERROR(CheckInclusionOver(
+        tree, NodesOnPath(tree, dtd, inclusion.child_path),
+        {inclusion.child_attribute},
+        NodesOnPath(tree, dtd, inclusion.parent_path),
+        {inclusion.parent_attribute}, inclusion.ToString(dtd)));
+  }
+  for (const RelativeKey& key : constraints.relative_keys()) {
+    for (NodeId context : tree.ElementsOfType(key.context)) {
+      RETURN_IF_ERROR(CheckKeyOver(tree,
+                                   DescendantsOfType(tree, context, key.type),
+                                   {key.attribute}, key.ToString(dtd)));
+    }
+  }
+  for (const RelativeInclusion& inclusion :
+       constraints.relative_inclusions()) {
+    for (NodeId context : tree.ElementsOfType(inclusion.context)) {
+      RETURN_IF_ERROR(CheckInclusionOver(
+          tree, DescendantsOfType(tree, context, inclusion.child_type),
+          {inclusion.child_attribute},
+          DescendantsOfType(tree, context, inclusion.parent_type),
+          {inclusion.parent_attribute}, inclusion.ToString(dtd)));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckDocument(const XmlTree& tree, const Dtd& dtd,
+                     const ConstraintSet& constraints) {
+  RETURN_IF_ERROR(CheckConforms(tree, dtd));
+  return CheckConstraints(tree, dtd, constraints);
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,33 @@
+// Dynamic constraint checking: T |= Sigma for every constraint class.
+// This is the "dynamic approach" contrasted in the paper's
+// introduction, and the oracle against which every witness produced
+// by the static checkers is re-validated.
+#ifndef XMLVERIFY_CHECKER_DOCUMENT_CHECKER_H_
+#define XMLVERIFY_CHECKER_DOCUMENT_CHECKER_H_
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "xml/dtd.h"
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+/// Checks every constraint in `constraints` against `tree` (which
+/// should conform to `dtd`; see CheckConforms). Returns OK or a
+/// description of the first violated constraint.
+Status CheckConstraints(const XmlTree& tree, const Dtd& dtd,
+                        const ConstraintSet& constraints);
+
+/// Checks DTD conformance and all constraints together: the full
+/// "T |= D and T |= Sigma" of the consistency problem.
+Status CheckDocument(const XmlTree& tree, const Dtd& dtd,
+                     const ConstraintSet& constraints);
+
+/// nodes(beta.tau) of Section 3.2: elements whose root path matches
+/// the (wildcard-expanded) path expression.
+std::vector<NodeId> NodesOnPath(const XmlTree& tree, const Dtd& dtd,
+                                const Regex& node_path);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CHECKER_DOCUMENT_CHECKER_H_

@@ -1,0 +1,184 @@
+// XML integrity constraints: keys and inclusion constraints, in the
+// paper's three flavours.
+//
+//   Absolute (Section 2):  tau[X] -> tau          (key)
+//                          tau1[X] ⊆ tau2[Y]      (inclusion)
+//   Regular  (Section 3.2): beta.tau.l -> beta.tau (unary only)
+//                           beta1.tau1.l1 ⊆ beta2.tau2.l2
+//   Relative (Section 4):  ctx(tau.l -> tau)      (unary only)
+//                          ctx(tau1.l1 ⊆ tau2.l2)
+//
+// A foreign key in the paper is an inclusion paired with a key on its
+// right-hand side; this library keeps the two primitive forms and
+// offers AddForeignKey convenience methods that add both.
+#ifndef XMLVERIFY_CONSTRAINTS_CONSTRAINT_H_
+#define XMLVERIFY_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "regex/regex.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+/// tau[X] -> tau : the X-attribute tuple identifies tau elements
+/// document-wide. Unary when X has one attribute.
+struct AbsoluteKey {
+  int type;
+  std::vector<std::string> attributes;
+
+  bool IsUnary() const { return attributes.size() == 1; }
+  std::string ToString(const Dtd& dtd) const;
+};
+
+/// tau1[X] ⊆ tau2[Y] : every X-tuple of a tau1 element equals the
+/// Y-tuple of some tau2 element.
+struct AbsoluteInclusion {
+  int child_type;
+  std::vector<std::string> child_attributes;
+  int parent_type;
+  std::vector<std::string> parent_attributes;
+
+  bool IsUnary() const { return child_attributes.size() == 1; }
+  std::string ToString(const Dtd& dtd) const;
+};
+
+/// beta.tau.l -> beta.tau : l identifies elements among
+/// nodes(beta.tau), the tau nodes reached from the root along beta.tau.
+/// `node_path` is the full expression beta.tau (ending in tau).
+struct RegularKey {
+  Regex node_path;
+  int type;
+  std::string attribute;
+
+  std::string ToString(const Dtd& dtd) const;
+};
+
+/// beta1.tau1.l1 ⊆ beta2.tau2.l2.
+struct RegularInclusion {
+  Regex child_path;
+  int child_type;
+  std::string child_attribute;
+  Regex parent_path;
+  int parent_type;
+  std::string parent_attribute;
+
+  std::string ToString(const Dtd& dtd) const;
+};
+
+/// ctx(tau.l -> tau) : below every ctx element, l identifies the tau
+/// descendants of that element.
+struct RelativeKey {
+  int context;
+  int type;
+  std::string attribute;
+
+  std::string ToString(const Dtd& dtd) const;
+};
+
+/// ctx(tau1.l1 ⊆ tau2.l2) : below every ctx element, each tau1
+/// descendant's l1 value appears as the l2 value of some tau2
+/// descendant of the same ctx element.
+struct RelativeInclusion {
+  int context;
+  int child_type;
+  std::string child_attribute;
+  int parent_type;
+  std::string parent_attribute;
+
+  std::string ToString(const Dtd& dtd) const;
+};
+
+/// A set of constraints over one DTD. Types are symbol ids of that
+/// DTD; Validate() checks the referential well-formedness.
+class ConstraintSet {
+ public:
+  void Add(AbsoluteKey key) { absolute_keys_.push_back(std::move(key)); }
+  void Add(AbsoluteInclusion inc) {
+    absolute_inclusions_.push_back(std::move(inc));
+  }
+  void Add(RegularKey key) { regular_keys_.push_back(std::move(key)); }
+  void Add(RegularInclusion inc) {
+    regular_inclusions_.push_back(std::move(inc));
+  }
+  void Add(RelativeKey key) { relative_keys_.push_back(std::move(key)); }
+  void Add(RelativeInclusion inc) {
+    relative_inclusions_.push_back(std::move(inc));
+  }
+
+  /// The paper's foreign key: inclusion plus key on the referenced
+  /// side. The key is added only if not already present.
+  void AddForeignKey(AbsoluteInclusion inclusion);
+  void AddForeignKey(RegularInclusion inclusion);
+  void AddForeignKey(RelativeInclusion inclusion);
+
+  const std::vector<AbsoluteKey>& absolute_keys() const {
+    return absolute_keys_;
+  }
+  const std::vector<AbsoluteInclusion>& absolute_inclusions() const {
+    return absolute_inclusions_;
+  }
+  const std::vector<RegularKey>& regular_keys() const {
+    return regular_keys_;
+  }
+  const std::vector<RegularInclusion>& regular_inclusions() const {
+    return regular_inclusions_;
+  }
+  const std::vector<RelativeKey>& relative_keys() const {
+    return relative_keys_;
+  }
+  const std::vector<RelativeInclusion>& relative_inclusions() const {
+    return relative_inclusions_;
+  }
+
+  bool empty() const;
+  /// Total number of constraints (a foreign key counts its two parts).
+  int size() const;
+
+  bool HasRegular() const {
+    return !regular_keys_.empty() || !regular_inclusions_.empty();
+  }
+  bool HasRelative() const {
+    return !relative_keys_.empty() || !relative_inclusions_.empty();
+  }
+  bool HasAbsolute() const {
+    return !absolute_keys_.empty() || !absolute_inclusions_.empty();
+  }
+  bool HasInclusions() const {
+    return !absolute_inclusions_.empty() || !regular_inclusions_.empty() ||
+           !relative_inclusions_.empty();
+  }
+
+  /// True if every absolute constraint is single-attribute
+  /// (AC_{K,FK}; regular/relative constraints are unary by syntax).
+  bool AllAbsoluteUnary() const;
+  /// True if every absolute inclusion is unary (keys may be
+  /// multi-attribute): the AC^{*,1} shape of Section 3.1.
+  bool AbsoluteInclusionsUnary() const;
+  /// Primary-key restriction: at most one absolute key per element
+  /// type (AC_{PK,...}).
+  bool AbsoluteKeysPrimary() const;
+  /// Disjointness (Corollary 3.3): keys on the same type use
+  /// pairwise-disjoint attribute sets.
+  bool AbsoluteKeysDisjoint() const;
+
+  /// Checks that types exist, attributes belong to R(tau), and
+  /// inclusion arities match.
+  Status Validate(const Dtd& dtd) const;
+
+  std::string ToString(const Dtd& dtd) const;
+
+ private:
+  std::vector<AbsoluteKey> absolute_keys_;
+  std::vector<AbsoluteInclusion> absolute_inclusions_;
+  std::vector<RegularKey> regular_keys_;
+  std::vector<RegularInclusion> regular_inclusions_;
+  std::vector<RelativeKey> relative_keys_;
+  std::vector<RelativeInclusion> relative_inclusions_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CONSTRAINTS_CONSTRAINT_H_

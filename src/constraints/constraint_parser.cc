@@ -1,0 +1,313 @@
+#include "constraints/constraint_parser.h"
+
+#include <cctype>
+
+#include "base/string_util.h"
+#include "regex/automaton.h"
+
+namespace xmlverify {
+
+namespace {
+
+// Finds the first occurrence of `token` at parenthesis/bracket depth
+// zero, or npos.
+size_t FindTopLevel(std::string_view text, std::string_view token) {
+  int depth = 0;
+  for (size_t i = 0; i + token.size() <= text.size(); ++i) {
+    char c = text[i];
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (depth == 0 && text.substr(i, token.size()) == token) return i;
+  }
+  return std::string_view::npos;
+}
+
+// Finds the last '.' at depth zero, or npos.
+size_t FindLastTopLevelDot(std::string_view text) {
+  int depth = 0;
+  size_t found = std::string_view::npos;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '(' || c == '[') ++depth;
+    if (c == ')' || c == ']') --depth;
+    if (depth == 0 && c == '.') found = i;
+  }
+  return found;
+}
+
+bool IsIdentifier(std::string_view text) {
+  return IsValidName(text) && text.find('.') == std::string_view::npos;
+}
+
+// A "simple attribute term" is `type.attr` or `type[a,b,...]`.
+struct AttributeTerm {
+  std::string type;
+  std::vector<std::string> attributes;
+};
+
+// Tries to read `text` as type.attr / type[attrs]; nullopt otherwise.
+std::optional<AttributeTerm> ParseAttributeTerm(std::string_view text) {
+  text = StripWhitespace(text);
+  size_t bracket = text.find('[');
+  if (bracket != std::string_view::npos) {
+    if (text.back() != ']') return std::nullopt;
+    std::string_view type = StripWhitespace(text.substr(0, bracket));
+    if (!IsIdentifier(type)) return std::nullopt;
+    std::vector<std::string> attributes = SplitAndTrim(
+        text.substr(bracket + 1, text.size() - bracket - 2), ',');
+    if (attributes.empty()) return std::nullopt;
+    for (const std::string& attribute : attributes) {
+      if (!IsIdentifier(attribute)) return std::nullopt;
+    }
+    return AttributeTerm{std::string(type), std::move(attributes)};
+  }
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos) return std::nullopt;
+  std::string_view type = StripWhitespace(text.substr(0, dot));
+  std::string_view attribute = StripWhitespace(text.substr(dot + 1));
+  if (!IsIdentifier(type) || !IsIdentifier(attribute)) return std::nullopt;
+  return AttributeTerm{std::string(type), {std::string(attribute)}};
+}
+
+// True if `term` resolves to a declared type carrying all attributes.
+bool ResolvesAbsolutely(const AttributeTerm& term, const Dtd& dtd) {
+  int type = dtd.FindType(term.type);
+  if (type < 0) return false;
+  for (const std::string& attribute : term.attributes) {
+    if (!dtd.HasAttribute(type, attribute)) return false;
+  }
+  return true;
+}
+
+struct RegularTerm {
+  Regex node_path;  // beta.tau
+  int final_type;
+  std::string attribute;
+};
+
+// Parses `beta.tau.l`: strips the attribute, parses the node path,
+// and extracts the final element type.
+Result<RegularTerm> ParseRegularTerm(std::string_view text, const Dtd& dtd) {
+  text = StripWhitespace(text);
+  size_t last_dot = FindLastTopLevelDot(text);
+  if (last_dot == std::string_view::npos) {
+    return Status::InvalidArgument("regular term '" + std::string(text) +
+                                   "' has no attribute component");
+  }
+  std::string_view attribute = StripWhitespace(text.substr(last_dot + 1));
+  if (!IsIdentifier(attribute)) {
+    return Status::InvalidArgument("regular term '" + std::string(text) +
+                                   "' must end in '.attribute'");
+  }
+  std::string_view path_text = text.substr(0, last_dot);
+  size_t type_dot = FindLastTopLevelDot(path_text);
+  std::string_view type_name = StripWhitespace(
+      type_dot == std::string_view::npos ? path_text
+                                         : path_text.substr(type_dot + 1));
+  if (!IsIdentifier(type_name)) {
+    return Status::InvalidArgument(
+        "regular path '" + std::string(path_text) +
+        "' must end in a single element type (beta.tau form)");
+  }
+  ASSIGN_OR_RETURN(int final_type, dtd.TypeId(std::string(type_name)));
+  auto resolve = [&dtd](const std::string& name) { return dtd.FindType(name); };
+  ASSIGN_OR_RETURN(Regex node_path,
+                   ParseRegex(std::string(path_text), resolve));
+  return RegularTerm{std::move(node_path), final_type, std::string(attribute)};
+}
+
+// Non-root element types, for wildcard expansion (`_` = E \ {r}).
+std::vector<int> NonRootTypes(const Dtd& dtd) {
+  std::vector<int> symbols;
+  for (int type = 0; type < dtd.num_element_types(); ++type) {
+    if (type != dtd.root()) symbols.push_back(type);
+  }
+  return symbols;
+}
+
+Dfa PathDfa(const Regex& path, const Dtd& dtd) {
+  Regex expanded = ExpandWildcard(path, NonRootTypes(dtd));
+  return Dfa::Determinize(BuildNfa(expanded, dtd.num_element_types()));
+}
+
+Status ParseRelative(std::string_view context_name, std::string_view body,
+                     bool foreign_key, const Dtd& dtd, ConstraintSet* set) {
+  ASSIGN_OR_RETURN(int context, dtd.TypeId(std::string(context_name)));
+  size_t arrow = FindTopLevel(body, "->");
+  size_t subset = FindTopLevel(body, "<=");
+  if (arrow != std::string_view::npos) {
+    std::optional<AttributeTerm> lhs =
+        ParseAttributeTerm(body.substr(0, arrow));
+    std::string_view rhs = StripWhitespace(body.substr(arrow + 2));
+    if (!lhs.has_value() || lhs->attributes.size() != 1) {
+      return Status::InvalidArgument(
+          "relative key must have the form ctx(tau.l -> tau)");
+    }
+    if (rhs != lhs->type) {
+      return Status::InvalidArgument("relative key sides disagree: '" +
+                                     lhs->type + "' vs '" + std::string(rhs) +
+                                     "'");
+    }
+    ASSIGN_OR_RETURN(int type, dtd.TypeId(lhs->type));
+    set->Add(RelativeKey{context, type, lhs->attributes[0]});
+    return Status::OK();
+  }
+  if (subset != std::string_view::npos) {
+    std::optional<AttributeTerm> lhs =
+        ParseAttributeTerm(body.substr(0, subset));
+    std::optional<AttributeTerm> rhs =
+        ParseAttributeTerm(body.substr(subset + 2));
+    if (!lhs.has_value() || !rhs.has_value() || lhs->attributes.size() != 1 ||
+        rhs->attributes.size() != 1) {
+      return Status::InvalidArgument(
+          "relative inclusion must have the form ctx(t1.l1 <= t2.l2)");
+    }
+    ASSIGN_OR_RETURN(int child, dtd.TypeId(lhs->type));
+    ASSIGN_OR_RETURN(int parent, dtd.TypeId(rhs->type));
+    RelativeInclusion inclusion{context, child, lhs->attributes[0], parent,
+                                rhs->attributes[0]};
+    if (foreign_key) {
+      set->AddForeignKey(std::move(inclusion));
+    } else {
+      set->Add(std::move(inclusion));
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("relative constraint body '" +
+                                 std::string(body) +
+                                 "' contains neither '->' nor '<='");
+}
+
+Status ParseKey(std::string_view lhs, std::string_view rhs, const Dtd& dtd,
+                ConstraintSet* set) {
+  rhs = StripWhitespace(rhs);
+  std::optional<AttributeTerm> term = ParseAttributeTerm(lhs);
+  if (term.has_value() && IsIdentifier(rhs) && term->type == rhs) {
+    // Absolute key tau[X] -> tau.
+    ASSIGN_OR_RETURN(int type, dtd.TypeId(term->type));
+    set->Add(AbsoluteKey{type, std::move(term->attributes)});
+    return Status::OK();
+  }
+  // Regular key beta.tau.l -> beta.tau.
+  ASSIGN_OR_RETURN(RegularTerm regular, ParseRegularTerm(lhs, dtd));
+  auto resolve = [&dtd](const std::string& name) { return dtd.FindType(name); };
+  ASSIGN_OR_RETURN(Regex rhs_path, ParseRegex(std::string(rhs), resolve));
+  Dfa lhs_dfa = PathDfa(regular.node_path, dtd);
+  Dfa rhs_dfa = PathDfa(rhs_path, dtd);
+  if (!lhs_dfa.ContainedIn(rhs_dfa) || !rhs_dfa.ContainedIn(lhs_dfa)) {
+    return Status::InvalidArgument(
+        "regular key sides denote different node sets: '" + std::string(lhs) +
+        " -> " + std::string(rhs) + "'");
+  }
+  set->Add(RegularKey{std::move(regular.node_path), regular.final_type,
+                      std::move(regular.attribute)});
+  return Status::OK();
+}
+
+Status ParseInclusion(std::string_view lhs, std::string_view rhs,
+                      bool foreign_key, const Dtd& dtd, ConstraintSet* set) {
+  std::optional<AttributeTerm> lhs_term = ParseAttributeTerm(lhs);
+  std::optional<AttributeTerm> rhs_term = ParseAttributeTerm(rhs);
+  if (lhs_term.has_value() && rhs_term.has_value() &&
+      ResolvesAbsolutely(*lhs_term, dtd) && ResolvesAbsolutely(*rhs_term, dtd)) {
+    if (lhs_term->attributes.size() != rhs_term->attributes.size()) {
+      return Status::InvalidArgument("inclusion arity mismatch: '" +
+                                     std::string(lhs) + " <= " +
+                                     std::string(rhs) + "'");
+    }
+    ASSIGN_OR_RETURN(int child, dtd.TypeId(lhs_term->type));
+    ASSIGN_OR_RETURN(int parent, dtd.TypeId(rhs_term->type));
+    AbsoluteInclusion inclusion{child, std::move(lhs_term->attributes), parent,
+                                std::move(rhs_term->attributes)};
+    if (foreign_key) {
+      set->AddForeignKey(std::move(inclusion));
+    } else {
+      set->Add(std::move(inclusion));
+    }
+    return Status::OK();
+  }
+  // Regular inclusion.
+  ASSIGN_OR_RETURN(RegularTerm lhs_reg, ParseRegularTerm(lhs, dtd));
+  ASSIGN_OR_RETURN(RegularTerm rhs_reg, ParseRegularTerm(rhs, dtd));
+  RegularInclusion inclusion{std::move(lhs_reg.node_path), lhs_reg.final_type,
+                             std::move(lhs_reg.attribute),
+                             std::move(rhs_reg.node_path), rhs_reg.final_type,
+                             std::move(rhs_reg.attribute)};
+  if (foreign_key) {
+    set->AddForeignKey(std::move(inclusion));
+  } else {
+    set->Add(std::move(inclusion));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseConstraintLine(const std::string& raw_line, const Dtd& dtd,
+                           ConstraintSet* set) {
+  std::string_view line = StripWhitespace(raw_line);
+  bool foreign_key = false;
+  if (StartsWith(line, "fk ")) {
+    foreign_key = true;
+    line = StripWhitespace(line.substr(3));
+  }
+
+  // Relative form: ident( ... ) spanning the whole line.
+  if (!line.empty() && line.back() == ')') {
+    size_t open = line.find('(');
+    if (open != std::string_view::npos) {
+      std::string_view head = StripWhitespace(line.substr(0, open));
+      if (IsIdentifier(head)) {
+        return ParseRelative(head, line.substr(open + 1, line.size() - open - 2),
+                             foreign_key, dtd, set);
+      }
+    }
+  }
+
+  size_t arrow = FindTopLevel(line, "->");
+  size_t subset = FindTopLevel(line, "<=");
+  if (arrow != std::string_view::npos &&
+      (subset == std::string_view::npos || arrow < subset)) {
+    if (foreign_key) {
+      return Status::InvalidArgument(
+          "'fk' applies to inclusions; keys are written without it: '" +
+          std::string(line) + "'");
+    }
+    return ParseKey(StripWhitespace(line.substr(0, arrow)),
+                    StripWhitespace(line.substr(arrow + 2)), dtd, set);
+  }
+  if (subset != std::string_view::npos) {
+    return ParseInclusion(StripWhitespace(line.substr(0, subset)),
+                          StripWhitespace(line.substr(subset + 2)),
+                          foreign_key, dtd, set);
+  }
+  return Status::InvalidArgument("constraint line '" + std::string(line) +
+                                 "' contains neither '->' nor '<='");
+}
+
+Result<ConstraintSet> ParseConstraints(const std::string& text,
+                                       const Dtd& dtd) {
+  ConstraintSet set;
+  size_t start = 0;
+  int line_number = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    size_t comment = line.find('#');
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    if (StripWhitespace(line).empty()) continue;
+    Status status = ParseConstraintLine(line, dtd, &set);
+    if (!status.ok()) {
+      return Status(status.code(), "line " + std::to_string(line_number) +
+                                       ": " + status.message());
+    }
+    if (start > text.size()) break;
+  }
+  RETURN_IF_ERROR(set.Validate(dtd));
+  return set;
+}
+
+}  // namespace xmlverify

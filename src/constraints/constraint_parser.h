@@ -1,0 +1,39 @@
+// Textual constraint syntax, one constraint per line:
+//
+//   country.name -> country                      absolute unary key
+//   person[first,last] -> person                 absolute multi-attr key
+//   takenBy.sid <= record.id                     absolute inclusion
+//   fk takenBy.sid <= record.id                  foreign key (adds the
+//                                                RHS key as well)
+//   country(province.name -> province)           relative key
+//   country(capital.inProvince <= province.name) relative inclusion
+//   fk country(capital.inProvince <= province.name)
+//   r._*.record.id -> r._*.record                regular key
+//   r._*.cs434.takenBy.sid <= r._*.student.record.id
+//
+// '#' starts a comment. For keys, the right-hand side must denote the
+// same node set as the left-hand side minus its attribute; for regular
+// keys this is verified by automata language equivalence.
+#ifndef XMLVERIFY_CONSTRAINTS_CONSTRAINT_PARSER_H_
+#define XMLVERIFY_CONSTRAINTS_CONSTRAINT_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+/// Parses a multi-line constraint listing against `dtd`. The result
+/// is validated (types and attributes must exist).
+Result<ConstraintSet> ParseConstraints(const std::string& text,
+                                       const Dtd& dtd);
+
+/// Parses a single constraint line and appends it to `set`.
+Status ParseConstraintLine(const std::string& line, const Dtd& dtd,
+                           ConstraintSet* set);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CONSTRAINTS_CONSTRAINT_PARSER_H_

@@ -1,0 +1,88 @@
+#include "constraints/inclusion_closure.h"
+
+namespace xmlverify {
+
+InclusionClosure::InclusionClosure(const ConstraintSet& constraints) {
+  auto intern = [this](const Node& node) {
+    auto [it, inserted] = index_.emplace(node, static_cast<int>(nodes_.size()));
+    if (inserted) nodes_.push_back(node);
+    return it->second;
+  };
+  std::vector<std::pair<int, int>> edges;
+  for (const AbsoluteInclusion& inclusion : constraints.absolute_inclusions()) {
+    if (!inclusion.IsUnary()) continue;
+    int child = intern({inclusion.child_type, inclusion.child_attributes[0]});
+    int parent =
+        intern({inclusion.parent_type, inclusion.parent_attributes[0]});
+    edges.emplace_back(child, parent);
+  }
+  const int n = static_cast<int>(nodes_.size());
+  reaches_.assign(n, std::vector<bool>(n, false));
+  for (int v = 0; v < n; ++v) reaches_[v][v] = true;
+  for (const auto& [child, parent] : edges) reaches_[child][parent] = true;
+  // Floyd–Warshall boolean closure: cubic, as in [12].
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (!reaches_[i][k]) continue;
+      for (int j = 0; j < n; ++j) {
+        if (reaches_[k][j]) reaches_[i][j] = true;
+      }
+    }
+  }
+}
+
+int InclusionClosure::NodeIndex(const Node& node) const {
+  auto it = index_.find(node);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool InclusionClosure::Implies(int child_type,
+                               const std::string& child_attribute,
+                               int parent_type,
+                               const std::string& parent_attribute) const {
+  if (child_type == parent_type && child_attribute == parent_attribute) {
+    return true;  // reflexivity
+  }
+  int child = NodeIndex({child_type, child_attribute});
+  int parent = NodeIndex({parent_type, parent_attribute});
+  if (child < 0 || parent < 0) return false;
+  return reaches_[child][parent];
+}
+
+std::vector<AbsoluteInclusion> InclusionClosure::DerivedInclusions() const {
+  std::vector<AbsoluteInclusion> derived;
+  for (size_t a = 0; a < nodes_.size(); ++a) {
+    for (size_t b = 0; b < nodes_.size(); ++b) {
+      if (a == b || !reaches_[a][b]) continue;
+      derived.push_back(AbsoluteInclusion{nodes_[a].first,
+                                          {nodes_[a].second},
+                                          nodes_[b].first,
+                                          {nodes_[b].second}});
+    }
+  }
+  return derived;
+}
+
+std::vector<AbsoluteInclusion> InclusionClosure::RedundantInclusions(
+    const ConstraintSet& constraints) const {
+  std::vector<AbsoluteInclusion> redundant;
+  for (size_t i = 0; i < constraints.absolute_inclusions().size(); ++i) {
+    const AbsoluteInclusion& candidate = constraints.absolute_inclusions()[i];
+    if (!candidate.IsUnary()) continue;
+    // Rebuild the closure without this inclusion and test whether it
+    // is still derivable.
+    ConstraintSet rest;
+    for (size_t j = 0; j < constraints.absolute_inclusions().size(); ++j) {
+      if (j != i) rest.Add(constraints.absolute_inclusions()[j]);
+    }
+    InclusionClosure without(rest);
+    if (without.Implies(candidate.child_type, candidate.child_attributes[0],
+                        candidate.parent_type,
+                        candidate.parent_attributes[0])) {
+      redundant.push_back(candidate);
+    }
+  }
+  return redundant;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,59 @@
+// Implication closure for unary inclusion dependencies *without* the
+// DTD — the classical Cosmadakis–Kanellakis–Vardi setting the paper
+// cites as [12] when motivating Theorem 3.1 ("the implication problem
+// is decidable in cubic time for single-attribute inclusion
+// dependencies").
+//
+// Unary inclusions alone are implied exactly by reflexivity and
+// transitivity, so the closure is the transitive closure of the
+// inclusion graph over (type, attribute) nodes. This is the cheap,
+// DTD-free pre-pass: anything implied here is implied under every
+// DTD, and the full DTD-aware check (core/implication.h) only needs
+// to run for candidates this pass cannot settle.
+#ifndef XMLVERIFY_CONSTRAINTS_INCLUSION_CLOSURE_H_
+#define XMLVERIFY_CONSTRAINTS_INCLUSION_CLOSURE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+class InclusionClosure {
+ public:
+  /// Builds the transitive closure of the unary absolute inclusions
+  /// in `constraints` (others are ignored).
+  explicit InclusionClosure(const ConstraintSet& constraints);
+
+  /// Is tau1.l1 <= tau2.l2 derivable by reflexivity + transitivity?
+  bool Implies(int child_type, const std::string& child_attribute,
+               int parent_type, const std::string& parent_attribute) const;
+
+  /// All nontrivial derivable inclusions, in a stable order. Useful
+  /// for surfacing redundant constraints in a specification.
+  std::vector<AbsoluteInclusion> DerivedInclusions() const;
+
+  /// Inclusions of the input set that are implied by the others
+  /// (redundant and removable without changing the constrained
+  /// documents).
+  std::vector<AbsoluteInclusion> RedundantInclusions(
+      const ConstraintSet& constraints) const;
+
+ private:
+  using Node = std::pair<int, std::string>;
+
+  int NodeIndex(const Node& node) const;
+
+  std::map<Node, int> index_;
+  std::vector<Node> nodes_;
+  // reaches_[a][b]: a's value set is included in b's.
+  std::vector<std::vector<bool>> reaches_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CONSTRAINTS_INCLUSION_CLOSURE_H_

@@ -1,0 +1,262 @@
+#include "constraints/relative_geometry.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace xmlverify {
+
+Result<ConstraintSet> WithAbsoluteAsRelative(const ConstraintSet& constraints,
+                                             int root) {
+  ConstraintSet result;
+  for (const AbsoluteKey& key : constraints.absolute_keys()) {
+    if (!key.IsUnary()) {
+      return Status::Unsupported(
+          "multi-attribute keys cannot be folded into the relative "
+          "framework (SAT(RC^{*,*}) is undecidable)");
+    }
+    result.Add(RelativeKey{root, key.type, key.attributes[0]});
+  }
+  for (const AbsoluteInclusion& inclusion : constraints.absolute_inclusions()) {
+    if (!inclusion.IsUnary()) {
+      return Status::Unsupported(
+          "multi-attribute inclusions cannot be folded into the relative "
+          "framework");
+    }
+    result.Add(RelativeInclusion{root, inclusion.child_type,
+                                 inclusion.child_attributes[0],
+                                 inclusion.parent_type,
+                                 inclusion.parent_attributes[0]});
+  }
+  for (const RelativeKey& key : constraints.relative_keys()) result.Add(key);
+  for (const RelativeInclusion& inclusion :
+       constraints.relative_inclusions()) {
+    result.Add(inclusion);
+  }
+  if (constraints.HasRegular()) {
+    return Status::Unsupported(
+        "regular-path constraints do not participate in the relative "
+        "framework");
+  }
+  return result;
+}
+
+RelativeGeometry::RelativeGeometry(const Dtd& dtd,
+                                   const ConstraintSet& constraints)
+    : dtd_(&dtd),
+      constraints_(&constraints),
+      num_types_(dtd.num_element_types()) {}
+
+Result<RelativeGeometry> RelativeGeometry::Analyze(
+    const Dtd& dtd, const ConstraintSet& constraints) {
+  if (dtd.IsRecursive()) {
+    return Status::Unsupported(
+        "relative-constraint analysis requires a non-recursive DTD");
+  }
+  if (constraints.HasAbsolute() || constraints.HasRegular()) {
+    return Status::InvalidArgument(
+        "RelativeGeometry expects purely relative constraints; fold "
+        "absolute constraints in with WithAbsoluteAsRelative first");
+  }
+  RelativeGeometry geometry(dtd, constraints);
+  const int n = geometry.num_types_;
+
+  // Transitive reachability over DTD child edges (length >= 1).
+  geometry.reaches_.assign(n * n, false);
+  for (int type = 0; type < n; ++type) {
+    std::deque<int> frontier;
+    for (int child : dtd.ChildTypes(type)) {
+      if (!geometry.reaches_[type * n + child]) {
+        geometry.reaches_[type * n + child] = true;
+        frontier.push_back(child);
+      }
+    }
+    while (!frontier.empty()) {
+      int cur = frontier.front();
+      frontier.pop_front();
+      for (int child : dtd.ChildTypes(cur)) {
+        if (!geometry.reaches_[type * n + child]) {
+          geometry.reaches_[type * n + child] = true;
+          frontier.push_back(child);
+        }
+      }
+    }
+  }
+
+  // Restricted types: the root plus every context type.
+  std::set<int> contexts;
+  for (const RelativeKey& key : constraints.relative_keys()) {
+    contexts.insert(key.context);
+  }
+  for (const RelativeInclusion& inclusion :
+       constraints.relative_inclusions()) {
+    contexts.insert(inclusion.context);
+  }
+  geometry.is_restricted_.assign(n, false);
+  geometry.is_restricted_[dtd.root()] = true;
+  geometry.restricted_types_.push_back(dtd.root());
+  for (int context : contexts) {
+    if (!geometry.is_restricted_[context]) {
+      geometry.is_restricted_[context] = true;
+      geometry.restricted_types_.push_back(context);
+    }
+  }
+
+  // Conflicting pairs (Section 4.2): tau1, tau2 conflict iff
+  //   (1) tau2 is a context type with a path from tau1, and
+  //   (2) some inclusion with context tau1 mentions a type tau3
+  //       strictly below tau2.
+  for (const RelativeInclusion& inclusion :
+       constraints.relative_inclusions()) {
+    int tau1 = inclusion.context;
+    for (int tau3 : {inclusion.child_type, inclusion.parent_type}) {
+      for (int tau2 : contexts) {
+        if (tau2 == tau1 || tau2 == tau3) continue;
+        if (geometry.HasPath(tau1, tau2) && geometry.HasPath(tau2, tau3)) {
+          RelativeGeometry::ConflictingPair pair;
+          pair.outer = tau1;
+          pair.inner = tau2;
+          pair.description =
+              "inclusion " + inclusion.ToString(dtd) + " reaches type '" +
+              dtd.TypeName(tau3) + "' through context type '" +
+              dtd.TypeName(tau2) + "'";
+          if (!geometry.conflicting_pair_.has_value()) {
+            geometry.conflicting_pair_ = std::move(pair);
+          }
+        }
+      }
+    }
+  }
+  return geometry;
+}
+
+bool RelativeGeometry::IsContextType(int type) const {
+  for (const RelativeKey& key : constraints_->relative_keys()) {
+    if (key.context == type) return true;
+  }
+  for (const RelativeInclusion& inclusion :
+       constraints_->relative_inclusions()) {
+    if (inclusion.context == type) return true;
+  }
+  return false;
+}
+
+std::vector<int> RelativeGeometry::ScopeTypes(int tau) const {
+  // BFS from tau; restricted types other than tau are scope leaves
+  // and are not expanded (their subtrees belong to deeper scopes).
+  std::vector<bool> seen(num_types_, false);
+  std::vector<int> result;
+  std::deque<int> frontier = {tau};
+  seen[tau] = true;
+  result.push_back(tau);
+  while (!frontier.empty()) {
+    int type = frontier.front();
+    frontier.pop_front();
+    bool expand = (type == tau) || !is_restricted_[type];
+    if (!expand) continue;
+    for (int child : dtd_->ChildTypes(type)) {
+      if (!seen[child]) {
+        seen[child] = true;
+        result.push_back(child);
+        frontier.push_back(child);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<int> RelativeGeometry::ScopeTypeMap(int tau) const {
+  std::vector<int> map(num_types_, -1);
+  std::vector<int> scope = ScopeTypes(tau);
+  for (size_t i = 0; i < scope.size(); ++i) {
+    map[scope[i]] = static_cast<int>(i);
+  }
+  return map;
+}
+
+Result<Dtd> RelativeGeometry::ScopeDtd(int tau) const {
+  std::vector<int> scope = ScopeTypes(tau);
+  std::vector<int> map = ScopeTypeMap(tau);
+  std::vector<std::string> names;
+  names.reserve(scope.size());
+  for (int type : scope) names.push_back(dtd_->TypeName(type));
+
+  Dtd::Builder builder(names, dtd_->TypeName(tau));
+  int new_pcdata = static_cast<int>(scope.size());
+  auto remap = [&](int symbol) {
+    return symbol == dtd_->pcdata_symbol() ? new_pcdata : map[symbol];
+  };
+  for (int type : scope) {
+    bool truncated = type != tau && is_restricted_[type];
+    if (!truncated) {
+      // Truncated restricted leaves get P_tau(type) = epsilon, which
+      // is the builder's default.
+      builder.SetContent(dtd_->TypeName(type),
+                         RemapSymbols(dtd_->Content(type), remap));
+    }
+    // R_tau(tau) = {} (the scope root's attributes belong to the
+    // enclosing scope, where tau appears as a leaf); every other
+    // scope type — including truncated restricted leaves — keeps
+    // R(type), matching the paper's definition of D_tau.
+    if (type == tau) continue;
+    for (const std::string& attribute : dtd_->Attributes(type)) {
+      builder.AddAttribute(dtd_->TypeName(type), attribute);
+    }
+  }
+  return builder.Build();
+}
+
+Result<int> RelativeGeometry::MaxScopeDepth() const {
+  int max_depth = 0;
+  for (int type : restricted_types_) {
+    ASSIGN_OR_RETURN(Dtd scope_dtd, ScopeDtd(type));
+    ASSIGN_OR_RETURN(int depth, scope_dtd.Depth());
+    max_depth = std::max(max_depth, depth);
+  }
+  return max_depth;
+}
+
+bool RelativeGeometry::IsDLocal(int d) const {
+  Result<int> depth = MaxScopeDepth();
+  return depth.ok() && *depth <= d;
+}
+
+ConstraintSet RelativeGeometry::ProjectScopeConstraints(
+    int tau, const std::vector<int>& path_types,
+    const std::vector<int>& scope_type_map,
+    std::vector<int>* forced_empty) const {
+  std::set<int> on_path(path_types.begin(), path_types.end());
+  ConstraintSet projected;
+  for (const RelativeKey& key : constraints_->relative_keys()) {
+    if (on_path.count(key.context) == 0) continue;
+    if (key.type == tau) continue;  // the scope root carries no attributes
+    if (scope_type_map[key.type] < 0) continue;  // lives in another scope
+    projected.Add(AbsoluteKey{scope_type_map[key.type], {key.attribute}});
+  }
+  for (const RelativeInclusion& inclusion :
+       constraints_->relative_inclusions()) {
+    if (inclusion.context != tau) continue;
+    // Vacuous if the child type cannot occur below tau (non-recursive
+    // DTDs have no tau below tau).
+    if (inclusion.child_type == tau ||
+        scope_type_map[inclusion.child_type] < 0) {
+      continue;
+    }
+    // If the parent side cannot exist below tau, the inclusion forces
+    // the child extent to be empty.
+    if (inclusion.parent_type == tau ||
+        scope_type_map[inclusion.parent_type] < 0) {
+      forced_empty->push_back(scope_type_map[inclusion.child_type]);
+      continue;
+    }
+    projected.Add(AbsoluteInclusion{scope_type_map[inclusion.child_type],
+                                    {inclusion.child_attribute},
+                                    scope_type_map[inclusion.parent_type],
+                                    {inclusion.parent_attribute}});
+  }
+  return projected;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,106 @@
+// The "geometry" of relative constraints (Section 4.2): restricted
+// types, scopes, conflicting pairs, the hierarchical property, scope
+// DTDs D_tau, projected constraint sets Sigma_w, and d-locality.
+#ifndef XMLVERIFY_CONSTRAINTS_RELATIVE_GEOMETRY_H_
+#define XMLVERIFY_CONSTRAINTS_RELATIVE_GEOMETRY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+/// Geometry analysis of a (DTD, relative-constraint) specification.
+/// Absolute constraints should be folded in as context-r relative
+/// constraints first (see WithAbsoluteAsRelative).
+class RelativeGeometry {
+ public:
+  /// Requires a non-recursive DTD and unary constraints.
+  static Result<RelativeGeometry> Analyze(const Dtd& dtd,
+                                          const ConstraintSet& constraints);
+
+  /// Restricted types: the root plus all context types (Section 4.2).
+  const std::vector<int>& restricted_types() const {
+    return restricted_types_;
+  }
+  bool IsRestricted(int type) const { return is_restricted_[type]; }
+
+  /// True if there is a path in D from `from` to `to` (length >= 1).
+  bool HasPath(int from, int to) const {
+    return reaches_[from * num_types_ + to];
+  }
+
+  /// A conflicting pair per the paper's definition, if any.
+  struct ConflictingPair {
+    int outer;  // tau1: context of the offending inclusion
+    int inner;  // tau2: context type crossed by the inclusion
+    std::string description;
+  };
+  const std::optional<ConflictingPair>& conflicting_pair() const {
+    return conflicting_pair_;
+  }
+  /// (D, Sigma) is hierarchical iff it has no conflicting pair.
+  bool IsHierarchical() const { return !conflicting_pair_.has_value(); }
+
+  /// Element types of the scope rooted at restricted type `tau`:
+  /// types reachable along paths whose interior crosses no context
+  /// type (tau itself included).
+  std::vector<int> ScopeTypes(int tau) const;
+
+  /// The restricted DTD D_tau of the proof of Theorem 4.3: the scope
+  /// grammar with context-type leaves truncated to empty content and
+  /// the scope root stripped of attributes.
+  Result<Dtd> ScopeDtd(int tau) const;
+
+  /// Depth(D_tau) for each restricted type; d-locality holds iff all
+  /// depths are <= d (reformulation used in the proof of Theorem 4.4).
+  Result<int> MaxScopeDepth() const;
+  bool IsDLocal(int d) const;
+
+  /// True if `type` is the context type of some constraint.
+  bool IsContextType(int type) const;
+
+  /// Sigma_w: the absolute projection of the relative constraints
+  /// into the scope of `tau` reached along a root path whose symbol
+  /// set is `path_types` (Lemma 11):
+  ///  * keys ctx(t.l -> t) with ctx on the path and t in the scope
+  ///    become absolute keys t.l -> t (t != tau: the scope root has
+  ///    no attributes in D_tau);
+  ///  * inclusions with context exactly `tau` become absolute.
+  /// Constraints are expressed in ScopeDtd(tau)'s type ids via
+  /// `scope_type_map`. Inclusions whose parent side cannot exist in
+  /// the scope force the child extent to zero: those child scope-type
+  /// ids are appended to `forced_empty` instead.
+  ConstraintSet ProjectScopeConstraints(int tau,
+                                        const std::vector<int>& path_types,
+                                        const std::vector<int>& scope_type_map,
+                                        std::vector<int>* forced_empty) const;
+
+  /// Mapping original-type-id -> ScopeDtd type id (-1 if absent).
+  std::vector<int> ScopeTypeMap(int tau) const;
+
+ private:
+  RelativeGeometry(const Dtd& dtd, const ConstraintSet& constraints);
+
+  const Dtd* dtd_;
+  const ConstraintSet* constraints_;
+  int num_types_ = 0;
+  std::vector<int> restricted_types_;
+  std::vector<bool> is_restricted_;
+  std::vector<bool> reaches_;  // num_types x num_types, length >= 1 paths
+  std::optional<ConflictingPair> conflicting_pair_;
+};
+
+/// Copy of `constraints` with every absolute unary constraint
+/// re-expressed as a relative constraint with context `root`.
+/// Multi-attribute absolute constraints are rejected.
+Result<ConstraintSet> WithAbsoluteAsRelative(const ConstraintSet& constraints,
+                                             int root);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CONSTRAINTS_RELATIVE_GEOMETRY_H_

@@ -1,0 +1,50 @@
+// Bounded model search: enumerate documents conforming to the DTD up
+// to a node budget, with attribute values drawn from a small pool,
+// and dynamically check the constraints.
+//
+// This is (a) the honest fallback for the undecidable fragments
+// (SAT(RC_{K,FK}), Theorem 4.1; SAT(AC^{*,*}), [14]) — it can return
+// kConsistent with a witness but never kInconsistent — and (b) the
+// exhaustive oracle used by the test suite to cross-check the
+// polynomial encodings on small instances.
+#ifndef XMLVERIFY_CORE_BRUTE_FORCE_H_
+#define XMLVERIFY_CORE_BRUTE_FORCE_H_
+
+#include <functional>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "core/verdict.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+struct BoundedSearchOptions {
+  /// Maximum element nodes per candidate tree.
+  int max_nodes = 8;
+  /// Attribute values are drawn from {p1..pV}.
+  int num_values = 2;
+  /// Upper bound on candidate documents examined.
+  int64_t max_candidates = 2000000;
+};
+
+/// Searches for a document satisfying the specification within the
+/// bounds. kConsistent (with witness) or kUnknown — inconsistency is
+/// only reported when the enumeration provably exhausted all trees,
+/// which it never claims for star/recursive DTDs or larger value
+/// spaces; the verdict note says which.
+Result<ConsistencyVerdict> BoundedSearchConsistency(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const BoundedSearchOptions& options = {});
+
+/// General form: searches for a DTD-conforming document accepted by
+/// `accept` (any predicate over candidate documents). Used, e.g., to
+/// hunt for implication counterexamples in the undecidable relative
+/// fragment: accept = "satisfies Sigma and violates phi".
+Result<ConsistencyVerdict> BoundedSearchDocument(
+    const Dtd& dtd, const std::function<bool(const XmlTree&)>& accept,
+    const BoundedSearchOptions& options = {});
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,80 @@
+#include "core/consistency.h"
+
+namespace xmlverify {
+
+Result<ConsistencyVerdict> ConsistencyChecker::Check(
+    const Specification& spec) const {
+  RETURN_IF_ERROR(spec.constraints.Validate(spec.dtd));
+  ConstraintClass constraint_class = spec.Classify();
+  std::string class_name = ConstraintClassName(constraint_class);
+
+  auto annotate = [&class_name](ConsistencyVerdict verdict) {
+    if (verdict.note.empty()) {
+      verdict.note = "class: " + class_name;
+    } else {
+      verdict.note = "class: " + class_name + "; " + verdict.note;
+    }
+    return verdict;
+  };
+
+  switch (constraint_class) {
+    case ConstraintClass::kAcKeysOnly:
+    case ConstraintClass::kAcUnary:
+    case ConstraintClass::kAcMultiPrimary: {
+      AbsoluteCheckOptions absolute;
+      absolute.solver = options_.solver;
+      absolute.build_witness = options_.build_witness;
+      absolute.verify_witness = options_.verify_witness;
+      ASSIGN_OR_RETURN(
+          ConsistencyVerdict verdict,
+          CheckAbsoluteConsistency(spec.dtd, spec.constraints, absolute));
+      return annotate(std::move(verdict));
+    }
+    case ConstraintClass::kAcRegular: {
+      RegularCheckOptions regular;
+      regular.solver = options_.solver;
+      regular.build_witness = options_.build_witness;
+      regular.verify_witness = options_.verify_witness;
+      regular.max_expressions = options_.max_expressions;
+      ASSIGN_OR_RETURN(
+          ConsistencyVerdict verdict,
+          CheckRegularConsistency(spec.dtd, spec.constraints, regular));
+      return annotate(std::move(verdict));
+    }
+    case ConstraintClass::kRelative:
+    case ConstraintClass::kMixedRelative: {
+      HierarchicalCheckOptions hierarchical;
+      hierarchical.solver = options_.solver;
+      hierarchical.build_witness = options_.build_witness;
+      hierarchical.verify_witness = options_.verify_witness;
+      Result<ConsistencyVerdict> verdict =
+          CheckHierarchicalConsistency(spec.dtd, spec.constraints,
+                                       hierarchical);
+      if (verdict.ok()) return annotate(std::move(verdict).value());
+      if (verdict.status().code() != StatusCode::kUnsupported) {
+        return verdict.status();
+      }
+      // Non-hierarchical (or otherwise outside HRC): undecidable in
+      // general — fall back to bounded search.
+      ASSIGN_OR_RETURN(ConsistencyVerdict bounded,
+                       BoundedSearchConsistency(spec.dtd, spec.constraints,
+                                                options_.bounded));
+      bounded.note = verdict.status().message() +
+                     (bounded.note.empty() ? "" : "; " + bounded.note);
+      return annotate(std::move(bounded));
+    }
+    case ConstraintClass::kAcMultiGeneral: {
+      // Undecidable ([14]); bounded search only.
+      ASSIGN_OR_RETURN(ConsistencyVerdict bounded,
+                       BoundedSearchConsistency(spec.dtd, spec.constraints,
+                                                options_.bounded));
+      bounded.note =
+          "SAT(AC^{*,*}) is undecidable; bounded search only" +
+          (bounded.note.empty() ? std::string() : "; " + bounded.note);
+      return annotate(std::move(bounded));
+    }
+  }
+  return Status::Internal("unhandled constraint class");
+}
+
+}  // namespace xmlverify

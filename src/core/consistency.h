@@ -1,0 +1,52 @@
+// Front door of the library: dispatches a specification to the right
+// decision procedure per its constraint class (Figures 3 and 4), and
+// falls back to bounded search on the undecidable fragments.
+//
+//   Specification spec = Specification::Parse(dtd_text, constraints)
+//                            .ValueOrDie();
+//   ConsistencyChecker checker;
+//   ConsistencyVerdict verdict = checker.Check(spec).ValueOrDie();
+//   if (verdict.consistent()) std::cout << verdict.witness->ToXml(...);
+#ifndef XMLVERIFY_CORE_CONSISTENCY_H_
+#define XMLVERIFY_CORE_CONSISTENCY_H_
+
+#include "base/status.h"
+#include "core/brute_force.h"
+#include "core/sat_absolute.h"
+#include "core/sat_hierarchical.h"
+#include "core/sat_regular.h"
+#include "core/specification.h"
+#include "core/verdict.h"
+
+namespace xmlverify {
+
+class ConsistencyChecker {
+ public:
+  struct Options {
+    SolverOptions solver;
+    bool build_witness = true;
+    bool verify_witness = true;
+    /// Cap on distinct regular path expressions (2^k blow-up).
+    int max_expressions = 16;
+    /// Fallback bounds for the undecidable fragments.
+    BoundedSearchOptions bounded;
+  };
+
+  ConsistencyChecker() = default;
+  explicit ConsistencyChecker(Options options)
+      : options_(std::move(options)) {}
+
+  /// Decides consistency of `spec`, choosing the procedure by its
+  /// class. For decidable classes the verdict is exact; for the
+  /// undecidable ones (AC^{*,*}; non-hierarchical RC) the fallback
+  /// bounded search may return kUnknown, with the class named in the
+  /// verdict note.
+  Result<ConsistencyVerdict> Check(const Specification& spec) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_CONSISTENCY_H_

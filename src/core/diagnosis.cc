@@ -1,0 +1,103 @@
+#include "core/diagnosis.h"
+
+#include <variant>
+#include <vector>
+
+#include "core/implication.h"
+
+namespace xmlverify {
+
+namespace {
+
+using AnyConstraint =
+    std::variant<AbsoluteKey, AbsoluteInclusion, RegularKey, RegularInclusion,
+                 RelativeKey, RelativeInclusion>;
+
+std::vector<AnyConstraint> Flatten(const ConstraintSet& constraints) {
+  std::vector<AnyConstraint> flat;
+  for (const auto& c : constraints.absolute_keys()) flat.emplace_back(c);
+  for (const auto& c : constraints.absolute_inclusions()) flat.emplace_back(c);
+  for (const auto& c : constraints.regular_keys()) flat.emplace_back(c);
+  for (const auto& c : constraints.regular_inclusions()) flat.emplace_back(c);
+  for (const auto& c : constraints.relative_keys()) flat.emplace_back(c);
+  for (const auto& c : constraints.relative_inclusions()) flat.emplace_back(c);
+  return flat;
+}
+
+ConstraintSet Rebuild(const std::vector<AnyConstraint>& flat,
+                      const std::vector<bool>& keep) {
+  ConstraintSet set;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (!keep[i]) continue;
+    std::visit([&set](const auto& constraint) { set.Add(constraint); },
+               flat[i]);
+  }
+  return set;
+}
+
+}  // namespace
+
+Result<ConstraintSet> MinimizeInconsistentCore(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const DiagnosisOptions& options) {
+  ConsistencyChecker checker(options.checker);
+  std::vector<AnyConstraint> flat = Flatten(constraints);
+  std::vector<bool> keep(flat.size(), true);
+
+  Specification spec;
+  // The Dtd has no public copy-from-reference constructor need — it is
+  // copyable; assemble a working specification per probe.
+  spec.dtd = dtd;
+  spec.constraints = Rebuild(flat, keep);
+  ASSIGN_OR_RETURN(ConsistencyVerdict verdict, checker.Check(spec));
+  if (verdict.outcome != ConsistencyOutcome::kInconsistent) {
+    return Status::InvalidArgument(
+        "MinimizeInconsistentCore requires an (exactly) inconsistent "
+        "specification; got " + OutcomeName(verdict.outcome));
+  }
+
+  // Iterative deletion: drop each constraint if the rest stays
+  // inconsistent.
+  for (size_t i = 0; i < flat.size(); ++i) {
+    keep[i] = false;
+    spec.constraints = Rebuild(flat, keep);
+    Result<ConsistencyVerdict> probe = checker.Check(spec);
+    bool still_inconsistent =
+        probe.ok() && probe->outcome == ConsistencyOutcome::kInconsistent;
+    if (!still_inconsistent) keep[i] = true;  // needed for the core
+  }
+  return Rebuild(flat, keep);
+}
+
+Result<ConstraintSet> RemoveRedundantConstraints(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const DiagnosisOptions& options) {
+  (void)options;
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  std::vector<AnyConstraint> flat = Flatten(constraints);
+  std::vector<bool> keep(flat.size(), true);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    // Only absolute unary constraints have a decidable implication
+    // problem we expose; skip everything else.
+    const AbsoluteKey* key = std::get_if<AbsoluteKey>(&flat[i]);
+    const AbsoluteInclusion* inclusion =
+        std::get_if<AbsoluteInclusion>(&flat[i]);
+    if (key == nullptr && inclusion == nullptr) continue;
+    if (key != nullptr && !key->IsUnary()) continue;
+    if (inclusion != nullptr && !inclusion->IsUnary()) continue;
+
+    keep[i] = false;
+    ConstraintSet rest = Rebuild(flat, keep);
+    ImplicationOptions implication_options;
+    implication_options.build_counterexample = false;
+    Result<ImplicationVerdict> implied =
+        key != nullptr
+            ? CheckKeyImplication(dtd, rest, *key, implication_options)
+            : CheckInclusionImplication(dtd, rest, *inclusion,
+                                        implication_options);
+    if (!implied.ok() || !implied->implied) keep[i] = true;  // load-bearing
+  }
+  return Rebuild(flat, keep);
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,42 @@
+// Inconsistency diagnosis: shrink an inconsistent specification to a
+// minimal core — a subset of the constraints that is still
+// inconsistent with the DTD, but becomes consistent when any single
+// constraint is dropped. This turns a bare INCONSISTENT verdict into
+// an actionable explanation ("these four constraints cannot coexist
+// with the DTD"), in the spirit of the paper's worked examples where
+// one added foreign key breaks the whole specification.
+#ifndef XMLVERIFY_CORE_DIAGNOSIS_H_
+#define XMLVERIFY_CORE_DIAGNOSIS_H_
+
+#include "base/status.h"
+#include "core/consistency.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+struct DiagnosisOptions {
+  ConsistencyChecker::Options checker;
+};
+
+/// Requires that (dtd, constraints) is inconsistent with an exact
+/// verdict; returns a minimal inconsistent core by iterative deletion
+/// (|Sigma| consistency checks). Constraints whose removal makes the
+/// verdict kUnknown are conservatively kept.
+Result<ConstraintSet> MinimizeInconsistentCore(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const DiagnosisOptions& options = {});
+
+/// Specification hygiene: drops absolute unary constraints that are
+/// implied (in the presence of the DTD) by the remaining ones, via
+/// the implication checker — e.g. transitively redundant inclusions,
+/// or keys forced by DTD cardinalities. Greedy, order-dependent but
+/// sound: the returned set constrains exactly the same documents.
+/// Regular/relative constraints and multi-attribute keys are kept
+/// as-is (their implication problems are harder or undecidable).
+Result<ConstraintSet> RemoveRedundantConstraints(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const DiagnosisOptions& options = {});
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_DIAGNOSIS_H_

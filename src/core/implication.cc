@@ -1,0 +1,342 @@
+#include "core/implication.h"
+
+#include "checker/document_checker.h"
+#include "core/witness.h"
+#include "encoding/cardinality.h"
+#include "encoding/flow_encoder.h"
+#include "encoding/regular_encoder.h"
+#include "ilp/linear.h"
+#include "ilp/solver.h"
+
+namespace xmlverify {
+
+namespace {
+
+// Polynomial decision procedure for purely-absolute unary Sigma and
+// absolute phi — the coNP algorithm behind Impl(AC_{K,FK}) [14],
+// avoiding the exponential z_theta machinery. The counterexample
+// model extends the prefix-pool cardinality abstraction with one
+// distinguished value v and indicator variables s_{tau.l} = "v lies
+// in ext(tau.l)":
+//   * every Sigma inclusion a <= b adds  s_a <= s_b  and
+//     (n_a - s_a) <= (n_b - s_b)   (prefix parts nest);
+//   * not-key phi on tau.l:  ext(tau) >= 2 and n_{tau.l} <= ext - 1;
+//   * not-inclusion phi:     s_child = 1, s_parent = 0.
+struct AbsoluteNegation {
+  std::optional<AbsoluteKey> key;
+  std::optional<AbsoluteInclusion> inclusion;
+};
+
+Result<ImplicationVerdict> DecideAbsoluteFast(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteNegation& negation, const ImplicationOptions& options) {
+  IntegerProgram program;
+  ASSIGN_OR_RETURN(DtdFlowSystem flow,
+                   DtdFlowSystem::Build(dtd, nullptr, &program));
+  ASSIGN_OR_RETURN(AbsoluteCardinality cardinality,
+                   AbsoluteCardinality::Emit(dtd, constraints, {}, &flow,
+                                             &program));
+
+  std::map<std::pair<int, std::string>, VarId> special_vars;
+  std::map<std::pair<int, std::string>, bool> special_flags;
+  if (negation.inclusion.has_value()) {
+    // s variables for every reachable attribute.
+    for (int type = 0; type < dtd.num_element_types(); ++type) {
+      for (const std::string& attribute : dtd.Attributes(type)) {
+        VarId attr_var = cardinality.AttrVar(type, attribute);
+        if (attr_var < 0) continue;
+        VarId s = program.NewVariable("s(" + dtd.TypeName(type) + "." +
+                                      attribute + ")");
+        program.SetUpperBound(s, BigInt(1));
+        // s <= n: the distinguished value is counted in the extent.
+        LinearExpr bound;
+        bound.Add(s, BigInt(1));
+        bound.Add(attr_var, BigInt(-1));
+        program.AddLinear(std::move(bound), Relation::kLe, BigInt(0),
+                          "s<=n");
+        special_vars[{type, attribute}] = s;
+      }
+    }
+    auto s_of = [&special_vars](int type, const std::string& attribute) {
+      auto it = special_vars.find({type, attribute});
+      return it == special_vars.end() ? -1 : it->second;
+    };
+    for (const AbsoluteInclusion& inclusion :
+         constraints.absolute_inclusions()) {
+      VarId s_child =
+          s_of(inclusion.child_type, inclusion.child_attributes[0]);
+      VarId s_parent =
+          s_of(inclusion.parent_type, inclusion.parent_attributes[0]);
+      if (s_child < 0) continue;  // unreachable child: vacuous
+      if (s_parent < 0) {
+        // Parent unreachable: already handled by the base encoding
+        // (child extent forced empty), so s_child is 0 via s <= n.
+        continue;
+      }
+      // s_child <= s_parent.
+      LinearExpr monotone;
+      monotone.Add(s_child, BigInt(1));
+      monotone.Add(s_parent, BigInt(-1));
+      program.AddLinear(std::move(monotone), Relation::kLe, BigInt(0),
+                        "s-monotone");
+      // (n_child - s_child) <= (n_parent - s_parent).
+      LinearExpr prefix;
+      prefix.Add(cardinality.AttrVar(inclusion.child_type,
+                                     inclusion.child_attributes[0]),
+                 BigInt(1));
+      prefix.Add(s_child, BigInt(-1));
+      prefix.Add(cardinality.AttrVar(inclusion.parent_type,
+                                     inclusion.parent_attributes[0]),
+                 BigInt(-1));
+      prefix.Add(s_parent, BigInt(1));
+      program.AddLinear(std::move(prefix), Relation::kLe, BigInt(0),
+                        "prefix-nests");
+    }
+    const AbsoluteInclusion& phi = *negation.inclusion;
+    VarId s_child = s_of(phi.child_type, phi.child_attributes[0]);
+    VarId s_parent = s_of(phi.parent_type, phi.parent_attributes[0]);
+    if (s_child < 0) {
+      // phi's child type is unreachable: phi holds vacuously.
+      ImplicationVerdict verdict;
+      verdict.implied = true;
+      return verdict;
+    }
+    LinearExpr escape;
+    escape.Add(s_child, BigInt(1));
+    program.AddLinear(std::move(escape), Relation::kEq, BigInt(1),
+                      "neg-incl-child");
+    if (s_parent >= 0) {
+      LinearExpr missing;
+      missing.Add(s_parent, BigInt(1));
+      program.AddLinear(std::move(missing), Relation::kEq, BigInt(0),
+                        "neg-incl-parent");
+    }
+  }
+  if (negation.key.has_value()) {
+    const AbsoluteKey& phi = *negation.key;
+    VarId ext = cardinality.ExtVar(phi.type);
+    VarId attr_var = cardinality.AttrVar(phi.type, phi.attributes[0]);
+    if (ext < 0) {
+      ImplicationVerdict verdict;
+      verdict.implied = true;  // unreachable type: key holds vacuously
+      return verdict;
+    }
+    LinearExpr two;
+    two.Add(ext, BigInt(1));
+    program.AddLinear(std::move(two), Relation::kGe, BigInt(2), "neg-key>=2");
+    LinearExpr collide;
+    collide.Add(attr_var, BigInt(1));
+    collide.Add(ext, BigInt(-1));
+    program.AddLinear(std::move(collide), Relation::kLe, BigInt(-1),
+                      "neg-key-collide");
+  }
+
+  IlpSolver solver(options.solver);
+  SolveResult solved = solver.Solve(program);
+  ImplicationVerdict verdict;
+  verdict.stats.solver_nodes = solved.nodes_explored;
+  verdict.stats.lp_pivots = solved.lp_pivots;
+  verdict.stats.num_variables = program.num_variables();
+  switch (solved.outcome) {
+    case SolveOutcome::kUnsat:
+      verdict.implied = true;
+      return verdict;
+    case SolveOutcome::kUnknown:
+      return Status::ResourceExhausted("implication fast path hit limits: " +
+                                       solved.note);
+    case SolveOutcome::kSat:
+      break;
+  }
+  verdict.implied = false;
+  if (!options.build_counterexample) return verdict;
+
+  ASSIGN_OR_RETURN(XmlTree tree, flow.BuildTree(solved.assignment));
+  for (const auto& [key, var] : special_vars) {
+    special_flags[key] = solved.assignment[var] >= BigInt(1);
+  }
+  RETURN_IF_ERROR(AssignAbsoluteValues(dtd, constraints, cardinality,
+                                       solved.assignment, "v", &tree,
+                                       &special_flags));
+  Status satisfies_sigma = CheckDocument(tree, dtd, constraints);
+  if (!satisfies_sigma.ok()) {
+    return Status::Internal("counterexample fails Sigma: " +
+                            satisfies_sigma.message());
+  }
+  ConstraintSet phi_only;
+  if (negation.key.has_value()) phi_only.Add(*negation.key);
+  if (negation.inclusion.has_value()) phi_only.Add(*negation.inclusion);
+  if (CheckConstraints(tree, dtd, phi_only).ok()) {
+    return Status::Internal(
+        "counterexample construction failed: the document satisfies phi");
+  }
+  verdict.counterexample = std::move(tree);
+  return verdict;
+}
+
+bool FastPathApplies(const ConstraintSet& constraints) {
+  return !constraints.HasRegular() && !constraints.HasRelative() &&
+         constraints.AllAbsoluteUnary();
+}
+
+Regex AbsolutePath(const Dtd& dtd, int type) {
+  if (type == dtd.root()) return Regex::Symbol(type);
+  return Regex::Concat(
+      Regex::Concat(Regex::Symbol(dtd.root()), Regex::Star(Regex::Wildcard())),
+      Regex::Symbol(type));
+}
+
+// Shared driver: solve Sigma + (negation of phi); implied iff UNSAT.
+// `negated` holds the phi parts for counterexample validation.
+Result<ImplicationVerdict> Decide(const Dtd& dtd,
+                                  const ConstraintSet& constraints,
+                                  const RegularNegation& negation,
+                                  const ImplicationOptions& options) {
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  ASSIGN_OR_RETURN(ConstraintSet regular, AbsoluteAsRegular(constraints, dtd));
+
+  IntegerProgram program;
+  RegularEncoderOptions encoder_options;
+  encoder_options.max_expressions = options.max_expressions;
+  ASSIGN_OR_RETURN(
+      std::unique_ptr<RegularEncoder> encoder,
+      RegularEncoder::Build(dtd, regular, &program, encoder_options,
+                            &negation));
+  IlpSolver solver(options.solver);
+  SolveResult solved = solver.Solve(program);
+
+  ImplicationVerdict verdict;
+  verdict.stats.solver_nodes = solved.nodes_explored;
+  verdict.stats.lp_pivots = solved.lp_pivots;
+  verdict.stats.num_variables = program.num_variables();
+
+  switch (solved.outcome) {
+    case SolveOutcome::kUnsat:
+      verdict.implied = true;
+      return verdict;
+    case SolveOutcome::kUnknown:
+      return Status::ResourceExhausted(
+          "implication check hit solver limits: " + solved.note);
+    case SolveOutcome::kSat:
+      break;
+  }
+  verdict.implied = false;
+  if (!options.build_counterexample) return verdict;
+
+  ASSIGN_OR_RETURN(XmlTree tree, encoder->BuildWitness(solved.assignment));
+  // The counterexample must satisfy (D, Sigma) and violate phi.
+  Status satisfies_sigma = CheckDocument(tree, dtd, regular);
+  if (!satisfies_sigma.ok()) {
+    return Status::Internal("counterexample fails Sigma: " +
+                            satisfies_sigma.message());
+  }
+  ConstraintSet phi_only;
+  if (negation.key.has_value()) phi_only.Add(*negation.key);
+  if (negation.inclusion.has_value()) phi_only.Add(*negation.inclusion);
+  if (CheckConstraints(tree, dtd, phi_only).ok()) {
+    return Status::Internal(
+        "counterexample construction failed: the document satisfies phi");
+  }
+  verdict.counterexample = std::move(tree);
+  return verdict;
+}
+
+}  // namespace
+
+Result<ImplicationVerdict> CheckKeyImplication(
+    const Dtd& dtd, const ConstraintSet& constraints, const RegularKey& phi,
+    const ImplicationOptions& options) {
+  RegularNegation negation;
+  negation.key = phi;
+  return Decide(dtd, constraints, negation, options);
+}
+
+Result<ImplicationVerdict> CheckInclusionImplication(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const RegularInclusion& phi, const ImplicationOptions& options) {
+  RegularNegation negation;
+  negation.inclusion = phi;
+  return Decide(dtd, constraints, negation, options);
+}
+
+Result<ImplicationVerdict> CheckKeyImplication(
+    const Dtd& dtd, const ConstraintSet& constraints, const AbsoluteKey& phi,
+    const ImplicationOptions& options) {
+  if (!phi.IsUnary()) {
+    return Status::Unsupported(
+        "implication of multi-attribute keys is undecidable in general "
+        "(Impl(AC^{*,*}), [14]); only unary keys are supported");
+  }
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  if (FastPathApplies(constraints)) {
+    AbsoluteNegation negation;
+    negation.key = phi;
+    return DecideAbsoluteFast(dtd, constraints, negation, options);
+  }
+  RegularKey regular{AbsolutePath(dtd, phi.type), phi.type,
+                     phi.attributes[0]};
+  return CheckKeyImplication(dtd, constraints, regular, options);
+}
+
+Result<ImplicationVerdict> CheckInclusionImplication(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteInclusion& phi, const ImplicationOptions& options) {
+  if (!phi.IsUnary()) {
+    return Status::Unsupported(
+        "implication of multi-attribute inclusions is not supported");
+  }
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  if (FastPathApplies(constraints)) {
+    AbsoluteNegation negation;
+    negation.inclusion = phi;
+    return DecideAbsoluteFast(dtd, constraints, negation, options);
+  }
+  RegularInclusion regular{AbsolutePath(dtd, phi.child_type),
+                           phi.child_type,
+                           phi.child_attributes[0],
+                           AbsolutePath(dtd, phi.parent_type),
+                           phi.parent_type,
+                           phi.parent_attributes[0]};
+  return CheckInclusionImplication(dtd, constraints, regular, options);
+}
+
+Result<BoundedRefutation> SearchImplicationCounterexample(
+    const Dtd& dtd, const ConstraintSet& constraints, const ConstraintSet& phi,
+    const BoundedSearchOptions& options) {
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  RETURN_IF_ERROR(phi.Validate(dtd));
+  ASSIGN_OR_RETURN(
+      ConsistencyVerdict search,
+      BoundedSearchDocument(
+          dtd,
+          [&](const XmlTree& tree) {
+            return CheckConstraints(tree, dtd, constraints).ok() &&
+                   !CheckConstraints(tree, dtd, phi).ok();
+          },
+          options));
+  BoundedRefutation refutation;
+  refutation.candidates_examined = search.stats.subproblems;
+  if (search.outcome == ConsistencyOutcome::kConsistent) {
+    refutation.refuted = true;
+    refutation.counterexample = std::move(search.witness);
+  }
+  return refutation;
+}
+
+Result<ImplicationVerdict> CheckForeignKeyImplication(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteInclusion& phi, const ImplicationOptions& options) {
+  if (!phi.IsUnary()) {
+    return Status::Unsupported("only unary foreign keys are supported");
+  }
+  ASSIGN_OR_RETURN(
+      ImplicationVerdict key_part,
+      CheckKeyImplication(dtd, constraints,
+                          AbsoluteKey{phi.parent_type, phi.parent_attributes},
+                          options));
+  if (!key_part.implied) return key_part;
+  ASSIGN_OR_RETURN(ImplicationVerdict inclusion_part,
+                   CheckInclusionImplication(dtd, constraints, phi, options));
+  return inclusion_part;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,78 @@
+// The implication problem Impl(C) in the presence of DTDs
+// (Section 3.4): (D, Sigma) |- phi iff every tree satisfying D and
+// Sigma satisfies phi — decided by testing consistency of Sigma plus
+// the negation of phi (the contrapositive of Proposition 3.6's
+// reduction). Covers unary absolute and regular constraints; a
+// foreign key is implied iff both its key and its inclusion are.
+#ifndef XMLVERIFY_CORE_IMPLICATION_H_
+#define XMLVERIFY_CORE_IMPLICATION_H_
+
+#include <optional>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "core/brute_force.h"
+#include "core/verdict.h"
+#include "ilp/solver.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+struct ImplicationOptions {
+  SolverOptions solver;
+  int max_expressions = 16;
+  /// Build a counterexample document when phi is not implied.
+  bool build_counterexample = true;
+};
+
+struct ImplicationVerdict {
+  bool implied = false;
+  /// A document satisfying (D, Sigma) but violating phi, when not
+  /// implied and counterexample building is enabled.
+  std::optional<XmlTree> counterexample;
+  CheckStats stats;
+};
+
+/// Does (D, Sigma) imply the regular key phi?
+Result<ImplicationVerdict> CheckKeyImplication(
+    const Dtd& dtd, const ConstraintSet& constraints, const RegularKey& phi,
+    const ImplicationOptions& options = {});
+
+/// Does (D, Sigma) imply the regular inclusion phi?
+Result<ImplicationVerdict> CheckInclusionImplication(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const RegularInclusion& phi, const ImplicationOptions& options = {});
+
+/// Absolute wrappers: phi is rewritten over the path r._*.tau.
+Result<ImplicationVerdict> CheckKeyImplication(
+    const Dtd& dtd, const ConstraintSet& constraints, const AbsoluteKey& phi,
+    const ImplicationOptions& options = {});
+Result<ImplicationVerdict> CheckInclusionImplication(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteInclusion& phi, const ImplicationOptions& options = {});
+
+/// A foreign key (inclusion + key on its right-hand side) is implied
+/// iff both parts are; the counterexample, when present, violates at
+/// least one part.
+Result<ImplicationVerdict> CheckForeignKeyImplication(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteInclusion& phi, const ImplicationOptions& options = {});
+
+/// Bounded counterexample search for implication questions outside
+/// the decidable fragments (e.g., relative premises — Impl(RC) is
+/// undecidable, Corollary 4.5): enumerates documents up to the given
+/// bounds looking for one that satisfies Sigma and violates at least
+/// one constraint of `phi`. refuted=true comes with a counterexample;
+/// refuted=false is NOT a proof of implication.
+struct BoundedRefutation {
+  bool refuted = false;
+  std::optional<XmlTree> counterexample;
+  int64_t candidates_examined = 0;
+};
+Result<BoundedRefutation> SearchImplicationCounterexample(
+    const Dtd& dtd, const ConstraintSet& constraints, const ConstraintSet& phi,
+    const BoundedSearchOptions& options = {});
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_IMPLICATION_H_

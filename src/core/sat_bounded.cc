@@ -1,0 +1,196 @@
+#include "core/sat_bounded.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace xmlverify {
+
+namespace {
+
+using Vector = std::vector<int64_t>;
+using VectorSet = std::set<Vector>;
+
+// Pairwise sums of two achievable-vector sets.
+Result<VectorSet> SumSet(const VectorSet& a, const VectorSet& b,
+                         size_t max_vectors) {
+  VectorSet result;
+  for (const Vector& u : a) {
+    for (const Vector& v : b) {
+      Vector sum(u.size());
+      for (size_t i = 0; i < u.size(); ++i) sum[i] = u[i] + v[i];
+      result.insert(std::move(sum));
+      if (result.size() > max_vectors) {
+        return Status::ResourceExhausted(
+            "achievable-vector set exceeds the configured cap; instance "
+            "is outside the fixed-(k,d) tractable regime");
+      }
+    }
+  }
+  return result;
+}
+
+class NoStarChecker {
+ public:
+  NoStarChecker(const Dtd& dtd, const ConstraintSet& constraints,
+                const NoStarCheckOptions& options)
+      : dtd_(dtd), constraints_(constraints), options_(options) {}
+
+  Result<ConsistencyVerdict> Run() {
+    // Dimensions: element types mentioned by the constraints.
+    std::set<int> mentioned;
+    for (const AbsoluteKey& key : constraints_.absolute_keys()) {
+      mentioned.insert(key.type);
+    }
+    for (const AbsoluteInclusion& inclusion :
+         constraints_.absolute_inclusions()) {
+      mentioned.insert(inclusion.child_type);
+      mentioned.insert(inclusion.parent_type);
+    }
+    dims_.assign(mentioned.begin(), mentioned.end());
+    for (size_t i = 0; i < dims_.size(); ++i) dim_of_[dims_[i]] = i;
+
+    memo_.assign(dtd_.num_element_types(), std::nullopt);
+    ASSIGN_OR_RETURN(VectorSet root_set, TypeSet(dtd_.root()));
+
+    ConsistencyVerdict verdict;
+    verdict.stats.subproblems = static_cast<int64_t>(root_set.size());
+    for (const Vector& extents : root_set) {
+      if (AttrFeasible(extents)) {
+        verdict.outcome = ConsistencyOutcome::kConsistent;
+        return verdict;
+      }
+    }
+    verdict.outcome = ConsistencyOutcome::kInconsistent;
+    return verdict;
+  }
+
+ private:
+  // Achievable extent vectors of a single tau-subtree.
+  Result<VectorSet> TypeSet(int type) {
+    if (memo_[type].has_value()) return *memo_[type];
+    ASSIGN_OR_RETURN(VectorSet content_set, RegexSet(dtd_.Content(type)));
+    auto it = dim_of_.find(type);
+    if (it != dim_of_.end()) {
+      VectorSet shifted;
+      for (Vector v : content_set) {
+        v[it->second] += 1;
+        shifted.insert(std::move(v));
+      }
+      content_set = std::move(shifted);
+    }
+    memo_[type] = content_set;
+    return content_set;
+  }
+
+  Result<VectorSet> RegexSet(const Regex& regex) {
+    switch (regex.kind()) {
+      case RegexKind::kEpsilon:
+        return VectorSet{Vector(dims_.size(), 0)};
+      case RegexKind::kWildcard:
+        return Status::Unsupported("wildcard in content model");
+      case RegexKind::kSymbol:
+        if (regex.symbol() == dtd_.pcdata_symbol()) {
+          return VectorSet{Vector(dims_.size(), 0)};
+        }
+        return TypeSet(regex.symbol());
+      case RegexKind::kConcat: {
+        ASSIGN_OR_RETURN(VectorSet left, RegexSet(regex.left()));
+        ASSIGN_OR_RETURN(VectorSet right, RegexSet(regex.right()));
+        return SumSet(left, right, options_.max_vectors);
+      }
+      case RegexKind::kUnion: {
+        ASSIGN_OR_RETURN(VectorSet left, RegexSet(regex.left()));
+        ASSIGN_OR_RETURN(VectorSet right, RegexSet(regex.right()));
+        left.insert(right.begin(), right.end());
+        if (left.size() > options_.max_vectors) {
+          return Status::ResourceExhausted("achievable-vector set too large");
+        }
+        return left;
+      }
+      case RegexKind::kStar:
+        return Status::InvalidArgument(
+            "CheckNoStarConsistency requires a no-star DTD");
+    }
+    return Status::Internal("unhandled regex kind");
+  }
+
+  // Given the extent of every mentioned type, decide whether attribute
+  // counts |ext(tau.l)| can be chosen to satisfy C_Sigma: each count
+  // ranges over [1, ext] (or {0} when ext = 0), keys pin it to ext,
+  // and inclusions x <= y propagate upper bounds to a fixpoint.
+  bool AttrFeasible(const Vector& extents) {
+    std::map<std::pair<int, std::string>, std::pair<int64_t, int64_t>> domain;
+    auto domain_of = [&](int type, const std::string& attribute)
+        -> std::pair<int64_t, int64_t>& {
+      auto key = std::make_pair(type, attribute);
+      auto it = domain.find(key);
+      if (it == domain.end()) {
+        int64_t ext = extents[dim_of_.at(type)];
+        it = domain.emplace(key, std::make_pair(ext > 0 ? 1 : 0, ext)).first;
+      }
+      return it->second;
+    };
+    for (const AbsoluteKey& key : constraints_.absolute_keys()) {
+      int64_t ext = extents[dim_of_.at(key.type)];
+      auto& dom = domain_of(key.type, key.attributes[0]);
+      dom.first = std::max(dom.first, ext);
+      dom.second = std::min(dom.second, ext);
+    }
+    // Fixpoint over inclusion upper bounds and lower bounds.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const AbsoluteInclusion& inclusion :
+           constraints_.absolute_inclusions()) {
+        auto& child = domain_of(inclusion.child_type,
+                                inclusion.child_attributes[0]);
+        auto& parent = domain_of(inclusion.parent_type,
+                                 inclusion.parent_attributes[0]);
+        if (child.second > parent.second) {
+          child.second = parent.second;
+          changed = true;
+        }
+        if (parent.first < child.first) {
+          parent.first = child.first;
+          changed = true;
+        }
+      }
+    }
+    for (const auto& [key, dom] : domain) {
+      (void)key;
+      if (dom.first > dom.second) return false;
+    }
+    return true;
+  }
+
+  const Dtd& dtd_;
+  const ConstraintSet& constraints_;
+  const NoStarCheckOptions& options_;
+  std::vector<int> dims_;
+  std::map<int, size_t> dim_of_;
+  std::vector<std::optional<VectorSet>> memo_;
+};
+
+}  // namespace
+
+Result<ConsistencyVerdict> CheckNoStarConsistency(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const NoStarCheckOptions& options) {
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  if (constraints.HasRegular() || constraints.HasRelative() ||
+      !constraints.AllAbsoluteUnary()) {
+    return Status::InvalidArgument(
+        "CheckNoStarConsistency handles unary absolute constraints only");
+  }
+  if (dtd.IsRecursive() || !dtd.IsNoStar()) {
+    return Status::InvalidArgument(
+        "CheckNoStarConsistency requires a non-recursive no-star DTD "
+        "(Theorem 3.5)");
+  }
+  NoStarChecker checker(dtd, constraints, options);
+  return checker.Run();
+}
+
+}  // namespace xmlverify

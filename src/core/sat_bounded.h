@@ -1,0 +1,38 @@
+// The tractable fragment of Theorem 3.5(b): for non-recursive no-star
+// DTDs, SAT(AC_{K,FK}) restricted to k constraints and depth-d DTDs is
+// decidable in NLOGSPACE. This is a deterministic realization of the
+// paper's nondeterministic Count procedure: a dynamic program over
+// the (finite, star-free) content models computes the exact set of
+// achievable extent vectors for the constrained element types, and a
+// small interval-propagation step decides whether attribute counts
+// can be placed to satisfy C_Sigma.
+//
+// Exact for its fragment — and polynomial when k and d are fixed,
+// which is what bench_thm35_tractability measures.
+#ifndef XMLVERIFY_CORE_SAT_BOUNDED_H_
+#define XMLVERIFY_CORE_SAT_BOUNDED_H_
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "core/verdict.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+struct NoStarCheckOptions {
+  /// Cap on the size of any achievable-vector set in the dynamic
+  /// program (exceeding it returns kResourceExhausted — the instance
+  /// is outside the "fixed k, fixed d" regime the fragment targets).
+  size_t max_vectors = 200000;
+};
+
+/// Requires: non-recursive no-star DTD, unary absolute constraints.
+/// Verdicts are exact (kConsistent / kInconsistent). No witness is
+/// built; use CheckAbsoluteConsistency when one is needed.
+Result<ConsistencyVerdict> CheckNoStarConsistency(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const NoStarCheckOptions& options = {});
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_SAT_BOUNDED_H_

@@ -1,0 +1,60 @@
+#include "core/sat_regular.h"
+
+#include "checker/document_checker.h"
+#include "encoding/regular_encoder.h"
+#include "ilp/linear.h"
+
+namespace xmlverify {
+
+Result<ConsistencyVerdict> CheckRegularConsistency(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const RegularCheckOptions& options) {
+  RETURN_IF_ERROR(constraints.Validate(dtd));
+  ASSIGN_OR_RETURN(ConstraintSet regular,
+                   AbsoluteAsRegular(constraints, dtd));
+
+  IntegerProgram program;
+  RegularEncoderOptions encoder_options;
+  encoder_options.max_expressions = options.max_expressions;
+  ASSIGN_OR_RETURN(std::unique_ptr<RegularEncoder> encoder,
+                   RegularEncoder::Build(dtd, regular, &program,
+                                         encoder_options));
+
+  IlpSolver solver(options.solver);
+  SolveResult solved = solver.Solve(program);
+
+  ConsistencyVerdict verdict;
+  verdict.stats.solver_nodes = solved.nodes_explored;
+  verdict.stats.lp_pivots = solved.lp_pivots;
+  verdict.stats.num_variables = program.num_variables();
+  verdict.stats.num_constraints = static_cast<int>(
+      program.linear().size() + program.conditionals().size());
+  verdict.note = solved.note;
+
+  switch (solved.outcome) {
+    case SolveOutcome::kUnsat:
+      verdict.outcome = ConsistencyOutcome::kInconsistent;
+      return verdict;
+    case SolveOutcome::kUnknown:
+      verdict.outcome = ConsistencyOutcome::kUnknown;
+      return verdict;
+    case SolveOutcome::kSat:
+      break;
+  }
+  verdict.outcome = ConsistencyOutcome::kConsistent;
+  if (!options.build_witness) return verdict;
+
+  ASSIGN_OR_RETURN(XmlTree tree, encoder->BuildWitness(solved.assignment));
+  if (options.verify_witness) {
+    Status valid = CheckDocument(tree, dtd, regular);
+    if (!valid.ok()) {
+      return Status::Internal(
+          "constructed regular witness fails dynamic validation: " +
+          valid.message());
+    }
+  }
+  verdict.witness = std::move(tree);
+  return verdict;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,87 @@
+#include "core/specification.h"
+
+#include "base/string_util.h"
+#include "constraints/constraint_parser.h"
+#include "core/verdict.h"
+#include "xml/dtd_parser.h"
+
+namespace xmlverify {
+
+std::string OutcomeName(ConsistencyOutcome outcome) {
+  switch (outcome) {
+    case ConsistencyOutcome::kConsistent: return "CONSISTENT";
+    case ConsistencyOutcome::kInconsistent: return "INCONSISTENT";
+    case ConsistencyOutcome::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+std::string ConstraintClassName(ConstraintClass constraint_class) {
+  switch (constraint_class) {
+    case ConstraintClass::kAcKeysOnly: return "AC_K (keys only)";
+    case ConstraintClass::kAcUnary: return "AC_{K,FK} (unary)";
+    case ConstraintClass::kAcMultiPrimary:
+      return "AC^{*,1}_{PK,FK} (multi-attribute primary keys)";
+    case ConstraintClass::kAcMultiGeneral:
+      return "AC^{*,*}_{K,FK} (multi-attribute, undecidable)";
+    case ConstraintClass::kAcRegular: return "AC^{reg}_{K,FK} (regular paths)";
+    case ConstraintClass::kRelative: return "RC_{K,FK} (relative)";
+    case ConstraintClass::kMixedRelative:
+      return "RC_{K,FK} with absolute constraints";
+  }
+  return "unknown";
+}
+
+Result<Specification> Specification::Parse(
+    const std::string& dtd_text, const std::string& constraints_text) {
+  Specification spec;
+  ASSIGN_OR_RETURN(spec.dtd, ParseDtd(dtd_text));
+  ASSIGN_OR_RETURN(spec.constraints,
+                   ParseConstraints(constraints_text, spec.dtd));
+  return spec;
+}
+
+Result<Specification> Specification::ParseCombined(const std::string& text) {
+  // Find the `%%` separator on a line of its own.
+  size_t position = 0;
+  while (position <= text.size()) {
+    size_t end = text.find('\n', position);
+    if (end == std::string::npos) end = text.size();
+    std::string_view line =
+        StripWhitespace(std::string_view(text).substr(position, end - position));
+    if (line == "%%") {
+      return Parse(text.substr(0, position),
+                   end >= text.size() ? std::string() : text.substr(end + 1));
+    }
+    if (end >= text.size()) break;
+    position = end + 1;
+  }
+  return Status::InvalidArgument(
+      "combined specification is missing the '%%' separator line between "
+      "the DTD and the constraints");
+}
+
+ConstraintClass Specification::Classify() const {
+  if (constraints.HasRelative()) {
+    return constraints.HasAbsolute() || constraints.HasRegular()
+               ? ConstraintClass::kMixedRelative
+               : ConstraintClass::kRelative;
+  }
+  if (constraints.HasRegular()) return ConstraintClass::kAcRegular;
+  if (constraints.AllAbsoluteUnary()) {
+    return constraints.absolute_inclusions().empty()
+               ? ConstraintClass::kAcKeysOnly
+               : ConstraintClass::kAcUnary;
+  }
+  if (constraints.AbsoluteInclusionsUnary() &&
+      constraints.AbsoluteKeysDisjoint()) {
+    return ConstraintClass::kAcMultiPrimary;
+  }
+  return ConstraintClass::kAcMultiGeneral;
+}
+
+std::string Specification::ToString() const {
+  return dtd.ToString() + "\n" + constraints.ToString(dtd);
+}
+
+}  // namespace xmlverify

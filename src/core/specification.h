@@ -1,0 +1,49 @@
+// An XML specification: a DTD paired with integrity constraints.
+// This is the object whose consistency the library decides.
+#ifndef XMLVERIFY_CORE_SPECIFICATION_H_
+#define XMLVERIFY_CORE_SPECIFICATION_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+/// The constraint classes of Figures 3 and 4, used for dispatch and
+/// reporting.
+enum class ConstraintClass {
+  kAcKeysOnly,        // AC_K: absolute keys, no inclusions (PTIME)
+  kAcUnary,           // AC_{K,FK}: unary keys + foreign keys (NP-complete)
+  kAcMultiPrimary,    // AC^{*,1}_{PK,FK} / disjoint (PDE-equivalent)
+  kAcMultiGeneral,    // AC^{*,*}: undecidable
+  kAcRegular,         // AC^{reg}_{K,FK}
+  kRelative,          // RC_{K,FK} (undecidable in general)
+  kMixedRelative,     // relative + absolute folded together
+};
+
+std::string ConstraintClassName(ConstraintClass constraint_class);
+
+struct Specification {
+  Dtd dtd;
+  ConstraintSet constraints;
+
+  /// Parses a DTD listing and a constraint listing together.
+  static Result<Specification> Parse(const std::string& dtd_text,
+                                     const std::string& constraints_text);
+
+  /// Parses a combined specification file: the DTD part, a line
+  /// containing only `%%`, then the constraint part.
+  static Result<Specification> ParseCombined(const std::string& text);
+
+  /// The most specific class of Figures 3/4 covering this
+  /// specification.
+  ConstraintClass Classify() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_SPECIFICATION_H_

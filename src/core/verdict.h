@@ -1,0 +1,47 @@
+// Shared verdict type for all consistency checkers.
+#ifndef XMLVERIFY_CORE_VERDICT_H_
+#define XMLVERIFY_CORE_VERDICT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+enum class ConsistencyOutcome {
+  kConsistent,    // a witness tree exists (and is attached if built)
+  kInconsistent,  // proven: no tree satisfies the specification
+  kUnknown,       // search capped (undecidable fragment or node limit)
+};
+
+std::string OutcomeName(ConsistencyOutcome outcome);
+
+struct CheckStats {
+  int64_t solver_nodes = 0;
+  int64_t lp_pivots = 0;
+  int num_variables = 0;
+  int num_constraints = 0;
+  /// Scopes solved (hierarchical checker) or trees enumerated
+  /// (bounded checker).
+  int64_t subproblems = 0;
+};
+
+struct ConsistencyVerdict {
+  ConsistencyOutcome outcome = ConsistencyOutcome::kUnknown;
+  /// A satisfying document, when consistent and witness building is
+  /// enabled. Always validated against the specification before
+  /// being returned.
+  std::optional<XmlTree> witness;
+  std::string note;
+  CheckStats stats;
+
+  bool consistent() const {
+    return outcome == ConsistencyOutcome::kConsistent;
+  }
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_VERDICT_H_

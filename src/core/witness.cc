@@ -1,0 +1,151 @@
+#include "core/witness.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xmlverify {
+
+namespace {
+
+// One key's attribute group on a type, or a singleton non-key
+// attribute.
+struct AttributeGroup {
+  std::vector<std::string> attributes;
+  bool is_key = false;
+};
+
+}  // namespace
+
+Status AssignAbsoluteValues(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteCardinality& cardinality,
+    const std::vector<BigInt>& solution, const std::string& value_prefix,
+    XmlTree* tree, const std::map<std::pair<int, std::string>, bool>* special,
+    const std::string& special_value) {
+  auto value_name = [&value_prefix](int64_t index) {
+    return value_prefix + std::to_string(index + 1);
+  };
+  auto is_special = [special](int type, const std::string& attribute) {
+    if (special == nullptr) return false;
+    auto it = special->find({type, attribute});
+    return it != special->end() && it->second;
+  };
+
+  for (int type = 0; type < dtd.num_element_types(); ++type) {
+    std::vector<NodeId> elements = tree->ElementsOfType(type);
+    if (elements.empty()) continue;
+    const int64_t m = static_cast<int64_t>(elements.size());
+
+    // Partition R(type) into key groups and leftover singletons.
+    std::vector<AttributeGroup> groups;
+    std::set<std::string> grouped;
+    for (const AbsoluteKey& key : constraints.absolute_keys()) {
+      if (key.type != type) continue;
+      groups.push_back({key.attributes, /*is_key=*/true});
+      grouped.insert(key.attributes.begin(), key.attributes.end());
+    }
+    for (const std::string& attribute : dtd.Attributes(type)) {
+      if (grouped.count(attribute) == 0) {
+        groups.push_back({{attribute}, /*is_key=*/false});
+      }
+    }
+
+    for (const AttributeGroup& group : groups) {
+      // Pool sizes n_i = |ext(type.l_i)| from the solution.
+      std::vector<int64_t> sizes;
+      for (const std::string& attribute : group.attributes) {
+        BigInt count = cardinality.AttrCount(type, attribute, solution);
+        if (!count.FitsInt64()) {
+          return Status::ResourceExhausted("attribute pool too large");
+        }
+        int64_t n = count.ToInt64();
+        if (n <= 0 || n > m) {
+          return Status::Internal(
+              "cardinality solution assigns |ext(" + dtd.TypeName(type) + "." +
+              attribute + ")| = " + std::to_string(n) + " with " +
+              std::to_string(m) + " elements");
+        }
+        sizes.push_back(n);
+      }
+
+      // Special (out-of-pool) values are only supported on unary
+      // groups; the implication fast path guarantees this.
+      bool group_special = false;
+      for (const std::string& attribute : group.attributes) {
+        if (is_special(type, attribute)) group_special = true;
+      }
+      if (group_special && group.attributes.size() > 1) {
+        return Status::Internal(
+            "special values are not supported on multi-attribute keys");
+      }
+
+      if (!group.is_key) {
+        // Cycle through the prefix pool: full coverage, no
+        // distinctness requirement. With a special marking, element 0
+        // carries the distinguished value and the pool shrinks by one.
+        int64_t pool = group_special ? sizes[0] - 1 : sizes[0];
+        for (int64_t j = 0; j < m; ++j) {
+          if (group_special && (j == 0 || pool == 0)) {
+            tree->SetAttribute(elements[j], group.attributes[0],
+                               special_value);
+          } else {
+            int64_t index = group_special ? j - 1 : j;
+            tree->SetAttribute(elements[j], group.attributes[0],
+                               value_name(index % pool));
+          }
+        }
+        continue;
+      }
+      if (group_special) {
+        // Unary key with a special value: element 0 is the outlier,
+        // the rest take the remaining n-1 = m-1 distinct pool values.
+        for (int64_t j = 0; j < m; ++j) {
+          tree->SetAttribute(elements[j], group.attributes[0],
+                             j == 0 ? special_value : value_name(j - 1));
+        }
+        continue;
+      }
+
+      // Key group: element j receives a distinct tuple covering every
+      // pool. Phase 1 (j < max n_i): the diagonal (j mod n_i)_i, which
+      // is distinct (coordinates at an argmax pool differ) and covers
+      // every pool. Phase 2: unused tuples in mixed-radix order.
+      int64_t max_size = *std::max_element(sizes.begin(), sizes.end());
+      std::set<std::vector<int64_t>> used;
+      std::vector<int64_t> radix_counter(sizes.size(), 0);
+      auto next_unused = [&]() -> Result<std::vector<int64_t>> {
+        while (true) {
+          if (used.count(radix_counter) == 0) return radix_counter;
+          // Increment the mixed-radix counter.
+          size_t position = 0;
+          while (position < sizes.size()) {
+            if (++radix_counter[position] < sizes[position]) break;
+            radix_counter[position] = 0;
+            ++position;
+          }
+          if (position == sizes.size()) {
+            return Status::Internal(
+                "key tuple space exhausted: |ext(" + dtd.TypeName(type) +
+                ")| exceeds the product of its key attribute pools");
+          }
+        }
+      };
+      for (int64_t j = 0; j < m; ++j) {
+        std::vector<int64_t> tuple(sizes.size());
+        if (j < max_size) {
+          for (size_t i = 0; i < sizes.size(); ++i) tuple[i] = j % sizes[i];
+        } else {
+          ASSIGN_OR_RETURN(tuple, next_unused());
+        }
+        used.insert(tuple);
+        for (size_t i = 0; i < sizes.size(); ++i) {
+          tree->SetAttribute(elements[j], group.attributes[i],
+                             value_name(tuple[i]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xmlverify

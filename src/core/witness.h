@@ -1,0 +1,45 @@
+// Attribute-value assignment for witness trees of absolute
+// specifications (Lemma 1): all value sets are prefixes of one global
+// value sequence, so inclusion constraints follow from cardinality
+// comparisons, and key tuples are drawn from the product of the key
+// attributes' prefix pools.
+#ifndef XMLVERIFY_CORE_WITNESS_H_
+#define XMLVERIFY_CORE_WITNESS_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "encoding/cardinality.h"
+#include "xml/dtd.h"
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+/// Fills in every attribute of `tree` so that the absolute keys and
+/// inclusions of `constraints` hold, given the cardinality solution
+/// that `tree` realizes. Values are `value_prefix` + index, so
+/// distinct prefixes yield disjoint pools (used by the hierarchical
+/// checker to keep sibling scopes value-disjoint).
+///
+/// `special` (optional) marks attribute sets that must additionally
+/// contain the distinguished out-of-pool value `special_value` — the
+/// mechanism behind inclusion counterexamples in the implication
+/// checker: the special value escapes every unmarked set. Marked
+/// attributes count the special value inside their |ext(tau.l)|
+/// budget, so the pool shrinks by one.
+Status AssignAbsoluteValues(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const AbsoluteCardinality& cardinality,
+    const std::vector<BigInt>& solution, const std::string& value_prefix,
+    XmlTree* tree,
+    const std::map<std::pair<int, std::string>, bool>* special = nullptr,
+    const std::string& special_value = "OUTLIER");
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_WITNESS_H_

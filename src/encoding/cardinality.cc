@@ -1,0 +1,135 @@
+#include "encoding/cardinality.h"
+
+namespace xmlverify {
+
+VarId AbsoluteCardinality::AttrVar(int type,
+                                   const std::string& attribute) const {
+  auto it = attr_vars_.find({type, attribute});
+  return it == attr_vars_.end() ? -1 : it->second;
+}
+
+VarId AbsoluteCardinality::ExtVar(int type) const {
+  auto it = ext_vars_.find(type);
+  return it == ext_vars_.end() ? -1 : it->second;
+}
+
+BigInt AbsoluteCardinality::AttrCount(int type, const std::string& attribute,
+                                      const std::vector<BigInt>& solution) const {
+  VarId var = AttrVar(type, attribute);
+  return var < 0 ? BigInt(0) : solution[var];
+}
+
+Result<AbsoluteCardinality> AbsoluteCardinality::Emit(
+    const Dtd& dtd, const ConstraintSet& constraints,
+    const std::vector<int>& forced_empty_types, DtdFlowSystem* flow,
+    IntegerProgram* program) {
+  if (constraints.HasRegular() || constraints.HasRelative()) {
+    return Status::InvalidArgument(
+        "AbsoluteCardinality handles absolute constraints only");
+  }
+  if (!constraints.AbsoluteInclusionsUnary()) {
+    return Status::Unsupported(
+        "multi-attribute inclusion constraints make consistency "
+        "undecidable (SAT(AC^{*,*}) [14]); only unary inclusions are "
+        "supported");
+  }
+  if (!constraints.AbsoluteKeysDisjoint()) {
+    return Status::Unsupported(
+        "multi-attribute keys must be primary or pairwise disjoint per "
+        "element type (Theorem 3.1 / Corollary 3.3); overlapping key "
+        "sets are outside the decidable fragment");
+  }
+
+  AbsoluteCardinality cardinality;
+  // ext(tau) totals for every reachable type, plus ext(tau.l) for
+  // every attribute, with the generic bounds.
+  for (int type = 0; type < dtd.num_element_types(); ++type) {
+    VarId ext = flow->TotalCountVar(type, program);
+    if (ext < 0) continue;  // unreachable: extent is identically empty
+    cardinality.ext_vars_[type] = ext;
+    for (const std::string& attribute : dtd.Attributes(type)) {
+      VarId attr_var = program->NewVariable(
+          "ext(" + dtd.TypeName(type) + "." + attribute + ")");
+      cardinality.attr_vars_[{type, attribute}] = attr_var;
+      // |ext(tau.l)| <= |ext(tau)|.
+      LinearExpr at_most;
+      at_most.Add(attr_var, BigInt(1));
+      at_most.Add(ext, BigInt(-1));
+      program->AddLinear(std::move(at_most), Relation::kLe, BigInt(0),
+                         "attr<=ext");
+      // (|ext(tau)| > 0) -> (|ext(tau.l)| > 0): every element carries
+      // the attribute.
+      LinearExpr positive;
+      positive.Add(attr_var, BigInt(1));
+      program->AddConditional(ext, std::move(positive), Relation::kGe,
+                              BigInt(1), "attr-populated");
+    }
+  }
+
+  for (int type : forced_empty_types) {
+    VarId ext = cardinality.ExtVar(type);
+    if (ext < 0) continue;
+    LinearExpr empty;
+    empty.Add(ext, BigInt(1));
+    program->AddLinear(std::move(empty), Relation::kEq, BigInt(0),
+                       "forced-empty:" + dtd.TypeName(type));
+  }
+
+  for (const AbsoluteKey& key : constraints.absolute_keys()) {
+    VarId ext = cardinality.ExtVar(key.type);
+    if (ext < 0) continue;  // unreachable type: key is vacuous
+    if (key.IsUnary()) {
+      // |ext(tau)| <= |ext(tau.l)| (with attr<=ext this is equality).
+      VarId attr_var = cardinality.AttrVar(key.type, key.attributes[0]);
+      LinearExpr at_least;
+      at_least.Add(ext, BigInt(1));
+      at_least.Add(attr_var, BigInt(-1));
+      program->AddLinear(std::move(at_least), Relation::kLe, BigInt(0),
+                         "key:" + key.ToString(dtd));
+      continue;
+    }
+    // |ext(tau)| <= prod_i |ext(tau.l_i)| as a prequadratic chain:
+    //   ext <= l_1 * t_2,  t_2 <= l_2 * t_3, ...,
+    //   t_{k-1} <= l_{k-1} * l_k.
+    std::vector<VarId> attr_vars;
+    for (const std::string& attribute : key.attributes) {
+      attr_vars.push_back(cardinality.AttrVar(key.type, attribute));
+    }
+    VarId current = ext;
+    for (size_t i = 0; i + 2 < attr_vars.size(); ++i) {
+      VarId tail = program->NewVariable("pk-chain(" + dtd.TypeName(key.type) +
+                                        "," + std::to_string(i) + ")");
+      program->AddPrequadratic(current, attr_vars[i], tail);
+      current = tail;
+    }
+    size_t k = attr_vars.size();
+    program->AddPrequadratic(current, attr_vars[k - 2], attr_vars[k - 1]);
+  }
+
+  for (const AbsoluteInclusion& inclusion : constraints.absolute_inclusions()) {
+    VarId child_ext = cardinality.ExtVar(inclusion.child_type);
+    if (child_ext < 0) continue;  // no child elements can ever exist
+    VarId child_attr = cardinality.AttrVar(inclusion.child_type,
+                                           inclusion.child_attributes[0]);
+    VarId parent_attr = cardinality.AttrVar(inclusion.parent_type,
+                                            inclusion.parent_attributes[0]);
+    if (parent_attr < 0) {
+      // The parent type is unreachable: the child extent must be empty.
+      LinearExpr empty;
+      empty.Add(child_ext, BigInt(1));
+      program->AddLinear(std::move(empty), Relation::kEq, BigInt(0),
+                         "incl-empty:" + inclusion.ToString(dtd));
+      continue;
+    }
+    // |ext(tau1.l1)| <= |ext(tau2.l2)|.
+    LinearExpr subset;
+    subset.Add(child_attr, BigInt(1));
+    subset.Add(parent_attr, BigInt(-1));
+    program->AddLinear(std::move(subset), Relation::kLe, BigInt(0),
+                       "incl:" + inclusion.ToString(dtd));
+  }
+
+  return cardinality;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,61 @@
+// C_Sigma for absolute constraints (Lemma 9 and the proof of
+// Theorem 3.1): cardinality constraints over |ext(tau)| and
+// |ext(tau.l)| variables.
+//
+//   key  tau[l1..lk] -> tau   |ext(tau)| <= prod_i |ext(tau.l_i)|
+//                             (prequadratic chain; k = 1 is linear)
+//   incl tau1.l1 <= tau2.l2   |ext(tau1.l1)| <= |ext(tau2.l2)|
+//   always                    0 <= |ext(tau.l)| <= |ext(tau)| and
+//                             (|ext(tau)| > 0) -> (|ext(tau.l)| > 0)
+//
+// Sound and complete for AC_{K,FK} (all unary) and for
+// AC^{*,1}_{PK,FK} / disjoint AC^{*,1}_{K,FK} (multi-attribute keys
+// with the primary or disjointness restriction, unary inclusions) —
+// exactly the classes for which the paper proves the counting
+// abstraction exact.
+#ifndef XMLVERIFY_ENCODING_CARDINALITY_H_
+#define XMLVERIFY_ENCODING_CARDINALITY_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "encoding/flow_encoder.h"
+#include "ilp/linear.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+class AbsoluteCardinality {
+ public:
+  /// Emits C_Sigma into `program` against the ext-variables of `flow`.
+  /// Requirements (checked): constraints are absolute; inclusions are
+  /// unary; keys are unary, or multi-attribute with pairwise-disjoint
+  /// attribute sets per type (primary implies disjoint).
+  /// `forced_empty_types` get |ext(tau)| = 0 (used by the hierarchical
+  /// checker to prune inconsistent sub-scopes).
+  static Result<AbsoluteCardinality> Emit(
+      const Dtd& dtd, const ConstraintSet& constraints,
+      const std::vector<int>& forced_empty_types, DtdFlowSystem* flow,
+      IntegerProgram* program);
+
+  /// |ext(tau.l)| variable; -1 if tau is unreachable in the DTD.
+  VarId AttrVar(int type, const std::string& attribute) const;
+  /// |ext(tau)| variable; -1 if unreachable.
+  VarId ExtVar(int type) const;
+
+  /// Value of |ext(tau.l)| under a solution (0 if unreachable).
+  BigInt AttrCount(int type, const std::string& attribute,
+                   const std::vector<BigInt>& solution) const;
+
+ private:
+  std::map<std::pair<int, std::string>, VarId> attr_vars_;
+  std::map<int, VarId> ext_vars_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ENCODING_CARDINALITY_H_

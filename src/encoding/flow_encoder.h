@@ -1,0 +1,98 @@
+// Psi_D: cardinality constraints characterizing the trees of a DTD.
+//
+// The narrowed DTD is viewed as a production system over "kinds"
+// (narrow symbol, automaton state). Flow variables count node kinds
+// and production uses:
+//   * y_k            number of nodes of kind k
+//   * for t -> a|b   y = use_a + use_b, children counted per branch
+//   * for t -> a*    child total is a free variable star_out with
+//                    (star_out >= 1) -> (y >= 1)   [the paper's
+//                    "(x_{tau1}>0) -> (x_{tau'}>0)" coding]
+//   * y_root = 1
+// and for every kind, y_k equals the total contribution from its
+// parents. For non-recursive DTDs these flow equations are exact
+// (the dependency graph is a DAG). For recursive DTDs orphan cycles
+// are excluded with spanning-forest constraints: 0/1 edge markers
+// w_e <= contribution(e), every populated kind needs an incoming
+// marked edge, and bounded distance variables make marked edges
+// strictly root-ward (z_child >= z_parent + 1 - M(1 - w_e)).
+//
+// When a ProductDfa is supplied, kinds are tagged with its states and
+// transitions fire on E-symbol expansions — the Psi_D^Sigma coding of
+// Theorem 3.4 (Lemma 6). Without one, there is a single dummy state.
+//
+// The encoder also rebuilds witness trees from integer solutions by
+// expanding production budgets (Lemma 6's tree construction).
+#ifndef XMLVERIFY_ENCODING_FLOW_ENCODER_H_
+#define XMLVERIFY_ENCODING_FLOW_ENCODER_H_
+
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "encoding/narrowing.h"
+#include "ilp/linear.h"
+#include "regex/automaton.h"
+#include "xml/dtd.h"
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+class DtdFlowSystem {
+ public:
+  /// Emits Psi_D into `program`. `product` may be null (single state);
+  /// if present it must be driven by E-symbol ids and is expanded
+  /// lazily over reachable states. `dtd` and `program` must outlive
+  /// the system; `product` is only used during Build.
+  static Result<DtdFlowSystem> Build(const Dtd& dtd, ProductDfa* product,
+                                     IntegerProgram* program);
+
+  /// Count variable y_(type,state); -1 if that kind is unreachable.
+  VarId CountVar(int element_type, int state) const;
+
+  /// All reachable (state, y-var) pairs of an element type.
+  std::vector<std::pair<int, VarId>> StatesOf(int element_type) const;
+
+  /// Fresh variable constrained to equal the total extent
+  /// |ext(type)| = sum over states of y_(type,state). Creates the sum
+  /// constraint on first use; -1 if the type is unreachable.
+  VarId TotalCountVar(int element_type, IntegerProgram* program);
+
+  /// Reconstructs a tree realizing an integer solution: the built
+  /// tree conforms to the DTD and has exactly solution[y_k] nodes of
+  /// every kind k. Fails with kResourceExhausted if the tree would
+  /// exceed `max_nodes`. Attribute values are NOT assigned.
+  Result<XmlTree> BuildTree(const std::vector<BigInt>& solution,
+                            int64_t max_nodes = 1 << 20) const;
+
+  /// The state reached by the product automaton at every node of the
+  /// built tree equals the state in its kind; exposed for encoders
+  /// that need per-state bookkeeping.
+  int root_state() const { return root_state_; }
+
+ private:
+  struct Kind {
+    int symbol;  // narrow-grammar symbol
+    int state;   // product state (0 when untagged)
+    VarId count = -1;          // y
+    VarId alt_use_a = -1;      // kAlt only
+    VarId alt_use_b = -1;
+    VarId star_out = -1;       // kStar only
+    int child_a = -1;          // kind index of first child (-1 if none)
+    int child_b = -1;          // kind index of second child
+  };
+
+  int KindIndex(int symbol, int state) const;
+
+  const Dtd* dtd_ = nullptr;
+  NarrowedDtd narrowed_;
+  std::vector<Kind> kinds_;
+  std::map<std::pair<int, int>, int> kind_index_;  // (symbol,state) -> kind
+  std::map<int, VarId> total_vars_;                // type -> aggregate var
+  int root_kind_ = 0;
+  int root_state_ = 0;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ENCODING_FLOW_ENCODER_H_

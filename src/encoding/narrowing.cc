@@ -1,0 +1,97 @@
+#include "encoding/narrowing.h"
+
+namespace xmlverify {
+
+namespace {
+
+class Narrower {
+ public:
+  explicit Narrower(const Dtd& dtd) : dtd_(dtd) {
+    result_.rules.resize(dtd.num_element_types());
+    result_.owner.resize(dtd.num_element_types());
+    result_.num_element_types = dtd.num_element_types();
+    result_.root = dtd.root();
+    for (int type = 0; type < dtd.num_element_types(); ++type) {
+      result_.owner[type] = type;
+    }
+  }
+
+  Result<NarrowedDtd> Run() {
+    for (int type = 0; type < dtd_.num_element_types(); ++type) {
+      ASSIGN_OR_RETURN(NarrowRule rule, RuleFor(dtd_.Content(type), type));
+      result_.rules[type] = rule;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  int NewNonterminal(int owner) {
+    result_.rules.emplace_back();
+    result_.owner.push_back(owner);
+    return result_.num_symbols() - 1;
+  }
+
+  Result<NarrowRule> RuleFor(const Regex& regex, int owner) {
+    NarrowRule rule;
+    switch (regex.kind()) {
+      case RegexKind::kEpsilon:
+        rule.kind = NarrowRule::Kind::kEpsilon;
+        return rule;
+      case RegexKind::kWildcard:
+        return Status::Unsupported(
+            "wildcards are not allowed in DTD content models");
+      case RegexKind::kSymbol:
+        if (regex.symbol() == dtd_.pcdata_symbol()) {
+          rule.kind = NarrowRule::Kind::kString;
+        } else {
+          rule.kind = NarrowRule::Kind::kElement;
+          rule.a = regex.symbol();
+        }
+        return rule;
+      case RegexKind::kConcat: {
+        rule.kind = NarrowRule::Kind::kSeq;
+        ASSIGN_OR_RETURN(rule.a, ChildSymbol(regex.left(), owner));
+        ASSIGN_OR_RETURN(rule.b, ChildSymbol(regex.right(), owner));
+        return rule;
+      }
+      case RegexKind::kUnion: {
+        rule.kind = NarrowRule::Kind::kAlt;
+        ASSIGN_OR_RETURN(rule.a, ChildSymbol(regex.left(), owner));
+        ASSIGN_OR_RETURN(rule.b, ChildSymbol(regex.right(), owner));
+        return rule;
+      }
+      case RegexKind::kStar: {
+        rule.kind = NarrowRule::Kind::kStar;
+        ASSIGN_OR_RETURN(rule.a, ChildSymbol(regex.left(), owner));
+        return rule;
+      }
+    }
+    return Status::Internal("unhandled regex kind in narrowing");
+  }
+
+  // Returns a fresh nonterminal deriving exactly L(regex).
+  Result<int> ChildSymbol(const Regex& regex, int owner) {
+    int symbol = NewNonterminal(owner);
+    ASSIGN_OR_RETURN(NarrowRule rule, RuleFor(regex, owner));
+    result_.rules[symbol] = rule;
+    return symbol;
+  }
+
+  const Dtd& dtd_;
+  NarrowedDtd result_;
+};
+
+}  // namespace
+
+Result<NarrowedDtd> NarrowedDtd::Build(const Dtd& dtd) {
+  Narrower narrower(dtd);
+  return narrower.Run();
+}
+
+std::string NarrowedDtd::SymbolName(const Dtd& dtd, int symbol) const {
+  if (IsElementType(symbol)) return dtd.TypeName(symbol);
+  return dtd.TypeName(owner[symbol]) + "#n" +
+         std::to_string(symbol - num_element_types);
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,54 @@
+// DTD narrowing (appendix of Theorem 3.4): rewrites each element type
+// definition P(tau) into binary rules over fresh nonterminals, so that
+// every production has one of the forms
+//   t -> t1,t2   t -> t1|t2   t -> t1*   t -> tau' (tau' in E)
+//   t -> S       t -> epsilon
+// Symbols 0..num_element_types-1 are the original element types; the
+// fresh nonterminals follow.
+#ifndef XMLVERIFY_ENCODING_NARROWING_H_
+#define XMLVERIFY_ENCODING_NARROWING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+struct NarrowRule {
+  enum class Kind {
+    kEpsilon,  // t -> epsilon
+    kString,   // t -> S
+    kElement,  // t -> tau' with tau' in E (symbol id `a`)
+    kSeq,      // t -> a, b
+    kAlt,      // t -> a | b
+    kStar,     // t -> a*
+  };
+  Kind kind = Kind::kEpsilon;
+  int a = -1;
+  int b = -1;
+};
+
+/// Passive data produced by narrowing; see Build().
+struct NarrowedDtd {
+  /// One rule per symbol; indices < num_element_types are E types.
+  std::vector<NarrowRule> rules;
+  /// For nonterminals: the element type whose P(tau) spawned them; for
+  /// element types: the type itself.
+  std::vector<int> owner;
+  int num_element_types = 0;
+  int root = 0;
+
+  /// Content models must not contain wildcards.
+  static Result<NarrowedDtd> Build(const Dtd& dtd);
+
+  int num_symbols() const { return static_cast<int>(rules.size()); }
+  bool IsElementType(int symbol) const { return symbol < num_element_types; }
+
+  std::string SymbolName(const Dtd& dtd, int symbol) const;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ENCODING_NARROWING_H_

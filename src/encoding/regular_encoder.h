@@ -1,0 +1,119 @@
+// Psi(D, Sigma) for regular-path constraints (Theorem 3.4a):
+//
+//  1. each distinct expression beta_i.tau_i.l_i in Sigma becomes a
+//     DFA; their product drives the state-tagged DTD flow system
+//     (Lemma 6), giving |nodes_D(beta_i.tau_i)| variables;
+//  2. value-partition variables z_theta, one per nonempty subset of
+//     expressions, with |values_D(i)| = sum_{theta(i)=1} z_theta
+//     (Lemma 4);
+//  3. zero cells: z_theta = 0 whenever theta(i)=1, theta(j)=0 and
+//     either Sigma contains the inclusion i <= j, or L(beta_i) is
+//     contained in L(beta_j) with the same tau.l (containment decided
+//     by the automata library);
+//  4. keys force |values| = |nodes|; always |values| <= |nodes| and
+//     (|nodes| > 0) -> (|values| > 0).
+//
+// The encoder also rebuilds full witnesses: the flow tree plus an
+// attribute-value assignment drawn from per-cell disjoint pools
+// (the s_theta sets of Lemma 4).
+#ifndef XMLVERIFY_ENCODING_REGULAR_ENCODER_H_
+#define XMLVERIFY_ENCODING_REGULAR_ENCODER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "constraints/constraint.h"
+#include "encoding/flow_encoder.h"
+#include "ilp/linear.h"
+#include "regex/automaton.h"
+#include "xml/dtd.h"
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+/// A negated constraint to adjoin to the system, for the implication
+/// problem (Proposition 3.6 / Corollary 3.7): Sigma implies phi iff
+/// Sigma together with the negation of phi is inconsistent.
+///   not-key:       |nodes| >= 2 and |values| <= |nodes| - 1
+///   not-inclusion: sum of z_theta with theta(child)=1,
+///                  theta(parent)=0 is >= 1
+struct RegularNegation {
+  std::optional<RegularKey> key;
+  std::optional<RegularInclusion> inclusion;
+};
+
+struct RegularEncoderOptions {
+  /// Cap on distinct path expressions (the z_theta block is 2^k).
+  int max_expressions = 16;
+  /// Ablation switches — BOTH are required for sound kConsistent
+  /// verdicts (see bench_ablation_encoding, which demonstrates the
+  /// school example being mis-judged without them); exposed only so
+  /// their necessity and cost can be measured.
+  bool realizability_cells = true;
+  bool key_capacities = true;
+};
+
+class RegularEncoder {
+ public:
+  /// Emits the full system into `program`. Constraints must be purely
+  /// regular (fold absolute constraints into regular form first; see
+  /// AbsoluteAsRegular).
+  static Result<std::unique_ptr<RegularEncoder>> Build(
+      const Dtd& dtd, const ConstraintSet& constraints,
+      IntegerProgram* program, const RegularEncoderOptions& options = {},
+      const RegularNegation* negation = nullptr);
+
+  int num_expressions() const { return static_cast<int>(expressions_.size()); }
+  /// Number of z_theta variables (2^k - 1).
+  size_t num_cells() const { return cell_vars_.size(); }
+
+  /// |nodes_D(beta_i.tau_i)| variable of expression i.
+  VarId NodesVar(int expression) const {
+    return expressions_[expression].nodes_var;
+  }
+  /// |values_D(beta_i.tau_i.l_i)| variable of expression i.
+  VarId ValuesVar(int expression) const {
+    return expressions_[expression].values_var;
+  }
+
+  /// Builds a witness tree realizing an integer solution, including
+  /// attribute values; callers should re-validate with CheckDocument.
+  Result<XmlTree> BuildWitness(const std::vector<BigInt>& solution,
+                               int64_t max_nodes = 1 << 20) const;
+
+ private:
+  struct Expression {
+    Regex node_path;
+    int type;
+    std::string attribute;
+    Dfa dfa;             // over element types, wildcard expanded
+    bool is_key = false;
+    VarId nodes_var = -1;
+    VarId values_var = -1;
+  };
+
+  RegularEncoder() = default;
+
+  // Returns the index of the expression, deduplicating by
+  // (type, attribute, language).
+  int InternExpression(Regex path, int type, const std::string& attribute,
+                       const Dtd& dtd);
+
+  const Dtd* dtd_ = nullptr;
+  std::vector<Expression> expressions_;
+  std::vector<VarId> cell_vars_;  // z_theta, index = mask - 1
+  DtdFlowSystem flow_;
+};
+
+/// Re-expresses absolute unary constraints as regular constraints
+/// with path r._*.tau (ext(tau) = nodes(r._*.tau), Section 3.2), so
+/// they can be mixed with regular constraints in one system.
+Result<ConstraintSet> AbsoluteAsRegular(const ConstraintSet& constraints,
+                                        const Dtd& dtd);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ENCODING_REGULAR_ENCODER_H_

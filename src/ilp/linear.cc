@@ -1,0 +1,141 @@
+#include "ilp/linear.h"
+
+namespace xmlverify {
+
+LinearExpr& LinearExpr::Add(VarId var, BigInt coeff) {
+  if (coeff.is_zero()) return *this;
+  auto [it, inserted] = terms_.emplace(var, coeff);
+  if (!inserted) {
+    it->second += coeff;
+    if (it->second.is_zero()) terms_.erase(it);
+  }
+  return *this;
+}
+
+LinearExpr& LinearExpr::AddExpr(const LinearExpr& other) {
+  for (const auto& [var, coeff] : other.terms_) Add(var, coeff);
+  return *this;
+}
+
+BigInt LinearExpr::Evaluate(const std::vector<BigInt>& assignment) const {
+  BigInt total(0);
+  for (const auto& [var, coeff] : terms_) {
+    total += coeff * assignment[var];
+  }
+  return total;
+}
+
+std::string LinearExpr::ToString(
+    const std::vector<std::string>& variable_names) const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (const auto& [var, coeff] : terms_) {
+    if (!out.empty()) out += " + ";
+    if (coeff != BigInt(1)) out += coeff.ToString() + "*";
+    out += variable_names[var];
+  }
+  return out;
+}
+
+std::string RelationToString(Relation relation) {
+  switch (relation) {
+    case Relation::kLe: return "<=";
+    case Relation::kGe: return ">=";
+    case Relation::kEq: return "=";
+  }
+  return "?";
+}
+
+bool LinearConstraint::IsSatisfied(
+    const std::vector<BigInt>& assignment) const {
+  BigInt value = lhs.Evaluate(assignment);
+  switch (relation) {
+    case Relation::kLe: return value <= rhs;
+    case Relation::kGe: return value >= rhs;
+    case Relation::kEq: return value == rhs;
+  }
+  return false;
+}
+
+std::string LinearConstraint::ToString(
+    const std::vector<std::string>& variable_names) const {
+  std::string out = lhs.ToString(variable_names) + " " +
+                    RelationToString(relation) + " " + rhs.ToString();
+  if (!label.empty()) out += "    [" + label + "]";
+  return out;
+}
+
+VarId IntegerProgram::NewVariable(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<VarId>(names_.size()) - 1;
+}
+
+void IntegerProgram::AddLinear(LinearExpr lhs, Relation relation, BigInt rhs,
+                               std::string label) {
+  linear_.push_back(
+      {std::move(lhs), relation, std::move(rhs), std::move(label)});
+}
+
+void IntegerProgram::AddConditional(VarId antecedent, LinearExpr lhs,
+                                    Relation relation, BigInt rhs,
+                                    std::string label) {
+  conditionals_.push_back(
+      {antecedent,
+       {std::move(lhs), relation, std::move(rhs), std::move(label)}});
+}
+
+void IntegerProgram::AddPrequadratic(VarId x, VarId y, VarId z) {
+  prequadratics_.push_back({x, y, z});
+}
+
+void IntegerProgram::SetUpperBound(VarId var, BigInt bound) {
+  auto [it, inserted] = upper_bounds_.emplace(var, bound);
+  if (!inserted && bound < it->second) it->second = std::move(bound);
+}
+
+const BigInt* IntegerProgram::UpperBound(VarId var) const {
+  auto it = upper_bounds_.find(var);
+  return it == upper_bounds_.end() ? nullptr : &it->second;
+}
+
+bool IntegerProgram::IsSatisfied(const std::vector<BigInt>& assignment) const {
+  for (const LinearConstraint& constraint : linear_) {
+    if (!constraint.IsSatisfied(assignment)) return false;
+  }
+  for (const ConditionalConstraint& conditional : conditionals_) {
+    if (assignment[conditional.antecedent] >= BigInt(1) &&
+        !conditional.consequent.IsSatisfied(assignment)) {
+      return false;
+    }
+  }
+  for (const PrequadraticConstraint& pq : prequadratics_) {
+    if (assignment[pq.x] > assignment[pq.y] * assignment[pq.z]) return false;
+  }
+  for (const auto& [var, bound] : upper_bounds_) {
+    if (assignment[var] > bound) return false;
+  }
+  for (const BigInt& value : assignment) {
+    if (value.is_negative()) return false;
+  }
+  return true;
+}
+
+std::string IntegerProgram::ToString() const {
+  std::string out;
+  for (const LinearConstraint& constraint : linear_) {
+    out += constraint.ToString(names_) + "\n";
+  }
+  for (const ConditionalConstraint& conditional : conditionals_) {
+    out += "(" + names_[conditional.antecedent] + " >= 1) -> (" +
+           conditional.consequent.ToString(names_) + ")\n";
+  }
+  for (const PrequadraticConstraint& pq : prequadratics_) {
+    out += names_[pq.x] + " <= " + names_[pq.y] + " * " + names_[pq.z] + "\n";
+  }
+  for (const auto& [var, bound] : upper_bounds_) {
+    out += names_[var] + " <= " + bound.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace xmlverify

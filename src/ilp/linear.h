@@ -1,0 +1,121 @@
+// Integer constraint systems over nonnegative integer variables.
+//
+// This is the target language of every encoding in the paper:
+//   * linear (in)equalities — the cardinality constraints Psi_D, C_Sigma;
+//   * conditional constraints  (x >= 1) -> (e >= c)  — the paper's
+//     "(x > 0) -> (y > 0)" form (Lemma 8);
+//   * prequadratic constraints  x <= y * z  — the PDE extension of
+//     integer linear programming (McAllester et al. [22], Theorem 3.1).
+#ifndef XMLVERIFY_ILP_LINEAR_H_
+#define XMLVERIFY_ILP_LINEAR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "base/status.h"
+
+namespace xmlverify {
+
+using VarId = int;
+
+/// A linear form sum_i coeff_i * x_i with BigInt coefficients.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+
+  /// Adds coeff * var to the form.
+  LinearExpr& Add(VarId var, BigInt coeff);
+  /// Adds every term of `other`.
+  LinearExpr& AddExpr(const LinearExpr& other);
+
+  const std::map<VarId, BigInt>& terms() const { return terms_; }
+  bool empty() const { return terms_.empty(); }
+
+  /// Evaluates the form under an assignment (missing vars are 0).
+  BigInt Evaluate(const std::vector<BigInt>& assignment) const;
+
+  std::string ToString(
+      const std::vector<std::string>& variable_names) const;
+
+ private:
+  std::map<VarId, BigInt> terms_;  // zero coefficients are dropped
+};
+
+enum class Relation { kLe, kGe, kEq };
+
+std::string RelationToString(Relation relation);
+
+/// lhs <relation> rhs.
+struct LinearConstraint {
+  LinearExpr lhs;
+  Relation relation;
+  BigInt rhs;
+  std::string label;  // provenance, for diagnostics
+
+  bool IsSatisfied(const std::vector<BigInt>& assignment) const;
+  std::string ToString(const std::vector<std::string>& variable_names) const;
+};
+
+/// (antecedent >= 1) -> consequent. Encodes the paper's
+/// "(|ext(tau)| > 0) -> (|ext(tau.l)| > 0)" constraints.
+struct ConditionalConstraint {
+  VarId antecedent;
+  LinearConstraint consequent;
+};
+
+/// x <= y * z over nonnegative integers.
+struct PrequadraticConstraint {
+  VarId x;
+  VarId y;
+  VarId z;
+};
+
+/// A full system. All variables range over nonnegative integers; an
+/// optional per-variable upper bound may be set.
+class IntegerProgram {
+ public:
+  VarId NewVariable(std::string name);
+
+  int num_variables() const { return static_cast<int>(names_.size()); }
+  const std::string& VariableName(VarId var) const { return names_[var]; }
+  const std::vector<std::string>& variable_names() const { return names_; }
+
+  void AddLinear(LinearExpr lhs, Relation relation, BigInt rhs,
+                 std::string label = "");
+  /// (antecedent >= 1) -> (lhs relation rhs).
+  void AddConditional(VarId antecedent, LinearExpr lhs, Relation relation,
+                      BigInt rhs, std::string label = "");
+  /// x <= y * z.
+  void AddPrequadratic(VarId x, VarId y, VarId z);
+  /// var <= bound (tightens; keeps the smaller of repeated bounds).
+  void SetUpperBound(VarId var, BigInt bound);
+
+  const std::vector<LinearConstraint>& linear() const { return linear_; }
+  const std::vector<ConditionalConstraint>& conditionals() const {
+    return conditionals_;
+  }
+  const std::vector<PrequadraticConstraint>& prequadratics() const {
+    return prequadratics_;
+  }
+  /// Upper bound of `var`, or nullptr if unbounded.
+  const BigInt* UpperBound(VarId var) const;
+
+  /// Checks a full assignment against every constraint class.
+  bool IsSatisfied(const std::vector<BigInt>& assignment) const;
+
+  /// Multi-line rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<LinearConstraint> linear_;
+  std::vector<ConditionalConstraint> conditionals_;
+  std::vector<PrequadraticConstraint> prequadratics_;
+  std::map<VarId, BigInt> upper_bounds_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ILP_LINEAR_H_

@@ -1,0 +1,165 @@
+#include "ilp/simplex.h"
+
+#include <algorithm>
+
+namespace xmlverify {
+
+namespace {
+
+// Dense phase-1 tableau. Columns: structural vars, slack/surplus vars,
+// artificial vars, then the right-hand side.
+class Tableau {
+ public:
+  Tableau(int num_vars, const std::vector<LinearConstraint>& constraints)
+      : num_vars_(num_vars), num_rows_(static_cast<int>(constraints.size())) {
+    // One slack/surplus per inequality, one artificial per row.
+    int num_slacks = 0;
+    for (const LinearConstraint& constraint : constraints) {
+      if (constraint.relation != Relation::kEq) ++num_slacks;
+    }
+    slack_base_ = num_vars_;
+    artificial_base_ = slack_base_ + num_slacks;
+    num_cols_ = artificial_base_ + num_rows_;
+
+    rows_.assign(num_rows_, std::vector<Rational>(num_cols_, Rational(0)));
+    rhs_.assign(num_rows_, Rational(0));
+    basis_.assign(num_rows_, -1);
+
+    int next_slack = slack_base_;
+    for (int i = 0; i < num_rows_; ++i) {
+      const LinearConstraint& constraint = constraints[i];
+      // Row: lhs (rel) rhs. Bring to equality form with a slack.
+      for (const auto& [var, coeff] : constraint.lhs.terms()) {
+        rows_[i][var] = Rational(coeff);
+      }
+      rhs_[i] = Rational(constraint.rhs);
+      if (constraint.relation == Relation::kLe) {
+        rows_[i][next_slack++] = Rational(1);
+      } else if (constraint.relation == Relation::kGe) {
+        rows_[i][next_slack++] = Rational(-1);
+      }
+      // Normalize to a nonnegative right-hand side.
+      if (rhs_[i].is_negative()) {
+        for (Rational& cell : rows_[i]) cell = -cell;
+        rhs_[i] = -rhs_[i];
+      }
+      // Artificial variable provides the initial basis.
+      int artificial = artificial_base_ + i;
+      rows_[i][artificial] = Rational(1);
+      basis_[i] = artificial;
+    }
+
+    // Phase-1 reduced costs: minimize the sum of artificials. With the
+    // artificials basic, r_j = -sum_i rows[i][j] for non-artificial j.
+    reduced_.assign(num_cols_, Rational(0));
+    objective_ = Rational(0);
+    for (int i = 0; i < num_rows_; ++i) {
+      for (int j = 0; j < artificial_base_; ++j) {
+        reduced_[j] -= rows_[i][j];
+      }
+      objective_ += rhs_[i];
+    }
+  }
+
+  // Runs phase-1 to optimality. Returns true if the artificial sum
+  // reaches zero (feasible).
+  bool Optimize(int64_t* pivots) {
+    while (true) {
+      // Bland's rule: entering column = smallest index with negative
+      // reduced cost.
+      int entering = -1;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (reduced_[j].is_negative()) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) break;  // optimal
+      // Ratio test; Bland tie-break on the smallest basis variable.
+      int leaving_row = -1;
+      Rational best_ratio(0);
+      for (int i = 0; i < num_rows_; ++i) {
+        if (rows_[i][entering].sign() <= 0) continue;
+        Rational ratio = rhs_[i] / rows_[i][entering];
+        if (leaving_row < 0 || ratio < best_ratio ||
+            (ratio == best_ratio && basis_[i] < basis_[leaving_row])) {
+          leaving_row = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leaving_row < 0) {
+        // Phase-1 objective is bounded below by zero, so this cannot
+        // happen with exact arithmetic; treat as optimal defensively.
+        break;
+      }
+      Pivot(leaving_row, entering);
+      ++*pivots;
+    }
+    return objective_.is_zero();
+  }
+
+  std::vector<Rational> Solution() const {
+    std::vector<Rational> solution(num_vars_, Rational(0));
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < num_vars_) solution[basis_[i]] = rhs_[i];
+    }
+    return solution;
+  }
+
+ private:
+  void Pivot(int pivot_row, int pivot_col) {
+    // Normalize the pivot row.
+    Rational pivot_value = rows_[pivot_row][pivot_col];
+    for (Rational& cell : rows_[pivot_row]) {
+      if (!cell.is_zero()) cell /= pivot_value;
+    }
+    rhs_[pivot_row] /= pivot_value;
+    // Eliminate the pivot column from the other rows and the
+    // reduced-cost row.
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == pivot_row || rows_[i][pivot_col].is_zero()) continue;
+      Rational factor = rows_[i][pivot_col];
+      for (int j = 0; j < num_cols_; ++j) {
+        if (!rows_[pivot_row][j].is_zero()) {
+          rows_[i][j] -= factor * rows_[pivot_row][j];
+        }
+      }
+      rhs_[i] -= factor * rhs_[pivot_row];
+    }
+    if (!reduced_[pivot_col].is_zero()) {
+      Rational factor = reduced_[pivot_col];
+      for (int j = 0; j < num_cols_; ++j) {
+        if (!rows_[pivot_row][j].is_zero()) {
+          reduced_[j] -= factor * rows_[pivot_row][j];
+        }
+      }
+      // z_new = z_old + r_entering * t  (t = normalized pivot rhs).
+      objective_ += factor * rhs_[pivot_row];
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  int num_vars_;
+  int num_rows_;
+  int num_cols_ = 0;
+  int slack_base_ = 0;
+  int artificial_base_ = 0;
+  std::vector<std::vector<Rational>> rows_;
+  std::vector<Rational> rhs_;
+  std::vector<Rational> reduced_;
+  Rational objective_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+SimplexResult SolveLp(int num_vars,
+                      const std::vector<LinearConstraint>& constraints) {
+  SimplexResult result;
+  Tableau tableau(num_vars, constraints);
+  result.feasible = tableau.Optimize(&result.pivots);
+  if (result.feasible) result.solution = tableau.Solution();
+  return result;
+}
+
+}  // namespace xmlverify

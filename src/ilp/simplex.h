@@ -1,0 +1,33 @@
+// Exact rational simplex (phase-1 feasibility) over BigInt rationals.
+//
+// Decides feasibility of { A x rel b, x >= 0 } and produces a basic
+// feasible point. Exactness matters: the consistency verdicts of the
+// checkers reduce to feasibility questions, and floating-point LP
+// could flip a verdict. Bland's rule guarantees termination.
+#ifndef XMLVERIFY_ILP_SIMPLEX_H_
+#define XMLVERIFY_ILP_SIMPLEX_H_
+
+#include <vector>
+
+#include "base/rational.h"
+#include "ilp/linear.h"
+
+namespace xmlverify {
+
+struct SimplexResult {
+  bool feasible = false;
+  // Values of the structural variables 0..num_vars-1 (only meaningful
+  // when feasible).
+  std::vector<Rational> solution;
+  // Number of pivots performed (for diagnostics/benchmarks).
+  int64_t pivots = 0;
+};
+
+/// Finds a nonnegative rational point satisfying all `constraints`
+/// over variables 0..num_vars-1, or reports infeasibility.
+SimplexResult SolveLp(int num_vars,
+                      const std::vector<LinearConstraint>& constraints);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ILP_SIMPLEX_H_

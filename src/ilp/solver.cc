@@ -1,0 +1,242 @@
+#include "ilp/solver.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "ilp/simplex.h"
+
+namespace xmlverify {
+
+namespace {
+
+// A search node: the base program plus branching decisions, expressed
+// as extra linear constraints.
+struct SearchNode {
+  std::vector<LinearConstraint> extra;
+  // Conditionals whose antecedent has been branched to zero; the
+  // remaining ones are re-checked against each integer candidate.
+  std::vector<bool> conditional_decided;
+};
+
+LinearConstraint VarBound(VarId var, Relation relation, BigInt bound,
+                          std::string label) {
+  LinearConstraint constraint;
+  constraint.lhs.Add(var, BigInt(1));
+  constraint.relation = relation;
+  constraint.rhs = std::move(bound);
+  constraint.label = std::move(label);
+  return constraint;
+}
+
+// Per-row gcd test: an equality sum a_i x_i = b with gcd(a_i) not
+// dividing b has no integer solution at all.
+bool GcdRefutes(const LinearConstraint& constraint) {
+  if (constraint.relation != Relation::kEq) return false;
+  if (constraint.lhs.terms().empty()) {
+    return !constraint.rhs.is_zero();
+  }
+  BigInt gcd(0);
+  for (const auto& [var, coeff] : constraint.lhs.terms()) {
+    (void)var;
+    gcd = BigInt::Gcd(gcd, coeff);
+  }
+  if (gcd.is_zero() || gcd == BigInt(1)) return false;
+  return !(constraint.rhs % gcd).is_zero();
+}
+
+}  // namespace
+
+SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
+  SolveResult result;
+
+  // Base constraint list shared by all nodes; cap rows are kept in a
+  // separate block so infeasibility can be attributed to them.
+  std::vector<LinearConstraint> base = program.linear();
+  for (VarId var = 0; var < program.num_variables(); ++var) {
+    const BigInt* bound = program.UpperBound(var);
+    if (bound != nullptr) {
+      base.push_back(VarBound(var, Relation::kLe, *bound, "ub"));
+    }
+  }
+  const size_t uncapped_size = base.size();
+  bool cap_active = options_.variable_cap.has_value();
+  bool cap_was_relevant = false;
+  if (cap_active) {
+    for (VarId var = 0; var < program.num_variables(); ++var) {
+      base.push_back(
+          VarBound(var, Relation::kLe, *options_.variable_cap, "cap"));
+    }
+  }
+  for (const LinearConstraint& constraint : base) {
+    if (GcdRefutes(constraint)) {
+      result.outcome = SolveOutcome::kUnsat;
+      result.note = "gcd test refutes: " +
+                    constraint.ToString(program.variable_names());
+      return result;
+    }
+  }
+
+  std::deque<SearchNode> stack;
+  SearchNode root;
+  root.conditional_decided.assign(program.conditionals().size(), false);
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options_.max_nodes) {
+      result.outcome = SolveOutcome::kUnknown;
+      result.note = "node limit reached";
+      return result;
+    }
+    SearchNode node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    std::vector<LinearConstraint> constraints = base;
+    constraints.insert(constraints.end(), node.extra.begin(),
+                       node.extra.end());
+    SimplexResult lp = SolveLp(program.num_variables(), constraints);
+    result.lp_pivots += lp.pivots;
+    if (!lp.feasible) {
+      // Attribute the prune: if dropping the cap rows restores
+      // feasibility, the cap mattered and an exhausted search cannot
+      // claim unsatisfiability.
+      if (cap_active && !cap_was_relevant) {
+        std::vector<LinearConstraint> uncapped(
+            base.begin(), base.begin() + uncapped_size);
+        uncapped.insert(uncapped.end(), node.extra.begin(), node.extra.end());
+        SimplexResult relaxed = SolveLp(program.num_variables(), uncapped);
+        result.lp_pivots += relaxed.pivots;
+        if (relaxed.feasible) cap_was_relevant = true;
+      }
+      continue;
+    }
+
+    // Branch on the first fractional coordinate.
+    int fractional = -1;
+    for (int var = 0; var < program.num_variables(); ++var) {
+      if (!lp.solution[var].is_integer()) {
+        fractional = var;
+        break;
+      }
+    }
+    if (fractional >= 0) {
+      const Rational& value = lp.solution[fractional];
+      SearchNode low = node;
+      low.extra.push_back(
+          VarBound(fractional, Relation::kLe, value.Floor(), "branch<="));
+      SearchNode high = std::move(node);
+      high.extra.push_back(
+          VarBound(fractional, Relation::kGe, value.Ceil(), "branch>="));
+      // Explore the >= child first: cardinality encodings usually need
+      // populated extents, so rounding up tends to reach SAT sooner.
+      stack.push_back(std::move(low));
+      stack.push_back(std::move(high));
+      continue;
+    }
+
+    // Integral candidate.
+    std::vector<BigInt> candidate(program.num_variables());
+    for (int var = 0; var < program.num_variables(); ++var) {
+      candidate[var] = lp.solution[var].numerator();
+    }
+
+    // Violated conditional? Split: either the antecedent is zero, or
+    // it is >= 1 and the consequent becomes a hard constraint.
+    int violated_conditional = -1;
+    for (size_t i = 0; i < program.conditionals().size(); ++i) {
+      if (node.conditional_decided[i]) continue;
+      const ConditionalConstraint& conditional = program.conditionals()[i];
+      if (candidate[conditional.antecedent] >= BigInt(1) &&
+          !conditional.consequent.IsSatisfied(candidate)) {
+        violated_conditional = static_cast<int>(i);
+        break;
+      }
+    }
+    if (violated_conditional >= 0) {
+      const ConditionalConstraint& conditional =
+          program.conditionals()[violated_conditional];
+      SearchNode zero = node;
+      zero.conditional_decided[violated_conditional] = true;
+      zero.extra.push_back(VarBound(conditional.antecedent, Relation::kLe,
+                                    BigInt(0), "cond-zero"));
+      SearchNode active = std::move(node);
+      active.conditional_decided[violated_conditional] = true;
+      active.extra.push_back(VarBound(conditional.antecedent, Relation::kGe,
+                                      BigInt(1), "cond-active"));
+      active.extra.push_back(conditional.consequent);
+      stack.push_back(std::move(zero));
+      stack.push_back(std::move(active));
+      continue;
+    }
+
+    // Violated prequadratic x <= y*z? Spatial branch on y at its
+    // current value v: in the y<=v child the product is linearized as
+    // x <= v*z; the y>=v+1 child makes progress on the lower bound.
+    const PrequadraticConstraint* violated_pq = nullptr;
+    for (const PrequadraticConstraint& pq : program.prequadratics()) {
+      if (candidate[pq.x] > candidate[pq.y] * candidate[pq.z]) {
+        violated_pq = &pq;
+        break;
+      }
+    }
+    if (violated_pq != nullptr) {
+      const BigInt v = candidate[violated_pq->y];
+      SearchNode low = node;
+      low.extra.push_back(
+          VarBound(violated_pq->y, Relation::kLe, v, "pq-y<=v"));
+      {
+        // x - v*z <= 0.
+        LinearConstraint linearized;
+        linearized.lhs.Add(violated_pq->x, BigInt(1));
+        linearized.lhs.Add(violated_pq->z, -v);
+        linearized.relation = Relation::kLe;
+        linearized.rhs = BigInt(0);
+        linearized.label = "pq-linearized";
+        low.extra.push_back(std::move(linearized));
+      }
+      SearchNode high = std::move(node);
+      high.extra.push_back(
+          VarBound(violated_pq->y, Relation::kGe, v + BigInt(1), "pq-y>v"));
+      stack.push_back(std::move(high));
+      stack.push_back(std::move(low));
+      continue;
+    }
+
+    // All constraint classes satisfied by an integral point.
+    result.outcome = SolveOutcome::kSat;
+    result.assignment = std::move(candidate);
+    return result;
+  }
+
+  if (cap_active && cap_was_relevant) {
+    result.outcome = SolveOutcome::kUnknown;
+    result.note = "search exhausted under variable cap " +
+                  options_.variable_cap->ToString();
+  } else {
+    result.outcome = SolveOutcome::kUnsat;
+  }
+  return result;
+}
+
+SolveResult IlpSolver::SolveWithDeepening(const IntegerProgram& program,
+                                          const BigInt& initial_cap,
+                                          const BigInt& max_cap) const {
+  BigInt cap = initial_cap;
+  SolveResult last;
+  while (true) {
+    SolverOptions options = options_;
+    options.variable_cap = cap;
+    IlpSolver capped(options);
+    last = capped.Solve(program);
+    if (last.outcome == SolveOutcome::kSat ||
+        last.outcome == SolveOutcome::kUnsat) {
+      return last;
+    }
+    if (cap >= max_cap) return last;
+    cap = cap * cap;  // square the cap: doubly-exponential deepening
+    if (cap > max_cap) cap = max_cap;
+  }
+}
+
+}  // namespace xmlverify

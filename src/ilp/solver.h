@@ -1,0 +1,71 @@
+// Branch-and-bound solver for IntegerProgram.
+//
+// Completeness notes (documented behaviour, see DESIGN.md §2):
+//  * Linear fragment: exact. Satisfiable systems yield a BigInt
+//    witness; unsatisfiable systems are refuted by LP infeasibility
+//    along every branch (plus per-row gcd preprocessing).
+//  * Conditional constraints are resolved by branching, exactly the
+//    2^p case analysis of Lemma 8, but lazily (only violated
+//    conditionals split).
+//  * Prequadratic constraints (PDE) use spatial branching with an
+//    optional global cap on variable values; exhausting the search
+//    under a cap yields kUnknown rather than a false kUnsat, mirroring
+//    the bounded-model flavour of the NEXPTIME upper bound.
+#ifndef XMLVERIFY_ILP_SOLVER_H_
+#define XMLVERIFY_ILP_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/bigint.h"
+#include "ilp/linear.h"
+
+namespace xmlverify {
+
+enum class SolveOutcome {
+  kSat,      // witness assignment available
+  kUnsat,    // proven infeasible over nonnegative integers
+  kUnknown,  // search capped (node limit or variable cap)
+};
+
+struct SolveResult {
+  SolveOutcome outcome = SolveOutcome::kUnknown;
+  std::vector<BigInt> assignment;  // kSat only
+  int64_t nodes_explored = 0;
+  int64_t lp_pivots = 0;
+  std::string note;
+};
+
+struct SolverOptions {
+  /// Maximum branch-and-bound nodes before giving up with kUnknown.
+  int64_t max_nodes = 500000;
+  /// If set, adds `x <= variable_cap` for every variable. Required for
+  /// guaranteed termination in the presence of prequadratic
+  /// constraints; exhausting the search with a cap active reports
+  /// kUnknown, not kUnsat.
+  std::optional<BigInt> variable_cap;
+};
+
+class IlpSolver {
+ public:
+  explicit IlpSolver(SolverOptions options = {}) : options_(options) {}
+
+  SolveResult Solve(const IntegerProgram& program) const;
+
+  /// Repeatedly solves with caps initial_cap, initial_cap^2, ... up to
+  /// max_cap (needed only when `program` has prequadratic
+  /// constraints). Returns the first kSat, or kUnknown/kUnsat from the
+  /// final attempt.
+  SolveResult SolveWithDeepening(const IntegerProgram& program,
+                                 const BigInt& initial_cap,
+                                 const BigInt& max_cap) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_ILP_SOLVER_H_

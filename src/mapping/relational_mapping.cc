@@ -1,0 +1,141 @@
+#include "mapping/relational_mapping.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace xmlverify {
+
+namespace {
+
+bool HasColumn(const RelationalTable& table, const std::string& column) {
+  return std::find(table.columns.begin(), table.columns.end(), column) !=
+         table.columns.end();
+}
+
+}  // namespace
+
+Status RelationalSchema::Validate() const {
+  std::set<std::string> table_names;
+  for (const RelationalTable& table : tables) {
+    if (!IsValidName(table.name)) {
+      return Status::InvalidArgument("bad table name: '" + table.name + "'");
+    }
+    if (!table_names.insert(table.name).second) {
+      return Status::InvalidArgument("duplicate table: '" + table.name + "'");
+    }
+    std::set<std::string> column_names;
+    for (const std::string& column : table.columns) {
+      if (!IsValidName(column)) {
+        return Status::InvalidArgument("bad column name: '" + column + "'");
+      }
+      if (!column_names.insert(column).second) {
+        return Status::InvalidArgument("duplicate column '" + column +
+                                       "' in table '" + table.name + "'");
+      }
+    }
+    for (const std::string& key_column : table.primary_key) {
+      if (!HasColumn(table, key_column)) {
+        return Status::InvalidArgument("primary key column '" + key_column +
+                                       "' is not a column of '" + table.name +
+                                       "'");
+      }
+    }
+    if (table.min_rows < 0) {
+      return Status::InvalidArgument("negative min_rows for '" + table.name +
+                                     "'");
+    }
+    if (table.max_rows != 0 && table.max_rows < table.min_rows) {
+      return Status::InvalidArgument("max_rows below min_rows for '" +
+                                     table.name + "'");
+    }
+  }
+  for (const RelationalTable& table : tables) {
+    for (const RelationalForeignKey& fk : table.foreign_keys) {
+      if (!HasColumn(table, fk.column)) {
+        return Status::InvalidArgument("foreign key column '" + fk.column +
+                                       "' is not a column of '" + table.name +
+                                       "'");
+      }
+      auto target = std::find_if(
+          tables.begin(), tables.end(),
+          [&fk](const RelationalTable& t) { return t.name == fk.target_table; });
+      if (target == tables.end()) {
+        return Status::NotFound("foreign key target table '" +
+                                fk.target_table + "' does not exist");
+      }
+      if (!HasColumn(*target, fk.target_column)) {
+        return Status::InvalidArgument(
+            "foreign key target column '" + fk.target_column +
+            "' is not a column of '" + fk.target_table + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Specification> MapRelationalSchema(const RelationalSchema& schema,
+                                          const std::string& root_name) {
+  RETURN_IF_ERROR(schema.Validate());
+  if (schema.tables.empty()) {
+    return Status::InvalidArgument("schema has no tables");
+  }
+  std::vector<std::string> names = {root_name};
+  for (const RelationalTable& table : schema.tables) {
+    if (table.name == root_name) {
+      return Status::InvalidArgument("table name collides with the root: '" +
+                                     root_name + "'");
+    }
+    names.push_back(table.name);
+  }
+
+  Dtd::Builder builder(names, root_name);
+  // db -> per table: name^{min} followed by name* (unbounded) or by
+  // (name|%)^{max-min} (bounded).
+  std::string root_content;
+  auto append = [&root_content](const std::string& piece) {
+    if (!root_content.empty()) root_content += ",";
+    root_content += piece;
+  };
+  for (const RelationalTable& table : schema.tables) {
+    for (int row = 0; row < table.min_rows; ++row) append(table.name);
+    if (table.max_rows == 0) {
+      append(table.name + "*");
+    } else {
+      int optional = table.max_rows - table.min_rows;
+      if (optional > 0) {
+        append(table.name + "{0," + std::to_string(optional) + "}");
+      }
+    }
+  }
+  builder.SetContent(root_name, root_content);
+  for (const RelationalTable& table : schema.tables) {
+    for (const std::string& column : table.columns) {
+      builder.AddAttribute(table.name, column);
+    }
+  }
+
+  Specification spec;
+  ASSIGN_OR_RETURN(spec.dtd, builder.Build());
+  // All primary keys first, so a foreign key referencing a declared
+  // key column reuses it instead of adding a duplicate.
+  for (const RelationalTable& table : schema.tables) {
+    ASSIGN_OR_RETURN(int type, spec.dtd.TypeId(table.name));
+    if (!table.primary_key.empty()) {
+      spec.constraints.Add(AbsoluteKey{type, table.primary_key});
+    }
+  }
+  for (const RelationalTable& table : schema.tables) {
+    ASSIGN_OR_RETURN(int type, spec.dtd.TypeId(table.name));
+    for (const RelationalForeignKey& fk : table.foreign_keys) {
+      ASSIGN_OR_RETURN(int target, spec.dtd.TypeId(fk.target_table));
+      spec.constraints.AddForeignKey(
+          AbsoluteInclusion{type, {fk.column}, target, {fk.target_column}});
+    }
+  }
+  RETURN_IF_ERROR(spec.constraints.Validate(spec.dtd));
+  return spec;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,34 @@
+// Propositional CNF formulas: the source problem of the depth-2
+// NP-hardness reduction (Theorem 3.5a) and the matrix of QBF
+// instances. Includes a small DPLL solver used as a test oracle.
+#ifndef XMLVERIFY_REDUCTIONS_CNF_H_
+#define XMLVERIFY_REDUCTIONS_CNF_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xmlverify {
+
+struct CnfFormula {
+  int num_variables = 0;
+  /// DIMACS-style clauses: literal +v / -v, variables 1-based.
+  std::vector<std::vector<int>> clauses;
+
+  /// Uniform random k-CNF from a deterministic generator.
+  static CnfFormula Random(int num_variables, int num_clauses,
+                           int clause_size, uint64_t seed);
+
+  /// True under `assignment` (index 0 = variable 1).
+  bool Evaluate(const std::vector<bool>& assignment) const;
+
+  /// DPLL with unit propagation; exact. Returns a model or nullopt.
+  std::optional<std::vector<bool>> Solve() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_CNF_H_

@@ -1,0 +1,22 @@
+// Theorem 3.5(a), first half: CNF-SAT reduces to SAT(AC_{K,FK}) over
+// depth-2 non-recursive no-star DTDs. The produced specification is
+// consistent iff the formula is satisfiable, witnessing that bounding
+// the DTD depth alone does not buy tractability.
+#ifndef XMLVERIFY_REDUCTIONS_CNF_DEPTH2_H_
+#define XMLVERIFY_REDUCTIONS_CNF_DEPTH2_H_
+
+#include "base/status.h"
+#include "core/specification.h"
+#include "reductions/cnf.h"
+
+namespace xmlverify {
+
+/// D_phi and Sigma_phi of the proof: the root chooses one witnessing
+/// literal type per clause and one polarity type per variable; foreign
+/// keys C_{i,j}.l <= x_j.l force witnessing literals to match the
+/// chosen polarities.
+Result<Specification> CnfToDepth2Spec(const CnfFormula& formula);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_CNF_DEPTH2_H_

@@ -1,0 +1,54 @@
+// Theorem 4.1: SAT(RC_{K,FK}) is undecidable, by reduction from the
+// positive quadratic Diophantine problem (Hilbert's 10th, [21]).
+//
+// This file provides the equation type and the reduction: a recursive
+// DTD whose alpha_i / alpha'_i nesting implements multiplication by
+// repeated copying, with relative foreign keys tying each level's
+// counters together. The resulting specifications are, by design,
+// outside every decidable fragment (they are not hierarchical), and
+// are used to demonstrate the undecidability frontier with the
+// bounded searcher.
+#ifndef XMLVERIFY_REDUCTIONS_DIOPHANTINE_RELATIVE_H_
+#define XMLVERIFY_REDUCTIONS_DIOPHANTINE_RELATIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+/// One positive quadratic equation
+///   sum a_i * x_{alpha_i} + sum a_i * x_{alpha_i} * x_{beta_i}
+///     = sum b_i * x_{gamma_i} + sum b_i * x_{gamma_i} * x_{delta_i} + o
+/// over variables 0..num_variables-1, all coefficients positive.
+struct QuadraticEquation {
+  int num_variables = 0;
+  struct LinearTerm {
+    int64_t coefficient;  // > 0
+    int variable;
+  };
+  struct QuadraticTerm {
+    int64_t coefficient;  // > 0
+    int first;
+    int second;
+  };
+  std::vector<LinearTerm> lhs_linear;
+  std::vector<QuadraticTerm> lhs_quadratic;
+  std::vector<LinearTerm> rhs_linear;
+  std::vector<QuadraticTerm> rhs_quadratic;
+  int64_t constant = 0;  // o >= 0, on the right-hand side
+
+  /// Exhaustive search for a solution with all variables <= bound.
+  bool HasSolutionUpTo(int64_t bound) const;
+  /// Evaluates lhs - rhs - constant under an assignment.
+  int64_t Imbalance(const std::vector<int64_t>& values) const;
+};
+
+Result<Specification> QuadraticEquationToRelativeSpec(
+    const QuadraticEquation& equation);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_DIOPHANTINE_RELATIVE_H_

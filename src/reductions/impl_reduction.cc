@@ -1,0 +1,66 @@
+#include "reductions/impl_reduction.h"
+
+namespace xmlverify {
+
+Result<ImplicationInstance> SatToImplication(const Specification& original) {
+  const Dtd& dtd = original.dtd;
+  // D' = D with P'(r) = P(r), D_Y, D_Y, E_X and fresh attribute K.
+  std::vector<std::string> names;
+  for (int type = 0; type < dtd.num_element_types(); ++type) {
+    names.push_back(dtd.TypeName(type));
+  }
+  const std::string dy_name = "implDY";
+  const std::string ex_name = "implEX";
+  if (dtd.FindType(dy_name) >= 0 || dtd.FindType(ex_name) >= 0) {
+    return Status::InvalidArgument(
+        "the specification already uses the reserved type names implDY/"
+        "implEX");
+  }
+  names.push_back(dy_name);
+  names.push_back(ex_name);
+
+  Dtd::Builder builder(names, dtd.TypeName(dtd.root()));
+  auto name_of = [&dtd](int symbol) { return dtd.SymbolName(symbol); };
+  for (int type = 0; type < dtd.num_element_types(); ++type) {
+    // Symbol ids of the original types are preserved (same order), but
+    // the pcdata symbol moves from |E| to |E|+2. Note that the id of
+    // implDY equals the ORIGINAL pcdata id, so the remap must happen
+    // before the fresh symbols are appended.
+    int old_pcdata = dtd.pcdata_symbol();
+    int new_pcdata = builder.pcdata_symbol();
+    Regex content = RemapSymbols(dtd.Content(type), [&](int symbol) {
+      return symbol == old_pcdata ? new_pcdata : symbol;
+    });
+    if (type == dtd.root()) {
+      content = Regex::ConcatAll(
+          {content, Regex::Symbol(builder.Symbol(dy_name)),
+           Regex::Symbol(builder.Symbol(dy_name)),
+           Regex::Symbol(builder.Symbol(ex_name))});
+    }
+    builder.SetContent(dtd.TypeName(type), std::move(content));
+    (void)name_of;
+    for (const std::string& attribute : dtd.Attributes(type)) {
+      builder.AddAttribute(dtd.TypeName(type), attribute);
+    }
+  }
+  builder.AddAttribute(dy_name, "K");
+  builder.AddAttribute(ex_name, "K");
+
+  ImplicationInstance instance;
+  ASSIGN_OR_RETURN(instance.spec.dtd, builder.Build());
+  const Dtd& new_dtd = instance.spec.dtd;
+
+  // Copy Sigma: type ids are unchanged by construction.
+  instance.spec.constraints = original.constraints;
+  ASSIGN_OR_RETURN(int dy_type, new_dtd.TypeId(dy_name));
+  ASSIGN_OR_RETURN(int ex_type, new_dtd.TypeId(ex_name));
+  // psi: D_Y.K <= E_X.K with the key on E_X.
+  instance.spec.constraints.AddForeignKey(
+      AbsoluteInclusion{dy_type, {"K"}, ex_type, {"K"}});
+  // phi: D_Y.K -> D_Y.
+  instance.phi = AbsoluteKey{dy_type, {"K"}};
+  RETURN_IF_ERROR(instance.spec.constraints.Validate(new_dtd));
+  return instance;
+}
+
+}  // namespace xmlverify

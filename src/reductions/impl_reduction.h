@@ -1,0 +1,28 @@
+// Proposition 3.6: SAT(C) reduces (in logspace) to the complement of
+// Impl(C), pinning coNP/PSPACE/undecidability lower bounds for the
+// implication problem (Corollaries 3.7 and 4.5).
+//
+// Given (D, Sigma), the construction appends two D_Y elements and one
+// E_X element under the root, with a fresh attribute K, and asks
+// whether Sigma plus the foreign key  D_Y.K <= E_X.K  implies the key
+// D_Y.K -> D_Y: it does not iff (D, Sigma) is consistent.
+#ifndef XMLVERIFY_REDUCTIONS_IMPL_REDUCTION_H_
+#define XMLVERIFY_REDUCTIONS_IMPL_REDUCTION_H_
+
+#include "base/status.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+struct ImplicationInstance {
+  /// D' and Sigma ∪ {psi} (psi = the foreign key D_Y.K <= E_X.K).
+  Specification spec;
+  /// phi = D_Y.K -> D_Y: implied iff the original spec is inconsistent.
+  AbsoluteKey phi;
+};
+
+Result<ImplicationInstance> SatToImplication(const Specification& original);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_IMPL_REDUCTION_H_

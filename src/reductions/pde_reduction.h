@@ -1,0 +1,55 @@
+// Theorem 3.1: SAT(AC^{*,1}_{PK,FK}) and PDE (prequadratic
+// Diophantine equations, McAllester et al. [22]) are polynomially
+// equivalent. This file provides the PDE instance type, a direct
+// solver (via the library's integer solver — the SAT -> PDE
+// direction in executable form), and the PDE -> SAT reduction from
+// the appendix.
+#ifndef XMLVERIFY_REDUCTIONS_PDE_REDUCTION_H_
+#define XMLVERIFY_REDUCTIONS_PDE_REDUCTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/specification.h"
+#include "ilp/solver.h"
+
+namespace xmlverify {
+
+/// A system of nonnegative-coefficient linear inequalities plus
+/// prequadratic side conditions x_i <= x_j * x_k, over nonnegative
+/// integer variables.
+struct PdeSystem {
+  int num_variables = 0;
+  struct LinearRow {
+    std::vector<int64_t> coefficients;  // one per variable, >= 0
+    bool is_le = true;                  // sum <= rhs, else sum >= rhs
+    int64_t rhs = 0;                    // >= 0
+  };
+  std::vector<LinearRow> rows;
+  struct Prequadratic {
+    int x;
+    int y;
+    int z;
+  };
+  std::vector<Prequadratic> prequadratics;
+
+  Status Validate() const;
+};
+
+/// Decides the PDE directly with the integer solver (iterative
+/// deepening for the prequadratic part).
+Result<SolveResult> SolvePde(const PdeSystem& system,
+                             const SolverOptions& options = {});
+
+/// The appendix construction: a DTD D and a primary set of
+/// multi-attribute keys and unary foreign keys such that the
+/// specification is consistent iff the PDE has a solution. |ext(X_i)|
+/// encodes x_i; copies X_i^p with two-attribute primary keys encode
+/// each prequadratic constraint.
+Result<Specification> PdeToSpec(const PdeSystem& system);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_PDE_REDUCTION_H_

@@ -1,0 +1,37 @@
+// Quantified boolean formulas in prenex CNF: the source problem of
+// both PSPACE-hardness reductions (Theorem 3.4b for AC^{reg} and
+// Theorem 4.4 for 2-local hierarchical relative constraints).
+#ifndef XMLVERIFY_REDUCTIONS_QBF_H_
+#define XMLVERIFY_REDUCTIONS_QBF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reductions/cnf.h"
+
+namespace xmlverify {
+
+struct QbfFormula {
+  /// Quantifier per variable, outermost first; true = exists.
+  std::vector<bool> existential;
+  /// Matrix over the same variables (matrix.num_variables ==
+  /// existential.size()).
+  CnfFormula matrix;
+
+  int num_variables() const { return static_cast<int>(existential.size()); }
+
+  /// Exact recursive evaluation (exponential; for small instances).
+  bool Evaluate() const;
+
+  /// Random prenex-CNF QBF with alternating quantifiers starting from
+  /// a universal.
+  static QbfFormula Random(int num_variables, int num_clauses,
+                           int clause_size, uint64_t seed);
+
+  std::string ToString() const;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_QBF_H_

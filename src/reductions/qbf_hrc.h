@@ -1,0 +1,21 @@
+// Theorem 4.4: QBF reduces to SAT(2-HRC_{K,FK}) — hierarchical,
+// 2-local relative constraints. The N_i/P_i spine again encodes
+// assignments; each leaf re-states the whole assignment through
+// 0_i/1_i children, kept consistent with the path by relative keys at
+// the spine contexts (the A_i/B_i doubling trick), and clause
+// witnesses are checked against the restated assignment by relative
+// foreign keys local to the leaf.
+#ifndef XMLVERIFY_REDUCTIONS_QBF_HRC_H_
+#define XMLVERIFY_REDUCTIONS_QBF_HRC_H_
+
+#include "base/status.h"
+#include "core/specification.h"
+#include "reductions/qbf.h"
+
+namespace xmlverify {
+
+Result<Specification> QbfTo2HrcSpec(const QbfFormula& formula);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_QBF_HRC_H_

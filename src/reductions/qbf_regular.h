@@ -1,0 +1,20 @@
+// Theorem 3.4(b): QBF reduces to SAT(AC^{reg}_{K,FK}) over
+// non-recursive no-star DTDs. Paths through the N_i/P_i spine encode
+// truth assignments; foreign keys into the empty node set r.C.C
+// forbid a satisfied literal from contradicting the polarity chosen
+// on its path. The specification is consistent iff the formula is
+// valid.
+#ifndef XMLVERIFY_REDUCTIONS_QBF_REGULAR_H_
+#define XMLVERIFY_REDUCTIONS_QBF_REGULAR_H_
+
+#include "base/status.h"
+#include "core/specification.h"
+#include "reductions/qbf.h"
+
+namespace xmlverify {
+
+Result<Specification> QbfToRegularSpec(const QbfFormula& formula);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_QBF_REGULAR_H_

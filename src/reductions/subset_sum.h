@@ -1,0 +1,34 @@
+// Theorem 3.5(a), second half: SUBSET SUM reduces to SAT(AC_{K,FK})
+// with only TWO constraints, over a non-recursive no-star DTD whose
+// depth grows with the bit width — bounding the number of constraints
+// alone does not buy tractability either.
+#ifndef XMLVERIFY_REDUCTIONS_SUBSET_SUM_H_
+#define XMLVERIFY_REDUCTIONS_SUBSET_SUM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+struct SubsetSumInstance {
+  int64_t target = 0;
+  std::vector<int64_t> items;
+
+  /// Exact pseudo-polynomial DP oracle.
+  bool HasSolution() const;
+};
+
+/// D_{a,S} and the two foreign keys tau.l <-> tau'.l of the proof:
+/// binary-counter gadgets X_i (doubling chains) encode `target` below
+/// V and each item below an optional V_j; the two inclusions force
+/// |ext(tau)| = |ext(tau')|, i.e., a subset of items summing to the
+/// target.
+Result<Specification> SubsetSumToSpec(const SubsetSumInstance& instance);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REDUCTIONS_SUBSET_SUM_H_

@@ -1,0 +1,267 @@
+#include "regex/automaton.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+namespace xmlverify {
+
+namespace {
+
+// Recursive Thompson construction. Returns {entry, exit} state ids.
+struct Fragment {
+  int entry;
+  int exit;
+};
+
+class NfaBuilder {
+ public:
+  explicit NfaBuilder(int alphabet_size) { nfa_.alphabet_size = alphabet_size; }
+
+  Nfa Build(const Regex& regex) {
+    Fragment all = BuildFragment(regex);
+    nfa_.start = all.entry;
+    nfa_.accept = all.exit;
+    return std::move(nfa_);
+  }
+
+ private:
+  int NewState() {
+    nfa_.states.emplace_back();
+    return static_cast<int>(nfa_.states.size()) - 1;
+  }
+
+  Fragment BuildFragment(const Regex& regex) {
+    switch (regex.kind()) {
+      case RegexKind::kEpsilon: {
+        int entry = NewState();
+        int exit = NewState();
+        nfa_.states[entry].epsilon_moves.push_back(exit);
+        return {entry, exit};
+      }
+      case RegexKind::kSymbol: {
+        int entry = NewState();
+        int exit = NewState();
+        nfa_.states[entry].moves[regex.symbol()].push_back(exit);
+        return {entry, exit};
+      }
+      case RegexKind::kWildcard: {
+        int entry = NewState();
+        int exit = NewState();
+        for (int symbol = 0; symbol < nfa_.alphabet_size; ++symbol) {
+          nfa_.states[entry].moves[symbol].push_back(exit);
+        }
+        return {entry, exit};
+      }
+      case RegexKind::kConcat: {
+        Fragment left = BuildFragment(regex.left());
+        Fragment right = BuildFragment(regex.right());
+        nfa_.states[left.exit].epsilon_moves.push_back(right.entry);
+        return {left.entry, right.exit};
+      }
+      case RegexKind::kUnion: {
+        Fragment left = BuildFragment(regex.left());
+        Fragment right = BuildFragment(regex.right());
+        int entry = NewState();
+        int exit = NewState();
+        nfa_.states[entry].epsilon_moves.push_back(left.entry);
+        nfa_.states[entry].epsilon_moves.push_back(right.entry);
+        nfa_.states[left.exit].epsilon_moves.push_back(exit);
+        nfa_.states[right.exit].epsilon_moves.push_back(exit);
+        return {entry, exit};
+      }
+      case RegexKind::kStar: {
+        Fragment inner = BuildFragment(regex.left());
+        int entry = NewState();
+        int exit = NewState();
+        nfa_.states[entry].epsilon_moves.push_back(inner.entry);
+        nfa_.states[entry].epsilon_moves.push_back(exit);
+        nfa_.states[inner.exit].epsilon_moves.push_back(inner.entry);
+        nfa_.states[inner.exit].epsilon_moves.push_back(exit);
+        return {entry, exit};
+      }
+    }
+    // Unreachable.
+    int state = NewState();
+    return {state, state};
+  }
+
+  Nfa nfa_;
+};
+
+// Epsilon closure of a state set, as a sorted vector.
+std::vector<int> EpsilonClosure(const Nfa& nfa, std::vector<int> states) {
+  std::set<int> closure(states.begin(), states.end());
+  std::deque<int> frontier(states.begin(), states.end());
+  while (!frontier.empty()) {
+    int state = frontier.front();
+    frontier.pop_front();
+    for (int next : nfa.states[state].epsilon_moves) {
+      if (closure.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return std::vector<int>(closure.begin(), closure.end());
+}
+
+}  // namespace
+
+Nfa BuildNfa(const Regex& regex, int alphabet_size) {
+  NfaBuilder builder(alphabet_size);
+  return builder.Build(regex);
+}
+
+Dfa Dfa::Determinize(const Nfa& nfa) {
+  Dfa dfa;
+  dfa.alphabet_size_ = nfa.alphabet_size;
+
+  std::map<std::vector<int>, int> index;
+  std::vector<std::vector<int>> subsets;
+  std::deque<int> worklist;
+
+  auto intern = [&](std::vector<int> subset) {
+    auto [it, inserted] = index.emplace(subset, subsets.size());
+    if (inserted) {
+      subsets.push_back(std::move(subset));
+      worklist.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  intern(EpsilonClosure(nfa, {nfa.start}));
+
+  std::vector<std::vector<int>> transitions;  // per state, per symbol
+  while (!worklist.empty()) {
+    int state = worklist.front();
+    worklist.pop_front();
+    if (state >= static_cast<int>(transitions.size())) {
+      transitions.resize(state + 1);
+    }
+    transitions[state].assign(nfa.alphabet_size, -1);
+    // Copy the subset: intern() may reallocate `subsets`.
+    std::vector<int> subset = subsets[state];
+    for (int symbol = 0; symbol < nfa.alphabet_size; ++symbol) {
+      std::set<int> successors;
+      for (int nfa_state : subset) {
+        auto it = nfa.states[nfa_state].moves.find(symbol);
+        if (it == nfa.states[nfa_state].moves.end()) continue;
+        successors.insert(it->second.begin(), it->second.end());
+      }
+      std::vector<int> closure = EpsilonClosure(
+          nfa, std::vector<int>(successors.begin(), successors.end()));
+      transitions[state][symbol] = intern(std::move(closure));
+    }
+  }
+  transitions.resize(subsets.size());
+
+  dfa.accepting_.resize(subsets.size());
+  dfa.transitions_.assign(subsets.size() * nfa.alphabet_size, 0);
+  for (size_t state = 0; state < subsets.size(); ++state) {
+    dfa.accepting_[state] =
+        std::binary_search(subsets[state].begin(), subsets[state].end(),
+                           nfa.accept);
+    for (int symbol = 0; symbol < nfa.alphabet_size; ++symbol) {
+      dfa.transitions_[state * nfa.alphabet_size + symbol] =
+          transitions[state][symbol];
+    }
+  }
+  // The empty subset (dead state) arises naturally from the subset
+  // construction, so the DFA is already complete.
+  return dfa;
+}
+
+bool Dfa::Accepts(const std::vector<int>& word) const {
+  int state = start();
+  for (int symbol : word) state = Next(state, symbol);
+  return IsAccepting(state);
+}
+
+bool Dfa::IsEmpty() const {
+  // BFS from the start state looking for an accepting state.
+  std::vector<bool> seen(num_states(), false);
+  std::deque<int> frontier = {start()};
+  seen[start()] = true;
+  while (!frontier.empty()) {
+    int state = frontier.front();
+    frontier.pop_front();
+    if (IsAccepting(state)) return false;
+    for (int symbol = 0; symbol < alphabet_size_; ++symbol) {
+      int next = Next(state, symbol);
+      if (!seen[next]) {
+        seen[next] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+bool Dfa::ContainedIn(const Dfa& other) const {
+  // L(this) ⊆ L(other) iff no reachable product state is
+  // this-accepting and other-rejecting.
+  std::set<std::pair<int, int>> seen;
+  std::deque<std::pair<int, int>> frontier;
+  frontier.emplace_back(start(), other.start());
+  seen.insert(frontier.front());
+  while (!frontier.empty()) {
+    auto [a, b] = frontier.front();
+    frontier.pop_front();
+    if (IsAccepting(a) && !other.IsAccepting(b)) return false;
+    for (int symbol = 0; symbol < alphabet_size_; ++symbol) {
+      std::pair<int, int> next = {Next(a, symbol), other.Next(b, symbol)};
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return true;
+}
+
+bool Dfa::Intersects(const Dfa& other) const {
+  std::set<std::pair<int, int>> seen;
+  std::deque<std::pair<int, int>> frontier;
+  frontier.emplace_back(start(), other.start());
+  seen.insert(frontier.front());
+  while (!frontier.empty()) {
+    auto [a, b] = frontier.front();
+    frontier.pop_front();
+    if (IsAccepting(a) && other.IsAccepting(b)) return true;
+    for (int symbol = 0; symbol < alphabet_size_; ++symbol) {
+      std::pair<int, int> next = {Next(a, symbol), other.Next(b, symbol)};
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return false;
+}
+
+ProductDfa::ProductDfa(std::vector<Dfa> components)
+    : components_(std::move(components)) {
+  alphabet_size_ = components_.empty() ? 0 : components_[0].alphabet_size();
+  std::vector<int> start_tuple(components_.size());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    start_tuple[i] = components_[i].start();
+  }
+  state_index_[start_tuple] = 0;
+  states_.push_back(std::move(start_tuple));
+  transitions_.emplace_back(alphabet_size_, -1);
+}
+
+int ProductDfa::Next(int state, int symbol) {
+  if (transitions_[state][symbol] >= 0) return transitions_[state][symbol];
+  std::vector<int> tuple(components_.size());
+  for (size_t i = 0; i < components_.size(); ++i) {
+    tuple[i] = components_[i].Next(states_[state][i], symbol);
+  }
+  auto [it, inserted] = state_index_.emplace(tuple, states_.size());
+  if (inserted) {
+    states_.push_back(std::move(tuple));
+    // May reallocate transitions_, so the cached reference is
+    // re-derived below rather than held across this call.
+    transitions_.emplace_back(alphabet_size_, -1);
+  }
+  transitions_[state][symbol] = it->second;
+  return it->second;
+}
+
+bool ProductDfa::Accepts(int state, int component) const {
+  return components_[component].IsAccepting(states_[state][component]);
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,107 @@
+// Finite automata over integer-symbol alphabets.
+//
+// Used for (a) validating element content against DTD element type
+// definitions, (b) deciding containment between regular path
+// expressions (needed by the C_Sigma encoding of Lemma 4), and
+// (c) the product DFA M that tags DTD flow variables with states in
+// the Psi_D^Sigma encoding of Theorem 3.4.
+#ifndef XMLVERIFY_REGEX_AUTOMATON_H_
+#define XMLVERIFY_REGEX_AUTOMATON_H_
+
+#include <map>
+#include <vector>
+
+#include "base/status.h"
+#include "regex/regex.h"
+
+namespace xmlverify {
+
+/// Nondeterministic finite automaton with epsilon moves (Thompson
+/// construction). States are 0..num_states-1.
+struct Nfa {
+  struct State {
+    // symbol -> successor states. Wildcard edges are expanded at
+    // construction time, so only concrete symbols appear here.
+    std::map<int, std::vector<int>> moves;
+    std::vector<int> epsilon_moves;
+  };
+
+  std::vector<State> states;
+  int start = 0;
+  int accept = 0;  // Thompson NFAs have a single accepting state.
+  int alphabet_size = 0;
+};
+
+/// Builds the Thompson NFA of `regex` over symbols 0..alphabet_size-1.
+/// Wildcards match every symbol of the alphabet.
+Nfa BuildNfa(const Regex& regex, int alphabet_size);
+
+/// Deterministic, complete finite automaton. State 0 is the start
+/// state; every state has a transition on every symbol (a dead state
+/// is materialized if needed).
+class Dfa {
+ public:
+  /// Subset construction from an NFA.
+  static Dfa Determinize(const Nfa& nfa);
+
+  int num_states() const { return static_cast<int>(accepting_.size()); }
+  int alphabet_size() const { return alphabet_size_; }
+  int start() const { return 0; }
+
+  int Next(int state, int symbol) const {
+    return transitions_[state * alphabet_size_ + symbol];
+  }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  /// Runs the DFA on a word; true if accepted.
+  bool Accepts(const std::vector<int>& word) const;
+
+  /// True if the language is empty.
+  bool IsEmpty() const;
+
+  /// True if L(this) is a subset of L(other). Both automata must share
+  /// an alphabet size.
+  bool ContainedIn(const Dfa& other) const;
+
+  /// True if the two languages intersect.
+  bool Intersects(const Dfa& other) const;
+
+ private:
+  friend class ProductDfa;
+
+  std::vector<int> transitions_;  // state * alphabet_size + symbol
+  std::vector<bool> accepting_;
+  int alphabet_size_ = 0;
+};
+
+/// The product of several DFAs sharing an alphabet: the deterministic
+/// automaton whose states are tuples of component states, built
+/// lazily over the reachable part. Exposes per-component acceptance,
+/// which is what the Psi_D^Sigma encoding consumes ("state s contains
+/// a final state of the automaton for beta_i", Lemma 5).
+class ProductDfa {
+ public:
+  explicit ProductDfa(std::vector<Dfa> components);
+
+  int num_components() const { return static_cast<int>(components_.size()); }
+  int alphabet_size() const { return alphabet_size_; }
+  int start() const { return 0; }
+  int num_states() const { return static_cast<int>(states_.size()); }
+
+  /// Transition function; materializes the successor on first use.
+  int Next(int state, int symbol);
+
+  /// True if component `component` accepts in product state `state`.
+  bool Accepts(int state, int component) const;
+
+ private:
+  std::vector<Dfa> components_;
+  int alphabet_size_ = 0;
+  std::vector<std::vector<int>> states_;          // tuple per product state
+  std::map<std::vector<int>, int> state_index_;   // tuple -> id
+  std::vector<std::vector<int>> transitions_;     // [state][symbol], -1 = not built
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REGEX_AUTOMATON_H_

@@ -1,0 +1,106 @@
+// Regular expressions over an integer-symbol alphabet.
+//
+// One regex type serves two roles in the paper's formalism:
+//   * "horizontal" element-type definitions P(tau) inside DTDs
+//     (Definition 2.1), and
+//   * "vertical" regular path expressions in AC^reg constraints
+//     (Section 3.2), including the wildcard `_` and its closure `_*`.
+//
+// Symbols are small integers; callers (the DTD, the constraint parser)
+// own the mapping between names and symbol ids.
+#ifndef XMLVERIFY_REGEX_REGEX_H_
+#define XMLVERIFY_REGEX_REGEX_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xmlverify {
+
+enum class RegexKind {
+  kEpsilon,   // empty word
+  kSymbol,    // a single alphabet symbol
+  kWildcard,  // `_` : any symbol from the ambient alphabet
+  kConcat,    // left . right
+  kUnion,     // left | right
+  kStar,      // left*
+};
+
+/// Immutable regular-expression AST. Cheap to copy (shares nodes).
+class Regex {
+ public:
+  struct Node {
+    RegexKind kind;
+    int symbol = -1;  // kSymbol only
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;
+  };
+
+  /// Default-constructed regex denotes the empty word.
+  Regex() : Regex(Epsilon()) {}
+
+  static Regex Epsilon();
+  static Regex Symbol(int symbol);
+  static Regex Wildcard();
+  static Regex Concat(Regex left, Regex right);
+  static Regex Union(Regex left, Regex right);
+  static Regex Star(Regex inner);
+
+  /// Concatenation of a (possibly empty) sequence; empty => epsilon.
+  static Regex ConcatAll(const std::vector<Regex>& parts);
+  /// Union of a sequence; must be nonempty.
+  static Regex UnionAll(const std::vector<Regex>& parts);
+
+  RegexKind kind() const { return node_->kind; }
+  int symbol() const { return node_->symbol; }
+  Regex left() const { return Regex(node_->left); }
+  Regex right() const { return Regex(node_->right); }
+
+  /// True if the empty word is in the language.
+  bool MatchesEmpty() const;
+
+  /// True if the language is finite, i.e., no Kleene star occurs
+  /// (the paper's "no-star" restriction, Section 2).
+  bool IsStarFree() const;
+
+  /// All distinct symbols mentioned (wildcard not included).
+  std::vector<int> Symbols() const;
+
+  /// Renders with the paper's syntax: '.', '|', '*', '_', 'epsilon'.
+  /// `name_of` maps a symbol id to its display name.
+  std::string ToString(
+      const std::function<std::string(int)>& name_of) const;
+
+ private:
+  explicit Regex(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+/// Structurally rewrites symbol ids through `map` (e.g., when
+/// projecting a content model into a scope DTD with re-numbered
+/// types). Epsilon/wildcard/operators are preserved.
+Regex RemapSymbols(const Regex& regex,
+                   const std::function<int(int)>& map);
+
+/// Replaces every wildcard with the explicit union of `symbols`
+/// (the paper reads `_` as E \ {r}, so callers pass the non-root
+/// element types). `symbols` must be nonempty.
+Regex ExpandWildcard(const Regex& regex, const std::vector<int>& symbols);
+
+/// Parses the paper's regular-path syntax (with DTD-friendly sugar):
+///   union  := concat ('|' concat)*
+///   concat := star (('.' | ',') star)*
+///   star   := atom ('*' | '+' | '?' | '{' n (',' m?)? '}')*
+///   atom   := NAME | '_' | '%'          ('%' = epsilon) | '(' union ')'
+/// `resolve` maps a name to a symbol id, returning -1 for unknown names.
+Result<Regex> ParseRegex(
+    const std::string& text,
+    const std::function<int(const std::string&)>& resolve);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_REGEX_REGEX_H_

@@ -1,0 +1,303 @@
+#include "xml/dtd.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace xmlverify {
+
+std::string Dtd::SymbolName(int symbol) const {
+  if (symbol == pcdata_symbol()) return "#PCDATA";
+  return types_[symbol].name;
+}
+
+Result<int> Dtd::TypeId(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown element type: '" + name + "'");
+  }
+  return it->second;
+}
+
+int Dtd::FindType(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool Dtd::HasAttribute(int type, const std::string& attribute) const {
+  const std::vector<std::string>& attrs = types_[type].attributes;
+  return std::find(attrs.begin(), attrs.end(), attribute) != attrs.end();
+}
+
+bool Dtd::IsRecursive() const {
+  // DFS from the root with colors: detect a cycle among reachable
+  // element types.
+  enum Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(types_.size(), kWhite);
+  // Iterative DFS with an explicit stack of (type, child index).
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(root_, 0);
+  color[root_] = kGray;
+  while (!stack.empty()) {
+    auto& [type, child_index] = stack.back();
+    if (child_index < types_[type].child_types.size()) {
+      int child = types_[type].child_types[child_index++];
+      if (color[child] == kGray) return true;
+      if (color[child] == kWhite) {
+        color[child] = kGray;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      color[type] = kBlack;
+      stack.pop_back();
+    }
+  }
+  return false;
+}
+
+namespace {
+
+// Can `regex` derive some word over productive element types (S and
+// epsilon always qualify)?
+bool Derivable(const Regex& regex, const std::vector<bool>& productive,
+               int pcdata_symbol) {
+  switch (regex.kind()) {
+    case RegexKind::kEpsilon:
+      return true;
+    case RegexKind::kWildcard:
+      return false;  // not allowed in content models anyway
+    case RegexKind::kSymbol:
+      return regex.symbol() == pcdata_symbol || productive[regex.symbol()];
+    case RegexKind::kConcat:
+      return Derivable(regex.left(), productive, pcdata_symbol) &&
+             Derivable(regex.right(), productive, pcdata_symbol);
+    case RegexKind::kUnion:
+      return Derivable(regex.left(), productive, pcdata_symbol) ||
+             Derivable(regex.right(), productive, pcdata_symbol);
+    case RegexKind::kStar:
+      return true;  // zero repetitions
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Dtd::IsSatisfiable() const {
+  std::vector<bool> productive(types_.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t type = 0; type < types_.size(); ++type) {
+      if (productive[type]) continue;
+      if (Derivable(types_[type].content, productive, pcdata_symbol())) {
+        productive[type] = true;
+        changed = true;
+      }
+    }
+  }
+  return productive[root_];
+}
+
+bool Dtd::IsNoStar() const {
+  for (const ElementType& type : types_) {
+    if (!type.content.IsStarFree()) return false;
+  }
+  return true;
+}
+
+Result<int> Dtd::Depth() const {
+  if (IsRecursive()) {
+    return Status::InvalidArgument("Depth(D) is undefined: DTD is recursive");
+  }
+  // Longest path from root in the type DAG, by memoized DFS.
+  std::vector<int> memo(types_.size(), -1);
+  // Post-order via explicit stack.
+  std::vector<std::pair<int, bool>> stack = {{root_, false}};
+  while (!stack.empty()) {
+    auto [type, expanded] = stack.back();
+    stack.pop_back();
+    if (memo[type] >= 0) continue;
+    if (expanded) {
+      int best = 0;
+      for (int child : types_[type].child_types) {
+        best = std::max(best, memo[child]);
+      }
+      memo[type] = best + 1;
+    } else {
+      stack.emplace_back(type, true);
+      for (int child : types_[type].child_types) {
+        if (memo[child] < 0) stack.emplace_back(child, false);
+      }
+    }
+  }
+  return memo[root_];
+}
+
+const Dfa& Dtd::ContentDfa(int type) const {
+  if (content_dfas_.empty()) content_dfas_.resize(types_.size());
+  if (!content_dfas_[type].has_value()) {
+    Nfa nfa = BuildNfa(types_[type].content, content_alphabet_size());
+    content_dfas_[type] = Dfa::Determinize(nfa);
+  }
+  return *content_dfas_[type];
+}
+
+std::string Dtd::ToString() const {
+  std::string out;
+  auto name_of = [this](int symbol) { return SymbolName(symbol); };
+  for (int type = 0; type < num_element_types(); ++type) {
+    out += "<!ELEMENT " + types_[type].name + " (" +
+           types_[type].content.ToString(name_of) + ")>\n";
+    for (const std::string& attribute : types_[type].attributes) {
+      out += "<!ATTLIST " + types_[type].name + " " + attribute +
+             " CDATA #REQUIRED>\n";
+    }
+  }
+  return out;
+}
+
+Dtd::Builder::Builder(const std::vector<std::string>& names,
+                      const std::string& root_name) {
+  for (const std::string& name : names) {
+    if (!IsValidName(name)) {
+      RecordError(Status::InvalidArgument("bad element type name: '" + name +
+                                          "'"));
+      continue;
+    }
+    if (dtd_.index_.count(name) > 0) {
+      RecordError(
+          Status::InvalidArgument("duplicate element type: '" + name + "'"));
+      continue;
+    }
+    dtd_.index_[name] = static_cast<int>(dtd_.types_.size());
+    Dtd::ElementType type;
+    type.name = name;
+    type.content = Regex::Epsilon();
+    dtd_.types_.push_back(std::move(type));
+  }
+  auto it = dtd_.index_.find(root_name);
+  if (it == dtd_.index_.end()) {
+    RecordError(Status::InvalidArgument("root type '" + root_name +
+                                        "' is not among the declared types"));
+  } else {
+    dtd_.root_ = it->second;
+  }
+  content_set_.assign(dtd_.types_.size(), false);
+}
+
+void Dtd::Builder::RecordError(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+int Dtd::Builder::Symbol(const std::string& name) {
+  auto it = dtd_.index_.find(name);
+  if (it == dtd_.index_.end()) {
+    RecordError(Status::NotFound("unknown element type: '" + name + "'"));
+    return -1;
+  }
+  return it->second;
+}
+
+Dtd::Builder& Dtd::Builder::SetContent(const std::string& name,
+                                       Regex content) {
+  int type = Symbol(name);
+  if (type < 0) return *this;
+  if (content_set_[type]) {
+    RecordError(Status::InvalidArgument("content of '" + name +
+                                        "' set more than once"));
+    return *this;
+  }
+  content_set_[type] = true;
+  dtd_.types_[type].content = std::move(content);
+  return *this;
+}
+
+Dtd::Builder& Dtd::Builder::SetContent(const std::string& name,
+                                       const std::string& content_text) {
+  auto resolve = [this](const std::string& symbol_name) -> int {
+    if (symbol_name == "PCDATA" || symbol_name == "__pcdata__") {
+      return pcdata_symbol();
+    }
+    auto it = dtd_.index_.find(symbol_name);
+    return it == dtd_.index_.end() ? -1 : it->second;
+  };
+  // Accept DTD-style "#PCDATA".
+  std::string text = content_text;
+  size_t pos;
+  while ((pos = text.find("#PCDATA")) != std::string::npos) {
+    text.replace(pos, 7, "__pcdata__");
+  }
+  Result<Regex> content = ParseRegex(text, resolve);
+  if (!content.ok()) {
+    RecordError(Status::InvalidArgument("in content of '" + name +
+                                        "': " + content.status().message()));
+    return *this;
+  }
+  return SetContent(name, std::move(content).value());
+}
+
+Dtd::Builder& Dtd::Builder::AddAttribute(const std::string& name,
+                                         const std::string& attribute) {
+  int type = Symbol(name);
+  if (type < 0) return *this;
+  if (!IsValidName(attribute)) {
+    RecordError(
+        Status::InvalidArgument("bad attribute name: '" + attribute + "'"));
+    return *this;
+  }
+  std::vector<std::string>& attrs = dtd_.types_[type].attributes;
+  if (std::find(attrs.begin(), attrs.end(), attribute) != attrs.end()) {
+    RecordError(Status::InvalidArgument("duplicate attribute '" + attribute +
+                                        "' on '" + name + "'"));
+    return *this;
+  }
+  attrs.push_back(attribute);
+  return *this;
+}
+
+Result<Dtd> Dtd::Builder::Build() {
+  RETURN_IF_ERROR(status_);
+  // Derive child-type edges from the content models.
+  for (int type = 0; type < dtd_.num_element_types(); ++type) {
+    std::vector<int> symbols = dtd_.types_[type].content.Symbols();
+    std::vector<int>& children = dtd_.types_[type].child_types;
+    for (int symbol : symbols) {
+      if (symbol != dtd_.pcdata_symbol()) children.push_back(symbol);
+    }
+  }
+  // Definition 2.1: the root type r does not appear in any P(tau).
+  for (int type = 0; type < dtd_.num_element_types(); ++type) {
+    const std::vector<int>& children = dtd_.types_[type].child_types;
+    if (std::find(children.begin(), children.end(), dtd_.root_) !=
+        children.end()) {
+      return Status::InvalidArgument(
+          "root type '" + dtd_.TypeName(dtd_.root_) +
+          "' appears in the content model of '" + dtd_.TypeName(type) + "'");
+    }
+  }
+  // Every type must be connected to the root.
+  std::vector<bool> reachable(dtd_.num_element_types(), false);
+  std::deque<int> frontier = {dtd_.root_};
+  reachable[dtd_.root_] = true;
+  while (!frontier.empty()) {
+    int type = frontier.front();
+    frontier.pop_front();
+    for (int child : dtd_.types_[type].child_types) {
+      if (!reachable[child]) {
+        reachable[child] = true;
+        frontier.push_back(child);
+      }
+    }
+  }
+  for (int type = 0; type < dtd_.num_element_types(); ++type) {
+    if (!reachable[type]) {
+      return Status::InvalidArgument("element type '" + dtd_.TypeName(type) +
+                                     "' is not connected to the root");
+    }
+  }
+  return std::move(dtd_);
+}
+
+}  // namespace xmlverify

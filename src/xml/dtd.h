@@ -1,0 +1,136 @@
+// Document Type Definitions, following Definition 2.1 of the paper:
+// D = (E, A, P, R, r) with element types E, attributes A, element type
+// definitions P(tau) (regular expressions over E and the string type
+// S), attribute sets R(tau), and a root type r that appears in no
+// P(tau).
+//
+// Element types are interned as dense integer ids 0..n-1; the string
+// type S is the extra symbol id n, so content models are plain Regex
+// values over the alphabet {0..n}.
+#ifndef XMLVERIFY_XML_DTD_H_
+#define XMLVERIFY_XML_DTD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "regex/automaton.h"
+#include "regex/regex.h"
+
+namespace xmlverify {
+
+class Dtd {
+ public:
+  class Builder;
+
+  int num_element_types() const { return static_cast<int>(types_.size()); }
+  /// Symbol id of the string type S in content models.
+  int pcdata_symbol() const { return num_element_types(); }
+  /// Content-model alphabet size: element types plus S.
+  int content_alphabet_size() const { return num_element_types() + 1; }
+
+  int root() const { return root_; }
+  const std::string& TypeName(int type) const { return types_[type].name; }
+  /// Display name for any content-model symbol (element type or S).
+  std::string SymbolName(int symbol) const;
+
+  /// Id of a type name, or error if unknown.
+  Result<int> TypeId(const std::string& name) const;
+  /// Id of a type name, or -1 if unknown.
+  int FindType(const std::string& name) const;
+
+  const Regex& Content(int type) const { return types_[type].content; }
+  const std::vector<std::string>& Attributes(int type) const {
+    return types_[type].attributes;
+  }
+  bool HasAttribute(int type, const std::string& attribute) const;
+
+  /// Element types tau' appearing in the alphabet of P(tau): the
+  /// parent-child edges of the DTD graph (paths of Section 2 follow
+  /// these edges).
+  const std::vector<int>& ChildTypes(int type) const {
+    return types_[type].child_types;
+  }
+
+  /// True if Paths(D) is infinite, i.e., the DTD graph has a cycle
+  /// reachable from the root.
+  bool IsRecursive() const;
+
+  /// True if at least one (finite) tree conforms to the DTD — i.e.,
+  /// the root type is productive. Computed by the classical
+  /// productive-symbol fixpoint over the content models; linear-ish
+  /// time, no solver involved. A recursive type like
+  /// <!ELEMENT a (a)> is unproductive: every candidate tree would be
+  /// infinite.
+  bool IsSatisfiable() const;
+
+  /// True if no Kleene star occurs in any P(tau) ("no-star DTD").
+  bool IsNoStar() const;
+
+  /// Depth(D) = max length of a path from the root (Section 3.3).
+  /// Only defined for non-recursive DTDs.
+  Result<int> Depth() const;
+
+  /// Per-type DFAs for the content models, for validation. Cached.
+  const Dfa& ContentDfa(int type) const;
+
+  /// Renders the DTD in <!ELEMENT ...> syntax (with ATTLIST lines).
+  std::string ToString() const;
+
+ private:
+  struct ElementType {
+    std::string name;
+    Regex content;
+    std::vector<std::string> attributes;
+    std::vector<int> child_types;
+  };
+
+  std::vector<ElementType> types_;
+  std::map<std::string, int> index_;
+  int root_ = 0;
+  // Lazily built per-type content DFAs.
+  mutable std::vector<std::optional<Dfa>> content_dfas_;
+};
+
+/// Two-phase construction: declare every element type up front (ids
+/// and the pcdata symbol are fixed from that point), then attach
+/// content models and attributes.
+class Dtd::Builder {
+ public:
+  /// `names` lists all element types (must include `root_name`).
+  Builder(const std::vector<std::string>& names, const std::string& root_name);
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Symbol id of a declared element type; records an error if unknown.
+  int Symbol(const std::string& name);
+  /// Symbol id of the string type S.
+  int pcdata_symbol() const { return static_cast<int>(dtd_.types_.size()); }
+
+  /// Sets P(name) = content. Unset types default to epsilon.
+  Builder& SetContent(const std::string& name, Regex content);
+  /// Parses `content_text` in the regex syntax ('.' or ',' for
+  /// concatenation, '|', '*', '+', '?', '%' for epsilon, '#PCDATA').
+  Builder& SetContent(const std::string& name,
+                      const std::string& content_text);
+  /// Adds `attribute` to R(name).
+  Builder& AddAttribute(const std::string& name, const std::string& attribute);
+
+  /// Validates the specification (root not used in content models,
+  /// every type connected to the root, names well-formed).
+  Result<Dtd> Build();
+
+ private:
+  void RecordError(Status status);
+
+  Dtd dtd_;
+  Status status_;
+  std::vector<bool> content_set_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_XML_DTD_H_

@@ -1,0 +1,198 @@
+#include "xml/dtd_parser.h"
+
+#include <cctype>
+#include <set>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace xmlverify {
+
+namespace {
+
+struct Declaration {
+  enum Kind { kElement, kAttlist, kRoot } kind;
+  std::string name;
+  std::string body;  // content text for kElement, attribute list for kAttlist
+};
+
+// Extracts identifier tokens (candidate element-type names) from a
+// content-model string.
+std::vector<std::string> NameTokens(const std::string& text) {
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos;
+      while (pos < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+              text[pos] == '_' || text[pos] == '-')) {
+        ++pos;
+      }
+      names.push_back(text.substr(start, pos - start));
+    } else {
+      ++pos;
+    }
+  }
+  return names;
+}
+
+Result<std::vector<Declaration>> Scan(const std::string& text) {
+  std::vector<Declaration> declarations;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    // Skip whitespace and /* ... */ comments (the paper's DTD listings
+    // use them) as well as <!-- ... --> XML comments.
+    if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      continue;
+    }
+    if (StartsWith(std::string_view(text).substr(pos), "/*")) {
+      size_t end = text.find("*/", pos + 2);
+      // An unterminated comment runs to end of line, as in the paper.
+      size_t eol = text.find('\n', pos);
+      pos = end == std::string::npos ? (eol == std::string::npos
+                                            ? text.size()
+                                            : eol + 1)
+                                     : std::min(end + 2, eol == std::string::npos
+                                                             ? end + 2
+                                                             : eol + 1);
+      continue;
+    }
+    if (StartsWith(std::string_view(text).substr(pos), "<!--")) {
+      size_t end = text.find("-->", pos + 4);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated XML comment in DTD");
+      }
+      pos = end + 3;
+      continue;
+    }
+    if (text[pos] == '<') {
+      size_t end = text.find('>', pos);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated declaration in DTD");
+      }
+      std::string decl = text.substr(pos + 1, end - pos - 1);
+      pos = end + 1;
+      std::string_view view = StripWhitespace(decl);
+      if (StartsWith(view, "!ELEMENT")) {
+        view = StripWhitespace(view.substr(8));
+        size_t name_end = 0;
+        while (name_end < view.size() &&
+               !std::isspace(static_cast<unsigned char>(view[name_end]))) {
+          ++name_end;
+        }
+        Declaration d;
+        d.kind = Declaration::kElement;
+        d.name = std::string(view.substr(0, name_end));
+        d.body = std::string(StripWhitespace(view.substr(name_end)));
+        declarations.push_back(std::move(d));
+      } else if (StartsWith(view, "!ATTLIST")) {
+        view = StripWhitespace(view.substr(8));
+        size_t name_end = 0;
+        while (name_end < view.size() &&
+               !std::isspace(static_cast<unsigned char>(view[name_end]))) {
+          ++name_end;
+        }
+        Declaration d;
+        d.kind = Declaration::kAttlist;
+        d.name = std::string(view.substr(0, name_end));
+        d.body = std::string(StripWhitespace(view.substr(name_end)));
+        declarations.push_back(std::move(d));
+      } else {
+        return Status::InvalidArgument("unrecognized declaration: <" + decl +
+                                       ">");
+      }
+      continue;
+    }
+    // Bare "root name" directive.
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string_view line = StripWhitespace(
+        std::string_view(text).substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (StartsWith(line, "root")) {
+      Declaration d;
+      d.kind = Declaration::kRoot;
+      d.name = std::string(StripWhitespace(line.substr(4)));
+      declarations.push_back(std::move(d));
+      continue;
+    }
+    return Status::InvalidArgument("unrecognized DTD line: '" +
+                                   std::string(line) + "'");
+  }
+  return declarations;
+}
+
+}  // namespace
+
+Result<Dtd> ParseDtd(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Declaration> declarations, Scan(text));
+
+  // Pass 1: collect element-type names in declaration order, then
+  // names referenced only inside content models.
+  std::vector<std::string> names;
+  std::set<std::string> seen;
+  std::string root_name;
+  auto add_name = [&](const std::string& name) {
+    if (seen.insert(name).second) names.push_back(name);
+  };
+  for (const Declaration& d : declarations) {
+    if (d.kind == Declaration::kElement) {
+      add_name(d.name);
+      if (root_name.empty()) root_name = d.name;
+    } else if (d.kind == Declaration::kRoot) {
+      root_name = d.name;
+    }
+  }
+  for (const Declaration& d : declarations) {
+    if (d.kind != Declaration::kElement) continue;
+    for (const std::string& token : NameTokens(d.body)) {
+      if (token == "EMPTY" || token == "PCDATA" || token == "ANY" ||
+          token == "epsilon" || token == "__pcdata__") {
+        continue;
+      }
+      add_name(token);
+    }
+  }
+  if (names.empty()) {
+    return Status::InvalidArgument("DTD declares no element types");
+  }
+  if (root_name.empty()) root_name = names[0];
+  add_name(root_name);
+
+  // Pass 2: build.
+  Dtd::Builder builder(names, root_name);
+  for (const Declaration& d : declarations) {
+    switch (d.kind) {
+      case Declaration::kElement: {
+        std::string body = d.body;
+        if (StripWhitespace(body) == "EMPTY" || StripWhitespace(body).empty()) {
+          builder.SetContent(d.name, Regex::Epsilon());
+        } else if (StripWhitespace(body) == "ANY") {
+          return Status::Unsupported("ANY content models are not supported");
+        } else {
+          builder.SetContent(d.name, body);
+        }
+        break;
+      }
+      case Declaration::kAttlist: {
+        for (const std::string& token : NameTokens(d.body)) {
+          if (token == "CDATA" || token == "ID" || token == "IDREF" ||
+              token == "REQUIRED" || token == "IMPLIED" || token == "FIXED") {
+            continue;
+          }
+          builder.AddAttribute(d.name, token);
+        }
+        break;
+      }
+      case Declaration::kRoot:
+        break;
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,30 @@
+// Parser for textual DTDs.
+//
+// Supported declarations, one per line (whitespace-insensitive):
+//   <!ELEMENT name (content)>      content in DTD syntax: ',' or '.'
+//                                  for sequence, '|' for choice, '*',
+//                                  '+', '?', '#PCDATA', EMPTY
+//   <!ATTLIST name attr1 attr2 …>  attributes of `name` (all CDATA
+//                                  #REQUIRED in the paper's model; any
+//                                  trailing CDATA/#REQUIRED tokens are
+//                                  accepted and ignored)
+//   root name                      designates the root element type
+//                                  (defaults to the first ELEMENT)
+// Element types referenced in content but never declared default to
+// empty content (epsilon), matching the paper's habit of omitting
+// trivial declarations.
+#ifndef XMLVERIFY_XML_DTD_PARSER_H_
+#define XMLVERIFY_XML_DTD_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+Result<Dtd> ParseDtd(const std::string& text);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_XML_DTD_PARSER_H_

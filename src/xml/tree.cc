@@ -1,0 +1,143 @@
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+XmlTree::XmlTree(int root_type) {
+  Node root;
+  root.type = root_type;
+  root.parent = -1;
+  nodes_.push_back(std::move(root));
+}
+
+NodeId XmlTree::AddElement(NodeId parent, int type) {
+  Node node;
+  node.type = type;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+NodeId XmlTree::AddText(NodeId parent, std::string text) {
+  Node node;
+  node.type = kTextNode;
+  node.parent = parent;
+  node.text = std::move(text);
+  nodes_.push_back(std::move(node));
+  NodeId id = static_cast<NodeId>(nodes_.size()) - 1;
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void XmlTree::SetAttribute(NodeId node, const std::string& name,
+                           std::string value) {
+  nodes_[node].attributes[name] = std::move(value);
+}
+
+bool XmlTree::HasAttribute(NodeId node, const std::string& name) const {
+  return nodes_[node].attributes.count(name) > 0;
+}
+
+Result<std::string> XmlTree::Attribute(NodeId node,
+                                       const std::string& name) const {
+  auto it = nodes_[node].attributes.find(name);
+  if (it == nodes_[node].attributes.end()) {
+    return Status::NotFound("node has no attribute '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<NodeId> XmlTree::ElementsOfType(int type) const {
+  std::vector<NodeId> result;
+  for (NodeId node = 0; node < num_nodes(); ++node) {
+    if (nodes_[node].type == type) result.push_back(node);
+  }
+  return result;
+}
+
+bool XmlTree::IsDescendant(NodeId ancestor, NodeId descendant) const {
+  NodeId node = nodes_[descendant].parent;
+  while (node >= 0) {
+    if (node == ancestor) return true;
+    node = nodes_[node].parent;
+  }
+  return false;
+}
+
+std::vector<int> XmlTree::PathFromRoot(NodeId node) const {
+  std::vector<int> path;
+  for (NodeId cur = node; cur >= 0; cur = nodes_[cur].parent) {
+    if (nodes_[cur].type != kTextNode) path.push_back(nodes_[cur].type);
+  }
+  return std::vector<int>(path.rbegin(), path.rend());
+}
+
+std::vector<NodeId> XmlTree::AllElements() const {
+  std::vector<NodeId> result;
+  std::vector<NodeId> stack = {root()};
+  while (!stack.empty()) {
+    NodeId node = stack.back();
+    stack.pop_back();
+    if (nodes_[node].type == kTextNode) continue;
+    result.push_back(node);
+    const std::vector<NodeId>& children = nodes_[node].children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Escapes the five predefined XML entities (the parser decodes them
+// back, so serialization round-trips).
+std::string EscapeXml(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void AppendNode(const XmlTree& tree, const Dtd& dtd, NodeId node, int indent,
+                std::string* out) {
+  std::string pad(indent * 2, ' ');
+  if (tree.IsText(node)) {
+    *out += pad + EscapeXml(tree.TextOf(node)) + "\n";
+    return;
+  }
+  const std::string& name = dtd.TypeName(tree.TypeOf(node));
+  *out += pad + "<" + name;
+  for (const auto& [attribute, value] : tree.AttributesOf(node)) {
+    *out += " " + attribute + "=\"" + EscapeXml(value) + "\"";
+  }
+  if (tree.ChildrenOf(node).empty()) {
+    *out += "/>\n";
+    return;
+  }
+  *out += ">\n";
+  for (NodeId child : tree.ChildrenOf(node)) {
+    AppendNode(tree, dtd, child, indent + 1, out);
+  }
+  *out += pad + "</" + name + ">\n";
+}
+
+}  // namespace
+
+std::string XmlTree::ToXml(const Dtd& dtd) const {
+  std::string out;
+  AppendNode(*this, dtd, root(), 0, &out);
+  return out;
+}
+
+}  // namespace xmlverify

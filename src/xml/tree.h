@@ -1,0 +1,88 @@
+// XML trees, following Definition 2.2 of the paper:
+// T = (V, lab, ele, att, val, root). Element nodes carry an element
+// type and an ordered child list; text nodes carry a string value;
+// attributes are stored inline on their element (equivalent to the
+// paper's attribute nodes, since attributes are unordered and
+// identified by name).
+#ifndef XMLVERIFY_XML_TREE_H_
+#define XMLVERIFY_XML_TREE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "xml/dtd.h"
+
+namespace xmlverify {
+
+/// Node handle. The root element is always node 0.
+using NodeId = int;
+
+class XmlTree {
+ public:
+  static constexpr int kTextNode = -1;
+
+  /// Creates a tree whose root element has type `root_type`.
+  explicit XmlTree(int root_type);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  NodeId root() const { return 0; }
+
+  bool IsText(NodeId node) const { return nodes_[node].type == kTextNode; }
+  /// Element type of an element node.
+  int TypeOf(NodeId node) const { return nodes_[node].type; }
+  /// Value of a text node.
+  const std::string& TextOf(NodeId node) const { return nodes_[node].text; }
+  NodeId ParentOf(NodeId node) const { return nodes_[node].parent; }
+  /// Ordered subelements and text children (the paper's ele).
+  const std::vector<NodeId>& ChildrenOf(NodeId node) const {
+    return nodes_[node].children;
+  }
+
+  /// Appends a new element child of type `type` under `parent`.
+  NodeId AddElement(NodeId parent, int type);
+  /// Appends a new text child with value `text` under `parent`.
+  NodeId AddText(NodeId parent, std::string text);
+
+  /// Sets attribute `name` of an element node (the paper's att/val).
+  void SetAttribute(NodeId node, const std::string& name, std::string value);
+  bool HasAttribute(NodeId node, const std::string& name) const;
+  /// Value of attribute `name`; error if absent.
+  Result<std::string> Attribute(NodeId node, const std::string& name) const;
+  const std::map<std::string, std::string>& AttributesOf(NodeId node) const {
+    return nodes_[node].attributes;
+  }
+
+  /// ext(tau): all element nodes of type `type`, in document order.
+  std::vector<NodeId> ElementsOfType(int type) const;
+
+  /// True if `descendant` is a proper descendant of `ancestor`
+  /// (the paper's x ≺ y).
+  bool IsDescendant(NodeId ancestor, NodeId descendant) const;
+
+  /// Element-type path from the root to `node` (the paper's
+  /// rho(root, node)), as symbol ids, including both endpoints.
+  std::vector<int> PathFromRoot(NodeId node) const;
+
+  /// Pre-order list of all element nodes.
+  std::vector<NodeId> AllElements() const;
+
+  /// Serializes as indented XML text using the DTD's type names.
+  std::string ToXml(const Dtd& dtd) const;
+
+ private:
+  struct Node {
+    int type;  // element type id, or kTextNode
+    NodeId parent;
+    std::vector<NodeId> children;
+    std::map<std::string, std::string> attributes;
+    std::string text;  // text nodes only
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_XML_TREE_H_

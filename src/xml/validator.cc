@@ -1,0 +1,56 @@
+#include "xml/validator.h"
+
+namespace xmlverify {
+
+Status CheckConforms(const XmlTree& tree, const Dtd& dtd) {
+  if (tree.TypeOf(tree.root()) != dtd.root()) {
+    return Status::InvalidArgument(
+        "root element has type '" + dtd.TypeName(tree.TypeOf(tree.root())) +
+        "', expected '" + dtd.TypeName(dtd.root()) + "'");
+  }
+  for (NodeId node : tree.AllElements()) {
+    int type = tree.TypeOf(node);
+    // Child label word must be in L(P(tau)).
+    const Dfa& dfa = dtd.ContentDfa(type);
+    int state = dfa.start();
+    for (NodeId child : tree.ChildrenOf(node)) {
+      int symbol = tree.IsText(child) ? dtd.pcdata_symbol()
+                                      : tree.TypeOf(child);
+      state = dfa.Next(state, symbol);
+    }
+    if (!dfa.IsAccepting(state)) {
+      std::string word;
+      for (NodeId child : tree.ChildrenOf(node)) {
+        if (!word.empty()) word += ".";
+        word += tree.IsText(child) ? "#PCDATA"
+                                   : dtd.TypeName(tree.TypeOf(child));
+      }
+      return Status::InvalidArgument(
+          "children of a '" + dtd.TypeName(type) + "' element (" + word +
+          ") do not match its content model");
+    }
+    // Attributes must be exactly R(tau).
+    for (const std::string& attribute : dtd.Attributes(type)) {
+      if (!tree.HasAttribute(node, attribute)) {
+        return Status::InvalidArgument("a '" + dtd.TypeName(type) +
+                                       "' element is missing attribute '" +
+                                       attribute + "'");
+      }
+    }
+    for (const auto& [attribute, value] : tree.AttributesOf(node)) {
+      (void)value;
+      if (!dtd.HasAttribute(type, attribute)) {
+        return Status::InvalidArgument(
+            "a '" + dtd.TypeName(type) + "' element carries attribute '" +
+            attribute + "' not declared in the DTD");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool Conforms(const XmlTree& tree, const Dtd& dtd) {
+  return CheckConforms(tree, dtd).ok();
+}
+
+}  // namespace xmlverify

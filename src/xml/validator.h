@@ -1,0 +1,25 @@
+// DTD conformance checking: T |= D (Definition 2.2).
+#ifndef XMLVERIFY_XML_VALIDATOR_H_
+#define XMLVERIFY_XML_VALIDATOR_H_
+
+#include "base/status.h"
+#include "xml/dtd.h"
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+/// Verifies that `tree` conforms to `dtd`:
+///   * the root has the root element type;
+///   * each element's ordered child labels match P(tau) (content
+///     models are compiled to DFAs);
+///   * each element carries exactly the attributes R(tau);
+///   * text nodes appear only where the content model admits S.
+/// Returns OK or the first violation found.
+Status CheckConforms(const XmlTree& tree, const Dtd& dtd);
+
+/// Convenience wrapper: true iff CheckConforms returns OK.
+bool Conforms(const XmlTree& tree, const Dtd& dtd);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_XML_VALIDATOR_H_

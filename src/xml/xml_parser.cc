@@ -1,0 +1,220 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "base/string_util.h"
+
+namespace xmlverify {
+
+namespace {
+
+class XmlParser {
+ public:
+  XmlParser(const std::string& text, const Dtd& dtd)
+      : text_(text), dtd_(dtd) {}
+
+  Result<XmlTree> Parse() {
+    SkipMisc();
+    ASSIGN_OR_RETURN(std::string root_name, ExpectOpenTag());
+    ASSIGN_OR_RETURN(int root_type, dtd_.TypeId(root_name));
+    if (root_type != dtd_.root()) {
+      return Status::InvalidArgument("document root '" + root_name +
+                                     "' is not the DTD root '" +
+                                     dtd_.TypeName(dtd_.root()) + "'");
+    }
+    XmlTree tree(root_type);
+    RETURN_IF_ERROR(ParseAttributesAndBody(&tree, tree.root(), root_name));
+    SkipMisc();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing content after root element");
+    }
+    return tree;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, comments, and the XML declaration.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (StartsWith(Rest(), "<?")) {
+        size_t end = text_.find("?>", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 2;
+        continue;
+      }
+      if (StartsWith(Rest(), "<!--")) {
+        size_t end = text_.find("-->", pos_);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view Rest() const {
+    return std::string_view(text_).substr(pos_);
+  }
+
+  Result<std::string> ReadName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected a name at offset " +
+                                     std::to_string(pos_));
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  // Consumes "<name" and returns the name.
+  Result<std::string> ExpectOpenTag() {
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Status::InvalidArgument("expected '<' at offset " +
+                                     std::to_string(pos_));
+    }
+    ++pos_;
+    return ReadName();
+  }
+
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      std::string_view rest = raw.substr(i);
+      struct Entity { std::string_view name; char value; };
+      static constexpr Entity kEntities[] = {
+          {"&lt;", '<'}, {"&gt;", '>'}, {"&amp;", '&'},
+          {"&quot;", '"'}, {"&apos;", '\''}};
+      bool matched = false;
+      for (const Entity& entity : kEntities) {
+        if (StartsWith(rest, entity.name)) {
+          out += entity.value;
+          i += entity.name.size() - 1;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) out += raw[i];
+    }
+    return out;
+  }
+
+  // After "<name": parses attributes, then either "/>" or
+  // ">children</name>".
+  Status ParseAttributesAndBody(XmlTree* tree, NodeId node,
+                                const std::string& name) {
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("unterminated tag <" + name + ">");
+      }
+      if (StartsWith(Rest(), "/>")) {
+        pos_ += 2;
+        return Status::OK();
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        return ParseChildren(tree, node, name);
+      }
+      ASSIGN_OR_RETURN(std::string attribute, ReadName());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return Status::InvalidArgument("expected '=' after attribute '" +
+                                       attribute + "'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= text_.size() ||
+          (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Status::InvalidArgument("expected quoted value for '" +
+                                       attribute + "'");
+      }
+      char quote = text_[pos_++];
+      size_t end = text_.find(quote, pos_);
+      if (end == std::string::npos) {
+        return Status::InvalidArgument("unterminated attribute value for '" +
+                                       attribute + "'");
+      }
+      tree->SetAttribute(
+          node, attribute,
+          DecodeEntities(std::string_view(text_).substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+  }
+
+  Status ParseChildren(XmlTree* tree, NodeId node, const std::string& name) {
+    std::string pending_text;
+    auto flush_text = [&]() {
+      std::string_view stripped = StripWhitespace(pending_text);
+      if (!stripped.empty()) {
+        tree->AddText(node, DecodeEntities(stripped));
+      }
+      pending_text.clear();
+    };
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("missing </" + name + ">");
+      }
+      if (StartsWith(Rest(), "</")) {
+        flush_text();
+        pos_ += 2;
+        ASSIGN_OR_RETURN(std::string close_name, ReadName());
+        if (close_name != name) {
+          return Status::InvalidArgument("mismatched close tag </" +
+                                         close_name + "> for <" + name + ">");
+        }
+        SkipWhitespace();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Status::InvalidArgument("malformed close tag </" +
+                                         close_name + ">");
+        }
+        ++pos_;
+        return Status::OK();
+      }
+      if (StartsWith(Rest(), "<!--")) {
+        size_t end = text_.find("-->", pos_);
+        if (end == std::string::npos) {
+          return Status::InvalidArgument("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (text_[pos_] == '<') {
+        flush_text();
+        ASSIGN_OR_RETURN(std::string child_name, ExpectOpenTag());
+        ASSIGN_OR_RETURN(int child_type, dtd_.TypeId(child_name));
+        NodeId child = tree->AddElement(node, child_type);
+        RETURN_IF_ERROR(ParseAttributesAndBody(tree, child, child_name));
+        continue;
+      }
+      pending_text += text_[pos_++];
+    }
+  }
+
+  const std::string& text_;
+  const Dtd& dtd_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XmlTree> ParseXmlDocument(const std::string& text, const Dtd& dtd) {
+  XmlParser parser(text, dtd);
+  return parser.Parse();
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,23 @@
+// Minimal XML document parser, sufficient for documents in the
+// paper's model: elements with attributes and text content. No
+// namespaces, processing instructions, CDATA sections, or entity
+// references other than the five predefined ones.
+#ifndef XMLVERIFY_XML_XML_PARSER_H_
+#define XMLVERIFY_XML_XML_PARSER_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "xml/dtd.h"
+#include "xml/tree.h"
+
+namespace xmlverify {
+
+/// Parses `text` into an XmlTree whose element names are resolved
+/// against `dtd`. The document's root element must be the DTD's root
+/// type. Whitespace-only text between elements is dropped.
+Result<XmlTree> ParseXmlDocument(const std::string& text, const Dtd& dtd);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_XML_XML_PARSER_H_

@@ -1,0 +1,165 @@
+#include "base/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).ToString(), "0");
+  EXPECT_EQ(BigInt(42).ToString(), "42");
+  EXPECT_EQ(BigInt(-7).ToString(), "-7");
+  EXPECT_EQ(BigInt(INT64_MAX).ToString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).ToString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char* text :
+       {"0", "1", "-1", "123456789012345678901234567890",
+        "-999999999999999999999999"}) {
+    ASSERT_OK_AND_ASSIGN(BigInt value, BigInt::FromString(text));
+    EXPECT_EQ(value.ToString(), text);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("12a").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, NegativeZeroNormalizes) {
+  ASSERT_OK_AND_ASSIGN(BigInt value, BigInt::FromString("-0"));
+  EXPECT_EQ(value, BigInt(0));
+  EXPECT_FALSE(value.is_negative());
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::Pow2(64) - BigInt(1);
+  EXPECT_EQ((a + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, SignedArithmetic) {
+  EXPECT_EQ(BigInt(5) + BigInt(-8), BigInt(-3));
+  EXPECT_EQ(BigInt(-5) + BigInt(-8), BigInt(-13));
+  EXPECT_EQ(BigInt(5) - BigInt(8), BigInt(-3));
+  EXPECT_EQ(BigInt(-5) * BigInt(8), BigInt(-40));
+  EXPECT_EQ(BigInt(-5) * BigInt(-8), BigInt(40));
+  EXPECT_EQ(BigInt(0) * BigInt(-8), BigInt(0));
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  ASSERT_OK_AND_ASSIGN(BigInt a,
+                       BigInt::FromString("123456789123456789123456789"));
+  ASSERT_OK_AND_ASSIGN(BigInt b, BigInt::FromString("987654321987654321"));
+  EXPECT_EQ((a * b).ToString(),
+            "121932631356500531469135800347203169112635269");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) / BigInt(-2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+}
+
+TEST(BigIntTest, FloorAndCeilDivision) {
+  EXPECT_EQ(BigInt(7).FloorDiv(BigInt(2)), BigInt(3));
+  EXPECT_EQ(BigInt(-7).FloorDiv(BigInt(2)), BigInt(-4));
+  EXPECT_EQ(BigInt(7).CeilDiv(BigInt(2)), BigInt(4));
+  EXPECT_EQ(BigInt(-7).CeilDiv(BigInt(2)), BigInt(-3));
+  EXPECT_EQ(BigInt(6).FloorDiv(BigInt(2)), BigInt(3));
+  EXPECT_EQ(BigInt(6).CeilDiv(BigInt(2)), BigInt(3));
+}
+
+TEST(BigIntTest, DivModLargeRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(BigInt a,
+                       BigInt::FromString("340282366920938463463374607431768211455"));
+  ASSERT_OK_AND_ASSIGN(BigInt b, BigInt::FromString("18446744073709551629"));
+  BigInt quotient;
+  BigInt remainder;
+  a.DivMod(b, &quotient, &remainder);
+  EXPECT_EQ(quotient * b + remainder, a);
+  EXPECT_TRUE(remainder < b);
+}
+
+TEST(BigIntTest, GcdMatchesEuclid) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::Gcd(BigInt(7), BigInt(13)), BigInt(1));
+}
+
+TEST(BigIntTest, CompareTotalOrder) {
+  EXPECT_LT(BigInt(-2), BigInt(-1));
+  EXPECT_LT(BigInt(-1), BigInt(0));
+  EXPECT_LT(BigInt(0), BigInt(1));
+  EXPECT_LT(BigInt(1), BigInt::Pow2(100));
+  EXPECT_LT(-BigInt::Pow2(100), BigInt(-1));
+}
+
+TEST(BigIntTest, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt(INT64_MAX).FitsInt64());
+  EXPECT_TRUE(BigInt(INT64_MIN).FitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).FitsInt64());
+  EXPECT_TRUE((BigInt(INT64_MIN) + BigInt(1)).FitsInt64());
+  EXPECT_EQ(BigInt(INT64_MIN).ToInt64(), INT64_MIN);
+  EXPECT_EQ(BigInt(INT64_MAX).ToInt64(), INT64_MAX);
+}
+
+TEST(BigIntTest, PowAndPow2) {
+  EXPECT_EQ(BigInt::Pow2(0), BigInt(1));
+  EXPECT_EQ(BigInt::Pow2(10), BigInt(1024));
+  EXPECT_EQ(BigInt::Pow(BigInt(3), 5), BigInt(243));
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 20).ToString(),
+            "100000000000000000000");
+  EXPECT_EQ(BigInt::Pow(BigInt(7), 0), BigInt(1));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::Pow2(100).BitLength(), 101u);
+}
+
+// Property sweep: (a*b)/b == a and (a+b)-b == a over a grid of values
+// crossing limb boundaries.
+class BigIntPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntPropertyTest, RingAxiomsAcrossLimbBoundaries) {
+  const int shift = GetParam();
+  BigInt base = BigInt::Pow2(shift);
+  for (int64_t da = -2; da <= 2; ++da) {
+    for (int64_t db = -2; db <= 2; ++db) {
+      BigInt a = base + BigInt(da);
+      BigInt b = base + BigInt(db);
+      EXPECT_EQ((a + b) - b, a);
+      EXPECT_EQ((a - b) + b, a);
+      if (!b.is_zero()) {
+        EXPECT_EQ((a * b) / b, a);
+        BigInt quotient;
+        BigInt remainder;
+        a.DivMod(b, &quotient, &remainder);
+        EXPECT_EQ(quotient * b + remainder, a.Abs());
+      }
+      EXPECT_EQ(a * b, b * a);
+      EXPECT_EQ(a * (b + b), a * b + a * b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LimbBoundaries, BigIntPropertyTest,
+                         ::testing::Values(1, 16, 31, 32, 33, 63, 64, 65, 96,
+                                           128));
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,86 @@
+#include "base/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlverify {
+namespace {
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational r(BigInt(6), BigInt(8));
+  EXPECT_EQ(r.numerator(), BigInt(3));
+  EXPECT_EQ(r.denominator(), BigInt(4));
+
+  Rational negative_den(BigInt(1), BigInt(-2));
+  EXPECT_EQ(negative_den.numerator(), BigInt(-1));
+  EXPECT_EQ(negative_den.denominator(), BigInt(2));
+
+  Rational zero(BigInt(0), BigInt(-5));
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.denominator(), BigInt(1));
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ(half + third, Rational(BigInt(5), BigInt(6)));
+  EXPECT_EQ(half - third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half * third, Rational(BigInt(1), BigInt(6)));
+  EXPECT_EQ(half / third, Rational(BigInt(3), BigInt(2)));
+  EXPECT_EQ(-half, Rational(BigInt(-1), BigInt(2)));
+}
+
+TEST(RationalTest, Comparisons) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_LT(third, half);
+  EXPECT_GT(half, third);
+  EXPECT_LE(half, half);
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), half);
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational(BigInt(1), BigInt(3)));
+}
+
+TEST(RationalTest, FloorAndCeil) {
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Floor(), BigInt(3));
+  EXPECT_EQ(Rational(BigInt(7), BigInt(2)).Ceil(), BigInt(4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Floor(), BigInt(-4));
+  EXPECT_EQ(Rational(BigInt(-7), BigInt(2)).Ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(6).Floor(), BigInt(6));
+  EXPECT_EQ(Rational(6).Ceil(), BigInt(6));
+}
+
+TEST(RationalTest, IsInteger) {
+  EXPECT_TRUE(Rational(BigInt(4), BigInt(2)).is_integer());
+  EXPECT_FALSE(Rational(BigInt(5), BigInt(2)).is_integer());
+  EXPECT_TRUE(Rational(0).is_integer());
+}
+
+TEST(RationalTest, ToStringFormats) {
+  EXPECT_EQ(Rational(BigInt(3), BigInt(4)).ToString(), "3/4");
+  EXPECT_EQ(Rational(5).ToString(), "5");
+  EXPECT_EQ(Rational(BigInt(-3), BigInt(6)).ToString(), "-1/2");
+}
+
+// Field axioms over a small grid.
+TEST(RationalTest, FieldAxiomsGrid) {
+  std::vector<Rational> values;
+  for (int num = -3; num <= 3; ++num) {
+    for (int den = 1; den <= 3; ++den) {
+      values.push_back(Rational(BigInt(num), BigInt(den)));
+    }
+  }
+  for (const Rational& a : values) {
+    for (const Rational& b : values) {
+      EXPECT_EQ(a + b, b + a);
+      EXPECT_EQ(a * b, b * a);
+      EXPECT_EQ((a + b) - b, a);
+      if (!b.is_zero()) {
+        EXPECT_EQ((a / b) * b, a);
+      }
+      EXPECT_EQ(a * (b + b), a * b + a * b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,83 @@
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include "base/string_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+Result<int> ParsePositive(int value) {
+  if (value <= 0) return Status::InvalidArgument("not positive");
+  return value;
+}
+
+Result<int> DoublePositive(int value) {
+  ASSIGN_OR_RETURN(int parsed, ParsePositive(value));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> result = DoublePositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, ErrorPropagates) {
+  Result<int> result = DoublePositive(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n "), "");
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  std::vector<std::string> pieces = SplitAndTrim(" a, b ,, c ", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, IsValidName) {
+  EXPECT_TRUE(IsValidName("country"));
+  EXPECT_TRUE(IsValidName("_private"));
+  EXPECT_TRUE(IsValidName("a.b-c"));
+  EXPECT_FALSE(IsValidName(""));
+  EXPECT_FALSE(IsValidName("1abc"));
+  EXPECT_FALSE(IsValidName("a b"));
+  EXPECT_FALSE(IsValidName(".dot"));
+}
+
+}  // namespace
+}  // namespace xmlverify

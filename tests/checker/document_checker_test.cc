@@ -1,0 +1,159 @@
+// Dynamic constraint checking against hand-built documents.
+#include "checker/document_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/specification.h"
+#include "tests/test_util.h"
+#include "xml/xml_parser.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+constexpr char kOrdersDtd[] = R"(
+<!ELEMENT shop (customer+, order*)>
+<!ELEMENT customer EMPTY>
+<!ELEMENT order (line+)>
+<!ELEMENT line EMPTY>
+<!ATTLIST customer cid>
+<!ATTLIST order oid buyer>
+<!ATTLIST line sku>
+)";
+
+XmlTree Doc(const Dtd& dtd, const std::string& text) {
+  return ParseXmlDocument(text, dtd).ValueOrDie();
+}
+
+TEST(DocumentCheckerTest, AbsoluteKeyViolation) {
+  Specification spec = Parse(kOrdersDtd, "customer.cid -> customer\n");
+  XmlTree good = Doc(spec.dtd, R"(
+<shop><customer cid="1"/><customer cid="2"/></shop>)");
+  EXPECT_OK(CheckDocument(good, spec.dtd, spec.constraints));
+  XmlTree bad = Doc(spec.dtd, R"(
+<shop><customer cid="1"/><customer cid="1"/></shop>)");
+  EXPECT_FALSE(CheckDocument(bad, spec.dtd, spec.constraints).ok());
+}
+
+TEST(DocumentCheckerTest, MultiAttributeKey) {
+  Specification spec = Parse(kOrdersDtd, "order[oid,buyer] -> order\n");
+  XmlTree good = Doc(spec.dtd, R"(
+<shop><customer cid="1"/>
+  <order oid="1" buyer="a"><line sku="s"/></order>
+  <order oid="1" buyer="b"><line sku="s"/></order>
+</shop>)");
+  EXPECT_OK(CheckDocument(good, spec.dtd, spec.constraints));
+  XmlTree bad = Doc(spec.dtd, R"(
+<shop><customer cid="1"/>
+  <order oid="1" buyer="a"><line sku="s"/></order>
+  <order oid="1" buyer="a"><line sku="t"/></order>
+</shop>)");
+  EXPECT_FALSE(CheckDocument(bad, spec.dtd, spec.constraints).ok());
+}
+
+TEST(DocumentCheckerTest, InclusionViolation) {
+  Specification spec = Parse(kOrdersDtd, "order.buyer <= customer.cid\n");
+  XmlTree good = Doc(spec.dtd, R"(
+<shop><customer cid="1"/>
+  <order oid="o1" buyer="1"><line sku="s"/></order>
+</shop>)");
+  EXPECT_OK(CheckDocument(good, spec.dtd, spec.constraints));
+  XmlTree dangling = Doc(spec.dtd, R"(
+<shop><customer cid="1"/>
+  <order oid="o1" buyer="2"><line sku="s"/></order>
+</shop>)");
+  EXPECT_FALSE(CheckDocument(dangling, spec.dtd, spec.constraints).ok());
+}
+
+TEST(DocumentCheckerTest, RelativeKeyScopesPerContext) {
+  // sku must be unique per order, but may repeat across orders.
+  Specification spec = Parse(kOrdersDtd, "order(line.sku -> line)\n");
+  XmlTree good = Doc(spec.dtd, R"(
+<shop><customer cid="1"/>
+  <order oid="o1" buyer="1"><line sku="a"/><line sku="b"/></order>
+  <order oid="o2" buyer="1"><line sku="a"/></order>
+</shop>)");
+  EXPECT_OK(CheckDocument(good, spec.dtd, spec.constraints));
+  XmlTree bad = Doc(spec.dtd, R"(
+<shop><customer cid="1"/>
+  <order oid="o1" buyer="1"><line sku="a"/><line sku="a"/></order>
+</shop>)");
+  EXPECT_FALSE(CheckDocument(bad, spec.dtd, spec.constraints).ok());
+}
+
+TEST(DocumentCheckerTest, RelativeInclusionScopesPerContext) {
+  Specification spec = Parse(R"(
+<!ELEMENT db (region+)>
+<!ELEMENT region (city+, ref+)>
+<!ELEMENT city EMPTY>
+<!ELEMENT ref EMPTY>
+<!ATTLIST city name>
+<!ATTLIST ref to>
+)",
+                             "region(ref.to <= city.name)\n");
+  // The ref in region 2 names a city of region 1: violates the
+  // RELATIVE inclusion even though globally the value exists.
+  XmlTree cross = Doc(spec.dtd, R"(
+<db>
+  <region><city name="a"/><ref to="a"/></region>
+  <region><city name="b"/><ref to="a"/></region>
+</db>)");
+  EXPECT_FALSE(CheckDocument(cross, spec.dtd, spec.constraints).ok());
+  // As an ABSOLUTE inclusion it would be fine.
+  Specification absolute = Parse(R"(
+<!ELEMENT db (region+)>
+<!ELEMENT region (city+, ref+)>
+<!ELEMENT city EMPTY>
+<!ELEMENT ref EMPTY>
+<!ATTLIST city name>
+<!ATTLIST ref to>
+)",
+                                 "ref.to <= city.name\n");
+  EXPECT_OK(CheckDocument(cross, absolute.dtd, absolute.constraints));
+}
+
+TEST(DocumentCheckerTest, RegularPathConstraints) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (left, right)>
+<!ELEMENT left (item+)>
+<!ELEMENT right (item+)>
+<!ELEMENT item EMPTY>
+<!ATTLIST item id>
+)",
+                             "r.left.item.id -> r.left.item\n");
+  // Duplicates on the right are fine; on the left they violate.
+  XmlTree right_dup = Doc(spec.dtd, R"(
+<r><left><item id="1"/><item id="2"/></left>
+   <right><item id="x"/><item id="x"/></right></r>)");
+  EXPECT_OK(CheckDocument(right_dup, spec.dtd, spec.constraints));
+  XmlTree left_dup = Doc(spec.dtd, R"(
+<r><left><item id="1"/><item id="1"/></left>
+   <right><item id="x"/></right></r>)");
+  EXPECT_FALSE(CheckDocument(left_dup, spec.dtd, spec.constraints).ok());
+}
+
+TEST(DocumentCheckerTest, NodesOnPathMatchesWildcards) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (a)>
+<!ELEMENT a (b)>
+<!ELEMENT b EMPTY>
+<!ATTLIST b v>
+)",
+                             "");
+  XmlTree doc = Doc(spec.dtd, "<r><a><b v='1'/></a></r>");
+  auto resolve = [&spec](const std::string& name) {
+    return spec.dtd.FindType(name);
+  };
+  Regex deep = ParseRegex("r._*.b", resolve).ValueOrDie();
+  EXPECT_EQ(NodesOnPath(doc, spec.dtd, deep).size(), 1u);
+  Regex exact = ParseRegex("r.a.b", resolve).ValueOrDie();
+  EXPECT_EQ(NodesOnPath(doc, spec.dtd, exact).size(), 1u);
+  Regex wrong = ParseRegex("r.b", resolve).ValueOrDie();
+  EXPECT_TRUE(NodesOnPath(doc, spec.dtd, wrong).empty());
+}
+
+}  // namespace
+}  // namespace xmlverify

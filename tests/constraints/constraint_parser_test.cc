@@ -1,0 +1,150 @@
+// Constraint syntax parsing and classification.
+#include "constraints/constraint_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/dtd_parser.h"
+
+namespace xmlverify {
+namespace {
+
+Dtd TestDtd() {
+  return ParseDtd(R"(
+<!ELEMENT r (country+, registry)>
+<!ELEMENT country (province+)>
+<!ELEMENT province EMPTY>
+<!ELEMENT registry (entry*)>
+<!ELEMENT entry EMPTY>
+<!ATTLIST country name code>
+<!ATTLIST province name>
+<!ATTLIST entry name>
+)")
+      .ValueOrDie();
+}
+
+TEST(ConstraintParserTest, AbsoluteUnaryKey) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(ConstraintSet set,
+                       ParseConstraints("country.name -> country", dtd));
+  ASSERT_EQ(set.absolute_keys().size(), 1u);
+  EXPECT_TRUE(set.absolute_keys()[0].IsUnary());
+  EXPECT_EQ(set.absolute_keys()[0].attributes[0], "name");
+}
+
+TEST(ConstraintParserTest, AbsoluteMultiAttributeKey) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet set,
+      ParseConstraints("country[name,code] -> country", dtd));
+  ASSERT_EQ(set.absolute_keys().size(), 1u);
+  EXPECT_EQ(set.absolute_keys()[0].attributes.size(), 2u);
+}
+
+TEST(ConstraintParserTest, InclusionAndForeignKey) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet bare,
+      ParseConstraints("province.name <= entry.name", dtd));
+  EXPECT_EQ(bare.absolute_inclusions().size(), 1u);
+  EXPECT_TRUE(bare.absolute_keys().empty());
+
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet fk,
+      ParseConstraints("fk province.name <= entry.name", dtd));
+  EXPECT_EQ(fk.absolute_inclusions().size(), 1u);
+  ASSERT_EQ(fk.absolute_keys().size(), 1u);  // key on the parent side
+  EXPECT_EQ(fk.absolute_keys()[0].attributes[0], "name");
+}
+
+TEST(ConstraintParserTest, RelativeForms) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet set,
+      ParseConstraints(R"(
+country(province.name -> province)
+fk country(province.name <= province.name)
+)",
+                       dtd));
+  // The fk's implied key duplicates the explicit one and is deduped.
+  EXPECT_EQ(set.relative_keys().size(), 1u);
+  EXPECT_EQ(set.relative_inclusions().size(), 1u);
+}
+
+TEST(ConstraintParserTest, RegularForms) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet set,
+      ParseConstraints(R"(
+r._*.province.name -> r._*.province
+r._*.province.name <= r.registry.entry.name
+)",
+                       dtd));
+  EXPECT_EQ(set.regular_keys().size(), 1u);
+  EXPECT_EQ(set.regular_inclusions().size(), 1u);
+}
+
+TEST(ConstraintParserTest, RegularKeySideMismatchRejected) {
+  Dtd dtd = TestDtd();
+  EXPECT_FALSE(
+      ParseConstraints("r._*.province.name -> r.country.province", dtd)
+          .ok());
+  // Equivalent-but-differently-written sides are accepted (language
+  // equivalence, not textual equality).
+  EXPECT_OK(ParseConstraints(
+                "r.country.province.name -> r.(country).province", dtd)
+                .status());
+}
+
+TEST(ConstraintParserTest, CommentsAndBlankLines) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(ConstraintSet set, ParseConstraints(R"(
+# a comment
+country.name -> country   # trailing comment
+
+)",
+                                                           dtd));
+  EXPECT_EQ(set.size(), 1);
+}
+
+TEST(ConstraintParserTest, Errors) {
+  Dtd dtd = TestDtd();
+  EXPECT_FALSE(ParseConstraints("country.name", dtd).ok());
+  EXPECT_FALSE(ParseConstraints("unknown.name -> unknown", dtd).ok());
+  EXPECT_FALSE(ParseConstraints("country.bogus -> country", dtd).ok());
+  EXPECT_FALSE(ParseConstraints("country.name -> province", dtd).ok());
+  EXPECT_FALSE(
+      ParseConstraints("country[name] <= province[name,name2]", dtd).ok());
+  EXPECT_FALSE(ParseConstraints("fk country.name -> country", dtd).ok());
+  // Line numbers in errors.
+  Result<ConstraintSet> bad =
+      ParseConstraints("country.name -> country\nbroken line\n", dtd);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ConstraintSetTest, ValidateCatchesArityAndDuplicates) {
+  Dtd dtd = TestDtd();
+  ConstraintSet set;
+  ASSERT_OK_AND_ASSIGN(int country, dtd.TypeId("country"));
+  set.Add(AbsoluteKey{country, {"name", "name"}});
+  EXPECT_FALSE(set.Validate(dtd).ok());
+}
+
+TEST(ConstraintSetTest, ToStringRendersAllForms) {
+  Dtd dtd = TestDtd();
+  ASSERT_OK_AND_ASSIGN(ConstraintSet set, ParseConstraints(R"(
+country[name,code] -> country
+province.name <= entry.name
+country(province.name -> province)
+)",
+                                                           dtd));
+  std::string text = set.ToString(dtd);
+  EXPECT_NE(text.find("country[name,code] -> country"), std::string::npos);
+  EXPECT_NE(text.find("province.name <= entry.name"), std::string::npos);
+  EXPECT_NE(text.find("country(province.name -> province)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlverify

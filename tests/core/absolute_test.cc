@@ -1,0 +1,270 @@
+// SAT(AC) checker tests: unary keys/foreign keys, multi-attribute
+// primary keys, witnesses, and forced-empty handling.
+#include "core/sat_absolute.h"
+
+#include <gtest/gtest.h>
+
+#include "checker/document_checker.h"
+#include "core/specification.h"
+#include "tests/test_util.h"
+#include "xml/validator.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+TEST(AbsoluteTest, KeysOnlyAlwaysConsistentWhenDtdIs) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (a+)>
+<!ATTLIST a id>
+)",
+                             "a.id -> a\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  ASSERT_TRUE(verdict.witness.has_value());
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(AbsoluteTest, ForeignKeyIntoSingletonForcesSmallExtent) {
+  // Exactly one b; every a refers to b's id; a-ids are keys, so at
+  // most one a — but the DTD wants two.
+  Specification spec = Parse(R"(
+<!ELEMENT r (a, a, b)>
+<!ATTLIST a ref>
+<!ATTLIST b id>
+)",
+                             R"(
+a.ref -> a
+fk a.ref <= b.id
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(AbsoluteTest, ForeignKeyWithoutKeyOnChildIsFine) {
+  // Same shape but a.ref is not a key: both a's can share b's value.
+  Specification spec = Parse(R"(
+<!ELEMENT r (a, a, b)>
+<!ATTLIST a ref>
+<!ATTLIST b id>
+)",
+                             "fk a.ref <= b.id\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(AbsoluteTest, CyclicForeignKeysForceEqualCardinalities) {
+  // |ext(a)| = |ext(b)| via two foreign keys; the DTD pins
+  // |ext(a)| = 2 and allows b*.
+  Specification spec = Parse(R"(
+<!ELEMENT r (a, a, b*)>
+<!ATTLIST a id>
+<!ATTLIST b id>
+)",
+                             R"(
+fk a.id <= b.id
+fk b.id <= a.id
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  ASSERT_OK_AND_ASSIGN(int b, spec.dtd.TypeId("b"));
+  EXPECT_EQ(verdict.witness->ElementsOfType(b).size(), 2u);
+}
+
+TEST(AbsoluteTest, MultiAttributePrimaryKeyUsesProductSpace) {
+  // 4 elements, key over (x, y): the foreign keys cap |ext(p.x)| and
+  // |ext(p.y)| at 2 each (q.v is a key over two q elements), so the
+  // witness must produce 4 distinct pairs from a 2x2 product space.
+  Specification spec = Parse(R"(
+<!ELEMENT r (p, p, p, p, q, q)>
+<!ATTLIST p x y>
+<!ATTLIST q v>
+)",
+                             R"(
+p[x,y] -> p
+fk p.x <= q.v
+fk p.y <= q.v
+)");
+  EXPECT_EQ(spec.Classify(), ConstraintClass::kAcMultiPrimary);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(AbsoluteTest, MultiAttributeKeyTooTightIsInconsistent) {
+  // Five p's but the product space |ext(p.x)| * |ext(p.y)| is capped
+  // at 2 * 2 = 4 by the foreign keys into the two q values.
+  Specification spec = Parse(R"(
+<!ELEMENT r (p, p, p, p, p, q, q)>
+<!ATTLIST p x y>
+<!ATTLIST q v>
+)",
+                             R"(
+p[x,y] -> p
+fk p.x <= q.v
+fk p.y <= q.v
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent)
+      << verdict.note;
+}
+
+TEST(AbsoluteTest, DisjointKeysSupported) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (p+)>
+<!ATTLIST p a b c d>
+)",
+                             R"(
+p[a,b] -> p
+p[c,d] -> p
+)");
+  EXPECT_TRUE(spec.constraints.AbsoluteKeysDisjoint());
+  EXPECT_FALSE(spec.constraints.AbsoluteKeysPrimary());
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(AbsoluteTest, OverlappingKeysRejectedAsUndecidable) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (p+)>
+<!ATTLIST p a b c>
+)",
+                             R"(
+p[a,b] -> p
+p[b,c] -> p
+)");
+  Result<ConsistencyVerdict> verdict =
+      CheckAbsoluteConsistency(spec.dtd, spec.constraints);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(AbsoluteTest, MultiAttributeInclusionRejected) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (p, q)>
+<!ATTLIST p a b>
+<!ATTLIST q c d>
+)",
+                             "p[a,b] <= q[c,d]\n");
+  Result<ConsistencyVerdict> verdict =
+      CheckAbsoluteConsistency(spec.dtd, spec.constraints);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(AbsoluteTest, ForcedEmptyTypes) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (a|b)>
+<!ATTLIST a id>
+<!ATTLIST b id>
+)",
+                             "");
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  AbsoluteCheckOptions options;
+  options.forced_empty_types = {a};
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckAbsoluteConsistency(spec.dtd, spec.constraints, options));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_TRUE(verdict.witness->ElementsOfType(a).empty());
+
+  // Forcing both alternatives empty is impossible.
+  ASSERT_OK_AND_ASSIGN(int b, spec.dtd.TypeId("b"));
+  options.forced_empty_types = {a, b};
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict2,
+      CheckAbsoluteConsistency(spec.dtd, spec.constraints, options));
+  EXPECT_EQ(verdict2.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(AbsoluteTest, UnproductiveDtdIsInconsistent) {
+  // <!ELEMENT a (a)> admits no finite tree; the connectivity-aware
+  // flow encoding must refute it even without constraints.
+  Specification spec = Parse(R"(
+<!ELEMENT r (a)>
+<!ELEMENT a (a)>
+)",
+                             "");
+  EXPECT_FALSE(spec.dtd.IsSatisfiable());
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(AbsoluteTest, RecursiveDtdWithConstraints) {
+  // Recursive DTD: each node optionally has a child; keys still work
+  // and the connectivity constraints exclude orphan cycles.
+  Specification spec = Parse(R"(
+<!ELEMENT r (node)>
+<!ELEMENT node (node|leaf)>
+<!ELEMENT leaf EMPTY>
+<!ATTLIST node id>
+<!ATTLIST leaf id>
+)",
+                             R"(
+node.id -> node
+fk leaf.id <= node.id
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(AbsoluteTest, RecursiveDtdCardinalityClash) {
+  // Every chain node needs a distinct id referencing the single
+  // anchor's id: at most one value available, but ids are keys and
+  // the DTD forces at least two nodes.
+  Specification spec = Parse(R"(
+<!ELEMENT r (node, anchor)>
+<!ELEMENT node (node|%)>
+<!ELEMENT anchor EMPTY>
+<!ATTLIST node id>
+<!ATTLIST anchor id>
+)",
+                             R"(
+node.id -> node
+anchor.id -> anchor
+fk node.id <= anchor.id
+)");
+  // One node is fine (one id value); the spec as written is
+  // consistent. Force >= 2 nodes by nesting.
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+
+  Specification deeper = Parse(R"(
+<!ELEMENT r (node, anchor)>
+<!ELEMENT node (inner)>
+<!ELEMENT inner (node|%)>
+<!ELEMENT anchor EMPTY>
+<!ATTLIST node id>
+<!ATTLIST inner id>
+<!ATTLIST anchor id>
+)",
+                               R"(
+inner.id -> inner
+anchor.id -> anchor
+fk inner.id <= anchor.id
+fk node.id <= inner.id
+)");
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict2,
+      CheckAbsoluteConsistency(deeper.dtd, deeper.constraints));
+  EXPECT_EQ(verdict2.outcome, ConsistencyOutcome::kConsistent);
+}
+
+}  // namespace
+}  // namespace xmlverify

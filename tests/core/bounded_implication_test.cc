@@ -1,0 +1,66 @@
+// Bounded refutation search for implication outside the decidable
+// fragments (relative premises, Corollary 4.5).
+#include <gtest/gtest.h>
+
+#include "checker/document_checker.h"
+#include "core/implication.h"
+#include "core/specification.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(BoundedImplicationTest, RefutesWithRelativePremises) {
+  // Sigma: per-order line keys. phi: a GLOBAL line key — refuted by a
+  // document with the same sku in two different orders.
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT shop (order, order)>
+<!ELEMENT order (line+)>
+<!ATTLIST line sku>
+)",
+                           "order(line.sku -> line)\n")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(int line, spec.dtd.TypeId("line"));
+  ConstraintSet phi;
+  phi.Add(AbsoluteKey{line, {"sku"}});
+  BoundedSearchOptions bounds;
+  bounds.max_nodes = 6;
+  ASSERT_OK_AND_ASSIGN(
+      BoundedRefutation refutation,
+      SearchImplicationCounterexample(spec.dtd, spec.constraints, phi,
+                                      bounds));
+  ASSERT_TRUE(refutation.refuted);
+  ASSERT_TRUE(refutation.counterexample.has_value());
+  EXPECT_OK(CheckConstraints(*refutation.counterexample, spec.dtd,
+                             spec.constraints));
+  EXPECT_FALSE(
+      CheckConstraints(*refutation.counterexample, spec.dtd, phi).ok());
+}
+
+TEST(BoundedImplicationTest, CannotRefuteActualImplication) {
+  // Global key implies per-order keys; no counterexample exists.
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT shop (order, order)>
+<!ELEMENT order (line+)>
+<!ATTLIST line sku>
+)",
+                           "line.sku -> line\n")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(int order, spec.dtd.TypeId("order"));
+  ASSERT_OK_AND_ASSIGN(int line, spec.dtd.TypeId("line"));
+  ConstraintSet phi;
+  phi.Add(RelativeKey{order, line, "sku"});
+  BoundedSearchOptions bounds;
+  bounds.max_nodes = 6;
+  ASSERT_OK_AND_ASSIGN(
+      BoundedRefutation refutation,
+      SearchImplicationCounterexample(spec.dtd, spec.constraints, phi,
+                                      bounds));
+  EXPECT_FALSE(refutation.refuted);
+  EXPECT_GT(refutation.candidates_examined, 0);
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,132 @@
+// Theorem 3.5 fragment checker and the undecidable-fragment bounded
+// search, including the Theorem 4.1 generator.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/consistency.h"
+#include "core/sat_bounded.h"
+#include "core/specification.h"
+#include "reductions/diophantine_relative.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+TEST(NoStarCheckerTest, RequiresItsFragment) {
+  Specification starred = Parse("<!ELEMENT r (a*)>\n<!ATTLIST a v>\n",
+                                "a.v -> a\n");
+  EXPECT_FALSE(CheckNoStarConsistency(starred.dtd, starred.constraints).ok());
+
+  Specification recursive = Parse(
+      "<!ELEMENT r (n)>\n<!ELEMENT n (n|%)>\n<!ATTLIST n v>\n", "n.v -> n\n");
+  EXPECT_FALSE(
+      CheckNoStarConsistency(recursive.dtd, recursive.constraints).ok());
+
+  Specification multi = Parse("<!ELEMENT r (a)>\n<!ATTLIST a v w>\n",
+                              "a[v,w] -> a\n");
+  EXPECT_FALSE(CheckNoStarConsistency(multi.dtd, multi.constraints).ok());
+}
+
+TEST(NoStarCheckerTest, DecidesSimpleCases) {
+  // Inconsistent: two a's must each match the single b's value, but
+  // a.v is a key.
+  Specification bad = Parse(R"(
+<!ELEMENT r (a, a, b)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+)",
+                            "a.v -> a\nfk a.v <= b.v\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckNoStarConsistency(bad.dtd, bad.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+
+  // Consistent variant with a choice in the DTD.
+  Specification good = Parse(R"(
+<!ELEMENT r ((a|b), b)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+)",
+                             "a.v -> a\nfk a.v <= b.v\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict2,
+                       CheckNoStarConsistency(good.dtd, good.constraints));
+  EXPECT_EQ(verdict2.outcome, ConsistencyOutcome::kConsistent);
+}
+
+TEST(NoStarCheckerTest, ChainedInclusionsPropagate) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (a, a, b, c)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+<!ATTLIST c v>
+)",
+                             R"(
+a.v -> a
+fk a.v <= b.v
+fk b.v <= c.v
+)");
+  // Two distinct a-values need two b-values need two c-values, but
+  // there is only one c element.
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckNoStarConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(DiophantineTest, ImbalanceAndBoundedSearch) {
+  // 2x0 = x1 + 1.
+  QuadraticEquation equation;
+  equation.num_variables = 2;
+  equation.lhs_linear.push_back({2, 0});
+  equation.rhs_linear.push_back({1, 1});
+  equation.constant = 1;
+  EXPECT_TRUE(equation.HasSolutionUpTo(3));  // x0=1, x1=1
+  EXPECT_EQ(equation.Imbalance({1, 1}), 0);
+  EXPECT_NE(equation.Imbalance({0, 0}), 0);
+
+  // x0 * x1 = 2 has solutions; x0 * x1 = 0 with constant 1 does not
+  // when the lhs monomial is forced positive... keep to the linear
+  // sanity case here.
+}
+
+TEST(DiophantineTest, LinearEquationSpecMatchesSolvability) {
+  // a*x = o: solvable iff a divides o.
+  for (int64_t a = 1; a <= 3; ++a) {
+    for (int64_t o = 1; o <= 4; ++o) {
+      QuadraticEquation equation;
+      equation.num_variables = 1;
+      equation.lhs_linear.push_back({a, 0});
+      equation.constant = o;
+      ASSERT_OK_AND_ASSIGN(Specification spec,
+                           QuadraticEquationToRelativeSpec(equation));
+      // Linear-only equations produce absolute constraints, decidable
+      // exactly.
+      EXPECT_FALSE(spec.constraints.HasRelative());
+      ConsistencyChecker checker;
+      ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+      bool solvable = o % a == 0;
+      EXPECT_EQ(verdict.outcome, solvable
+                                     ? ConsistencyOutcome::kConsistent
+                                     : ConsistencyOutcome::kInconsistent)
+          << a << " * x = " << o;
+    }
+  }
+}
+
+TEST(DiophantineTest, QuadraticSpecIsOutsideHrc) {
+  // x0 * x1 (quadratic term) forces the recursive alpha gadget and
+  // relative constraints; the facade falls back to bounded search.
+  QuadraticEquation equation;
+  equation.num_variables = 2;
+  equation.lhs_quadratic.push_back({1, 0, 1});
+  equation.constant = 1;
+  ASSERT_OK_AND_ASSIGN(Specification spec,
+                       QuadraticEquationToRelativeSpec(equation));
+  EXPECT_TRUE(spec.constraints.HasRelative());
+  EXPECT_TRUE(spec.dtd.IsRecursive());
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,88 @@
+// ConsistencyChecker facade: classification-driven dispatch and
+// verdict annotation.
+#include "core/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+TEST(FacadeTest, ClassifiesAndAnnotates) {
+  struct Case {
+    const char* dtd;
+    const char* constraints;
+    ConstraintClass expected_class;
+  };
+  const Case cases[] = {
+      {"<!ELEMENT r (a+)>\n<!ATTLIST a v>", "a.v -> a\n",
+       ConstraintClass::kAcKeysOnly},
+      {"<!ELEMENT r (a+, b+)>\n<!ATTLIST a v>\n<!ATTLIST b v>",
+       "fk a.v <= b.v\n", ConstraintClass::kAcUnary},
+      {"<!ELEMENT r (a+)>\n<!ATTLIST a v w>", "a[v,w] -> a\n",
+       ConstraintClass::kAcMultiPrimary},
+      {"<!ELEMENT r (a+, b+)>\n<!ATTLIST a v w>\n<!ATTLIST b v w>",
+       "a[v,w] <= b[v,w]\n", ConstraintClass::kAcMultiGeneral},
+      {"<!ELEMENT r (a+)>\n<!ATTLIST a v>", "r._*.a.v -> r._*.a\n",
+       ConstraintClass::kAcRegular},
+      {"<!ELEMENT r (a+)>\n<!ELEMENT a (b*)>\n<!ATTLIST b v>",
+       "a(b.v -> b)\n", ConstraintClass::kRelative},
+      {"<!ELEMENT r (a+)>\n<!ELEMENT a (b*)>\n<!ATTLIST a v>\n"
+       "<!ATTLIST b v>",
+       "a.v -> a\na(b.v -> b)\n", ConstraintClass::kMixedRelative},
+  };
+  ConsistencyChecker checker;
+  for (const Case& c : cases) {
+    Specification spec = Parse(c.dtd, c.constraints);
+    EXPECT_EQ(spec.Classify(), c.expected_class) << c.constraints;
+    ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+    // The verdict note names the class.
+    EXPECT_NE(verdict.note.find("class:"), std::string::npos)
+        << c.constraints;
+  }
+}
+
+TEST(FacadeTest, EmptyConstraintSetIsJustDtdSatisfiability) {
+  Specification spec = Parse("<!ELEMENT r (a+)>", "");
+  ConsistencyChecker checker;
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+}
+
+TEST(FacadeTest, UndecidableClassFallsBackToBoundedSearch) {
+  // Multi-attribute inclusion: undecidable class; the consistent
+  // instance is still found by bounded search.
+  Specification spec = Parse(
+      "<!ELEMENT r (p, q)>\n<!ATTLIST p a b>\n<!ATTLIST q c d>\n",
+      "p[a,b] <= q[c,d]\n");
+  EXPECT_EQ(spec.Classify(), ConstraintClass::kAcMultiGeneral);
+  ConsistencyChecker checker;
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_NE(verdict.note.find("undecidable"), std::string::npos);
+}
+
+TEST(FacadeTest, WitnessCanBeDisabled) {
+  Specification spec = Parse("<!ELEMENT r (a+)>\n<!ATTLIST a v>",
+                             "a.v -> a\n");
+  ConsistencyChecker::Options options;
+  options.build_witness = false;
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_FALSE(verdict.witness.has_value());
+}
+
+TEST(SpecificationTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(Specification::Parse("garbage", "").ok());
+  EXPECT_FALSE(
+      Specification::Parse("<!ELEMENT r (a)>", "a.v -> a\n").ok());
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,140 @@
+// Minimal inconsistent core extraction.
+#include "core/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/implication.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(DiagnosisTest, ShrinksToTheConflictingPair) {
+  // Only the key on a.ref and the inclusion into the singleton b are
+  // needed for the contradiction; the c-constraints are noise.
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT r (a, a, b, c+)>
+<!ATTLIST a ref>
+<!ATTLIST b id>
+<!ATTLIST c v>
+)",
+                           R"(
+a.ref -> a
+a.ref <= b.id
+c.v -> c
+b.id <= c.v
+)")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(ConstraintSet core,
+                       MinimizeInconsistentCore(spec.dtd, spec.constraints));
+  // Core: the key on a.ref plus the inclusion a.ref <= b.id.
+  EXPECT_EQ(core.absolute_keys().size(), 1u);
+  EXPECT_EQ(core.absolute_inclusions().size(), 1u);
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  EXPECT_EQ(core.absolute_keys()[0].type, a);
+}
+
+TEST(DiagnosisTest, RejectsConsistentSpecifications) {
+  Specification spec =
+      Specification::Parse("<!ELEMENT r (a+)>\n<!ATTLIST a v>\n",
+                           "a.v -> a\n")
+          .ValueOrDie();
+  EXPECT_FALSE(MinimizeInconsistentCore(spec.dtd, spec.constraints).ok());
+}
+
+TEST(DiagnosisTest, GeographyCoreKeepsTheCountingArgument) {
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT db (country+)>
+<!ELEMENT country (province+, capital+)>
+<!ELEMENT province (capital, city*)>
+<!ATTLIST country name>
+<!ATTLIST province name>
+<!ATTLIST capital inProvince>
+)",
+                           R"(
+country.name -> country
+country(province.name -> province)
+country(capital.inProvince -> capital)
+country(capital.inProvince <= province.name)
+)")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(ConstraintSet core,
+                       MinimizeInconsistentCore(spec.dtd, spec.constraints));
+  // The absolute country key and the relative province key are not
+  // part of the counting argument; the capital key and the inclusion
+  // are.
+  EXPECT_TRUE(core.absolute_keys().empty());
+  EXPECT_EQ(core.relative_keys().size(), 1u);
+  EXPECT_EQ(core.relative_inclusions().size(), 1u);
+  // And the core is itself inconsistent.
+  ConsistencyChecker checker;
+  Specification reduced{spec.dtd, core};
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(reduced));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(RedundancyTest, DropsTransitivelyImpliedInclusions) {
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT r (a*, b*, c*)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+<!ATTLIST c v>
+)",
+                           R"(
+a.v <= b.v
+b.v <= c.v
+a.v <= c.v
+)")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet pruned,
+      RemoveRedundantConstraints(spec.dtd, spec.constraints));
+  EXPECT_EQ(pruned.absolute_inclusions().size(), 2u);
+  // The surviving pair still implies the dropped one.
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ASSERT_OK_AND_ASSIGN(int c, spec.dtd.TypeId("c"));
+  ASSERT_OK_AND_ASSIGN(
+      ImplicationVerdict verdict,
+      CheckInclusionImplication(spec.dtd, pruned,
+                                AbsoluteInclusion{a, {"v"}, c, {"v"}}));
+  EXPECT_TRUE(verdict.implied);
+}
+
+TEST(RedundancyTest, DropsKeysForcedByTheDtd) {
+  // ext(b) = 1 by the DTD, so b.v -> b is vacuous.
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT r (a*, b)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+)",
+                           "a.v -> a\nb.v -> b\n")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet pruned,
+      RemoveRedundantConstraints(spec.dtd, spec.constraints));
+  ASSERT_EQ(pruned.absolute_keys().size(), 1u);
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  EXPECT_EQ(pruned.absolute_keys()[0].type, a);
+}
+
+TEST(RedundancyTest, KeepsLoadBearingConstraints) {
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT r (a+, b+)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+)",
+                           "a.v -> a\nfk a.v <= b.v\n")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet pruned,
+      RemoveRedundantConstraints(spec.dtd, spec.constraints));
+  EXPECT_EQ(pruned.size(), spec.constraints.size());
+}
+
+}  // namespace
+}  // namespace xmlverify

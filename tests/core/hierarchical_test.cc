@@ -1,0 +1,195 @@
+// SAT(HRC) checker tests: scope decomposition, conflicting pairs,
+// cross-scope key freshness, witness stitching.
+#include "core/sat_hierarchical.h"
+
+#include <gtest/gtest.h>
+
+#include "checker/document_checker.h"
+#include "constraints/relative_geometry.h"
+#include "core/specification.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+constexpr char kDeptDtd[] = R"(
+<!ELEMENT company (dept, dept)>
+<!ELEMENT dept (team+, badge, badge)>
+<!ELEMENT team (member+)>
+<!ELEMENT member EMPTY>
+<!ELEMENT badge EMPTY>
+<!ATTLIST dept name>
+<!ATTLIST team name>
+<!ATTLIST member eid>
+<!ATTLIST badge code>
+)";
+
+TEST(HierarchicalTest, RelativeKeysPerScopeAreSatisfiable) {
+  Specification spec = Parse(kDeptDtd, R"(
+dept(team.name -> team)
+dept(member.eid -> member)
+)");
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckHierarchicalConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(HierarchicalTest, ScopeLocalCountingContradiction) {
+  // Within each dept: badges (exactly 2, distinct codes) must draw
+  // their codes from team names of the same dept, and teams of a dept
+  // are capped at one by making name a key against a single value...
+  // simpler: require badge codes to come from member eids with a
+  // single member per dept.
+  Specification spec = Parse(R"(
+<!ELEMENT company (dept+)>
+<!ELEMENT dept (member, badge, badge)>
+<!ELEMENT member EMPTY>
+<!ELEMENT badge EMPTY>
+<!ATTLIST member eid>
+<!ATTLIST badge code>
+)",
+                             R"(
+dept(badge.code -> badge)
+dept(badge.code <= member.eid)
+)");
+  // Two badges with distinct codes squeezed into one member value.
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckHierarchicalConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent)
+      << verdict.note;
+}
+
+TEST(HierarchicalTest, AncestorKeyProjectsIntoDeepScopes) {
+  // company-wide relative key on member eids, with members living in
+  // team scopes nested under dept scopes: the witness must keep eids
+  // globally distinct across all scopes.
+  Specification spec = Parse(kDeptDtd, R"(
+company(member.eid -> member)
+dept(team.name -> team)
+)");
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckHierarchicalConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(HierarchicalTest, NonHierarchicalIsRejected) {
+  // dept-context inclusion reaching through the team context.
+  Specification spec = Parse(kDeptDtd, R"(
+team(member.eid -> member)
+dept(badge.code <= member.eid)
+)");
+  ASSERT_OK_AND_ASSIGN(RelativeClassification classification,
+                       ClassifyRelative(spec.dtd, spec.constraints));
+  EXPECT_FALSE(classification.hierarchical);
+  Result<ConsistencyVerdict> verdict =
+      CheckHierarchicalConsistency(spec.dtd, spec.constraints);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(HierarchicalTest, AbsoluteInclusionCrossingScopesIsConflicting) {
+  // An absolute (context = root) inclusion whose types live inside
+  // dept scopes: the pair (root, dept) conflicts, so the
+  // specification leaves HRC.
+  Specification spec = Parse(kDeptDtd, R"(
+dept(team.name -> team)
+member.eid <= badge.code
+)");
+  ASSERT_OK_AND_ASSIGN(RelativeClassification classification,
+                       ClassifyRelative(spec.dtd, spec.constraints));
+  EXPECT_FALSE(classification.hierarchical);
+  EXPECT_NE(classification.conflict.find("dept"), std::string::npos);
+}
+
+TEST(HierarchicalTest, AbsoluteConstraintsFoldIn) {
+  // An absolute key (context company == root) mixes with relative
+  // ones.
+  Specification spec = Parse(kDeptDtd, R"(
+dept.name -> dept
+dept(team.name -> team)
+)");
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckHierarchicalConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(HierarchicalTest, LocalityMeasuresScopeDepth) {
+  Specification shallow = Parse(kDeptDtd, R"(
+dept(team.name -> team)
+team(member.eid -> member)
+)");
+  ASSERT_OK_AND_ASSIGN(RelativeClassification c1,
+                       ClassifyRelative(shallow.dtd, shallow.constraints));
+  EXPECT_TRUE(c1.hierarchical);
+  EXPECT_EQ(c1.locality, 2);
+
+  Specification deep = Parse(kDeptDtd, R"(
+dept(member.eid -> member)
+)");
+  ASSERT_OK_AND_ASSIGN(RelativeClassification c2,
+                       ClassifyRelative(deep.dtd, deep.constraints));
+  EXPECT_TRUE(c2.hierarchical);
+  // dept scope reaches member through team: depth 3.
+  EXPECT_EQ(c2.locality, 3);
+}
+
+TEST(HierarchicalTest, RecursiveDtdUnsupported) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (part)>
+<!ELEMENT part (part|%)>
+<!ATTLIST part id>
+)",
+                             "part(part.id -> part)\n");
+  Result<ConsistencyVerdict> verdict =
+      CheckHierarchicalConsistency(spec.dtd, spec.constraints);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(GeometryTest, ScopeTypesStopAtContexts) {
+  Specification spec = Parse(kDeptDtd, R"(
+dept(team.name -> team)
+team(member.eid -> member)
+)");
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet relative,
+      WithAbsoluteAsRelative(spec.constraints, spec.dtd.root()));
+  ASSERT_OK_AND_ASSIGN(RelativeGeometry geometry,
+                       RelativeGeometry::Analyze(spec.dtd, relative));
+  ASSERT_OK_AND_ASSIGN(int dept, spec.dtd.TypeId("dept"));
+  ASSERT_OK_AND_ASSIGN(int team, spec.dtd.TypeId("team"));
+  ASSERT_OK_AND_ASSIGN(int member, spec.dtd.TypeId("member"));
+  ASSERT_OK_AND_ASSIGN(int badge, spec.dtd.TypeId("badge"));
+  std::vector<int> dept_scope = geometry.ScopeTypes(dept);
+  // dept scope: dept, team (leaf), badge — but NOT member (inside the
+  // team scope).
+  EXPECT_NE(std::find(dept_scope.begin(), dept_scope.end(), team),
+            dept_scope.end());
+  EXPECT_NE(std::find(dept_scope.begin(), dept_scope.end(), badge),
+            dept_scope.end());
+  EXPECT_EQ(std::find(dept_scope.begin(), dept_scope.end(), member),
+            dept_scope.end());
+  // The scope DTD truncates team to empty content but keeps its
+  // attributes.
+  ASSERT_OK_AND_ASSIGN(Dtd scope_dtd, geometry.ScopeDtd(dept));
+  ASSERT_OK_AND_ASSIGN(int scope_team, scope_dtd.TypeId("team"));
+  EXPECT_TRUE(scope_dtd.ChildTypes(scope_team).empty());
+  EXPECT_TRUE(scope_dtd.HasAttribute(scope_team, "name"));
+  // The scope root loses its attributes.
+  ASSERT_OK_AND_ASSIGN(int scope_dept, scope_dtd.TypeId("dept"));
+  EXPECT_TRUE(scope_dtd.Attributes(scope_dept).empty());
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,161 @@
+// SAT(AC^{reg}) checker tests beyond the school example.
+#include "core/sat_regular.h"
+
+#include <gtest/gtest.h>
+
+#include "checker/document_checker.h"
+#include "core/sat_absolute.h"
+#include "core/specification.h"
+#include "encoding/regular_encoder.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+constexpr char kTwoBranchDtd[] = R"(
+<!ELEMENT r (left, right)>
+<!ELEMENT left (item+)>
+<!ELEMENT right (item+)>
+<!ELEMENT item EMPTY>
+<!ATTLIST item id>
+)";
+
+TEST(RegularTest, PathScopedKeyIsWeakerThanGlobalKey) {
+  // A key on left items only: right items may share ids freely.
+  Specification spec = Parse(kTwoBranchDtd, R"(
+r.left.item.id -> r.left.item
+fk r.right.item.id <= r.left.item.id
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckRegularConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(RegularTest, DisjointBranchesUnderGlobalKeyCannotShareValues) {
+  // Global key on all items + inclusion of left ids into right ids:
+  // a left item's id would need to equal a right item's id, but the
+  // global key makes all item ids distinct. So left must be empty —
+  // impossible (item+).
+  Specification spec = Parse(kTwoBranchDtd, R"(
+r._*.item.id -> r._*.item
+fk r.left.item.id <= r.right.item.id
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckRegularConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent)
+      << verdict.note;
+}
+
+TEST(RegularTest, WithoutGlobalKeySharingIsFine) {
+  Specification spec = Parse(kTwoBranchDtd, R"(
+fk r.left.item.id <= r.right.item.id
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckRegularConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(RegularTest, InclusionIntoEmptyNodeSetForbidsChild) {
+  // nodes(r.left.left) is empty, so an inclusion into it forces the
+  // child side to be empty; left has item+ so its items always exist.
+  Specification spec = Parse(kTwoBranchDtd, R"(
+fk r.left.item.id <= r.right.item.id
+fk r._*.item.id <= r.left.item.id
+)");
+  // Fine: nodes sets are nonempty. Now the genuinely empty target:
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict sanity,
+                       CheckRegularConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(sanity.outcome, ConsistencyOutcome::kConsistent);
+
+  Specification empty_target = Parse(R"(
+<!ELEMENT r (a, b*)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ATTLIST a id>
+<!ATTLIST b id>
+)",
+                                     R"(
+fk r.a.id <= r.b.b.id
+)");
+  // nodes(r.b.b) = {} since b has no b children: a.id has nowhere to
+  // point, and a is mandatory.
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckRegularConsistency(empty_target.dtd, empty_target.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(RegularTest, MixedAbsoluteAndRegularConstraints) {
+  Specification spec = Parse(kTwoBranchDtd, R"(
+item.id -> item
+fk r.left.item.id <= r.right.item.id
+)");
+  // The absolute key folds to r._*.item and clashes exactly like the
+  // global-key test.
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckRegularConsistency(spec.dtd, spec.constraints));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(RegularTest, KleeneDepthPaths) {
+  // Recursive DTD with a path constraint through _*.
+  Specification spec = Parse(R"(
+<!ELEMENT r (sect)>
+<!ELEMENT sect (sect*, para)>
+<!ELEMENT para EMPTY>
+<!ATTLIST para anchor>
+)",
+                             R"(
+r._*.sect.para.anchor -> r._*.sect.para
+)");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       CheckRegularConsistency(spec.dtd, spec.constraints));
+  ASSERT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+  EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
+}
+
+TEST(RegularTest, ExpressionCapIsEnforced) {
+  Specification spec = Parse(kTwoBranchDtd, R"(
+r.left.item.id -> r.left.item
+fk r.right.item.id <= r.left.item.id
+)");
+  RegularCheckOptions options;
+  options.max_expressions = 1;
+  Result<ConsistencyVerdict> verdict =
+      CheckRegularConsistency(spec.dtd, spec.constraints, options);
+  EXPECT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RegularTest, AgreesWithAbsoluteCheckerOnAbsoluteSpecs) {
+  // Purely absolute specifications can run through either pipeline;
+  // verdicts must agree.
+  struct Case {
+    const char* dtd;
+    const char* constraints;
+  };
+  const Case cases[] = {
+      {kTwoBranchDtd, "item.id -> item\n"},
+      {"<!ELEMENT r (a, a, b)>\n<!ATTLIST a ref>\n<!ATTLIST b id>\n",
+       "a.ref -> a\nfk a.ref <= b.id\n"},
+      {"<!ELEMENT r (a, a, b*)>\n<!ATTLIST a ref>\n<!ATTLIST b id>\n",
+       "a.ref -> a\nfk a.ref <= b.id\n"},
+  };
+  for (const Case& c : cases) {
+    Specification spec = Parse(c.dtd, c.constraints);
+    ASSERT_OK_AND_ASSIGN(ConsistencyVerdict absolute,
+                         CheckAbsoluteConsistency(spec.dtd, spec.constraints));
+    ASSERT_OK_AND_ASSIGN(ConsistencyVerdict regular,
+                         CheckRegularConsistency(spec.dtd, spec.constraints));
+    EXPECT_EQ(absolute.outcome, regular.outcome) << c.constraints;
+  }
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,47 @@
+// Combined `.xvc` specification format.
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "core/specification.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(CombinedSpecTest, ParsesBothSections) {
+  constexpr char kCombined[] = R"(
+<!ELEMENT r (a+, b+)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+%%
+a.v -> a
+fk a.v <= b.v
+)";
+  ASSERT_OK_AND_ASSIGN(Specification spec,
+                       Specification::ParseCombined(kCombined));
+  EXPECT_EQ(spec.dtd.num_element_types(), 3);
+  EXPECT_EQ(spec.constraints.absolute_keys().size(), 2u);  // a.v + fk's b.v
+  EXPECT_EQ(spec.constraints.absolute_inclusions().size(), 1u);
+  ConsistencyChecker checker;
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+}
+
+TEST(CombinedSpecTest, EmptyConstraintSection) {
+  ASSERT_OK_AND_ASSIGN(Specification spec, Specification::ParseCombined(
+                                               "<!ELEMENT r (a*)>\n%%\n"));
+  EXPECT_TRUE(spec.constraints.empty());
+}
+
+TEST(CombinedSpecTest, MissingSeparatorRejected) {
+  EXPECT_FALSE(Specification::ParseCombined("<!ELEMENT r (a*)>\n").ok());
+}
+
+TEST(CombinedSpecTest, SeparatorMustBeAlone) {
+  // '%%' embedded in a longer line is not a separator.
+  EXPECT_FALSE(
+      Specification::ParseCombined("<!ELEMENT r (a*)> %% a.v -> a").ok());
+}
+
+}  // namespace
+}  // namespace xmlverify

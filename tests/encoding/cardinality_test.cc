@@ -1,0 +1,117 @@
+// Direct tests of the C_Sigma emission layer.
+#include "encoding/cardinality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/specification.h"
+#include "ilp/solver.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+struct Emitted {
+  IntegerProgram program;
+  DtdFlowSystem flow;
+  AbsoluteCardinality cardinality;
+};
+
+Result<Emitted> Emit(const Specification& spec,
+                     std::vector<int> forced_empty = {}) {
+  Emitted emitted;
+  ASSIGN_OR_RETURN(emitted.flow,
+                   DtdFlowSystem::Build(spec.dtd, nullptr, &emitted.program));
+  ASSIGN_OR_RETURN(emitted.cardinality,
+                   AbsoluteCardinality::Emit(spec.dtd, spec.constraints,
+                                             forced_empty, &emitted.flow,
+                                             &emitted.program));
+  return emitted;
+}
+
+TEST(CardinalityTest, AttrVariablesBoundedByExtents) {
+  Specification spec =
+      Specification::Parse("<!ELEMENT r (a, a, a)>\n<!ATTLIST a v>\n",
+                           "")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(Emitted emitted, Emit(spec));
+  SolveResult solved = IlpSolver().Solve(emitted.program);
+  ASSERT_EQ(solved.outcome, SolveOutcome::kSat);
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  BigInt attr_count =
+      emitted.cardinality.AttrCount(a, "v", solved.assignment);
+  // 1 <= |ext(a.v)| <= |ext(a)| = 3.
+  EXPECT_GE(attr_count, BigInt(1));
+  EXPECT_LE(attr_count, BigInt(3));
+}
+
+TEST(CardinalityTest, UnaryKeyForcesEquality) {
+  Specification spec =
+      Specification::Parse("<!ELEMENT r (a, a, a)>\n<!ATTLIST a v>\n",
+                           "a.v -> a\n")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(Emitted emitted, Emit(spec));
+  SolveResult solved = IlpSolver().Solve(emitted.program);
+  ASSERT_EQ(solved.outcome, SolveOutcome::kSat);
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  EXPECT_EQ(emitted.cardinality.AttrCount(a, "v", solved.assignment),
+            BigInt(3));
+}
+
+TEST(CardinalityTest, MultiAttributeKeyBecomesPrequadraticChain) {
+  Specification spec =
+      Specification::Parse("<!ELEMENT r (p+)>\n<!ATTLIST p a b c>\n",
+                           "p[a,b,c] -> p\n")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(Emitted emitted, Emit(spec));
+  // k = 3 attributes -> a chain of 2 prequadratic constraints.
+  EXPECT_EQ(emitted.program.prequadratics().size(), 2u);
+}
+
+TEST(CardinalityTest, ForcedEmptyPropagates) {
+  Specification spec =
+      Specification::Parse("<!ELEMENT r (a|b)>\n<!ATTLIST a v>\n"
+                           "<!ATTLIST b v>\n",
+                           "")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ASSERT_OK_AND_ASSIGN(Emitted emitted, Emit(spec, {a}));
+  SolveResult solved = IlpSolver().Solve(emitted.program);
+  ASSERT_EQ(solved.outcome, SolveOutcome::kSat);
+  VarId ext_a = emitted.cardinality.ExtVar(a);
+  ASSERT_GE(ext_a, 0);
+  EXPECT_EQ(solved.assignment[ext_a], BigInt(0));
+}
+
+TEST(CardinalityTest, InclusionIntoUnreachableTypeForcesEmptyChild) {
+  // b is reachable only through a choice branch that also contains
+  // the child... construct directly: parent type u unreachable.
+  Dtd::Builder builder({"r", "child", "u"}, "r");
+  builder.SetContent("r", "child*,(u|%)");
+  builder.AddAttribute("child", "v");
+  builder.AddAttribute("u", "v");
+  Dtd dtd = builder.Build().ValueOrDie();
+  // Make `u` genuinely unreachable by a second DTD where it is absent
+  // from content: simplest is to force-empty it and verify the
+  // inclusion pushes the child to zero through the normal constraint.
+  Specification spec;
+  spec.dtd = dtd;
+  int child = dtd.TypeId("child").ValueOrDie();
+  int u = dtd.TypeId("u").ValueOrDie();
+  spec.constraints.Add(AbsoluteInclusion{child, {"v"}, u, {"v"}});
+  Emitted emitted = Emit(spec, {u}).ValueOrDie();
+  SolveResult solved = IlpSolver().Solve(emitted.program);
+  ASSERT_EQ(solved.outcome, SolveOutcome::kSat);
+  EXPECT_EQ(solved.assignment[emitted.cardinality.ExtVar(child)], BigInt(0));
+}
+
+TEST(CardinalityTest, RejectsWrongConstraintKinds) {
+  Specification relative =
+      Specification::Parse("<!ELEMENT r (a*)>\n<!ELEMENT a (b*)>\n"
+                           "<!ATTLIST b v>\n",
+                           "a(b.v -> b)\n")
+          .ValueOrDie();
+  EXPECT_FALSE(Emit(relative).ok());
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,96 @@
+// IntegerProgram model layer: expressions, constraints, evaluation,
+// bounds, rendering.
+#include "ilp/linear.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlverify {
+namespace {
+
+TEST(LinearExprTest, TermMergingAndCancellation) {
+  LinearExpr expr;
+  expr.Add(0, BigInt(2)).Add(1, BigInt(-1)).Add(0, BigInt(3));
+  EXPECT_EQ(expr.terms().size(), 2u);
+  EXPECT_EQ(expr.terms().at(0), BigInt(5));
+  expr.Add(0, BigInt(-5));
+  EXPECT_EQ(expr.terms().size(), 1u);  // x0 cancelled away
+  expr.Add(2, BigInt(0));
+  EXPECT_EQ(expr.terms().size(), 1u);  // zero coefficients dropped
+}
+
+TEST(LinearExprTest, EvaluateAndAddExpr) {
+  LinearExpr a;
+  a.Add(0, BigInt(2)).Add(1, BigInt(3));
+  LinearExpr b;
+  b.Add(1, BigInt(-3)).Add(2, BigInt(7));
+  a.AddExpr(b);
+  std::vector<BigInt> assignment = {BigInt(1), BigInt(100), BigInt(2)};
+  // 2*1 + 0*100 + 7*2 = 16.
+  EXPECT_EQ(a.Evaluate(assignment), BigInt(16));
+}
+
+TEST(LinearConstraintTest, SatisfactionPerRelation) {
+  LinearConstraint constraint;
+  constraint.lhs.Add(0, BigInt(1));
+  constraint.rhs = BigInt(5);
+  std::vector<BigInt> four = {BigInt(4)};
+  std::vector<BigInt> five = {BigInt(5)};
+  std::vector<BigInt> six = {BigInt(6)};
+  constraint.relation = Relation::kLe;
+  EXPECT_TRUE(constraint.IsSatisfied(four));
+  EXPECT_TRUE(constraint.IsSatisfied(five));
+  EXPECT_FALSE(constraint.IsSatisfied(six));
+  constraint.relation = Relation::kGe;
+  EXPECT_FALSE(constraint.IsSatisfied(four));
+  EXPECT_TRUE(constraint.IsSatisfied(six));
+  constraint.relation = Relation::kEq;
+  EXPECT_TRUE(constraint.IsSatisfied(five));
+  EXPECT_FALSE(constraint.IsSatisfied(four));
+}
+
+TEST(IntegerProgramTest, IsSatisfiedCoversAllConstraintClasses) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  VarId z = program.NewVariable("z");
+  LinearExpr sum;
+  sum.Add(x, BigInt(1)).Add(y, BigInt(1));
+  program.AddLinear(std::move(sum), Relation::kLe, BigInt(10));
+  LinearExpr cond;
+  cond.Add(y, BigInt(1));
+  program.AddConditional(x, std::move(cond), Relation::kGe, BigInt(2));
+  program.AddPrequadratic(z, x, y);
+  program.SetUpperBound(z, BigInt(6));
+
+  // x=1 requires y>=2; z <= x*y.
+  EXPECT_TRUE(program.IsSatisfied({BigInt(1), BigInt(2), BigInt(2)}));
+  EXPECT_FALSE(program.IsSatisfied({BigInt(1), BigInt(1), BigInt(1)}));
+  EXPECT_TRUE(program.IsSatisfied({BigInt(0), BigInt(0), BigInt(0)}));
+  EXPECT_FALSE(program.IsSatisfied({BigInt(2), BigInt(3), BigInt(7)}));
+  EXPECT_FALSE(program.IsSatisfied({BigInt(9), BigInt(9), BigInt(0)}));
+}
+
+TEST(IntegerProgramTest, UpperBoundsKeepTheTightest) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  program.SetUpperBound(x, BigInt(10));
+  program.SetUpperBound(x, BigInt(3));
+  program.SetUpperBound(x, BigInt(7));
+  ASSERT_NE(program.UpperBound(x), nullptr);
+  EXPECT_EQ(*program.UpperBound(x), BigInt(3));
+  EXPECT_EQ(program.UpperBound(99), nullptr);
+}
+
+TEST(IntegerProgramTest, ToStringNamesVariables) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("ext(a)");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2));
+  program.AddLinear(std::move(expr), Relation::kGe, BigInt(1), "demo");
+  std::string text = program.ToString();
+  EXPECT_NE(text.find("2*ext(a) >= 1"), std::string::npos);
+  EXPECT_NE(text.find("[demo]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,173 @@
+#include "regex/regex.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "regex/automaton.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+// Small fixed alphabet for parser tests.
+int Resolve(const std::string& name) {
+  static const std::map<std::string, int> kSymbols = {
+      {"a", 0}, {"b", 1}, {"c", 2}, {"student", 3}, {"prof", 4}};
+  auto it = kSymbols.find(name);
+  return it == kSymbols.end() ? -1 : it->second;
+}
+
+std::string NameOf(int symbol) {
+  static const char* kNames[] = {"a", "b", "c", "student", "prof"};
+  return kNames[symbol];
+}
+
+TEST(RegexTest, ParseAtoms) {
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a", Resolve));
+  EXPECT_EQ(r.kind(), RegexKind::kSymbol);
+  EXPECT_EQ(r.symbol(), 0);
+
+  ASSERT_OK_AND_ASSIGN(Regex wildcard, ParseRegex("_", Resolve));
+  EXPECT_EQ(wildcard.kind(), RegexKind::kWildcard);
+
+  ASSERT_OK_AND_ASSIGN(Regex epsilon, ParseRegex("%", Resolve));
+  EXPECT_EQ(epsilon.kind(), RegexKind::kEpsilon);
+}
+
+TEST(RegexTest, ParsePrecedence) {
+  // Union binds loosest, then concatenation, then star.
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a.b|c*", Resolve));
+  EXPECT_EQ(r.kind(), RegexKind::kUnion);
+  EXPECT_EQ(r.left().kind(), RegexKind::kConcat);
+  EXPECT_EQ(r.right().kind(), RegexKind::kStar);
+}
+
+TEST(RegexTest, ParseParenthesesAndWildcardStar) {
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a._*.(student|prof)", Resolve));
+  EXPECT_EQ(r.ToString(NameOf), "a._*.(student|prof)");
+}
+
+TEST(RegexTest, PlusAndOptionalSugar) {
+  ASSERT_OK_AND_ASSIGN(Regex plus, ParseRegex("a+", Resolve));
+  // a+ == a.a*
+  EXPECT_EQ(plus.kind(), RegexKind::kConcat);
+  EXPECT_FALSE(plus.MatchesEmpty());
+
+  ASSERT_OK_AND_ASSIGN(Regex opt, ParseRegex("a?", Resolve));
+  EXPECT_TRUE(opt.MatchesEmpty());
+}
+
+TEST(RegexTest, UnderscorePrefixedNameIsNotWildcard) {
+  auto resolve = [](const std::string& name) {
+    return name == "_foo" ? 7 : -1;
+  };
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("_foo", resolve));
+  EXPECT_EQ(r.kind(), RegexKind::kSymbol);
+  EXPECT_EQ(r.symbol(), 7);
+}
+
+TEST(RegexTest, ParseErrors) {
+  EXPECT_FALSE(ParseRegex("", Resolve).ok());
+  EXPECT_FALSE(ParseRegex("(a", Resolve).ok());
+  EXPECT_FALSE(ParseRegex("a)", Resolve).ok());
+  EXPECT_FALSE(ParseRegex("unknown", Resolve).ok());
+  EXPECT_FALSE(ParseRegex("a..b", Resolve).ok());
+  EXPECT_EQ(ParseRegex("zzz", Resolve).status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegexTest, MatchesEmpty) {
+  ASSERT_OK_AND_ASSIGN(Regex star, ParseRegex("a*", Resolve));
+  EXPECT_TRUE(star.MatchesEmpty());
+  ASSERT_OK_AND_ASSIGN(Regex concat, ParseRegex("a*.b*", Resolve));
+  EXPECT_TRUE(concat.MatchesEmpty());
+  ASSERT_OK_AND_ASSIGN(Regex strict, ParseRegex("a*.b", Resolve));
+  EXPECT_FALSE(strict.MatchesEmpty());
+  ASSERT_OK_AND_ASSIGN(Regex choice, ParseRegex("a|%", Resolve));
+  EXPECT_TRUE(choice.MatchesEmpty());
+}
+
+TEST(RegexTest, IsStarFree) {
+  ASSERT_OK_AND_ASSIGN(Regex no_star, ParseRegex("a.(b|c)", Resolve));
+  EXPECT_TRUE(no_star.IsStarFree());
+  ASSERT_OK_AND_ASSIGN(Regex with_star, ParseRegex("a.(b|c*)", Resolve));
+  EXPECT_FALSE(with_star.IsStarFree());
+}
+
+TEST(RegexTest, SymbolsCollectsDistinct) {
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a.b.a|c", Resolve));
+  std::vector<int> symbols = r.Symbols();
+  EXPECT_EQ(symbols, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(RegexTest, RemapSymbols) {
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a.(b|c)*", Resolve));
+  Regex remapped = RemapSymbols(r, [](int s) { return s + 10; });
+  std::vector<int> symbols = remapped.Symbols();
+  EXPECT_EQ(symbols, (std::vector<int>{10, 11, 12}));
+}
+
+TEST(RegexTest, ExpandWildcard) {
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a._*.b", Resolve));
+  Regex expanded = ExpandWildcard(r, {1, 2});
+  // No wildcard nodes remain.
+  std::function<bool(const Regex&)> has_wildcard = [&](const Regex& e) {
+    switch (e.kind()) {
+      case RegexKind::kWildcard: return true;
+      case RegexKind::kConcat:
+      case RegexKind::kUnion:
+        return has_wildcard(e.left()) || has_wildcard(e.right());
+      case RegexKind::kStar: return has_wildcard(e.left());
+      default: return false;
+    }
+  };
+  EXPECT_FALSE(has_wildcard(expanded));
+  EXPECT_TRUE(has_wildcard(r));
+}
+
+TEST(RegexTest, BoundedRepetition) {
+  // a{3} == a.a.a
+  ASSERT_OK_AND_ASSIGN(Regex exact, ParseRegex("a{3}", Resolve));
+  EXPECT_FALSE(exact.MatchesEmpty());
+  EXPECT_TRUE(exact.IsStarFree());
+
+  // a{0,2}: empty allowed, star-free.
+  ASSERT_OK_AND_ASSIGN(Regex range, ParseRegex("a{0,2}", Resolve));
+  EXPECT_TRUE(range.MatchesEmpty());
+  EXPECT_TRUE(range.IsStarFree());
+
+  // a{2,}: open upper bound uses a star.
+  ASSERT_OK_AND_ASSIGN(Regex open, ParseRegex("a{2,}", Resolve));
+  EXPECT_FALSE(open.MatchesEmpty());
+  EXPECT_FALSE(open.IsStarFree());
+
+  EXPECT_FALSE(ParseRegex("a{3,2}", Resolve).ok());
+  EXPECT_FALSE(ParseRegex("a{", Resolve).ok());
+  EXPECT_FALSE(ParseRegex("a{x}", Resolve).ok());
+  EXPECT_EQ(ParseRegex("a{10000}", Resolve).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(RegexTest, RepetitionSemantics) {
+  // The language of a{1,3} is exactly {a, aa, aaa}.
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("a{1,3}", Resolve));
+  Dfa dfa = Dfa::Determinize(BuildNfa(r, 5));
+  EXPECT_FALSE(dfa.Accepts({}));
+  EXPECT_TRUE(dfa.Accepts({0}));
+  EXPECT_TRUE(dfa.Accepts({0, 0}));
+  EXPECT_TRUE(dfa.Accepts({0, 0, 0}));
+  EXPECT_FALSE(dfa.Accepts({0, 0, 0, 0}));
+  EXPECT_FALSE(dfa.Accepts({1}));
+}
+
+TEST(RegexTest, ToStringParenthesizesMinimal) {
+  ASSERT_OK_AND_ASSIGN(Regex r, ParseRegex("(a|b).c", Resolve));
+  EXPECT_EQ(r.ToString(NameOf), "(a|b).c");
+  ASSERT_OK_AND_ASSIGN(Regex r2, ParseRegex("a|b.c", Resolve));
+  EXPECT_EQ(r2.ToString(NameOf), "a|b.c");
+  ASSERT_OK_AND_ASSIGN(Regex r3, ParseRegex("(a|b)*", Resolve));
+  EXPECT_EQ(r3.ToString(NameOf), "(a|b)*");
+}
+
+}  // namespace
+}  // namespace xmlverify

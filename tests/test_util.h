@@ -1,0 +1,32 @@
+// Shared test helpers: Status assertion macros and common fixtures.
+#ifndef XMLVERIFY_TESTS_TEST_UTIL_H_
+#define XMLVERIFY_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+#define ASSERT_OK(expr)                                       \
+  do {                                                        \
+    ::xmlverify::Status _st = (expr);                         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#define EXPECT_OK(expr)                                       \
+  do {                                                        \
+    ::xmlverify::Status _st = (expr);                         \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+// Evaluates a Result<T> expression and binds the value, failing the
+// test on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                      \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                  \
+      XMLVERIFY_CONCAT(_assert_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(result, lhs, rexpr)         \
+  auto result = (rexpr);                                      \
+  ASSERT_TRUE(result.ok()) << result.status().ToString();     \
+  lhs = std::move(result).value();
+
+#endif  // XMLVERIFY_TESTS_TEST_UTIL_H_

@@ -1,0 +1,177 @@
+#include "xml/dtd.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(DtdBuilderTest, BasicConstruction) {
+  Dtd::Builder builder({"r", "a", "b"}, "r");
+  builder.SetContent("r", "a,b*");
+  builder.AddAttribute("a", "id");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  EXPECT_EQ(dtd.num_element_types(), 3);
+  EXPECT_EQ(dtd.TypeName(dtd.root()), "r");
+  ASSERT_OK_AND_ASSIGN(int a, dtd.TypeId("a"));
+  EXPECT_TRUE(dtd.HasAttribute(a, "id"));
+  EXPECT_FALSE(dtd.HasAttribute(a, "other"));
+  EXPECT_EQ(dtd.ChildTypes(dtd.root()).size(), 2u);
+}
+
+TEST(DtdBuilderTest, RejectsRootInContentModel) {
+  Dtd::Builder builder({"r", "a"}, "r");
+  builder.SetContent("r", "a");
+  builder.SetContent("a", "r");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DtdBuilderTest, RejectsDisconnectedTypes) {
+  Dtd::Builder builder({"r", "a", "orphan"}, "r");
+  builder.SetContent("r", "a");
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DtdBuilderTest, RejectsUnknownNamesAndDuplicates) {
+  {
+    Dtd::Builder builder({"r", "a", "a"}, "r");
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  {
+    Dtd::Builder builder({"r"}, "r");
+    builder.SetContent("missing", "%");
+    EXPECT_FALSE(builder.Build().ok());
+  }
+  {
+    Dtd::Builder builder({"r", "a"}, "nope");
+    EXPECT_FALSE(builder.Build().ok());
+  }
+}
+
+TEST(DtdTest, RecursionDetection) {
+  Dtd::Builder builder({"r", "a", "b"}, "r");
+  builder.SetContent("r", "a");
+  builder.SetContent("a", "b|%");
+  builder.SetContent("b", "a");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  EXPECT_TRUE(dtd.IsRecursive());
+}
+
+TEST(DtdTest, NonRecursiveDepth) {
+  Dtd::Builder builder({"r", "a", "b", "c"}, "r");
+  builder.SetContent("r", "a");
+  builder.SetContent("a", "b,c");
+  builder.SetContent("b", "c*");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  EXPECT_FALSE(dtd.IsRecursive());
+  // r -> a -> b -> c has 4 types on the longest path.
+  ASSERT_OK_AND_ASSIGN(int depth, dtd.Depth());
+  EXPECT_EQ(depth, 4);
+}
+
+TEST(DtdTest, DepthUndefinedForRecursive) {
+  Dtd::Builder builder({"r", "a"}, "r");
+  builder.SetContent("r", "a");
+  builder.SetContent("a", "a|%");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  EXPECT_TRUE(dtd.IsRecursive());
+  EXPECT_FALSE(dtd.Depth().ok());
+}
+
+TEST(DtdTest, NoStarDetection) {
+  Dtd::Builder star({"r", "a"}, "r");
+  star.SetContent("r", "a*");
+  ASSERT_OK_AND_ASSIGN(Dtd with_star, star.Build());
+  EXPECT_FALSE(with_star.IsNoStar());
+
+  Dtd::Builder plain({"r", "a"}, "r");
+  plain.SetContent("r", "a,(a|%)");
+  ASSERT_OK_AND_ASSIGN(Dtd no_star, plain.Build());
+  EXPECT_TRUE(no_star.IsNoStar());
+}
+
+TEST(DtdTest, ContentDfaMatchesModel) {
+  Dtd::Builder builder({"r", "a", "b"}, "r");
+  builder.SetContent("r", "(a|b)*,a");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  ASSERT_OK_AND_ASSIGN(int a, dtd.TypeId("a"));
+  ASSERT_OK_AND_ASSIGN(int b, dtd.TypeId("b"));
+  const Dfa& dfa = dtd.ContentDfa(dtd.root());
+  EXPECT_TRUE(dfa.Accepts({a}));
+  EXPECT_TRUE(dfa.Accepts({b, b, a}));
+  EXPECT_FALSE(dfa.Accepts({a, b}));
+  EXPECT_FALSE(dfa.Accepts({}));
+}
+
+TEST(DtdTest, PcdataInContent) {
+  Dtd::Builder builder({"r", "a"}, "r");
+  builder.SetContent("r", "a");
+  builder.SetContent("a", "#PCDATA");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  ASSERT_OK_AND_ASSIGN(int a, dtd.TypeId("a"));
+  const Dfa& dfa = dtd.ContentDfa(a);
+  EXPECT_TRUE(dfa.Accepts({dtd.pcdata_symbol()}));
+  EXPECT_FALSE(dfa.Accepts({a}));
+}
+
+TEST(DtdTest, SatisfiabilityViaProductivity) {
+  // <!ELEMENT a (a)>: a is unproductive, so any DTD forcing an `a`
+  // has no finite conforming tree.
+  Dtd::Builder doomed({"r", "a"}, "r");
+  doomed.SetContent("r", "a");
+  doomed.SetContent("a", "a");
+  ASSERT_OK_AND_ASSIGN(Dtd unsat, doomed.Build());
+  EXPECT_FALSE(unsat.IsSatisfiable());
+
+  // With an escape hatch the DTD becomes satisfiable.
+  Dtd::Builder escapable({"r", "a"}, "r");
+  escapable.SetContent("r", "a");
+  escapable.SetContent("a", "a|%");
+  ASSERT_OK_AND_ASSIGN(Dtd sat, escapable.Build());
+  EXPECT_TRUE(sat.IsSatisfiable());
+
+  // A star over an unproductive type is fine (zero repetitions).
+  Dtd::Builder starred({"r", "a"}, "r");
+  starred.SetContent("r", "a*");
+  starred.SetContent("a", "a");
+  ASSERT_OK_AND_ASSIGN(Dtd star_sat, starred.Build());
+  EXPECT_TRUE(star_sat.IsSatisfiable());
+
+  // Mutual recursion without a base case.
+  Dtd::Builder mutual({"r", "a", "b"}, "r");
+  mutual.SetContent("r", "a");
+  mutual.SetContent("a", "b");
+  mutual.SetContent("b", "a");
+  ASSERT_OK_AND_ASSIGN(Dtd mutual_unsat, mutual.Build());
+  EXPECT_FALSE(mutual_unsat.IsSatisfiable());
+
+  // PCDATA counts as derivable content.
+  Dtd::Builder text({"r"}, "r");
+  text.SetContent("r", "#PCDATA");
+  ASSERT_OK_AND_ASSIGN(Dtd text_sat, text.Build());
+  EXPECT_TRUE(text_sat.IsSatisfiable());
+}
+
+TEST(DtdTest, UnsatisfiableDtdYieldsInconsistentSpecification) {
+  // End-to-end: the consistency pipeline must refute a specification
+  // whose DTD admits no finite tree, even with zero constraints.
+  Dtd::Builder doomed({"r", "a"}, "r");
+  doomed.SetContent("r", "a");
+  doomed.SetContent("a", "a");
+  ASSERT_OK_AND_ASSIGN(Dtd unsat, doomed.Build());
+  EXPECT_FALSE(unsat.IsSatisfiable());
+}
+
+TEST(DtdTest, ToStringRoundTripsThroughNames) {
+  Dtd::Builder builder({"r", "a"}, "r");
+  builder.SetContent("r", "a+");
+  builder.AddAttribute("a", "id");
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, builder.Build());
+  std::string text = dtd.ToString();
+  EXPECT_NE(text.find("<!ELEMENT r"), std::string::npos);
+  EXPECT_NE(text.find("<!ATTLIST a id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,193 @@
+// DTD parser, XML tree, document parser and validator tests.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/dtd_parser.h"
+#include "xml/tree.h"
+#include "xml/validator.h"
+#include "xml/xml_parser.h"
+
+namespace xmlverify {
+namespace {
+
+constexpr char kBooksDtd[] = R"(
+<!ELEMENT library (book+)>
+<!ELEMENT book (title, author*)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author EMPTY>
+<!ATTLIST book isbn>
+<!ATTLIST author name>
+)";
+
+TEST(DtdParserTest, ParsesDeclarations) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  EXPECT_EQ(dtd.TypeName(dtd.root()), "library");
+  ASSERT_OK_AND_ASSIGN(int book, dtd.TypeId("book"));
+  EXPECT_TRUE(dtd.HasAttribute(book, "isbn"));
+  ASSERT_OK_AND_ASSIGN(int title, dtd.TypeId("title"));
+  const Dfa& dfa = dtd.ContentDfa(title);
+  EXPECT_TRUE(dfa.Accepts({dtd.pcdata_symbol()}));
+}
+
+TEST(DtdParserTest, UndeclaredReferencedTypesDefaultToEmpty) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (leaf+)>"));
+  ASSERT_OK_AND_ASSIGN(int leaf, dtd.TypeId("leaf"));
+  EXPECT_TRUE(dtd.ContentDfa(leaf).Accepts({}));
+}
+
+TEST(DtdParserTest, RootDirectiveOverridesFirstElement) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(R"(
+root top
+<!ELEMENT inner EMPTY>
+<!ELEMENT top (inner)>
+)"));
+  EXPECT_EQ(dtd.TypeName(dtd.root()), "top");
+}
+
+TEST(DtdParserTest, CommentsAreSkipped) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(R"(
+<!-- an XML comment -->
+<!ELEMENT r (a+)>   /* paper-style comment
+<!ELEMENT a EMPTY>
+)"));
+  EXPECT_EQ(dtd.num_element_types(), 2);
+}
+
+TEST(DtdParserTest, Errors) {
+  EXPECT_FALSE(ParseDtd("").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT r (a").ok());
+  EXPECT_FALSE(ParseDtd("<!WEIRD x>").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT r ANY>").ok());
+}
+
+TEST(XmlTreeTest, StructureAndQueries) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  ASSERT_OK_AND_ASSIGN(int book, dtd.TypeId("book"));
+  ASSERT_OK_AND_ASSIGN(int title, dtd.TypeId("title"));
+  ASSERT_OK_AND_ASSIGN(int author, dtd.TypeId("author"));
+
+  XmlTree tree(dtd.root());
+  NodeId b1 = tree.AddElement(tree.root(), book);
+  NodeId t1 = tree.AddElement(b1, title);
+  tree.AddText(t1, "Foundations of Databases");
+  NodeId a1 = tree.AddElement(b1, author);
+  tree.SetAttribute(b1, "isbn", "0-201-53771-0");
+  tree.SetAttribute(a1, "name", "Abiteboul");
+
+  EXPECT_EQ(tree.ElementsOfType(book), std::vector<NodeId>{b1});
+  EXPECT_TRUE(tree.IsDescendant(tree.root(), a1));
+  EXPECT_TRUE(tree.IsDescendant(b1, t1));
+  EXPECT_FALSE(tree.IsDescendant(t1, b1));
+  EXPECT_FALSE(tree.IsDescendant(a1, a1));
+
+  std::vector<int> path = tree.PathFromRoot(a1);
+  EXPECT_EQ(path, (std::vector<int>{dtd.root(), book, author}));
+
+  ASSERT_OK_AND_ASSIGN(std::string isbn, tree.Attribute(b1, "isbn"));
+  EXPECT_EQ(isbn, "0-201-53771-0");
+  EXPECT_FALSE(tree.Attribute(b1, "none").ok());
+}
+
+TEST(ValidatorTest, AcceptsConformingTree) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  ASSERT_OK_AND_ASSIGN(int book, dtd.TypeId("book"));
+  ASSERT_OK_AND_ASSIGN(int title, dtd.TypeId("title"));
+  XmlTree tree(dtd.root());
+  NodeId b = tree.AddElement(tree.root(), book);
+  tree.SetAttribute(b, "isbn", "x");
+  NodeId t = tree.AddElement(b, title);
+  tree.AddText(t, "T");
+  EXPECT_OK(CheckConforms(tree, dtd));
+}
+
+TEST(ValidatorTest, RejectsBadChildren) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  XmlTree tree(dtd.root());
+  // library with no book child violates book+.
+  EXPECT_FALSE(Conforms(tree, dtd));
+}
+
+TEST(ValidatorTest, RejectsMissingAndUndeclaredAttributes) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  ASSERT_OK_AND_ASSIGN(int book, dtd.TypeId("book"));
+  ASSERT_OK_AND_ASSIGN(int title, dtd.TypeId("title"));
+  XmlTree tree(dtd.root());
+  NodeId b = tree.AddElement(tree.root(), book);
+  NodeId t = tree.AddElement(b, title);
+  tree.AddText(t, "T");
+  // Missing isbn.
+  EXPECT_FALSE(Conforms(tree, dtd));
+  tree.SetAttribute(b, "isbn", "x");
+  EXPECT_TRUE(Conforms(tree, dtd));
+  tree.SetAttribute(b, "undeclared", "y");
+  EXPECT_FALSE(Conforms(tree, dtd));
+}
+
+TEST(XmlParserTest, ParsesDocument) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  constexpr char kDoc[] = R"(<?xml version="1.0"?>
+<library>
+  <!-- comment -->
+  <book isbn="1-55860-622-X">
+    <title>Data on the Web &amp; beyond</title>
+    <author name='Buneman'/>
+  </book>
+</library>)";
+  ASSERT_OK_AND_ASSIGN(XmlTree tree, ParseXmlDocument(kDoc, dtd));
+  EXPECT_OK(CheckConforms(tree, dtd));
+  ASSERT_OK_AND_ASSIGN(int author, dtd.TypeId("author"));
+  std::vector<NodeId> authors = tree.ElementsOfType(author);
+  ASSERT_EQ(authors.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(std::string name, tree.Attribute(authors[0], "name"));
+  EXPECT_EQ(name, "Buneman");
+  ASSERT_OK_AND_ASSIGN(int title, dtd.TypeId("title"));
+  NodeId title_node = tree.ElementsOfType(title)[0];
+  ASSERT_EQ(tree.ChildrenOf(title_node).size(), 1u);
+  EXPECT_EQ(tree.TextOf(tree.ChildrenOf(title_node)[0]),
+            "Data on the Web & beyond");
+}
+
+TEST(XmlParserTest, Errors) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  EXPECT_FALSE(ParseXmlDocument("<book/>", dtd).ok());        // wrong root
+  EXPECT_FALSE(ParseXmlDocument("<library>", dtd).ok());      // unterminated
+  EXPECT_FALSE(ParseXmlDocument("<library></book>", dtd).ok());
+  EXPECT_FALSE(ParseXmlDocument("<library><unknown/></library>", dtd).ok());
+  EXPECT_FALSE(
+      ParseXmlDocument("<library></library><library></library>", dtd).ok());
+}
+
+TEST(XmlSerializationTest, EscapesSpecialCharacters) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  ASSERT_OK_AND_ASSIGN(int book, dtd.TypeId("book"));
+  ASSERT_OK_AND_ASSIGN(int title, dtd.TypeId("title"));
+  XmlTree tree(dtd.root());
+  NodeId b = tree.AddElement(tree.root(), book);
+  tree.SetAttribute(b, "isbn", "a<b>&\"c'");
+  NodeId t = tree.AddElement(b, title);
+  tree.AddText(t, "x & y < z");
+  std::string serialized = tree.ToXml(dtd);
+  EXPECT_EQ(serialized.find("a<b>"), std::string::npos);  // escaped
+  ASSERT_OK_AND_ASSIGN(XmlTree reparsed, ParseXmlDocument(serialized, dtd));
+  ASSERT_OK_AND_ASSIGN(std::string isbn,
+                       reparsed.Attribute(reparsed.ElementsOfType(book)[0],
+                                          "isbn"));
+  EXPECT_EQ(isbn, "a<b>&\"c'");
+  NodeId new_title = reparsed.ElementsOfType(title)[0];
+  EXPECT_EQ(reparsed.TextOf(reparsed.ChildrenOf(new_title)[0]),
+            "x & y < z");
+}
+
+TEST(XmlSerializationTest, RoundTrip) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kBooksDtd));
+  constexpr char kDoc[] =
+      R"(<library><book isbn="i"><title>T</title></book></library>)";
+  ASSERT_OK_AND_ASSIGN(XmlTree tree, ParseXmlDocument(kDoc, dtd));
+  std::string serialized = tree.ToXml(dtd);
+  ASSERT_OK_AND_ASSIGN(XmlTree reparsed, ParseXmlDocument(serialized, dtd));
+  EXPECT_EQ(reparsed.num_nodes(), tree.num_nodes());
+  EXPECT_OK(CheckConforms(reparsed, dtd));
+}
+
+}  // namespace
+}  // namespace xmlverify
