@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_regular.dir/bench_fig3_regular.cc.o"
+  "CMakeFiles/bench_fig3_regular.dir/bench_fig3_regular.cc.o.d"
+  "bench_fig3_regular"
+  "bench_fig3_regular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_regular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_unary.dir/bench_fig3_unary.cc.o"
+  "CMakeFiles/bench_fig3_unary.dir/bench_fig3_unary.cc.o.d"
+  "bench_fig3_unary"
+  "bench_fig3_unary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_unary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_relative.dir/bench_fig4_relative.cc.o"
+  "CMakeFiles/bench_fig4_relative.dir/bench_fig4_relative.cc.o.d"
+  "bench_fig4_relative"
+  "bench_fig4_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

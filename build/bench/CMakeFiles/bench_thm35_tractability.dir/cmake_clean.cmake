@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm35_tractability.dir/bench_thm35_tractability.cc.o"
+  "CMakeFiles/bench_thm35_tractability.dir/bench_thm35_tractability.cc.o.d"
+  "bench_thm35_tractability"
+  "bench_thm35_tractability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm35_tractability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

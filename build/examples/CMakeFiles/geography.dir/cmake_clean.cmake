@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geography.dir/geography.cpp.o"
+  "CMakeFiles/geography.dir/geography.cpp.o.d"
+  "geography"
+  "geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_publishing.dir/relational_publishing.cpp.o"
+  "CMakeFiles/relational_publishing.dir/relational_publishing.cpp.o.d"
+  "relational_publishing"
+  "relational_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

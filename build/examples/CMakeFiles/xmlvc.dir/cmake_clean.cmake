@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlvc.dir/xmlvc.cpp.o"
+  "CMakeFiles/xmlvc.dir/xmlvc.cpp.o.d"
+  "xmlvc"
+  "xmlvc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlvc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

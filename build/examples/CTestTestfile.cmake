@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_geography "/root/repo/build/examples/geography")
+set_tests_properties(example_geography PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_library_catalog "/root/repo/build/examples/library_catalog")
+set_tests_properties(example_library_catalog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_relational_publishing "/root/repo/build/examples/relational_publishing")
+set_tests_properties(example_relational_publishing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(xmlvc_school_consistent "/root/repo/build/examples/xmlvc" "check" "/root/repo/examples/specs/school.dtd" "/root/repo/examples/specs/school.constraints")
+set_tests_properties(xmlvc_school_consistent PROPERTIES  PASS_REGULAR_EXPRESSION "CONSISTENT" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(xmlvc_school_inconsistent "/root/repo/build/examples/xmlvc" "check" "/root/repo/examples/specs/school.dtd" "/root/repo/examples/specs/school_inconsistent.constraints")
+set_tests_properties(xmlvc_school_inconsistent PROPERTIES  PASS_REGULAR_EXPRESSION "INCONSISTENT" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(xmlvc_geography_combined "/root/repo/build/examples/xmlvc" "check" "/root/repo/examples/specs/geography.xvc")
+set_tests_properties(xmlvc_geography_combined PROPERTIES  PASS_REGULAR_EXPRESSION "INCONSISTENT" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(xmlvc_geography_diagnose "/root/repo/build/examples/xmlvc" "diagnose" "/root/repo/examples/specs/geography.xvc")
+set_tests_properties(xmlvc_geography_diagnose PROPERTIES  PASS_REGULAR_EXPRESSION "minimal inconsistent core" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(xmlvc_classify "/root/repo/build/examples/xmlvc" "classify" "/root/repo/examples/specs/geography.xvc")
+set_tests_properties(xmlvc_classify PROPERTIES  PASS_REGULAR_EXPRESSION "hierarchical" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/bigint.cc" "src/CMakeFiles/xmlverify.dir/base/bigint.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/base/bigint.cc.o.d"
+  "/root/repo/src/base/rational.cc" "src/CMakeFiles/xmlverify.dir/base/rational.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/base/rational.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/xmlverify.dir/base/status.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/base/status.cc.o.d"
+  "/root/repo/src/base/string_util.cc" "src/CMakeFiles/xmlverify.dir/base/string_util.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/base/string_util.cc.o.d"
+  "/root/repo/src/checker/document_checker.cc" "src/CMakeFiles/xmlverify.dir/checker/document_checker.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/checker/document_checker.cc.o.d"
+  "/root/repo/src/constraints/constraint.cc" "src/CMakeFiles/xmlverify.dir/constraints/constraint.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/constraints/constraint.cc.o.d"
+  "/root/repo/src/constraints/constraint_parser.cc" "src/CMakeFiles/xmlverify.dir/constraints/constraint_parser.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/constraints/constraint_parser.cc.o.d"
+  "/root/repo/src/constraints/inclusion_closure.cc" "src/CMakeFiles/xmlverify.dir/constraints/inclusion_closure.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/constraints/inclusion_closure.cc.o.d"
+  "/root/repo/src/constraints/relative_geometry.cc" "src/CMakeFiles/xmlverify.dir/constraints/relative_geometry.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/constraints/relative_geometry.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/xmlverify.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/CMakeFiles/xmlverify.dir/core/consistency.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/consistency.cc.o.d"
+  "/root/repo/src/core/diagnosis.cc" "src/CMakeFiles/xmlverify.dir/core/diagnosis.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/diagnosis.cc.o.d"
+  "/root/repo/src/core/implication.cc" "src/CMakeFiles/xmlverify.dir/core/implication.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/implication.cc.o.d"
+  "/root/repo/src/core/sat_absolute.cc" "src/CMakeFiles/xmlverify.dir/core/sat_absolute.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/sat_absolute.cc.o.d"
+  "/root/repo/src/core/sat_bounded.cc" "src/CMakeFiles/xmlverify.dir/core/sat_bounded.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/sat_bounded.cc.o.d"
+  "/root/repo/src/core/sat_hierarchical.cc" "src/CMakeFiles/xmlverify.dir/core/sat_hierarchical.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/sat_hierarchical.cc.o.d"
+  "/root/repo/src/core/sat_regular.cc" "src/CMakeFiles/xmlverify.dir/core/sat_regular.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/sat_regular.cc.o.d"
+  "/root/repo/src/core/specification.cc" "src/CMakeFiles/xmlverify.dir/core/specification.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/specification.cc.o.d"
+  "/root/repo/src/core/witness.cc" "src/CMakeFiles/xmlverify.dir/core/witness.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/core/witness.cc.o.d"
+  "/root/repo/src/encoding/cardinality.cc" "src/CMakeFiles/xmlverify.dir/encoding/cardinality.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/encoding/cardinality.cc.o.d"
+  "/root/repo/src/encoding/flow_encoder.cc" "src/CMakeFiles/xmlverify.dir/encoding/flow_encoder.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/encoding/flow_encoder.cc.o.d"
+  "/root/repo/src/encoding/narrowing.cc" "src/CMakeFiles/xmlverify.dir/encoding/narrowing.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/encoding/narrowing.cc.o.d"
+  "/root/repo/src/encoding/regular_encoder.cc" "src/CMakeFiles/xmlverify.dir/encoding/regular_encoder.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/encoding/regular_encoder.cc.o.d"
+  "/root/repo/src/ilp/linear.cc" "src/CMakeFiles/xmlverify.dir/ilp/linear.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/ilp/linear.cc.o.d"
+  "/root/repo/src/ilp/simplex.cc" "src/CMakeFiles/xmlverify.dir/ilp/simplex.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/ilp/simplex.cc.o.d"
+  "/root/repo/src/ilp/solver.cc" "src/CMakeFiles/xmlverify.dir/ilp/solver.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/ilp/solver.cc.o.d"
+  "/root/repo/src/mapping/relational_mapping.cc" "src/CMakeFiles/xmlverify.dir/mapping/relational_mapping.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/mapping/relational_mapping.cc.o.d"
+  "/root/repo/src/reductions/cnf.cc" "src/CMakeFiles/xmlverify.dir/reductions/cnf.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/cnf.cc.o.d"
+  "/root/repo/src/reductions/cnf_depth2.cc" "src/CMakeFiles/xmlverify.dir/reductions/cnf_depth2.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/cnf_depth2.cc.o.d"
+  "/root/repo/src/reductions/diophantine_relative.cc" "src/CMakeFiles/xmlverify.dir/reductions/diophantine_relative.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/diophantine_relative.cc.o.d"
+  "/root/repo/src/reductions/impl_reduction.cc" "src/CMakeFiles/xmlverify.dir/reductions/impl_reduction.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/impl_reduction.cc.o.d"
+  "/root/repo/src/reductions/pde_reduction.cc" "src/CMakeFiles/xmlverify.dir/reductions/pde_reduction.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/pde_reduction.cc.o.d"
+  "/root/repo/src/reductions/qbf.cc" "src/CMakeFiles/xmlverify.dir/reductions/qbf.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/qbf.cc.o.d"
+  "/root/repo/src/reductions/qbf_hrc.cc" "src/CMakeFiles/xmlverify.dir/reductions/qbf_hrc.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/qbf_hrc.cc.o.d"
+  "/root/repo/src/reductions/qbf_regular.cc" "src/CMakeFiles/xmlverify.dir/reductions/qbf_regular.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/qbf_regular.cc.o.d"
+  "/root/repo/src/reductions/subset_sum.cc" "src/CMakeFiles/xmlverify.dir/reductions/subset_sum.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/reductions/subset_sum.cc.o.d"
+  "/root/repo/src/regex/automaton.cc" "src/CMakeFiles/xmlverify.dir/regex/automaton.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/regex/automaton.cc.o.d"
+  "/root/repo/src/regex/regex.cc" "src/CMakeFiles/xmlverify.dir/regex/regex.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/regex/regex.cc.o.d"
+  "/root/repo/src/xml/dtd.cc" "src/CMakeFiles/xmlverify.dir/xml/dtd.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/xml/dtd.cc.o.d"
+  "/root/repo/src/xml/dtd_parser.cc" "src/CMakeFiles/xmlverify.dir/xml/dtd_parser.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/xml/dtd_parser.cc.o.d"
+  "/root/repo/src/xml/tree.cc" "src/CMakeFiles/xmlverify.dir/xml/tree.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/xml/tree.cc.o.d"
+  "/root/repo/src/xml/validator.cc" "src/CMakeFiles/xmlverify.dir/xml/validator.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/xml/validator.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/xmlverify.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/xmlverify.dir/xml/xml_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

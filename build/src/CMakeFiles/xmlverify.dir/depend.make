@@ -1,0 +1,2 @@
+# Empty dependencies file for xmlverify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/absolute_test.dir/core/absolute_test.cc.o"
+  "CMakeFiles/absolute_test.dir/core/absolute_test.cc.o.d"
+  "absolute_test"
+  "absolute_test.pdb"
+  "absolute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/absolute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

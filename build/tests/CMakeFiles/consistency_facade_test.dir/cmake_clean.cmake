@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_facade_test.dir/core/consistency_facade_test.cc.o"
+  "CMakeFiles/consistency_facade_test.dir/core/consistency_facade_test.cc.o.d"
+  "consistency_facade_test"
+  "consistency_facade_test.pdb"
+  "consistency_facade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_facade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_parser_test.dir/constraints/constraint_parser_test.cc.o"
+  "CMakeFiles/constraint_parser_test.dir/constraints/constraint_parser_test.cc.o.d"
+  "constraint_parser_test"
+  "constraint_parser_test.pdb"
+  "constraint_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

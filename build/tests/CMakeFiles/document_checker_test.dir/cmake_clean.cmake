@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_checker_test.dir/checker/document_checker_test.cc.o"
+  "CMakeFiles/document_checker_test.dir/checker/document_checker_test.cc.o.d"
+  "document_checker_test"
+  "document_checker_test.pdb"
+  "document_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

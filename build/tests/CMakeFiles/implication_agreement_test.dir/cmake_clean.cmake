@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implication_agreement_test.dir/core/implication_agreement_test.cc.o"
+  "CMakeFiles/implication_agreement_test.dir/core/implication_agreement_test.cc.o.d"
+  "implication_agreement_test"
+  "implication_agreement_test.pdb"
+  "implication_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implication_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

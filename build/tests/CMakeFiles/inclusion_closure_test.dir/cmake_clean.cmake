@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inclusion_closure_test.dir/constraints/inclusion_closure_test.cc.o"
+  "CMakeFiles/inclusion_closure_test.dir/constraints/inclusion_closure_test.cc.o.d"
+  "inclusion_closure_test"
+  "inclusion_closure_test.pdb"
+  "inclusion_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inclusion_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

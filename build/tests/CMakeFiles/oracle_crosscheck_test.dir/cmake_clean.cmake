@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_crosscheck_test.dir/core/oracle_crosscheck_test.cc.o"
+  "CMakeFiles/oracle_crosscheck_test.dir/core/oracle_crosscheck_test.cc.o.d"
+  "oracle_crosscheck_test"
+  "oracle_crosscheck_test.pdb"
+  "oracle_crosscheck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_crosscheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

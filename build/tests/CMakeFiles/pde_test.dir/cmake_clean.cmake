@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_test.dir/reductions/pde_test.cc.o"
+  "CMakeFiles/pde_test.dir/reductions/pde_test.cc.o.d"
+  "pde_test"
+  "pde_test.pdb"
+  "pde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_oracle_test.dir/core/regular_oracle_test.cc.o"
+  "CMakeFiles/regular_oracle_test.dir/core/regular_oracle_test.cc.o.d"
+  "regular_oracle_test"
+  "regular_oracle_test.pdb"
+  "regular_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

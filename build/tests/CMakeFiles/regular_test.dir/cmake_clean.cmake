@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_test.dir/core/regular_test.cc.o"
+  "CMakeFiles/regular_test.dir/core/regular_test.cc.o.d"
+  "regular_test"
+  "regular_test.pdb"
+  "regular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_mapping_test.dir/mapping/relational_mapping_test.cc.o"
+  "CMakeFiles/relational_mapping_test.dir/mapping/relational_mapping_test.cc.o.d"
+  "relational_mapping_test"
+  "relational_mapping_test.pdb"
+  "relational_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

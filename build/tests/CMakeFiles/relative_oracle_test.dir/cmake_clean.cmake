@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relative_oracle_test.dir/core/relative_oracle_test.cc.o"
+  "CMakeFiles/relative_oracle_test.dir/core/relative_oracle_test.cc.o.d"
+  "relative_oracle_test"
+  "relative_oracle_test.pdb"
+  "relative_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relative_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/specification_combined_test.dir/core/specification_combined_test.cc.o"
+  "CMakeFiles/specification_combined_test.dir/core/specification_combined_test.cc.o.d"
+  "specification_combined_test"
+  "specification_combined_test.pdb"
+  "specification_combined_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/specification_combined_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
