@@ -40,6 +40,7 @@ void BM_PdeReduction(benchmark::State& state) {
           .ValueOrDie();
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -93,6 +94,7 @@ void BM_KeyWidth(benchmark::State& state) {
       Specification::Parse(dtd_text, keys + constraints).ValueOrDie();
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -115,6 +117,7 @@ void BM_UndecidableBounded(benchmark::State& state) {
   options.bounded.max_nodes = static_cast<int>(state.range(0));
   ConsistencyChecker checker(options);
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);

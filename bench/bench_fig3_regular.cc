@@ -26,6 +26,7 @@ void BM_QbfRegular(benchmark::State& state) {
   options.max_expressions = 20;
   ConsistencyChecker checker(options);
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -71,6 +72,7 @@ void BM_SchoolFamily(benchmark::State& state) {
   options.max_expressions = 20;
   ConsistencyChecker checker(options);
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -109,6 +111,7 @@ void BM_ExpressionBlowup(benchmark::State& state) {
   options.max_expressions = 20;
   ConsistencyChecker checker(options);
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);

@@ -25,6 +25,7 @@ void BM_CnfDepth2(benchmark::State& state) {
   Specification spec = CnfToDepth2Spec(formula).ValueOrDie();
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -47,6 +48,7 @@ void BM_SubsetSum2Constraints(benchmark::State& state) {
   Specification spec = SubsetSumToSpec(instance).ValueOrDie();
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -79,6 +81,7 @@ void BM_WideConsistentChain(benchmark::State& state) {
       Specification::Parse(dtd_text, constraints).ValueOrDie();
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);

@@ -40,6 +40,7 @@ void BM_HierarchicalNesting(benchmark::State& state) {
   Specification spec = NestedScopes(static_cast<int>(state.range(0)));
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -58,6 +59,7 @@ void BM_QbfHrc(benchmark::State& state) {
   Specification spec = QbfTo2HrcSpec(formula).ValueOrDie();
   ConsistencyChecker checker;
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);
@@ -87,6 +89,7 @@ void BM_UndecidableDiophantine(benchmark::State& state) {
   options.bounded.max_candidates = 200000;
   ConsistencyChecker checker(options);
   ConsistencyVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = checker.Check(spec).ValueOrDie();
     benchmark::DoNotOptimize(verdict.outcome);

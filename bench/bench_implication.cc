@@ -39,6 +39,7 @@ void BM_ChainImplication(benchmark::State& state) {
   int last =
       spec.dtd.TypeId("t" + std::to_string(length - 1)).ValueOrDie();
   ImplicationVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = CheckInclusionImplication(
                   spec.dtd, spec.constraints,
@@ -61,6 +62,7 @@ void BM_Prop36(benchmark::State& state) {
   Specification spec = CnfToDepth2Spec(formula).ValueOrDie();
   ImplicationInstance instance = SatToImplication(spec).ValueOrDie();
   ImplicationVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = CheckKeyImplication(instance.spec.dtd,
                                   instance.spec.constraints, instance.phi)
@@ -96,6 +98,7 @@ void BM_RegularImplication(benchmark::State& state) {
       ParseRegex("r.br0.item", resolve).ValueOrDie();
   int item = spec.dtd.TypeId("item").ValueOrDie();
   ImplicationVerdict verdict;
+  BenchTrace trace(state);
   for (auto _ : state) {
     verdict = CheckKeyImplication(spec.dtd, spec.constraints,
                                   RegularKey{branch_path, item, "id"})

@@ -1,6 +1,11 @@
 // Shared benchmark helpers: every bench binary prints the paper row it
 // reproduces (Figures 3/4) before running its measurements, so the
 // bench output reads as "claimed complexity" vs "measured scaling".
+//
+// BenchTrace additionally attaches the trace layer's per-iteration
+// counters (solver pivots, encoder sizes, search depth — see
+// docs/observability.md) to the benchmark counters, so BENCH_*.json
+// trajectories can be attributed to a phase instead of guessed at.
 #ifndef XMLVERIFY_BENCH_BENCH_UTIL_H_
 #define XMLVERIFY_BENCH_BENCH_UTIL_H_
 
@@ -9,6 +14,7 @@
 #include <cstdio>
 
 #include "core/verdict.h"
+#include "trace/trace.h"
 
 namespace xmlverify {
 
@@ -31,6 +37,44 @@ inline void RecordStats(benchmark::State& state,
   state.counters["variables"] = static_cast<double>(
       verdict.stats.num_variables);
 }
+
+/// Collects trace counters over a benchmark's measurement loop and
+/// attaches them, averaged per iteration, to the benchmark output.
+///
+///   void BM_Foo(benchmark::State& state) {
+///     BenchTrace trace(state);          // installs a trace session
+///     for (auto _ : state) { ... }
+///   }                                   // counters attached here
+///
+/// Phase totals are attached as "<name>_ms". Construct it before the
+/// measurement loop; the registry is per-benchmark, so counters do not
+/// leak across benchmarks.
+class BenchTrace {
+ public:
+  explicit BenchTrace(benchmark::State& state)
+      : state_(state), session_(&registry_) {}
+  BenchTrace(const BenchTrace&) = delete;
+  BenchTrace& operator=(const BenchTrace&) = delete;
+
+  ~BenchTrace() {
+    for (const auto& [name, value] : registry_.Counters()) {
+      state_.counters[name] = benchmark::Counter(
+          static_cast<double>(value), benchmark::Counter::kAvgIterations);
+    }
+    for (const auto& [name, stat] : registry_.Phases()) {
+      state_.counters[name + "_ms"] =
+          benchmark::Counter(static_cast<double>(stat.total_nanos) / 1e6,
+                             benchmark::Counter::kAvgIterations);
+    }
+  }
+
+  StatsRegistry& registry() { return registry_; }
+
+ private:
+  benchmark::State& state_;
+  StatsRegistry registry_;
+  TraceSession session_;
+};
 
 }  // namespace xmlverify
 

@@ -13,15 +13,27 @@
 //       For an inconsistent specification, prints a minimal
 //       inconsistent core (drop any one of its constraints and a
 //       document exists).
+//
+// Diagnostics flags, accepted anywhere on the command line (see
+// docs/observability.md for the report schema):
+//   --stats           print a JSON phase/counter report to stdout
+//   --trace[=text]    stream trace events to stderr, human-readable
+//   --trace=json      stream trace events to stderr as JSON lines
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "base/string_util.h"
 #include "checker/document_checker.h"
 #include "core/consistency.h"
 #include "core/diagnosis.h"
 #include "core/sat_hierarchical.h"
+#include "trace/sinks.h"
+#include "trace/trace.h"
 #include "xml/xml_parser.h"
 
 namespace {
@@ -45,7 +57,11 @@ int Usage() {
                "  xmlvc classify <spec.dtd> <constraints.txt>\n"
                "  xmlvc diagnose <spec.dtd> <constraints.txt>\n"
                "  xmlvc simplify <spec.dtd> <constraints.txt>\n"
-               "(a single combined <spec.xvc> may replace the file pair)\n");
+               "(a single combined <spec.xvc> may replace the file pair)\n"
+               "diagnostics flags (any position):\n"
+               "  --stats            JSON phase/counter report on stdout\n"
+               "  --trace[=text]     stream trace events to stderr\n"
+               "  --trace=json       stream trace events as JSON lines\n");
   return 2;
 }
 
@@ -135,9 +151,7 @@ int RunClassify(const Specification& spec) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunCommand(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
   // A spec is either one combined `.xvc` file or a DTD + constraints
@@ -189,4 +203,46 @@ int main(int argc, char** argv) {
     return 0;
   }
   return Usage();
+}
+
+}  // namespace
+
+using namespace xmlverify;
+
+int main(int argc, char** argv) {
+  // Diagnostics flags are global: strip them wherever they appear.
+  bool stats = false;
+  std::string trace_mode;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--trace" || arg == "--trace=text") {
+      trace_mode = "text";
+    } else if (arg == "--trace=json") {
+      trace_mode = "json";
+    } else if (StartsWith(arg, "--trace=")) {
+      std::fprintf(stderr, "error: unknown trace format '%s' "
+                   "(expected --trace=text or --trace=json)\n", arg.c_str());
+      return 2;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  StatsRegistry registry;
+  std::unique_ptr<TraceSink> sink;
+  if (trace_mode == "text") sink = std::make_unique<TextTraceSink>(std::cerr);
+  if (trace_mode == "json") sink = std::make_unique<JsonTraceSink>(std::cerr);
+  // Install the trace session only when a report was requested; with
+  // no session the instrumented library runs at full speed.
+  std::unique_ptr<TraceSession> session;
+  if (stats || sink != nullptr) {
+    session = std::make_unique<TraceSession>(&registry, sink.get());
+  }
+
+  int code = RunCommand(static_cast<int>(args.size()), args.data());
+  if (stats) std::fputs(registry.ToJson().c_str(), stdout);
+  return code;
 }

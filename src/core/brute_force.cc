@@ -4,6 +4,7 @@
 #include <map>
 
 #include "checker/document_checker.h"
+#include "trace/trace.h"
 #include "xml/validator.h"
 
 namespace xmlverify {
@@ -18,10 +19,13 @@ class BoundedSearcher {
       : dtd_(dtd), accept_(std::move(accept)), options_(options) {}
 
   Result<ConsistencyVerdict> Run() {
+    TraceSpan search_span("bounded/search");
+    trace::Max("bounded/max_nodes", options_.max_nodes);
     XmlTree seed(dtd_.root());
     std::deque<NodeId> pending = {seed.root()};
     Status status = Expand(seed, pending, options_.max_nodes - 1);
     if (!status.ok()) return status;
+    trace::Count("bounded/candidates", candidates_);
     ConsistencyVerdict verdict;
     verdict.stats.subproblems = candidates_;
     if (found_.has_value()) {
@@ -100,6 +104,10 @@ class BoundedSearcher {
 
   // Odometer over all attribute-value assignments.
   Status TryValues(const XmlTree& structure) {
+    if (trace::Enabled()) {
+      trace::Max("bounded/max_tree_nodes",
+                 static_cast<int64_t>(structure.AllElements().size()));
+    }
     std::vector<std::pair<NodeId, std::string>> slots;
     for (NodeId node : structure.AllElements()) {
       for (const std::string& attribute :

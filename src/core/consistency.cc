@@ -1,12 +1,21 @@
 #include "core/consistency.h"
 
+#include "trace/trace.h"
+
 namespace xmlverify {
 
 Result<ConsistencyVerdict> ConsistencyChecker::Check(
     const Specification& spec) const {
+  TraceSpan check_span("check");
   RETURN_IF_ERROR(spec.constraints.Validate(spec.dtd));
-  ConstraintClass constraint_class = spec.Classify();
+  ConstraintClass constraint_class;
+  {
+    TraceSpan classify_span("check/classify");
+    constraint_class = spec.Classify();
+  }
   std::string class_name = ConstraintClassName(constraint_class);
+  trace::Count("check/constraints",
+               static_cast<int64_t>(spec.constraints.size()));
 
   auto annotate = [&class_name](ConsistencyVerdict verdict) {
     if (verdict.note.empty()) {

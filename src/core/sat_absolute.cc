@@ -5,6 +5,7 @@
 #include "encoding/cardinality.h"
 #include "encoding/flow_encoder.h"
 #include "ilp/linear.h"
+#include "trace/trace.h"
 
 namespace xmlverify {
 
@@ -14,19 +15,25 @@ Result<ConsistencyVerdict> CheckAbsoluteConsistency(
   RETURN_IF_ERROR(constraints.Validate(dtd));
 
   IntegerProgram program;
+  std::optional<TraceSpan> encode_span;
+  encode_span.emplace("check/encode");
   ASSIGN_OR_RETURN(DtdFlowSystem flow,
                    DtdFlowSystem::Build(dtd, /*product=*/nullptr, &program));
   ASSIGN_OR_RETURN(
       AbsoluteCardinality cardinality,
       AbsoluteCardinality::Emit(dtd, constraints, options.forced_empty_types,
                                 &flow, &program));
+  encode_span.reset();
 
   IlpSolver solver(options.solver);
+  std::optional<TraceSpan> solve_span;
+  solve_span.emplace("check/solve");
   SolveResult solved =
       program.prequadratics().empty()
           ? solver.Solve(program)
           : solver.SolveWithDeepening(program, options.deepening_initial_cap,
                                       options.deepening_max_cap);
+  solve_span.reset();
 
   ConsistencyVerdict verdict;
   verdict.stats.solver_nodes = solved.nodes_explored;
@@ -50,6 +57,7 @@ Result<ConsistencyVerdict> CheckAbsoluteConsistency(
   verdict.outcome = ConsistencyOutcome::kConsistent;
   if (!options.build_witness) return verdict;
 
+  TraceSpan witness_span("check/witness");
   ASSIGN_OR_RETURN(XmlTree tree, flow.BuildTree(solved.assignment));
   RETURN_IF_ERROR(AssignAbsoluteValues(dtd, constraints, cardinality,
                                        solved.assignment,

@@ -5,6 +5,8 @@
 #include <set>
 #include <vector>
 
+#include "trace/trace.h"
+
 namespace xmlverify {
 
 namespace {
@@ -50,9 +52,14 @@ class NoStarChecker {
     }
     dims_.assign(mentioned.begin(), mentioned.end());
     for (size_t i = 0; i < dims_.size(); ++i) dim_of_[dims_[i]] = i;
+    trace::Count("nostar/dims", static_cast<int64_t>(dims_.size()));
+    ASSIGN_OR_RETURN(int depth, dtd_.Depth());
+    trace::Max("nostar/dtd_depth", depth);
 
     memo_.assign(dtd_.num_element_types(), std::nullopt);
+    TraceSpan solve_span("check/solve");
     ASSIGN_OR_RETURN(VectorSet root_set, TypeSet(dtd_.root()));
+    trace::Count("nostar/root_vectors", static_cast<int64_t>(root_set.size()));
 
     ConsistencyVerdict verdict;
     verdict.stats.subproblems = static_cast<int64_t>(root_set.size());

@@ -6,6 +6,7 @@
 #include "checker/document_checker.h"
 #include "constraints/relative_geometry.h"
 #include "core/sat_absolute.h"
+#include "trace/trace.h"
 #include "xml/validator.h"
 
 namespace xmlverify {
@@ -31,7 +32,10 @@ class HierarchicalChecker {
   Result<bool> ScopeConsistent(int tau, const std::set<int>& contexts) {
     ScopeKey key{tau, contexts};
     auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    if (it != memo_.end()) {
+      trace::Count("hierarchical/memo_hits");
+      return it->second;
+    }
     ASSIGN_OR_RETURN(ConsistencyVerdict verdict,
                      SolveScope(tau, contexts, /*build_witness=*/false,
                                 /*value_prefix=*/"v"));
@@ -114,18 +118,24 @@ class HierarchicalChecker {
   Result<ConsistencyVerdict> SolveScope(int tau, const std::set<int>& contexts,
                                         bool build_witness,
                                         const std::string& value_prefix) {
+    TraceSpan scope_span("hierarchical/scope");
+    trace::Max("hierarchical/max_context_depth",
+               static_cast<int64_t>(contexts.size()));
     ASSIGN_OR_RETURN(Dtd scope_dtd, geometry_.ScopeDtd(tau));
     std::vector<int> map = geometry_.ScopeTypeMap(tau);
     std::vector<int> forced_empty;
     // Recursively prune context leaves whose deeper scope is
     // inconsistent.
+    int fanout = 0;
     for (int type : geometry_.ScopeTypes(tau)) {
       if (type == tau || !geometry_.IsRestricted(type)) continue;
+      ++fanout;
       std::set<int> deeper = contexts;
       deeper.insert(type);
       ASSIGN_OR_RETURN(bool consistent, ScopeConsistent(type, deeper));
       if (!consistent) forced_empty.push_back(map[type]);
     }
+    trace::Count("hierarchical/scope_fanout", fanout);
     std::vector<int> path_types(contexts.begin(), contexts.end());
     ConstraintSet projected = geometry_.ProjectScopeConstraints(
         tau, path_types, map, &forced_empty);
@@ -144,6 +154,7 @@ class HierarchicalChecker {
     stats_.num_variables += verdict.stats.num_variables;
     stats_.num_constraints += verdict.stats.num_constraints;
     ++stats_.subproblems;
+    trace::Count("hierarchical/scopes_solved");
     if (verdict.outcome == ConsistencyOutcome::kUnknown) {
       return Status::ResourceExhausted("scope subproblem hit solver limits: " +
                                        verdict.note);
@@ -208,6 +219,7 @@ Result<ConsistencyVerdict> CheckHierarchicalConsistency(
   verdict.outcome = ConsistencyOutcome::kConsistent;
   if (!options.build_witness) return verdict;
 
+  TraceSpan witness_span("check/witness");
   ASSIGN_OR_RETURN(XmlTree root_scope,
                    checker.BuildScopeWitness(dtd.root(), root_contexts));
   XmlTree global(dtd.root());

@@ -3,6 +3,7 @@
 #include "checker/document_checker.h"
 #include "encoding/regular_encoder.h"
 #include "ilp/linear.h"
+#include "trace/trace.h"
 
 namespace xmlverify {
 
@@ -16,12 +17,18 @@ Result<ConsistencyVerdict> CheckRegularConsistency(
   IntegerProgram program;
   RegularEncoderOptions encoder_options;
   encoder_options.max_expressions = options.max_expressions;
+  std::optional<TraceSpan> encode_span;
+  encode_span.emplace("check/encode");
   ASSIGN_OR_RETURN(std::unique_ptr<RegularEncoder> encoder,
                    RegularEncoder::Build(dtd, regular, &program,
                                          encoder_options));
+  encode_span.reset();
 
   IlpSolver solver(options.solver);
+  std::optional<TraceSpan> solve_span;
+  solve_span.emplace("check/solve");
   SolveResult solved = solver.Solve(program);
+  solve_span.reset();
 
   ConsistencyVerdict verdict;
   verdict.stats.solver_nodes = solved.nodes_explored;
@@ -44,6 +51,7 @@ Result<ConsistencyVerdict> CheckRegularConsistency(
   verdict.outcome = ConsistencyOutcome::kConsistent;
   if (!options.build_witness) return verdict;
 
+  TraceSpan witness_span("check/witness");
   ASSIGN_OR_RETURN(XmlTree tree, encoder->BuildWitness(solved.assignment));
   if (options.verify_witness) {
     Status valid = CheckDocument(tree, dtd, regular);

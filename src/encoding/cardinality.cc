@@ -1,5 +1,7 @@
 #include "encoding/cardinality.h"
 
+#include "trace/trace.h"
+
 namespace xmlverify {
 
 VarId AbsoluteCardinality::AttrVar(int type,
@@ -39,6 +41,11 @@ Result<AbsoluteCardinality> AbsoluteCardinality::Emit(
         "element type (Theorem 3.1 / Corollary 3.3); overlapping key "
         "sets are outside the decidable fragment");
   }
+
+  const int variables_before = program->num_variables();
+  const size_t linear_before = program->linear().size();
+  const size_t conditionals_before = program->conditionals().size();
+  const size_t prequadratics_before = program->prequadratics().size();
 
   AbsoluteCardinality cardinality;
   // ext(tau) totals for every reachable type, plus ext(tau.l) for
@@ -129,6 +136,17 @@ Result<AbsoluteCardinality> AbsoluteCardinality::Emit(
                        "incl:" + inclusion.ToString(dtd));
   }
 
+  trace::Count("encoder/cardinality/attr_vars",
+               static_cast<int64_t>(cardinality.attr_vars_.size()));
+  trace::Count("encoder/cardinality/variables",
+               program->num_variables() - variables_before);
+  trace::Count(
+      "encoder/cardinality/constraints",
+      static_cast<int64_t>(program->linear().size() - linear_before +
+                           program->conditionals().size() -
+                           conditionals_before +
+                           program->prequadratics().size() -
+                           prequadratics_before));
   return cardinality;
 }
 

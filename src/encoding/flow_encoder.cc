@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "trace/trace.h"
+
 namespace xmlverify {
 
 namespace {
@@ -59,6 +61,9 @@ VarId DtdFlowSystem::TotalCountVar(int element_type, IntegerProgram* program) {
 
 Result<DtdFlowSystem> DtdFlowSystem::Build(const Dtd& dtd, ProductDfa* product,
                                            IntegerProgram* program) {
+  const int variables_before = program->num_variables();
+  const size_t linear_before = program->linear().size();
+  const size_t conditionals_before = program->conditionals().size();
   DtdFlowSystem system;
   system.dtd_ = &dtd;
   ASSIGN_OR_RETURN(system.narrowed_, NarrowedDtd::Build(dtd));
@@ -228,6 +233,14 @@ Result<DtdFlowSystem> DtdFlowSystem::Build(const Dtd& dtd, ProductDfa* product,
     }
   }
 
+  trace::Count("encoder/flow/kinds",
+               static_cast<int64_t>(system.kinds_.size()));
+  trace::Count("encoder/flow/variables",
+               program->num_variables() - variables_before);
+  trace::Count("encoder/flow/constraints",
+               static_cast<int64_t>(program->linear().size() - linear_before +
+                                    program->conditionals().size() -
+                                    conditionals_before));
   return system;
 }
 

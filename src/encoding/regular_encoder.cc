@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "trace/trace.h"
+
 namespace xmlverify {
 
 namespace {
@@ -180,6 +182,9 @@ Result<std::unique_ptr<RegularEncoder>> RegularEncoder::Build(
         "RegularEncoder expects purely regular constraints; use "
         "AbsoluteAsRegular to fold absolute constraints in");
   }
+  const int variables_before = program->num_variables();
+  const size_t linear_before = program->linear().size();
+  const size_t conditionals_before = program->conditionals().size();
   auto encoder = std::unique_ptr<RegularEncoder>(new RegularEncoder());
   encoder->dtd_ = &dtd;
 
@@ -521,6 +526,17 @@ Result<std::unique_ptr<RegularEncoder>> RegularEncoder::Build(
     }
   }
 
+  trace::Count("encoder/regular/expressions", k);
+  trace::Count("encoder/regular/cells",
+               static_cast<int64_t>(encoder->cell_vars_.size()));
+  trace::Count("encoder/regular/product_states", product.num_states());
+  trace::Count("encoder/regular/variables",
+               program->num_variables() - variables_before);
+  trace::Count(
+      "encoder/regular/constraints",
+      static_cast<int64_t>(program->linear().size() - linear_before +
+                           program->conditionals().size() -
+                           conditionals_before));
   return encoder;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
+
 namespace xmlverify {
 
 namespace {
@@ -159,6 +161,9 @@ SimplexResult SolveLp(int num_vars,
   Tableau tableau(num_vars, constraints);
   result.feasible = tableau.Optimize(&result.pivots);
   if (result.feasible) result.solution = tableau.Solution();
+  trace::Count("simplex/calls");
+  trace::Count("simplex/pivots", result.pivots);
+  if (!result.feasible) trace::Count("simplex/infeasible");
   return result;
 }
 

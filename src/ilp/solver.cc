@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ilp/simplex.h"
+#include "trace/trace.h"
 
 namespace xmlverify {
 
@@ -70,12 +71,14 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
   }
   for (const LinearConstraint& constraint : base) {
     if (GcdRefutes(constraint)) {
+      trace::Count("solver/gcd_refutations");
       result.outcome = SolveOutcome::kUnsat;
       result.note = "gcd test refutes: " +
                     constraint.ToString(program.variable_names());
       return result;
     }
   }
+  trace::Max("solver/max_branch_depth", 0);
 
   std::deque<SearchNode> stack;
   SearchNode root;
@@ -91,12 +94,16 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
     SearchNode node = std::move(stack.back());
     stack.pop_back();
     ++result.nodes_explored;
+    trace::Count("solver/nodes");
+    trace::Max("solver/max_branch_depth",
+               static_cast<int64_t>(node.extra.size()));
 
     std::vector<LinearConstraint> constraints = base;
     constraints.insert(constraints.end(), node.extra.begin(),
                        node.extra.end());
     SimplexResult lp = SolveLp(program.num_variables(), constraints);
     result.lp_pivots += lp.pivots;
+    trace::Count("solver/lp_pivots", lp.pivots);
     if (!lp.feasible) {
       // Attribute the prune: if dropping the cap rows restores
       // feasibility, the cap mattered and an exhausted search cannot
@@ -107,6 +114,8 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
         uncapped.insert(uncapped.end(), node.extra.begin(), node.extra.end());
         SimplexResult relaxed = SolveLp(program.num_variables(), uncapped);
         result.lp_pivots += relaxed.pivots;
+        trace::Count("solver/lp_pivots", relaxed.pivots);
+        trace::Count("solver/cap_relevance_probes");
         if (relaxed.feasible) cap_was_relevant = true;
       }
       continue;
@@ -225,6 +234,7 @@ SolveResult IlpSolver::SolveWithDeepening(const IntegerProgram& program,
   BigInt cap = initial_cap;
   SolveResult last;
   while (true) {
+    trace::Count("solver/deepening_rounds");
     SolverOptions options = options_;
     options.variable_cap = cap;
     IlpSolver capped(options);

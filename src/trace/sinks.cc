@@ -1,0 +1,56 @@
+#include "trace/sinks.h"
+
+#include <cstdio>
+
+namespace xmlverify {
+
+namespace {
+
+void Indent(std::ostream& out, int depth) {
+  for (int i = 0; i < depth; ++i) out << ".   ";
+}
+
+}  // namespace
+
+void TextTraceSink::SpanBegin(std::string_view name, int depth) {
+  Indent(out_, depth);
+  out_ << "> " << name << "\n";
+  out_.flush();
+}
+
+void TextTraceSink::SpanEnd(std::string_view name, int depth, int64_t nanos) {
+  Indent(out_, depth);
+  char duration[32];
+  std::snprintf(duration, sizeof(duration), "%.3f",
+                static_cast<double>(nanos) / 1e6);
+  out_ << "< " << name << " " << duration << " ms\n";
+  out_.flush();
+}
+
+void TextTraceSink::CounterAdd(std::string_view name, int64_t delta,
+                               int depth) {
+  Indent(out_, depth);
+  out_ << name << " " << (delta >= 0 ? "+" : "") << delta << "\n";
+  out_.flush();
+}
+
+void JsonTraceSink::SpanBegin(std::string_view name, int depth) {
+  out_ << "{\"event\":\"span_begin\",\"name\":" << trace::JsonQuote(name)
+       << ",\"depth\":" << depth << "}\n";
+  out_.flush();
+}
+
+void JsonTraceSink::SpanEnd(std::string_view name, int depth, int64_t nanos) {
+  out_ << "{\"event\":\"span_end\",\"name\":" << trace::JsonQuote(name)
+       << ",\"depth\":" << depth << ",\"ns\":" << nanos << "}\n";
+  out_.flush();
+}
+
+void JsonTraceSink::CounterAdd(std::string_view name, int64_t delta,
+                               int depth) {
+  out_ << "{\"event\":\"counter\",\"name\":" << trace::JsonQuote(name)
+       << ",\"delta\":" << delta << ",\"depth\":" << depth << "}\n";
+  out_.flush();
+}
+
+}  // namespace xmlverify

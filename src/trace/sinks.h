@@ -1,0 +1,50 @@
+// Stock TraceSink implementations behind `xmlvc --trace`.
+//
+//   TextTraceSink — indented, human-readable event log:
+//       > check
+//       .   > check/encode
+//       .   < check/encode 0.412 ms
+//       .   solver/lp_pivots +37
+//       < check 1.003 ms
+//
+//   JsonTraceSink — JSON-lines, one event object per line:
+//       {"event":"span_begin","name":"check","depth":0}
+//       {"event":"counter","name":"solver/lp_pivots","delta":37,"depth":1}
+//       {"event":"span_end","name":"check","depth":0,"ns":1003127}
+//
+// Both write to a caller-owned std::ostream and flush per event, so a
+// trace is complete up to the instant of a crash.
+#ifndef XMLVERIFY_TRACE_SINKS_H_
+#define XMLVERIFY_TRACE_SINKS_H_
+
+#include <ostream>
+
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+class TextTraceSink : public TraceSink {
+ public:
+  explicit TextTraceSink(std::ostream& out) : out_(out) {}
+  void SpanBegin(std::string_view name, int depth) override;
+  void SpanEnd(std::string_view name, int depth, int64_t nanos) override;
+  void CounterAdd(std::string_view name, int64_t delta, int depth) override;
+
+ private:
+  std::ostream& out_;
+};
+
+class JsonTraceSink : public TraceSink {
+ public:
+  explicit JsonTraceSink(std::ostream& out) : out_(out) {}
+  void SpanBegin(std::string_view name, int depth) override;
+  void SpanEnd(std::string_view name, int depth, int64_t nanos) override;
+  void CounterAdd(std::string_view name, int64_t delta, int depth) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_TRACE_SINKS_H_

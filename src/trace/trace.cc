@@ -1,0 +1,184 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace xmlverify {
+
+namespace trace {
+namespace internal {
+
+thread_local ThreadState tls_state;
+
+void CountSlow(std::string_view counter, int64_t delta) {
+  ThreadState& state = tls_state;
+  state.registry->Add(counter, delta);
+  if (state.sink != nullptr) {
+    state.sink->CounterAdd(counter, delta, state.depth);
+  }
+}
+
+void MaxSlow(std::string_view counter, int64_t value) {
+  tls_state.registry->RecordMax(counter, value);
+}
+
+}  // namespace internal
+
+std::string JsonQuote(std::string_view text) {
+  std::string quoted = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\t': quoted += "\\t"; break;
+      case '\r': quoted += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          quoted += buffer;
+        } else {
+          quoted += c;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace trace
+
+void StatsRegistry::Add(std::string_view counter, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void StatsRegistry::RecordMax(std::string_view counter, int64_t value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), value < 0 ? 0 : value);
+  } else if (it->second < value) {
+    it->second = value;
+  }
+}
+
+void StatsRegistry::AddPhase(std::string_view phase, int64_t nanos) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = phases_.find(phase);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(phase), PhaseStat{}).first;
+  }
+  ++it->second.count;
+  it->second.total_nanos += nanos;
+}
+
+int64_t StatsRegistry::Counter(std::string_view counter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(counter);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, int64_t> StatsRegistry::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::map<std::string, PhaseStat> StatsRegistry::Phases() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {phases_.begin(), phases_.end()};
+}
+
+void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  phases_.clear();
+}
+
+std::string StatsRegistry::ToJson() const {
+  std::map<std::string, int64_t> counters = Counters();
+  std::map<std::string, PhaseStat> phases = Phases();
+  std::ostringstream out;
+  out << "{\n  \"phases\": {";
+  bool first = true;
+  for (const auto& [name, stat] : phases) {
+    out << (first ? "\n" : ",\n") << "    " << trace::JsonQuote(name)
+        << ": {\"count\": " << stat.count
+        << ", \"total_ns\": " << stat.total_nanos << "}";
+    first = false;
+  }
+  out << (first ? "},\n" : "\n  },\n");
+  out << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "\n" : ",\n") << "    " << trace::JsonQuote(name) << ": "
+        << value;
+    first = false;
+  }
+  out << (first ? "}\n" : "\n  }\n");
+  out << "}\n";
+  return out.str();
+}
+
+std::string StatsRegistry::ToText() const {
+  std::map<std::string, int64_t> counters = Counters();
+  std::map<std::string, PhaseStat> phases = Phases();
+  std::ostringstream out;
+  char line[160];
+  if (!phases.empty()) {
+    std::snprintf(line, sizeof(line), "%-40s %8s %12s\n", "phase", "count",
+                  "total_ms");
+    out << line;
+    for (const auto& [name, stat] : phases) {
+      std::snprintf(line, sizeof(line), "%-40s %8lld %12.3f\n", name.c_str(),
+                    static_cast<long long>(stat.count),
+                    static_cast<double>(stat.total_nanos) / 1e6);
+      out << line;
+    }
+  }
+  if (!counters.empty()) {
+    std::snprintf(line, sizeof(line), "%-40s %8s\n", "counter", "value");
+    out << line;
+    for (const auto& [name, value] : counters) {
+      std::snprintf(line, sizeof(line), "%-40s %8lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+TraceSession::TraceSession(StatsRegistry* registry, TraceSink* sink)
+    : saved_(trace::internal::tls_state) {
+  trace::internal::tls_state = {registry, sink, 0};
+}
+
+TraceSession::~TraceSession() { trace::internal::tls_state = saved_; }
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  trace::internal::ThreadState& state = trace::internal::tls_state;
+  if (state.registry == nullptr) return;
+  active_ = true;
+  depth_ = state.depth++;
+  if (state.sink != nullptr) state.sink->SpanBegin(name_, depth_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  trace::internal::ThreadState& state = trace::internal::tls_state;
+  state.depth = depth_;
+  state.registry->AddPhase(name_, nanos);
+  if (state.sink != nullptr) state.sink->SpanEnd(name_, depth_, nanos);
+}
+
+}  // namespace xmlverify

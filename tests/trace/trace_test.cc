@@ -1,0 +1,386 @@
+// Unit tests for the trace/stats layer: span nesting and timing,
+// registry thread-safety, report well-formedness — plus an end-to-end
+// integration test running `xmlvc --stats check` on the paper's
+// country/province specification and validating the emitted JSON.
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "trace/sinks.h"
+
+namespace xmlverify {
+namespace {
+
+// Records every event for structural assertions.
+class RecordingSink : public TraceSink {
+ public:
+  struct Event {
+    std::string kind;
+    std::string name;
+    int depth;
+    int64_t value;  // nanos for span_end, delta for counter
+  };
+  std::vector<Event> events;
+
+  void SpanBegin(std::string_view name, int depth) override {
+    events.push_back({"begin", std::string(name), depth, 0});
+  }
+  void SpanEnd(std::string_view name, int depth, int64_t nanos) override {
+    events.push_back({"end", std::string(name), depth, nanos});
+  }
+  void CounterAdd(std::string_view name, int64_t delta, int depth) override {
+    events.push_back({"counter", std::string(name), depth, delta});
+  }
+};
+
+TEST(TraceSpanTest, DisabledWithoutSession) {
+  EXPECT_FALSE(trace::Enabled());
+  // All instrumentation must be inert: no crash, no state.
+  trace::Count("ghost/counter", 7);
+  trace::Max("ghost/max", 9);
+  TraceSpan span("ghost/span");
+  EXPECT_FALSE(trace::Enabled());
+}
+
+TEST(TraceSpanTest, NestingDepthsAndOrdering) {
+  StatsRegistry registry;
+  RecordingSink sink;
+  {
+    TraceSession session(&registry, &sink);
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+      trace::Count("leaf", 2);
+    }
+  }
+  ASSERT_EQ(sink.events.size(), 5u);
+  EXPECT_EQ(sink.events[0].kind, "begin");
+  EXPECT_EQ(sink.events[0].name, "outer");
+  EXPECT_EQ(sink.events[0].depth, 0);
+  EXPECT_EQ(sink.events[1].kind, "begin");
+  EXPECT_EQ(sink.events[1].name, "inner");
+  EXPECT_EQ(sink.events[1].depth, 1);
+  EXPECT_EQ(sink.events[2].kind, "counter");
+  EXPECT_EQ(sink.events[2].name, "leaf");
+  EXPECT_EQ(sink.events[2].depth, 2);
+  EXPECT_EQ(sink.events[3].kind, "end");
+  EXPECT_EQ(sink.events[3].name, "inner");
+  EXPECT_EQ(sink.events[3].depth, 1);
+  EXPECT_EQ(sink.events[4].kind, "end");
+  EXPECT_EQ(sink.events[4].name, "outer");
+  EXPECT_EQ(sink.events[4].depth, 0);
+}
+
+TEST(TraceSpanTest, TimingAccumulatesIntoRegistry) {
+  StatsRegistry registry;
+  int64_t inner_nanos = 0;
+  {
+    TraceSession session(&registry);
+    TraceSpan outer("outer");
+    for (int i = 0; i < 3; ++i) {
+      TraceSpan inner("inner");
+      // Do a little work so the clock advances on coarse timers.
+      volatile int sink_value = 0;
+      for (int j = 0; j < 10000; ++j) sink_value = sink_value + j;
+    }
+    auto phases = registry.Phases();
+    ASSERT_TRUE(phases.count("inner"));
+    inner_nanos = phases["inner"].total_nanos;
+    EXPECT_EQ(phases["inner"].count, 3);
+    EXPECT_EQ(phases.count("outer"), 0u);  // still open
+  }
+  auto phases = registry.Phases();
+  ASSERT_TRUE(phases.count("outer"));
+  EXPECT_EQ(phases["outer"].count, 1);
+  // The outer span encloses the inner ones.
+  EXPECT_GE(phases["outer"].total_nanos, inner_nanos);
+}
+
+TEST(TraceSpanTest, SessionRestoresPreviousTarget) {
+  StatsRegistry first;
+  StatsRegistry second;
+  TraceSession outer_session(&first);
+  {
+    TraceSession inner_session(&second);
+    trace::Count("which", 1);
+  }
+  trace::Count("which", 10);
+  EXPECT_EQ(second.Counter("which"), 1);
+  EXPECT_EQ(first.Counter("which"), 10);
+}
+
+TEST(StatsRegistryTest, AddAndMax) {
+  StatsRegistry registry;
+  registry.Add("a", 5);
+  registry.Add("a", 7);
+  EXPECT_EQ(registry.Counter("a"), 12);
+  registry.RecordMax("m", 3);
+  registry.RecordMax("m", 1);
+  EXPECT_EQ(registry.Counter("m"), 3);
+  registry.RecordMax("zero", 0);  // must exist even at zero
+  EXPECT_EQ(registry.Counters().count("zero"), 1u);
+  EXPECT_EQ(registry.Counter("absent"), 0);
+}
+
+TEST(StatsRegistryTest, ThreadSafety) {
+  StatsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Each thread gets its own session against the shared registry.
+      TraceSession session(&registry);
+      for (int i = 0; i < kIncrements; ++i) {
+        trace::Count("shared/counter");
+        trace::Max("shared/max", t * kIncrements + i);
+        registry.AddPhase("shared/phase", 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.Counter("shared/counter"),
+            int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(registry.Counter("shared/max"),
+            int64_t{kThreads - 1} * kIncrements + kIncrements - 1);
+  auto phases = registry.Phases();
+  EXPECT_EQ(phases["shared/phase"].count, int64_t{kThreads} * kIncrements);
+  EXPECT_EQ(phases["shared/phase"].total_nanos,
+            int64_t{kThreads} * kIncrements);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON checker (objects/arrays/strings/
+// numbers/bools/null), enough to assert report well-formedness
+// without a JSON library dependency.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return Object();
+    if (c == '[') return Array();
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(StatsRegistryTest, ToJsonIsWellFormed) {
+  StatsRegistry registry;
+  EXPECT_TRUE(JsonChecker(registry.ToJson()).Valid());  // empty report
+  registry.Add("solver/lp_pivots", 42);
+  registry.Add("weird\"name\\with\ncontrol", 1);
+  registry.AddPhase("check/solve", 1234567);
+  std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"solver/lp_pivots\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"check/solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\": 1234567"), std::string::npos);
+}
+
+TEST(SinksTest, JsonLinesAreEachWellFormed) {
+  std::ostringstream out;
+  StatsRegistry registry;
+  JsonTraceSink sink(out);
+  {
+    TraceSession session(&registry, &sink);
+    TraceSpan span("check");
+    trace::Count("solver/nodes", 3);
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);  // begin, counter, end
+}
+
+TEST(SinksTest, TextSinkIndentsByDepth) {
+  std::ostringstream out;
+  StatsRegistry registry;
+  TextTraceSink sink(out);
+  {
+    TraceSession session(&registry, &sink);
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  std::string text = out.str();
+  EXPECT_NE(text.find("> outer"), std::string::npos);
+  EXPECT_NE(text.find(".   > inner"), std::string::npos);
+  EXPECT_NE(text.find(".   < inner"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: the real CLI on the paper's country/province example
+// (examples/specs/geography.xvc, an inconsistent specification) must
+// emit a well-formed JSON report whose solver and encoder counters are
+// populated. XMLVC_BINARY_PATH / XMLVC_SPECS_DIR come from CMake.
+
+#if defined(XMLVC_BINARY_PATH) && defined(XMLVC_SPECS_DIR)
+
+std::string RunAndCapture(const std::string& command, int* exit_code) {
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return output;
+  }
+  char buffer[4096];
+  size_t read;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, read);
+  }
+  *exit_code = pclose(pipe);
+  return output;
+}
+
+TEST(XmlvcStatsIntegrationTest, StatsCheckEmitsPopulatedJsonReport) {
+  int exit_code = 0;
+  std::string output = RunAndCapture(
+      std::string(XMLVC_BINARY_PATH) + " --stats check " + XMLVC_SPECS_DIR +
+          "/geography.xvc 2>/dev/null",
+      &exit_code);
+  // geography.xvc is the paper's inconsistent country/province spec:
+  // the CLI exits 1 and announces INCONSISTENT before the report.
+  EXPECT_EQ(WEXITSTATUS(exit_code), 1) << output;
+  ASSERT_NE(output.find("INCONSISTENT"), std::string::npos) << output;
+
+  // The JSON report starts at the first line-initial '{' (verdict
+  // notes may mention constraint classes like RC_{K,FK} before it).
+  size_t brace = output.find("\n{");
+  ASSERT_NE(brace, std::string::npos) << output;
+  std::string json = output.substr(brace + 1);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+
+  // Phase timings for the span chain, solver/encoder counters, and
+  // the search-depth high-water marks must all be present.
+  for (const char* field :
+       {"\"phases\"", "\"counters\"", "\"check\"", "\"check/classify\"",
+        "\"check/encode\"", "\"check/solve\"", "\"solver/lp_pivots\"",
+        "\"solver/nodes\"", "\"encoder/flow/variables\"",
+        "\"encoder/flow/constraints\"", "\"solver/max_branch_depth\"",
+        "\"hierarchical/max_context_depth\""}) {
+    EXPECT_NE(json.find(field), std::string::npos)
+        << "missing " << field << " in:\n" << json;
+  }
+
+  // An inconsistent verdict cannot be reached without solver work.
+  auto counter_at_least_one = [&json](const std::string& name) {
+    size_t at = json.find("\"" + name + "\": ");
+    ASSERT_NE(at, std::string::npos) << json;
+    at += name.size() + 4;
+    int64_t value = std::strtoll(json.c_str() + at, nullptr, 10);
+    EXPECT_GE(value, 1) << name << " should be nonzero in:\n" << json;
+  };
+  counter_at_least_one("solver/lp_pivots");
+  counter_at_least_one("solver/nodes");
+  counter_at_least_one("encoder/flow/variables");
+  counter_at_least_one("encoder/flow/constraints");
+  counter_at_least_one("hierarchical/scopes_solved");
+}
+
+TEST(XmlvcStatsIntegrationTest, NoFlagsMeansNoReport) {
+  int exit_code = 0;
+  std::string output = RunAndCapture(
+      std::string(XMLVC_BINARY_PATH) + " check " + XMLVC_SPECS_DIR +
+          "/geography.xvc 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(WEXITSTATUS(exit_code), 1);
+  EXPECT_EQ(output.find("\n{"), std::string::npos) << output;
+  EXPECT_EQ(output.find("\"counters\""), std::string::npos) << output;
+}
+
+#endif  // XMLVC_BINARY_PATH && XMLVC_SPECS_DIR
+
+}  // namespace
+}  // namespace xmlverify
