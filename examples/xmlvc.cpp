@@ -13,13 +13,22 @@
 //       For an inconsistent specification, prints a minimal
 //       inconsistent core (drop any one of its constraints and a
 //       document exists).
+//   xmlvc --batch <manifest>
+//       Checks every specification listed in the manifest (one per
+//       line: a combined .xvc path, or DTD and constraint paths) on a
+//       thread pool, one verdict line per spec in manifest order.
 //
-// Diagnostics flags, accepted anywhere on the command line (see
+// Flags, accepted anywhere on the command line (see
 // docs/observability.md for the report schema):
+//   --jobs=N          batch worker threads (default: hardware threads)
+//   --timeout=MS      per-check wall-clock budget in milliseconds;
+//                     an expired check reports DEADLINE_EXCEEDED
 //   --stats           print a JSON phase/counter report to stdout
 //   --trace[=text]    stream trace events to stderr, human-readable
 //   --trace=json      stream trace events to stderr as JSON lines
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,7 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/string_util.h"
+#include "batch/batch_runner.h"
 #include "checker/document_checker.h"
 #include "core/consistency.h"
 #include "core/diagnosis.h"
@@ -57,8 +68,11 @@ int Usage() {
                "  xmlvc classify <spec.dtd> <constraints.txt>\n"
                "  xmlvc diagnose <spec.dtd> <constraints.txt>\n"
                "  xmlvc simplify <spec.dtd> <constraints.txt>\n"
+               "  xmlvc --batch <manifest>\n"
                "(a single combined <spec.xvc> may replace the file pair)\n"
-               "diagnostics flags (any position):\n"
+               "flags (any position):\n"
+               "  --jobs=N           batch worker threads\n"
+               "  --timeout=MS       per-check wall-clock budget (ms)\n"
                "  --stats            JSON phase/counter report on stdout\n"
                "  --trace[=text]     stream trace events to stderr\n"
                "  --trace=json       stream trace events as JSON lines\n");
@@ -78,8 +92,13 @@ Result<Specification> LoadSpec(const std::string& dtd_path,
   return Specification::Parse(dtd_text, constraints_text);
 }
 
-int RunCheck(const Specification& spec, const std::string& witness_path) {
-  ConsistencyChecker checker;
+int RunCheck(const Specification& spec, const std::string& witness_path,
+             int64_t timeout_millis) {
+  ConsistencyChecker::Options options;
+  if (timeout_millis > 0) {
+    options.deadline = Deadline::AfterMillis(timeout_millis);
+  }
+  ConsistencyChecker checker(options);
   Result<ConsistencyVerdict> verdict = checker.Check(spec);
   if (!verdict.ok()) {
     std::fprintf(stderr, "error: %s\n", verdict.status().ToString().c_str());
@@ -92,13 +111,66 @@ int RunCheck(const Specification& spec, const std::string& witness_path) {
     out << verdict->witness->ToXml(spec.dtd);
     std::printf("witness written to %s\n", witness_path.c_str());
   }
-  // Exit codes: 0 consistent, 1 inconsistent, 3 unknown.
+  // Exit codes: 0 consistent, 1 inconsistent, 3 unknown, 4 deadline.
   switch (verdict->outcome) {
     case ConsistencyOutcome::kConsistent: return 0;
     case ConsistencyOutcome::kInconsistent: return 1;
     case ConsistencyOutcome::kUnknown: return 3;
+    case ConsistencyOutcome::kDeadlineExceeded: return 4;
   }
   return 2;
+}
+
+// The batch driver: one verdict line per manifest entry, in manifest
+// order, then a '#'-prefixed summary. Exit code reflects the worst
+// outcome in the batch: error > deadline > unknown > inconsistent.
+int RunBatchCommand(const std::string& manifest_path, int jobs,
+                    int64_t timeout_millis, StatsRegistry* stats) {
+  Result<std::string> manifest = ReadFile(manifest_path);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "error: %s\n", manifest.status().ToString().c_str());
+    return 2;
+  }
+  size_t slash = manifest_path.find_last_of('/');
+  std::string base_dir =
+      slash == std::string::npos ? std::string() : manifest_path.substr(0, slash);
+  Result<std::vector<BatchEntry>> entries =
+      ParseBatchManifest(*manifest, base_dir);
+  if (!entries.ok()) {
+    std::fprintf(stderr, "error: %s\n", entries.status().ToString().c_str());
+    return 2;
+  }
+
+  BatchOptions options;
+  options.jobs = jobs;
+  options.timeout_millis = timeout_millis;
+  options.stats = stats;
+  BatchResult result = RunBatch(*entries, options);
+
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    const BatchEntry& entry = (*entries)[i];
+    std::string label = entry.dtd_path;
+    if (!entry.constraints_path.empty()) label += " " + entry.constraints_path;
+    const BatchItem& item = result.items[i];
+    if (!item.status.ok()) {
+      std::printf("%s: ERROR: %s\n", label.c_str(),
+                  item.status.ToString().c_str());
+    } else {
+      std::printf("%s: %s\n", label.c_str(),
+                  OutcomeName(item.verdict.outcome).c_str());
+    }
+  }
+  std::printf(
+      "# checked %zu spec(s): %d consistent, %d inconsistent, %d unknown, "
+      "%d deadline-exceeded, %d error(s) in %lld ms\n",
+      result.items.size(), result.consistent, result.inconsistent,
+      result.unknown, result.deadline_exceeded, result.errors,
+      static_cast<long long>(result.wall_millis));
+  if (result.errors > 0) return 2;
+  if (result.deadline_exceeded > 0) return 4;
+  if (result.unknown > 0) return 3;
+  if (result.inconsistent > 0) return 1;
+  return 0;
 }
 
 int RunValidate(const Specification& spec, const std::string& doc_path) {
@@ -151,7 +223,7 @@ int RunClassify(const Specification& spec) {
   return 0;
 }
 
-int RunCommand(int argc, char** argv) {
+int RunCommand(int argc, char** argv, int64_t timeout_millis) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
   // A spec is either one combined `.xvc` file or a DTD + constraints
@@ -172,7 +244,7 @@ int RunCommand(int argc, char** argv) {
     for (int arg = rest; arg + 1 < argc; ++arg) {
       if (std::string(argv[arg]) == "--witness") witness_path = argv[arg + 1];
     }
-    return RunCheck(*spec, witness_path);
+    return RunCheck(*spec, witness_path, timeout_millis);
   }
   if (command == "validate") {
     if (argc < rest + 1) return Usage();
@@ -210,14 +282,33 @@ int RunCommand(int argc, char** argv) {
 using namespace xmlverify;
 
 int main(int argc, char** argv) {
-  // Diagnostics flags are global: strip them wherever they appear.
+  // Global flags are accepted anywhere: strip them wherever they
+  // appear, leaving the positional command line.
   bool stats = false;
+  bool batch = false;
+  int jobs = 0;
+  int64_t timeout_millis = 0;
   std::string trace_mode;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--batch") {
+      batch = true;
+    } else if (StartsWith(arg, "--jobs=")) {
+      jobs = std::atoi(arg.c_str() + 7);
+      if (jobs <= 0) {
+        std::fprintf(stderr, "error: --jobs expects a positive integer\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--timeout=")) {
+      timeout_millis = std::atoll(arg.c_str() + 10);
+      if (timeout_millis <= 0) {
+        std::fprintf(stderr,
+                     "error: --timeout expects a positive millisecond count\n");
+        return 2;
+      }
     } else if (arg == "--trace" || arg == "--trace=text") {
       trace_mode = "text";
     } else if (arg == "--trace=json") {
@@ -242,7 +333,22 @@ int main(int argc, char** argv) {
     session = std::make_unique<TraceSession>(&registry, sink.get());
   }
 
-  int code = RunCommand(static_cast<int>(args.size()), args.data());
+  int code;
+  if (batch) {
+    // `xmlvc --batch <manifest>`: the one positional argument left
+    // after flag stripping is the manifest. Workers install their own
+    // sessions, so the registry is passed directly rather than relying
+    // on this (main) thread's session.
+    if (args.size() != 2) {
+      code = Usage();
+    } else {
+      code = RunBatchCommand(args[1], jobs, timeout_millis,
+                             (stats || sink != nullptr) ? &registry : nullptr);
+    }
+  } else {
+    code = RunCommand(static_cast<int>(args.size()), args.data(),
+                      timeout_millis);
+  }
   if (stats) std::fputs(registry.ToJson().c_str(), stdout);
   return code;
 }

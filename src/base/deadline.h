@@ -1,0 +1,92 @@
+// Cooperative wall-clock deadlines for the decision procedures.
+//
+// A Deadline is a point in time (or "never"); long-running loops poll
+// it and bail out with a kDeadlineExceeded verdict instead of hanging
+// on adversarial inputs. Polling is cooperative and cheap: an
+// infinite deadline costs one branch, and hot loops amortize the
+// clock read through PeriodicDeadlineCheck.
+//
+// Deadlines are plain values: copy them freely into worker threads
+// and option structs. A default-constructed Deadline never expires.
+#ifndef XMLVERIFY_BASE_DEADLINE_H_
+#define XMLVERIFY_BASE_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xmlverify {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  Deadline() = default;
+
+  /// Expires `budget` from now.
+  static Deadline After(Clock::duration budget) {
+    Deadline deadline;
+    deadline.has_deadline_ = true;
+    deadline.at_ = Clock::now() + budget;
+    return deadline;
+  }
+
+  /// Expires `millis` milliseconds from now; non-positive budgets are
+  /// already expired (useful in tests).
+  static Deadline AfterMillis(int64_t millis) {
+    return After(std::chrono::milliseconds(millis));
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool is_infinite() const { return !has_deadline_; }
+
+  /// True once the wall clock has passed the deadline. Reads the
+  /// clock; in tight loops prefer PeriodicDeadlineCheck.
+  bool Expired() const {
+    return has_deadline_ && Clock::now() >= at_;
+  }
+
+  /// Time left, clamped at zero; a very large value when infinite.
+  Clock::duration Remaining() const {
+    if (!has_deadline_) return Clock::duration::max();
+    Clock::time_point now = Clock::now();
+    return now >= at_ ? Clock::duration::zero() : at_ - now;
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// Amortized deadline polling for hot loops: reads the clock only
+/// every `stride` calls (and never for infinite deadlines), so a
+/// disabled deadline adds one predictable branch per iteration.
+/// Detection latency is bounded by `stride` loop iterations.
+class PeriodicDeadlineCheck {
+ public:
+  explicit PeriodicDeadlineCheck(const Deadline& deadline,
+                                 uint32_t stride = 64)
+      : deadline_(deadline), stride_(stride == 0 ? 1 : stride) {}
+
+  /// True once the deadline has passed (sticky after first detection).
+  bool Expired() {
+    if (expired_) return true;
+    if (deadline_.is_infinite()) return false;
+    if (++tick_ % stride_ != 0) return false;
+    expired_ = deadline_.Expired();
+    return expired_;
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  Deadline deadline_;
+  uint32_t stride_;
+  uint32_t tick_ = 0;
+  bool expired_ = false;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_DEADLINE_H_

@@ -14,6 +14,35 @@ Rational::Rational(BigInt numerator, BigInt denominator)
   Normalize();
 }
 
+Result<Rational> Rational::Create(BigInt numerator, BigInt denominator) {
+  if (denominator.is_zero()) {
+    return Status::InvalidArgument("rational with zero denominator");
+  }
+  return Rational(std::move(numerator), std::move(denominator));
+}
+
+Result<Rational> Rational::FromString(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    ASSIGN_OR_RETURN(BigInt value,
+                     BigInt::FromString(std::string(text)));
+    return Rational(std::move(value));
+  }
+  if (text.find('/', slash + 1) != std::string_view::npos) {
+    return Status::InvalidArgument("rational '" + std::string(text) +
+                                   "': more than one '/'");
+  }
+  ASSIGN_OR_RETURN(BigInt numerator,
+                   BigInt::FromString(std::string(text.substr(0, slash))));
+  ASSIGN_OR_RETURN(BigInt denominator,
+                   BigInt::FromString(std::string(text.substr(slash + 1))));
+  if (denominator.is_zero()) {
+    return Status::InvalidArgument("rational '" + std::string(text) +
+                                   "': zero denominator");
+  }
+  return Rational(std::move(numerator), std::move(denominator));
+}
+
 void Rational::Normalize() {
   if (denominator_.is_negative()) {
     numerator_ = -numerator_;

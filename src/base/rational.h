@@ -8,8 +8,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "base/bigint.h"
+#include "base/status.h"
 
 namespace xmlverify {
 
@@ -18,7 +20,20 @@ class Rational {
   Rational() : numerator_(0), denominator_(1) {}
   Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
   Rational(int64_t value) : numerator_(value), denominator_(1) {}            // NOLINT
+
+  /// Aborts on a zero denominator: this constructor is for internal
+  /// arithmetic whose divisors are already known nonzero (simplex
+  /// pivots guard the divisor before dividing). Untrusted input must
+  /// go through Create or FromString, which report the error instead.
   Rational(BigInt numerator, BigInt denominator);
+
+  /// Checked construction for values derived from external input.
+  /// Returns InvalidArgument on a zero denominator.
+  static Result<Rational> Create(BigInt numerator, BigInt denominator);
+
+  /// Parses "n" or "n/d" (optional leading '-', decimal digits).
+  /// Returns InvalidArgument on malformed text or a zero denominator.
+  static Result<Rational> FromString(std::string_view text);
 
   const BigInt& numerator() const { return numerator_; }
   const BigInt& denominator() const { return denominator_; }

@@ -1,0 +1,101 @@
+// A small mutex-guarded memoization cache shared across checks (and
+// across batch worker threads). Values are immutable once inserted
+// and handed out as shared_ptr<const V>, so readers never observe a
+// value mid-construction and eviction never invalidates a live
+// reference.
+//
+// Lookup and Insert are separate on purpose: expensive computations
+// (DFA determinization, encoding analysis) run outside the lock, and
+// concurrent inserts for the same key are resolved first-writer-wins
+// so every caller ends up sharing one canonical value.
+#ifndef XMLVERIFY_BASE_SHARED_CACHE_H_
+#define XMLVERIFY_BASE_SHARED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace xmlverify {
+
+template <typename Value>
+class SharedCache {
+ public:
+  /// `max_entries` bounds memory: when an insert would exceed it, the
+  /// whole map is dropped (epoch clear). Outstanding shared_ptrs stay
+  /// valid; only future lookups miss. Crude but contention-free
+  /// compared to LRU bookkeeping, and the caches here hold small
+  /// derived objects keyed by canonical text, so refilling is cheap.
+  explicit SharedCache(size_t max_entries = 1 << 16)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  SharedCache(const SharedCache&) = delete;
+  SharedCache& operator=(const SharedCache&) = delete;
+
+  /// Returns the cached value for `key`, or nullptr on a miss.
+  std::shared_ptr<const Value> Lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  /// Publishes `value` under `key`. If another thread inserted the
+  /// key first, that earlier value wins and is returned, so all
+  /// callers converge on one shared instance.
+  std::shared_ptr<const Value> Insert(const std::string& key, Value value) {
+    auto owned = std::make_shared<const Value>(std::move(value));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.size() >= max_entries_ &&
+        entries_.find(key) == entries_.end()) {
+      entries_.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    auto [it, inserted] = entries_.emplace(key, std::move(owned));
+    return it->second;
+  }
+
+  /// Convenience wrapper: Lookup, and on a miss compute outside the
+  /// lock via `factory()` (returning Value) and Insert the result.
+  template <typename Factory>
+  std::shared_ptr<const Value> GetOrCompute(const std::string& key,
+                                            Factory&& factory) {
+    if (auto found = Lookup(key)) return found;
+    return Insert(key, factory());
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Value>> entries_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_SHARED_CACHE_H_

@@ -13,6 +13,7 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kNotFound: return "NotFound";
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     case StatusCode::kInternal: return "Internal";
   }
   return "Unknown";

@@ -18,6 +18,7 @@ enum class StatusCode {
   kNotFound,          // referenced entity does not exist
   kUnsupported,       // valid input outside the implemented fragment
   kResourceExhausted, // configured search/size limit exceeded
+  kDeadlineExceeded,  // wall-clock budget expired before a verdict
   kInternal,          // invariant violation inside the library
 };
 
@@ -40,6 +41,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,172 @@
+#include "batch/batch_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "base/deadline.h"
+#include "base/string_util.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string ResolvePath(const std::string& path, const std::string& base_dir) {
+  if (base_dir.empty() || path.empty() || path[0] == '/') return path;
+  return base_dir + "/" + path;
+}
+
+Result<Specification> LoadSpec(const BatchEntry& entry) {
+  if (entry.constraints_path.empty()) {
+    ASSIGN_OR_RETURN(std::string combined, ReadFile(entry.dtd_path));
+    return Specification::ParseCombined(combined);
+  }
+  ASSIGN_OR_RETURN(std::string dtd_text, ReadFile(entry.dtd_path));
+  ASSIGN_OR_RETURN(std::string constraints_text,
+                   ReadFile(entry.constraints_path));
+  return Specification::Parse(dtd_text, constraints_text);
+}
+
+// Checks one entry end to end: load, stamp the deadline, decide.
+BatchItem CheckOne(const BatchEntry& entry, const BatchOptions& options) {
+  BatchItem item;
+  Result<Specification> spec = LoadSpec(entry);
+  if (!spec.ok()) {
+    item.status = Status(spec.status().code(),
+                         "manifest line " + std::to_string(entry.line) + ": " +
+                             spec.status().message());
+    return item;
+  }
+  ConsistencyChecker::Options check = options.check;
+  // Batch mode reports verdicts, not documents; skipping witness
+  // construction keeps per-check memory flat across a large manifest.
+  check.build_witness = false;
+  if (options.timeout_millis > 0) {
+    check.deadline = Deadline::AfterMillis(options.timeout_millis);
+  }
+  ConsistencyChecker checker(std::move(check));
+  Result<ConsistencyVerdict> verdict = checker.Check(*spec);
+  if (!verdict.ok()) {
+    item.status = Status(verdict.status().code(),
+                         "manifest line " + std::to_string(entry.line) + ": " +
+                             verdict.status().message());
+    return item;
+  }
+  item.verdict = *std::move(verdict);
+  return item;
+}
+
+}  // namespace
+
+Result<std::vector<BatchEntry>> ParseBatchManifest(
+    const std::string& text, const std::string& base_dir) {
+  std::vector<BatchEntry> entries;
+  std::istringstream lines(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string first, second, extra;
+    fields >> first >> second >> extra;
+    if (!extra.empty()) {
+      return Status::InvalidArgument(
+          "manifest line " + std::to_string(line_number) +
+          ": expected one path (combined .xvc) or two paths "
+          "(DTD constraints), got more");
+    }
+    BatchEntry entry;
+    entry.dtd_path = ResolvePath(first, base_dir);
+    entry.constraints_path =
+        second.empty() ? second : ResolvePath(second, base_dir);
+    entry.line = line_number;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+BatchResult RunBatch(const std::vector<BatchEntry>& entries,
+                     const BatchOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult result;
+  result.items.resize(entries.size());
+
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  if (jobs > static_cast<int>(entries.size())) {
+    jobs = static_cast<int>(entries.size());
+  }
+
+  // Work distribution: an atomic cursor over the manifest. Each
+  // worker claims the next unchecked entry and writes into its own
+  // slot of `result.items` — distinct indices, so no lock is needed
+  // on the result vector.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    // Per-worker session on the shared (thread-safe) registry: the
+    // library's trace::Count calls from every worker aggregate into
+    // one report.
+    std::unique_ptr<TraceSession> session;
+    if (options.stats != nullptr) {
+      session = std::make_unique<TraceSession>(options.stats);
+    }
+    while (true) {
+      const size_t index = next.fetch_add(1);
+      if (index >= entries.size()) break;
+      result.items[index] = CheckOne(entries[index], options);
+      trace::Count("batch/specs_checked");
+    }
+  };
+
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (int job = 0; job < jobs; ++job) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  for (const BatchItem& item : result.items) {
+    if (!item.status.ok()) {
+      ++result.errors;
+      continue;
+    }
+    switch (item.verdict.outcome) {
+      case ConsistencyOutcome::kConsistent: ++result.consistent; break;
+      case ConsistencyOutcome::kInconsistent: ++result.inconsistent; break;
+      case ConsistencyOutcome::kUnknown: ++result.unknown; break;
+      case ConsistencyOutcome::kDeadlineExceeded:
+        ++result.deadline_exceeded;
+        break;
+    }
+  }
+  result.wall_millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  if (options.stats != nullptr) {
+    options.stats->Add("batch/deadline_exceeded", result.deadline_exceeded);
+    options.stats->Add("batch/errors", result.errors);
+  }
+  return result;
+}
+
+}  // namespace xmlverify

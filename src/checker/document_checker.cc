@@ -84,8 +84,7 @@ std::vector<NodeId> DescendantsOfType(const XmlTree& tree, NodeId ancestor,
 std::vector<NodeId> NodesOnPath(const XmlTree& tree, const Dtd& dtd,
                                 const Regex& node_path) {
   Regex expanded = ExpandWildcard(node_path, NonRootTypes(dtd));
-  Dfa dfa =
-      Dfa::Determinize(BuildNfa(expanded, dtd.num_element_types()));
+  Dfa dfa = CachedDeterminize(expanded, dtd.num_element_types());
   std::vector<NodeId> result;
   for (NodeId node : tree.AllElements()) {
     if (dfa.Accepts(tree.PathFromRoot(node))) result.push_back(node);

@@ -127,7 +127,7 @@ std::vector<int> NonRootTypes(const Dtd& dtd) {
 
 Dfa PathDfa(const Regex& path, const Dtd& dtd) {
   Regex expanded = ExpandWildcard(path, NonRootTypes(dtd));
-  return Dfa::Determinize(BuildNfa(expanded, dtd.num_element_types()));
+  return CachedDeterminize(expanded, dtd.num_element_types());
 }
 
 Status ParseRelative(std::string_view context_name, std::string_view body,

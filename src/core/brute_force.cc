@@ -16,7 +16,10 @@ class BoundedSearcher {
   BoundedSearcher(const Dtd& dtd,
                   std::function<bool(const XmlTree&)> accept,
                   const BoundedSearchOptions& options)
-      : dtd_(dtd), accept_(std::move(accept)), options_(options) {}
+      : dtd_(dtd),
+        accept_(std::move(accept)),
+        options_(options),
+        deadline_check_(options.deadline) {}
 
   Result<ConsistencyVerdict> Run() {
     TraceSpan search_span("bounded/search");
@@ -31,6 +34,12 @@ class BoundedSearcher {
     if (found_.has_value()) {
       verdict.outcome = ConsistencyOutcome::kConsistent;
       verdict.witness = std::move(found_);
+      return verdict;
+    }
+    if (deadline_hit_) {
+      trace::Count("bounded/deadline_exceeded");
+      verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
+      verdict.note = "deadline exceeded";
       return verdict;
     }
     verdict.outcome = ConsistencyOutcome::kUnknown;
@@ -76,6 +85,10 @@ class BoundedSearcher {
   // word, then recurses; complete structures go to TryValues.
   Status Expand(const XmlTree& tree, std::deque<NodeId> pending, int budget) {
     if (found_.has_value() || budget_hit_) return Status::OK();
+    if (deadline_check_.Expired()) {
+      deadline_hit_ = true;
+      return Status::OK();
+    }
     if (pending.empty()) return TryValues(tree);
     NodeId node = pending.front();
     pending.pop_front();
@@ -97,7 +110,9 @@ class BoundedSearcher {
       }
       RETURN_IF_ERROR(Expand(next, std::move(next_pending),
                              budget - elements));
-      if (found_.has_value() || budget_hit_) return Status::OK();
+      if (found_.has_value() || budget_hit_ || deadline_hit_) {
+        return Status::OK();
+      }
     }
     return Status::OK();
   }
@@ -119,6 +134,10 @@ class BoundedSearcher {
     while (true) {
       if (++candidates_ > options_.max_candidates) {
         budget_hit_ = true;
+        return Status::OK();
+      }
+      if (deadline_check_.Expired()) {
+        deadline_hit_ = true;
         return Status::OK();
       }
       XmlTree candidate = structure;
@@ -148,6 +167,8 @@ class BoundedSearcher {
   std::optional<XmlTree> found_;
   int64_t candidates_ = 0;
   bool budget_hit_ = false;
+  PeriodicDeadlineCheck deadline_check_;
+  bool deadline_hit_ = false;
 };
 
 }  // namespace

@@ -12,6 +12,7 @@
 
 #include <functional>
 
+#include "base/deadline.h"
 #include "base/status.h"
 #include "constraints/constraint.h"
 #include "core/verdict.h"
@@ -26,6 +27,9 @@ struct BoundedSearchOptions {
   int num_values = 2;
   /// Upper bound on candidate documents examined.
   int64_t max_candidates = 2000000;
+  /// Wall-clock budget, polled in the expansion recursion and the
+  /// attribute-value odometer. Expiry yields kDeadlineExceeded.
+  Deadline deadline;
 };
 
 /// Searches for a document satisfying the specification within the

@@ -4,7 +4,38 @@
 
 namespace xmlverify {
 
+namespace {
+
+SolverOptions WithDeadline(SolverOptions solver, const Deadline& deadline) {
+  if (!deadline.is_infinite()) solver.deadline = deadline;
+  return solver;
+}
+
+BoundedSearchOptions WithDeadline(BoundedSearchOptions bounded,
+                                  const Deadline& deadline) {
+  if (!deadline.is_infinite()) bounded.deadline = deadline;
+  return bounded;
+}
+
+}  // namespace
+
 Result<ConsistencyVerdict> ConsistencyChecker::Check(
+    const Specification& spec) const {
+  Result<ConsistencyVerdict> result = CheckDispatch(spec);
+  // Procedures that propagate deadlines through Result-returning
+  // recursion (the hierarchical checker) surface expiry as a Status;
+  // fold it back into a verdict so every caller sees one shape.
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kDeadlineExceeded) {
+    ConsistencyVerdict verdict;
+    verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
+    verdict.note = result.status().message();
+    return verdict;
+  }
+  return result;
+}
+
+Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
     const Specification& spec) const {
   TraceSpan check_span("check");
   RETURN_IF_ERROR(spec.constraints.Validate(spec.dtd));
@@ -31,7 +62,7 @@ Result<ConsistencyVerdict> ConsistencyChecker::Check(
     case ConstraintClass::kAcUnary:
     case ConstraintClass::kAcMultiPrimary: {
       AbsoluteCheckOptions absolute;
-      absolute.solver = options_.solver;
+      absolute.solver = WithDeadline(options_.solver, options_.deadline);
       absolute.build_witness = options_.build_witness;
       absolute.verify_witness = options_.verify_witness;
       ASSIGN_OR_RETURN(
@@ -41,7 +72,7 @@ Result<ConsistencyVerdict> ConsistencyChecker::Check(
     }
     case ConstraintClass::kAcRegular: {
       RegularCheckOptions regular;
-      regular.solver = options_.solver;
+      regular.solver = WithDeadline(options_.solver, options_.deadline);
       regular.build_witness = options_.build_witness;
       regular.verify_witness = options_.verify_witness;
       regular.max_expressions = options_.max_expressions;
@@ -53,7 +84,7 @@ Result<ConsistencyVerdict> ConsistencyChecker::Check(
     case ConstraintClass::kRelative:
     case ConstraintClass::kMixedRelative: {
       HierarchicalCheckOptions hierarchical;
-      hierarchical.solver = options_.solver;
+      hierarchical.solver = WithDeadline(options_.solver, options_.deadline);
       hierarchical.build_witness = options_.build_witness;
       hierarchical.verify_witness = options_.verify_witness;
       Result<ConsistencyVerdict> verdict =
@@ -65,18 +96,22 @@ Result<ConsistencyVerdict> ConsistencyChecker::Check(
       }
       // Non-hierarchical (or otherwise outside HRC): undecidable in
       // general — fall back to bounded search.
-      ASSIGN_OR_RETURN(ConsistencyVerdict bounded,
-                       BoundedSearchConsistency(spec.dtd, spec.constraints,
-                                                options_.bounded));
+      ASSIGN_OR_RETURN(
+          ConsistencyVerdict bounded,
+          BoundedSearchConsistency(
+              spec.dtd, spec.constraints,
+              WithDeadline(options_.bounded, options_.deadline)));
       bounded.note = verdict.status().message() +
                      (bounded.note.empty() ? "" : "; " + bounded.note);
       return annotate(std::move(bounded));
     }
     case ConstraintClass::kAcMultiGeneral: {
       // Undecidable ([14]); bounded search only.
-      ASSIGN_OR_RETURN(ConsistencyVerdict bounded,
-                       BoundedSearchConsistency(spec.dtd, spec.constraints,
-                                                options_.bounded));
+      ASSIGN_OR_RETURN(
+          ConsistencyVerdict bounded,
+          BoundedSearchConsistency(
+              spec.dtd, spec.constraints,
+              WithDeadline(options_.bounded, options_.deadline)));
       bounded.note =
           "SAT(AC^{*,*}) is undecidable; bounded search only" +
           (bounded.note.empty() ? std::string() : "; " + bounded.note);

@@ -10,6 +10,7 @@
 #ifndef XMLVERIFY_CORE_CONSISTENCY_H_
 #define XMLVERIFY_CORE_CONSISTENCY_H_
 
+#include "base/deadline.h"
 #include "base/status.h"
 #include "core/brute_force.h"
 #include "core/sat_absolute.h"
@@ -30,6 +31,11 @@ class ConsistencyChecker {
     int max_expressions = 16;
     /// Fallback bounds for the undecidable fragments.
     BoundedSearchOptions bounded;
+    /// Wall-clock budget for the whole check. Stamped into the solver
+    /// and bounded-search options at dispatch; expiry yields a
+    /// kDeadlineExceeded verdict (never an error, never a wrong
+    /// definitive answer). Default: never expires.
+    Deadline deadline;
   };
 
   ConsistencyChecker() = default;
@@ -44,6 +50,8 @@ class ConsistencyChecker {
   Result<ConsistencyVerdict> Check(const Specification& spec) const;
 
  private:
+  Result<ConsistencyVerdict> CheckDispatch(const Specification& spec) const;
+
   Options options_;
 };
 

@@ -51,6 +51,9 @@ Result<ConsistencyVerdict> CheckAbsoluteConsistency(
     case SolveOutcome::kUnknown:
       verdict.outcome = ConsistencyOutcome::kUnknown;
       return verdict;
+    case SolveOutcome::kDeadlineExceeded:
+      verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
+      return verdict;
     case SolveOutcome::kSat:
       break;
   }

@@ -37,7 +37,10 @@ class NoStarChecker {
  public:
   NoStarChecker(const Dtd& dtd, const ConstraintSet& constraints,
                 const NoStarCheckOptions& options)
-      : dtd_(dtd), constraints_(constraints), options_(options) {}
+      : dtd_(dtd),
+        constraints_(constraints),
+        options_(options),
+        deadline_check_(options.deadline) {}
 
   Result<ConsistencyVerdict> Run() {
     // Dimensions: element types mentioned by the constraints.
@@ -58,7 +61,29 @@ class NoStarChecker {
 
     memo_.assign(dtd_.num_element_types(), std::nullopt);
     TraceSpan solve_span("check/solve");
-    ASSIGN_OR_RETURN(VectorSet root_set, TypeSet(dtd_.root()));
+    Result<VectorSet> root_result = TypeSet(dtd_.root());
+    if (!root_result.ok()) {
+      // A capped or timed-out DP has not examined every extent vector,
+      // so no definitive verdict is possible — report the limit as a
+      // verdict instead of a hard error.
+      const Status& status = root_result.status();
+      if (status.code() == StatusCode::kResourceExhausted) {
+        trace::Count("nostar/vector_cap_hits");
+        ConsistencyVerdict verdict;
+        verdict.outcome = ConsistencyOutcome::kUnknown;
+        verdict.note = status.message();
+        return verdict;
+      }
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        trace::Count("nostar/deadline_exceeded");
+        ConsistencyVerdict verdict;
+        verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
+        verdict.note = "deadline exceeded";
+        return verdict;
+      }
+      return status;
+    }
+    VectorSet root_set = std::move(root_result).value();
     trace::Count("nostar/root_vectors", static_cast<int64_t>(root_set.size()));
 
     ConsistencyVerdict verdict;
@@ -92,6 +117,9 @@ class NoStarChecker {
   }
 
   Result<VectorSet> RegexSet(const Regex& regex) {
+    if (deadline_check_.Expired()) {
+      return Status::DeadlineExceeded("no-star DP deadline exceeded");
+    }
     switch (regex.kind()) {
       case RegexKind::kEpsilon:
         return VectorSet{Vector(dims_.size(), 0)};
@@ -178,6 +206,7 @@ class NoStarChecker {
   std::vector<int> dims_;
   std::map<int, size_t> dim_of_;
   std::vector<std::optional<VectorSet>> memo_;
+  PeriodicDeadlineCheck deadline_check_;
 };
 
 }  // namespace

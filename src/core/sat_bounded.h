@@ -12,6 +12,7 @@
 #ifndef XMLVERIFY_CORE_SAT_BOUNDED_H_
 #define XMLVERIFY_CORE_SAT_BOUNDED_H_
 
+#include "base/deadline.h"
 #include "base/status.h"
 #include "constraints/constraint.h"
 #include "core/verdict.h"
@@ -21,14 +22,20 @@ namespace xmlverify {
 
 struct NoStarCheckOptions {
   /// Cap on the size of any achievable-vector set in the dynamic
-  /// program (exceeding it returns kResourceExhausted — the instance
-  /// is outside the "fixed k, fixed d" regime the fragment targets).
+  /// program. Exceeding it yields a kUnknown verdict (the instance is
+  /// outside the "fixed k, fixed d" regime the fragment targets) —
+  /// never a definitive kInconsistent, since a truncated vector set
+  /// could be missing exactly the satisfying extent vector.
   size_t max_vectors = 200000;
+  /// Wall-clock budget, polled in the DP recursion. Expiry yields a
+  /// kDeadlineExceeded verdict.
+  Deadline deadline;
 };
 
 /// Requires: non-recursive no-star DTD, unary absolute constraints.
-/// Verdicts are exact (kConsistent / kInconsistent). No witness is
-/// built; use CheckAbsoluteConsistency when one is needed.
+/// Verdicts are exact (kConsistent / kInconsistent) unless a cap or
+/// deadline intervenes (kUnknown / kDeadlineExceeded, see above). No
+/// witness is built; use CheckAbsoluteConsistency when one is needed.
 Result<ConsistencyVerdict> CheckNoStarConsistency(
     const Dtd& dtd, const ConstraintSet& constraints,
     const NoStarCheckOptions& options = {});

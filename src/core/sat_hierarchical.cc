@@ -119,6 +119,12 @@ class HierarchicalChecker {
                                         bool build_witness,
                                         const std::string& value_prefix) {
     TraceSpan scope_span("hierarchical/scope");
+    // One check per scope bounds the recursion; the ILP below polls
+    // the same deadline at finer grain.
+    if (options_.solver.deadline.Expired()) {
+      trace::Count("hierarchical/deadline_exceeded");
+      return Status::DeadlineExceeded("hierarchical scope deadline exceeded");
+    }
     trace::Max("hierarchical/max_context_depth",
                static_cast<int64_t>(contexts.size()));
     ASSIGN_OR_RETURN(Dtd scope_dtd, geometry_.ScopeDtd(tau));
@@ -158,6 +164,10 @@ class HierarchicalChecker {
     if (verdict.outcome == ConsistencyOutcome::kUnknown) {
       return Status::ResourceExhausted("scope subproblem hit solver limits: " +
                                        verdict.note);
+    }
+    if (verdict.outcome == ConsistencyOutcome::kDeadlineExceeded) {
+      trace::Count("hierarchical/deadline_exceeded");
+      return Status::DeadlineExceeded("scope subproblem deadline exceeded");
     }
     return verdict;
   }

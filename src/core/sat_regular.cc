@@ -45,6 +45,9 @@ Result<ConsistencyVerdict> CheckRegularConsistency(
     case SolveOutcome::kUnknown:
       verdict.outcome = ConsistencyOutcome::kUnknown;
       return verdict;
+    case SolveOutcome::kDeadlineExceeded:
+      verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
+      return verdict;
     case SolveOutcome::kSat:
       break;
   }

@@ -12,6 +12,7 @@ std::string OutcomeName(ConsistencyOutcome outcome) {
     case ConsistencyOutcome::kConsistent: return "CONSISTENT";
     case ConsistencyOutcome::kInconsistent: return "INCONSISTENT";
     case ConsistencyOutcome::kUnknown: return "UNKNOWN";
+    case ConsistencyOutcome::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "?";
 }

@@ -14,6 +14,7 @@ enum class ConsistencyOutcome {
   kConsistent,    // a witness tree exists (and is attached if built)
   kInconsistent,  // proven: no tree satisfies the specification
   kUnknown,       // search capped (undecidable fragment or node limit)
+  kDeadlineExceeded,  // wall-clock budget expired before a verdict
 };
 
 std::string OutcomeName(ConsistencyOutcome outcome);

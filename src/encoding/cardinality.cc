@@ -1,8 +1,59 @@
 #include "encoding/cardinality.h"
 
+#include <algorithm>
+
 #include "trace/trace.h"
 
 namespace xmlverify {
+
+namespace {
+
+// Signature of a type's key structure: type name plus every key's
+// attribute list, in constraint order. Constraint order is part of
+// the key so chain_tails indexes line up; a reordered but equal set
+// is merely a cache miss, never a wrong plan.
+std::string KeySignature(const Dtd& dtd, int type,
+                         const std::vector<const AbsoluteKey*>& keys) {
+  std::string signature = dtd.TypeName(type);
+  for (const AbsoluteKey* key : keys) {
+    signature += '|';
+    for (const std::string& attribute : key->attributes) {
+      signature += attribute;
+      signature += ',';
+    }
+  }
+  return signature;
+}
+
+CardinalityKeyPlan ComputePlan(const std::vector<const AbsoluteKey*>& keys) {
+  CardinalityKeyPlan plan;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const std::vector<std::string>& attributes = keys[i]->attributes;
+    plan.chain_tails.push_back(
+        keys[i]->IsUnary() ? 0 : static_cast<int>(attributes.size()) - 2);
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      // Exact duplicates state the same constraint and are harmless.
+      if (attributes == keys[j]->attributes) continue;
+      for (const std::string& attribute : attributes) {
+        const std::vector<std::string>& other = keys[j]->attributes;
+        if (std::find(other.begin(), other.end(), attribute) != other.end()) {
+          plan.disjoint = false;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+SharedCache<CardinalityKeyPlan>& GlobalCardinalityPlanCache() {
+  // Leaked singleton: safe to use from any thread at any point of
+  // program teardown.
+  static SharedCache<CardinalityKeyPlan>* cache =
+      new SharedCache<CardinalityKeyPlan>();
+  return *cache;
+}
 
 VarId AbsoluteCardinality::AttrVar(int type,
                                    const std::string& attribute) const {
@@ -35,11 +86,33 @@ Result<AbsoluteCardinality> AbsoluteCardinality::Emit(
         "undecidable (SAT(AC^{*,*}) [14]); only unary inclusions are "
         "supported");
   }
-  if (!constraints.AbsoluteKeysDisjoint()) {
-    return Status::Unsupported(
-        "multi-attribute keys must be primary or pairwise disjoint per "
-        "element type (Theorem 3.1 / Corollary 3.3); overlapping key "
-        "sets are outside the decidable fragment");
+  // Per-type key analysis, through the shared plan cache. The
+  // disjointness test is the Theorem 3.1 / Corollary 3.3 side
+  // condition that AbsoluteKeysDisjoint() computes pairwise; here the
+  // verdict (and each key's chain shape) is memoized on the type's
+  // key signature, so a batch of related specs computes it once.
+  std::map<int, std::vector<const AbsoluteKey*>> keys_by_type;
+  for (const AbsoluteKey& key : constraints.absolute_keys()) {
+    keys_by_type[key.type].push_back(&key);
+  }
+  std::map<int, std::shared_ptr<const CardinalityKeyPlan>> plans;
+  for (const auto& [type, keys] : keys_by_type) {
+    SharedCache<CardinalityKeyPlan>& cache = GlobalCardinalityPlanCache();
+    const std::string signature = KeySignature(dtd, type, keys);
+    std::shared_ptr<const CardinalityKeyPlan> plan = cache.Lookup(signature);
+    if (plan != nullptr) {
+      trace::Count("cache/cardinality_hits");
+    } else {
+      trace::Count("cache/cardinality_misses");
+      plan = cache.Insert(signature, ComputePlan(keys));
+    }
+    if (!plan->disjoint) {
+      return Status::Unsupported(
+          "multi-attribute keys must be primary or pairwise disjoint per "
+          "element type (Theorem 3.1 / Corollary 3.3); overlapping key "
+          "sets are outside the decidable fragment");
+    }
+    plans[type] = std::move(plan);
   }
 
   const int variables_before = program->num_variables();
@@ -82,7 +155,9 @@ Result<AbsoluteCardinality> AbsoluteCardinality::Emit(
                        "forced-empty:" + dtd.TypeName(type));
   }
 
+  std::map<int, size_t> next_key_index;
   for (const AbsoluteKey& key : constraints.absolute_keys()) {
+    const size_t key_index = next_key_index[key.type]++;
     VarId ext = cardinality.ExtVar(key.type);
     if (ext < 0) continue;  // unreachable type: key is vacuous
     if (key.IsUnary()) {
@@ -98,12 +173,14 @@ Result<AbsoluteCardinality> AbsoluteCardinality::Emit(
     // |ext(tau)| <= prod_i |ext(tau.l_i)| as a prequadratic chain:
     //   ext <= l_1 * t_2,  t_2 <= l_2 * t_3, ...,
     //   t_{k-1} <= l_{k-1} * l_k.
+    // The cached plan pins the chain length for this key.
+    const int chain_tails = plans.at(key.type)->chain_tails[key_index];
     std::vector<VarId> attr_vars;
     for (const std::string& attribute : key.attributes) {
       attr_vars.push_back(cardinality.AttrVar(key.type, attribute));
     }
     VarId current = ext;
-    for (size_t i = 0; i + 2 < attr_vars.size(); ++i) {
+    for (int i = 0; i < chain_tails; ++i) {
       VarId tail = program->NewVariable("pk-chain(" + dtd.TypeName(key.type) +
                                         "," + std::to_string(i) + ")");
       program->AddPrequadratic(current, attr_vars[i], tail);

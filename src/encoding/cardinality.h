@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/shared_cache.h"
 #include "base/status.h"
 #include "constraints/constraint.h"
 #include "encoding/flow_encoder.h"
@@ -28,6 +29,25 @@
 #include "xml/dtd.h"
 
 namespace xmlverify {
+
+/// Per-(element type, key signature) analysis memoized across checks:
+/// the pairwise-disjointness verdict behind Theorem 3.1's side
+/// condition and the prequadratic chain shape of every multi-attribute
+/// key of the type. Emitted rows reference program-specific VarIds and
+/// are always rebuilt; this analysis is the part that repeats across
+/// the specs of a batch manifest.
+struct CardinalityKeyPlan {
+  bool disjoint = true;
+  /// Per key of the type (in constraint order): number of auxiliary
+  /// chain variables its prequadratic chain introduces (0 for unary
+  /// keys and two-attribute keys).
+  std::vector<int> chain_tails;
+};
+
+/// Process-wide mutex-guarded cache behind AbsoluteCardinality::Emit,
+/// keyed on "type-name|attr,attr,|...". Exposed for statistics and
+/// tests; Emit emits cache/cardinality_hits and _misses counters.
+SharedCache<CardinalityKeyPlan>& GlobalCardinalityPlanCache();
 
 class AbsoluteCardinality {
  public:

@@ -21,7 +21,7 @@ std::vector<int> NonRootTypes(const Dtd& dtd) {
 
 Dfa PathDfa(const Regex& path, const Dtd& dtd) {
   Regex expanded = ExpandWildcard(path, NonRootTypes(dtd));
-  return Dfa::Determinize(BuildNfa(expanded, dtd.num_element_types()));
+  return CachedDeterminize(expanded, dtd.num_element_types());
 }
 
 // DFA of the realizable root paths of the DTD: words r.t2...tn where

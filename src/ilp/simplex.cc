@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/deadline.h"
 #include "trace/trace.h"
 
 namespace xmlverify {
@@ -64,9 +65,16 @@ class Tableau {
   }
 
   // Runs phase-1 to optimality. Returns true if the artificial sum
-  // reaches zero (feasible).
-  bool Optimize(int64_t* pivots) {
+  // reaches zero (feasible). Sets *deadline_exceeded and bails out if
+  // the deadline expires first; the return value is then meaningless.
+  bool Optimize(int64_t* pivots, const Deadline& deadline,
+                bool* deadline_exceeded) {
+    PeriodicDeadlineCheck check(deadline, /*stride=*/16);
     while (true) {
+      if (check.Expired()) {
+        *deadline_exceeded = true;
+        return false;
+      }
       // Bland's rule: entering column = smallest index with negative
       // reduced cost.
       int entering = -1;
@@ -156,10 +164,17 @@ class Tableau {
 }  // namespace
 
 SimplexResult SolveLp(int num_vars,
-                      const std::vector<LinearConstraint>& constraints) {
+                      const std::vector<LinearConstraint>& constraints,
+                      const Deadline& deadline) {
   SimplexResult result;
   Tableau tableau(num_vars, constraints);
-  result.feasible = tableau.Optimize(&result.pivots);
+  result.feasible =
+      tableau.Optimize(&result.pivots, deadline, &result.deadline_exceeded);
+  if (result.deadline_exceeded) {
+    result.feasible = false;
+    trace::Count("simplex/deadline_exceeded");
+    return result;
+  }
   if (result.feasible) result.solution = tableau.Solution();
   trace::Count("simplex/calls");
   trace::Count("simplex/pivots", result.pivots);

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "base/deadline.h"
 #include "base/rational.h"
 #include "ilp/linear.h"
 
@@ -16,6 +17,10 @@ namespace xmlverify {
 
 struct SimplexResult {
   bool feasible = false;
+  // The deadline expired mid-optimization. When set, `feasible` is
+  // meaningless (the tableau was abandoned, not proven infeasible) and
+  // callers must not draw verdicts from it.
+  bool deadline_exceeded = false;
   // Values of the structural variables 0..num_vars-1 (only meaningful
   // when feasible).
   std::vector<Rational> solution;
@@ -24,9 +29,12 @@ struct SimplexResult {
 };
 
 /// Finds a nonnegative rational point satisfying all `constraints`
-/// over variables 0..num_vars-1, or reports infeasibility.
+/// over variables 0..num_vars-1, or reports infeasibility. The pivot
+/// loop polls `deadline` cooperatively (amortized); on expiry the
+/// result has deadline_exceeded set and no verdict.
 SimplexResult SolveLp(int num_vars,
-                      const std::vector<LinearConstraint>& constraints);
+                      const std::vector<LinearConstraint>& constraints,
+                      const Deadline& deadline = Deadline());
 
 }  // namespace xmlverify
 

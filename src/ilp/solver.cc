@@ -91,6 +91,14 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
       result.note = "node limit reached";
       return result;
     }
+    // Each node does a full LP solve, so an unamortized clock read per
+    // node is already cheap; SolveLp polls internally for long pivots.
+    if (options_.deadline.Expired()) {
+      trace::Count("solver/deadline_exceeded");
+      result.outcome = SolveOutcome::kDeadlineExceeded;
+      result.note = "deadline exceeded";
+      return result;
+    }
     SearchNode node = std::move(stack.back());
     stack.pop_back();
     ++result.nodes_explored;
@@ -101,9 +109,18 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
     std::vector<LinearConstraint> constraints = base;
     constraints.insert(constraints.end(), node.extra.begin(),
                        node.extra.end());
-    SimplexResult lp = SolveLp(program.num_variables(), constraints);
+    SimplexResult lp =
+        SolveLp(program.num_variables(), constraints, options_.deadline);
     result.lp_pivots += lp.pivots;
     trace::Count("solver/lp_pivots", lp.pivots);
+    // An aborted LP has no verdict: interpreting `feasible` here would
+    // turn a timeout into a spurious prune (and so a false kUnsat).
+    if (lp.deadline_exceeded) {
+      trace::Count("solver/deadline_exceeded");
+      result.outcome = SolveOutcome::kDeadlineExceeded;
+      result.note = "deadline exceeded";
+      return result;
+    }
     if (!lp.feasible) {
       // Attribute the prune: if dropping the cap rows restores
       // feasibility, the cap mattered and an exhausted search cannot
@@ -112,10 +129,17 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
         std::vector<LinearConstraint> uncapped(
             base.begin(), base.begin() + uncapped_size);
         uncapped.insert(uncapped.end(), node.extra.begin(), node.extra.end());
-        SimplexResult relaxed = SolveLp(program.num_variables(), uncapped);
+        SimplexResult relaxed =
+            SolveLp(program.num_variables(), uncapped, options_.deadline);
         result.lp_pivots += relaxed.pivots;
         trace::Count("solver/lp_pivots", relaxed.pivots);
         trace::Count("solver/cap_relevance_probes");
+        if (relaxed.deadline_exceeded) {
+          trace::Count("solver/deadline_exceeded");
+          result.outcome = SolveOutcome::kDeadlineExceeded;
+          result.note = "deadline exceeded";
+          return result;
+        }
         if (relaxed.feasible) cap_was_relevant = true;
       }
       continue;
@@ -240,7 +264,8 @@ SolveResult IlpSolver::SolveWithDeepening(const IntegerProgram& program,
     IlpSolver capped(options);
     last = capped.Solve(program);
     if (last.outcome == SolveOutcome::kSat ||
-        last.outcome == SolveOutcome::kUnsat) {
+        last.outcome == SolveOutcome::kUnsat ||
+        last.outcome == SolveOutcome::kDeadlineExceeded) {
       return last;
     }
     if (cap >= max_cap) return last;

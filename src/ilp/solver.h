@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "base/bigint.h"
+#include "base/deadline.h"
 #include "ilp/linear.h"
 
 namespace xmlverify {
@@ -28,6 +29,7 @@ enum class SolveOutcome {
   kSat,      // witness assignment available
   kUnsat,    // proven infeasible over nonnegative integers
   kUnknown,  // search capped (node limit or variable cap)
+  kDeadlineExceeded,  // wall-clock budget expired before a verdict
 };
 
 struct SolveResult {
@@ -46,6 +48,10 @@ struct SolverOptions {
   /// constraints; exhausting the search with a cap active reports
   /// kUnknown, not kUnsat.
   std::optional<BigInt> variable_cap;
+  /// Wall-clock budget, polled at every branch-and-bound node and
+  /// (amortized) inside the simplex pivot loop. Expiry yields
+  /// kDeadlineExceeded — never a definitive verdict. Default: never.
+  Deadline deadline;
 };
 
 class IlpSolver {

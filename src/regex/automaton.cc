@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 #include <set>
+#include <string>
+
+#include "trace/trace.h"
 
 namespace xmlverify {
 
@@ -108,6 +111,26 @@ std::vector<int> EpsilonClosure(const Nfa& nfa, std::vector<int> states) {
 Nfa BuildNfa(const Regex& regex, int alphabet_size) {
   NfaBuilder builder(alphabet_size);
   return builder.Build(regex);
+}
+
+SharedCache<Dfa>& GlobalDfaCache() {
+  // Leaked singleton: safe to use from any thread at any point of
+  // program teardown.
+  static SharedCache<Dfa>* cache = new SharedCache<Dfa>();
+  return *cache;
+}
+
+Dfa CachedDeterminize(const Regex& regex, int alphabet_size) {
+  SharedCache<Dfa>& cache = GlobalDfaCache();
+  const std::string key =
+      std::to_string(alphabet_size) + "@" + regex.CanonicalText();
+  if (std::shared_ptr<const Dfa> found = cache.Lookup(key)) {
+    trace::Count("cache/dfa_hits");
+    return *found;
+  }
+  trace::Count("cache/dfa_misses");
+  Dfa dfa = Dfa::Determinize(BuildNfa(regex, alphabet_size));
+  return *cache.Insert(key, std::move(dfa));
 }
 
 Dfa Dfa::Determinize(const Nfa& nfa) {

@@ -11,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "base/shared_cache.h"
 #include "base/status.h"
 #include "regex/regex.h"
 
@@ -35,6 +36,20 @@ struct Nfa {
 /// Builds the Thompson NFA of `regex` over symbols 0..alphabet_size-1.
 /// Wildcards match every symbol of the alphabet.
 Nfa BuildNfa(const Regex& regex, int alphabet_size);
+
+class Dfa;
+
+/// BuildNfa + Determinize through a process-wide mutex-guarded memo
+/// keyed on the regex's canonical symbol-id text plus the alphabet
+/// size. The resulting DFA depends only on that pair, so hits are
+/// safe across unrelated DTDs and specifications — which is exactly
+/// what makes the cache pay off for batch workloads with repeated
+/// expressions. Emits cache/dfa_hits and cache/dfa_misses counters.
+Dfa CachedDeterminize(const Regex& regex, int alphabet_size);
+
+/// The cache behind CachedDeterminize, exposed for statistics and
+/// tests (hits(), misses(), Clear()).
+SharedCache<Dfa>& GlobalDfaCache();
 
 /// Deterministic, complete finite automaton. State 0 is the start
 /// state; every state has a transition on every symbol (a dead state

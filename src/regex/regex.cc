@@ -337,6 +337,11 @@ std::string Regex::ToString(
   return Print(*this, name_of, 0);
 }
 
+std::string Regex::CanonicalText() const {
+  return Print(
+      *this, [](int symbol) { return "#" + std::to_string(symbol); }, 0);
+}
+
 Regex RemapSymbols(const Regex& regex, const std::function<int(int)>& map) {
   switch (regex.kind()) {
     case RegexKind::kEpsilon:

@@ -74,6 +74,11 @@ class Regex {
   std::string ToString(
       const std::function<std::string(int)>& name_of) const;
 
+  /// Deterministic symbol-id rendering (e.g. "#3.(#1|#2)*"), suitable
+  /// as a memoization key: equal texts denote equal languages for any
+  /// fixed alphabet size, independent of which DTD produced the ids.
+  std::string CanonicalText() const;
+
  private:
   explicit Regex(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
 

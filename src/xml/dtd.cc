@@ -138,8 +138,11 @@ Result<int> Dtd::Depth() const {
 const Dfa& Dtd::ContentDfa(int type) const {
   if (content_dfas_.empty()) content_dfas_.resize(types_.size());
   if (!content_dfas_[type].has_value()) {
-    Nfa nfa = BuildNfa(types_[type].content, content_alphabet_size());
-    content_dfas_[type] = Dfa::Determinize(nfa);
+    // The per-DTD memo above avoids repeated lookups; the global cache
+    // additionally shares the determinization across specifications
+    // whose content models coincide (common in batch manifests).
+    content_dfas_[type] =
+        CachedDeterminize(types_[type].content, content_alphabet_size());
   }
   return *content_dfas_[type];
 }

@@ -1,6 +1,8 @@
 #include "xml/xml_parser.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -87,7 +89,36 @@ class XmlParser {
     return ReadName();
   }
 
-  static std::string DecodeEntities(std::string_view raw) {
+  // Appends the UTF-8 encoding of `code_point` (already validated as
+  // a scalar value) to `out`.
+  static void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      out->push_back(static_cast<char>(code_point));
+    } else if (code_point < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else if (code_point < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+    }
+  }
+
+  // Decodes the five XML named entities plus numeric character
+  // references (&#NN; decimal, &#xHH; hex). XML allows no unescaped
+  // '&' in content or attribute values, so a bare, unterminated,
+  // unknown, or malformed reference is an InvalidArgument — passing
+  // the raw '&' through would silently change attribute values that
+  // the key/foreign-key semantics compare for equality.
+  static Result<std::string> DecodeEntities(std::string_view raw) {
+    // Longest legal reference we accept: "&#x10FFFF;" and the named
+    // entities are all far shorter.
+    constexpr size_t kMaxReferenceLength = 12;
     std::string out;
     for (size_t i = 0; i < raw.size(); ++i) {
       if (raw[i] != '&') {
@@ -95,20 +126,73 @@ class XmlParser {
         continue;
       }
       std::string_view rest = raw.substr(i);
+      size_t semi = rest.find(';');
+      if (semi == std::string_view::npos || semi > kMaxReferenceLength) {
+        return Status::InvalidArgument(
+            "unterminated entity reference at '" +
+            std::string(rest.substr(0, std::min<size_t>(rest.size(),
+                                                        kMaxReferenceLength))) +
+            "'");
+      }
+      std::string_view body = rest.substr(1, semi - 1);
+      if (body.empty()) {
+        return Status::InvalidArgument("empty entity reference '&;'");
+      }
+      if (body[0] == '#') {
+        bool hex = body.size() >= 2 && (body[1] == 'x' || body[1] == 'X');
+        std::string_view digits = body.substr(hex ? 2 : 1);
+        if (digits.empty()) {
+          return Status::InvalidArgument(
+              "numeric character reference with no digits: '&" +
+              std::string(body) + ";'");
+        }
+        uint32_t value = 0;
+        for (char c : digits) {
+          int digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (hex && c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (hex && c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            return Status::InvalidArgument(
+                "malformed numeric character reference: '&" +
+                std::string(body) + ";'");
+          }
+          value = value * (hex ? 16 : 10) + static_cast<uint32_t>(digit);
+          if (value > 0x10FFFF) {
+            return Status::InvalidArgument(
+                "character reference beyond U+10FFFF: '&" +
+                std::string(body) + ";'");
+          }
+        }
+        // U+0000 and the surrogate block are not XML characters.
+        if (value == 0 || (value >= 0xD800 && value <= 0xDFFF)) {
+          return Status::InvalidArgument("invalid character reference: '&" +
+                                         std::string(body) + ";'");
+        }
+        AppendUtf8(value, &out);
+        i += semi;
+        continue;
+      }
       struct Entity { std::string_view name; char value; };
       static constexpr Entity kEntities[] = {
-          {"&lt;", '<'}, {"&gt;", '>'}, {"&amp;", '&'},
-          {"&quot;", '"'}, {"&apos;", '\''}};
+          {"lt", '<'}, {"gt", '>'}, {"amp", '&'},
+          {"quot", '"'}, {"apos", '\''}};
       bool matched = false;
       for (const Entity& entity : kEntities) {
-        if (StartsWith(rest, entity.name)) {
+        if (body == entity.name) {
           out += entity.value;
-          i += entity.name.size() - 1;
           matched = true;
           break;
         }
       }
-      if (!matched) out += raw[i];
+      if (!matched) {
+        return Status::InvalidArgument("unknown entity reference: '&" +
+                                       std::string(body) + ";'");
+      }
+      i += semi;
     }
     return out;
   }
@@ -149,28 +233,31 @@ class XmlParser {
         return Status::InvalidArgument("unterminated attribute value for '" +
                                        attribute + "'");
       }
-      tree->SetAttribute(
-          node, attribute,
+      ASSIGN_OR_RETURN(
+          std::string value,
           DecodeEntities(std::string_view(text_).substr(pos_, end - pos_)));
+      tree->SetAttribute(node, attribute, std::move(value));
       pos_ = end + 1;
     }
   }
 
   Status ParseChildren(XmlTree* tree, NodeId node, const std::string& name) {
     std::string pending_text;
-    auto flush_text = [&]() {
+    auto flush_text = [&]() -> Status {
       std::string_view stripped = StripWhitespace(pending_text);
       if (!stripped.empty()) {
-        tree->AddText(node, DecodeEntities(stripped));
+        ASSIGN_OR_RETURN(std::string decoded, DecodeEntities(stripped));
+        tree->AddText(node, std::move(decoded));
       }
       pending_text.clear();
+      return Status::OK();
     };
     while (true) {
       if (pos_ >= text_.size()) {
         return Status::InvalidArgument("missing </" + name + ">");
       }
       if (StartsWith(Rest(), "</")) {
-        flush_text();
+        RETURN_IF_ERROR(flush_text());
         pos_ += 2;
         ASSIGN_OR_RETURN(std::string close_name, ReadName());
         if (close_name != name) {
@@ -194,7 +281,7 @@ class XmlParser {
         continue;
       }
       if (text_[pos_] == '<') {
-        flush_text();
+        RETURN_IF_ERROR(flush_text());
         ASSIGN_OR_RETURN(std::string child_name, ExpectOpenTag());
         ASSIGN_OR_RETURN(int child_type, dtd_.TypeId(child_name));
         NodeId child = tree->AddElement(node, child_type);

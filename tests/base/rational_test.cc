@@ -82,5 +82,29 @@ TEST(RationalTest, FieldAxiomsGrid) {
   }
 }
 
+TEST(RationalTest, CreateRejectsZeroDenominator) {
+  Result<Rational> bad = Rational::Create(BigInt(1), BigInt(0));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  Result<Rational> good = Rational::Create(BigInt(6), BigInt(-8));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, Rational(BigInt(-3), BigInt(4)));
+}
+
+TEST(RationalTest, FromStringParsesAndValidates) {
+  Result<Rational> fraction = Rational::FromString("6/8");
+  ASSERT_TRUE(fraction.ok());
+  EXPECT_EQ(*fraction, Rational(BigInt(3), BigInt(4)));
+  Result<Rational> integer = Rational::FromString("-5");
+  ASSERT_TRUE(integer.ok());
+  EXPECT_EQ(*integer, Rational(-5));
+  // The checked path exists so untrusted text cannot reach the
+  // aborting constructor: a zero denominator is a Status, not a crash.
+  EXPECT_FALSE(Rational::FromString("1/0").ok());
+  EXPECT_FALSE(Rational::FromString("1/2/3").ok());
+  EXPECT_FALSE(Rational::FromString("x/2").ok());
+  EXPECT_FALSE(Rational::FromString("").ok());
+}
+
 }  // namespace
 }  // namespace xmlverify

@@ -1,0 +1,145 @@
+// Deadline behavior across the decision procedures, plus the
+// cap-soundness regressions: a capped search must report kUnknown,
+// never a definitive verdict, and an expired deadline must yield
+// kDeadlineExceeded — not a hang, a crash, or a wrong answer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/brute_force.h"
+#include "core/consistency.h"
+#include "core/sat_bounded.h"
+#include "core/specification.h"
+#include "ilp/solver.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+TEST(DeadlineBehaviorTest, BoundedSearchHonorsDeadlineWithinTolerance) {
+  // A starred DTD with three values and a 14-node budget spans far too
+  // many candidate trees to enumerate quickly; the never-satisfied
+  // predicate forces the search to run until some budget intervenes.
+  Specification spec = Parse("<!ELEMENT r (a*)>\n<!ATTLIST a v>\n", "");
+  BoundedSearchOptions options;
+  options.max_nodes = 14;
+  options.num_values = 3;
+  options.max_candidates = 1'000'000'000'000;
+  options.deadline = Deadline::AfterMillis(150);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      BoundedSearchDocument(
+          spec.dtd, [](const XmlTree&) { return false; }, options));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kDeadlineExceeded);
+  // Generous tolerance for loaded CI machines; without the deadline
+  // this enumeration runs for minutes.
+  EXPECT_LT(elapsed.count(), 10000) << "deadline overshot";
+}
+
+TEST(DeadlineBehaviorTest, CheckerFoldsExpiredDeadlineIntoVerdict) {
+  // An already-expired deadline: every procedure must notice before
+  // doing real work, and the facade reports it as a verdict (never as
+  // an error status).
+  ConsistencyChecker::Options options;
+  options.deadline = Deadline::AfterMillis(0);
+  ConsistencyChecker checker(options);
+
+  // Absolute class (ILP route).
+  Specification absolute =
+      Parse("<!ELEMENT r (a*)>\n<!ATTLIST a v>\n", "a.v -> a\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(absolute));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kDeadlineExceeded);
+
+  // Hierarchical relative class (scope recursion route).
+  Specification relative = Parse(R"(
+<!ELEMENT r (c*)>
+<!ELEMENT c (a*)>
+<!ATTLIST a v>
+)",
+                                 "c(a.v -> a)\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict relative_verdict,
+                       checker.Check(relative));
+  EXPECT_EQ(relative_verdict.outcome, ConsistencyOutcome::kDeadlineExceeded);
+}
+
+TEST(DeadlineBehaviorTest, InfiniteDeadlineLeavesVerdictsExact) {
+  ConsistencyChecker checker;  // default options: no deadline
+  Specification spec =
+      Parse("<!ELEMENT r (a*)>\n<!ATTLIST a v>\n", "a.v -> a\n");
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+}
+
+TEST(DeadlineBehaviorTest, SolverReportsDeadlineBeforeInterpretingLp) {
+  // An infeasible program under an expired deadline must say
+  // "deadline", not "unsat": the aborted LP's feasible flag is
+  // meaningless and must not be read as a refutation.
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  LinearExpr ge;
+  ge.Add(x, BigInt(1));
+  program.AddLinear(std::move(ge), Relation::kGe, BigInt(5));
+  program.SetUpperBound(x, BigInt(2));
+  SolverOptions options;
+  options.deadline = Deadline::AfterMillis(0);
+  SolveResult result = IlpSolver(options).Solve(program);
+  EXPECT_EQ(result.outcome, SolveOutcome::kDeadlineExceeded);
+}
+
+TEST(CapSoundnessTest, NoStarVectorCapReportsUnknownNotInconsistent) {
+  // Genuinely inconsistent: either branch yields >= 2 a's keyed into a
+  // single b. The union makes the achievable-vector set {(2,1),(3,1)},
+  // which overflows a cap of 1 — and a truncated DP has not examined
+  // every extent vector, so claiming kInconsistent would be unsound.
+  Specification spec = Parse(R"(
+<!ELEMENT r ((a, a, b) | (a, a, a, b))>
+<!ATTLIST a v>
+<!ATTLIST b v>
+)",
+                             "a.v -> a\nfk a.v <= b.v\n");
+  NoStarCheckOptions options;
+  options.max_vectors = 1;
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckNoStarConsistency(spec.dtd, spec.constraints, options));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kUnknown);
+  EXPECT_NE(verdict.note.find("vector"), std::string::npos) << verdict.note;
+}
+
+TEST(CapSoundnessTest, SolverNodeCapReportsUnknownNotUnsat) {
+  // Infeasible program, but the node budget expires before the search
+  // can prove it: kUnknown, never kUnsat.
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  LinearExpr ge;
+  ge.Add(x, BigInt(1));
+  program.AddLinear(std::move(ge), Relation::kGe, BigInt(5));
+  program.SetUpperBound(x, BigInt(2));
+  SolverOptions options;
+  options.max_nodes = 0;
+  SolveResult result = IlpSolver(options).Solve(program);
+  EXPECT_EQ(result.outcome, SolveOutcome::kUnknown);
+}
+
+TEST(CapSoundnessTest, BoundedSearchCandidateCapNeverClaimsInconsistent) {
+  // One candidate is nowhere near enough to exhaust the space, so the
+  // only honest answers are kConsistent (found early) or kUnknown.
+  Specification spec = Parse("<!ELEMENT r (a, a)>\n<!ATTLIST a v>\n", "");
+  BoundedSearchOptions options;
+  options.max_candidates = 1;
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      BoundedSearchDocument(
+          spec.dtd, [](const XmlTree&) { return false; }, options));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kUnknown);
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,65 @@
+// The process-wide DFA memo behind CachedDeterminize: correctness of
+// cached results, hit accounting, and alphabet-size key separation.
+#include "regex/automaton.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "regex/regex.h"
+
+namespace xmlverify {
+namespace {
+
+Regex AStarB() {
+  return Regex::Concat(Regex::Star(Regex::Symbol(0)), Regex::Symbol(1));
+}
+
+TEST(DfaCacheTest, CachedResultMatchesDirectDeterminization) {
+  GlobalDfaCache().Clear();
+  Dfa direct = Dfa::Determinize(BuildNfa(AStarB(), 2));
+  Dfa cached = CachedDeterminize(AStarB(), 2);
+  for (const std::vector<int>& word :
+       std::vector<std::vector<int>>{{},
+                                     {1},
+                                     {0, 1},
+                                     {0, 0, 0, 1},
+                                     {1, 1},
+                                     {0},
+                                     {1, 0}}) {
+    EXPECT_EQ(cached.Accepts(word), direct.Accepts(word));
+  }
+}
+
+TEST(DfaCacheTest, RepeatLookupsHit) {
+  GlobalDfaCache().Clear();
+  const uint64_t hits_before = GlobalDfaCache().hits();
+  CachedDeterminize(AStarB(), 2);
+  CachedDeterminize(AStarB(), 2);
+  CachedDeterminize(AStarB(), 2);
+  EXPECT_GE(GlobalDfaCache().hits(), hits_before + 2);
+}
+
+TEST(DfaCacheTest, AlphabetSizeIsPartOfTheKey) {
+  // The same expression over a larger alphabet is a different DFA
+  // (more symbols lead to the reject sink); the key must keep the two
+  // apart.
+  GlobalDfaCache().Clear();
+  Dfa narrow = CachedDeterminize(AStarB(), 2);
+  Dfa wide = CachedDeterminize(AStarB(), 3);
+  EXPECT_EQ(GlobalDfaCache().size(), 2u);
+  EXPECT_FALSE(narrow.Accepts({2}));
+  EXPECT_FALSE(wide.Accepts({2}));
+  EXPECT_TRUE(wide.Accepts({0, 0, 1}));
+}
+
+TEST(DfaCacheTest, CanonicalTextUsesSymbolIds) {
+  // The key is rendered from symbol ids, independent of any DTD's
+  // type names: "#3" not "book".
+  std::string text = AStarB().CanonicalText();
+  EXPECT_NE(text.find("#0"), std::string::npos) << text;
+  EXPECT_NE(text.find("#1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,107 @@
+// Entity decoding in the XML document parser: named entities, numeric
+// character references, serialize/re-parse round trips, and rejection
+// of malformed references.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/test_util.h"
+#include "xml/dtd_parser.h"
+#include "xml/tree.h"
+#include "xml/xml_parser.h"
+
+namespace xmlverify {
+namespace {
+
+constexpr char kDtd[] = R"(
+<!ELEMENT r (item*)>
+<!ELEMENT item (#PCDATA)>
+<!ATTLIST item v>
+)";
+
+Result<std::string> ParseAttr(const Dtd& dtd, const std::string& value) {
+  ASSIGN_OR_RETURN(XmlTree tree,
+                   ParseXmlDocument("<r><item v=\"" + value + "\"></item></r>",
+                                    dtd));
+  ASSIGN_OR_RETURN(int item, dtd.TypeId("item"));
+  return tree.Attribute(tree.ElementsOfType(item)[0], "v");
+}
+
+Result<std::string> ParseText(const Dtd& dtd, const std::string& text) {
+  ASSIGN_OR_RETURN(XmlTree tree,
+                   ParseXmlDocument("<r><item>" + text + "</item></r>", dtd));
+  ASSIGN_OR_RETURN(int item, dtd.TypeId("item"));
+  return tree.TextOf(tree.ChildrenOf(tree.ElementsOfType(item)[0])[0]);
+}
+
+TEST(EntityTest, NamedEntitiesDecodeInAttributesAndText) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kDtd));
+  ASSERT_OK_AND_ASSIGN(std::string attr,
+                       ParseAttr(dtd, "&lt;a&gt; &amp; &quot;b&quot;&apos;"));
+  EXPECT_EQ(attr, "<a> & \"b\"'");
+  ASSERT_OK_AND_ASSIGN(std::string text, ParseText(dtd, "x &amp;&lt; y"));
+  EXPECT_EQ(text, "x &< y");
+}
+
+TEST(EntityTest, NumericReferencesDecimalAndHex) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kDtd));
+  ASSERT_OK_AND_ASSIGN(std::string decimal, ParseAttr(dtd, "&#65;&#66;"));
+  EXPECT_EQ(decimal, "AB");
+  ASSERT_OK_AND_ASSIGN(std::string hex, ParseAttr(dtd, "&#x41;&#X62;"));
+  EXPECT_EQ(hex, "Ab");
+  // Multi-byte UTF-8: U+00E9 (2 bytes), U+20AC (3), U+1F600 (4).
+  ASSERT_OK_AND_ASSIGN(std::string utf8,
+                       ParseAttr(dtd, "&#233;&#x20AC;&#x1F600;"));
+  EXPECT_EQ(utf8, "\xC3\xA9\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(EntityTest, EscapeThenParseRoundTrips) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kDtd));
+  // Build a tree whose values use every character the serializer
+  // escapes, serialize it, and re-parse: values must survive exactly.
+  const std::string nasty = "<tag> & \"quoted\" 'single'";
+  ASSERT_OK_AND_ASSIGN(int item_type, dtd.TypeId("item"));
+  XmlTree tree(dtd.root());
+  NodeId item = tree.AddElement(tree.root(), item_type);
+  tree.SetAttribute(item, "v", nasty);
+  tree.AddText(item, nasty);
+  ASSERT_OK_AND_ASSIGN(XmlTree reparsed,
+                       ParseXmlDocument(tree.ToXml(dtd), dtd));
+  NodeId reparsed_item = reparsed.ElementsOfType(item_type)[0];
+  ASSERT_OK_AND_ASSIGN(std::string attr,
+                       reparsed.Attribute(reparsed_item, "v"));
+  EXPECT_EQ(attr, nasty);
+  EXPECT_EQ(reparsed.TextOf(reparsed.ChildrenOf(reparsed_item)[0]), nasty);
+}
+
+TEST(EntityTest, MalformedReferencesAreRejected) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kDtd));
+  // A bare ampersand is not XML: it must be an error, not passed
+  // through silently (attribute values feed key comparisons).
+  EXPECT_FALSE(ParseAttr(dtd, "a & b").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "trailing &").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&unknown;").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&;").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&#;").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&#x;").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&#12a;").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&#xZZ;").ok());
+  EXPECT_FALSE(ParseAttr(dtd, "&#0;").ok());          // U+0000
+  EXPECT_FALSE(ParseAttr(dtd, "&#xD800;").ok());      // surrogate
+  EXPECT_FALSE(ParseAttr(dtd, "&#x110000;").ok());    // beyond Unicode
+  EXPECT_FALSE(ParseText(dtd, "a &amp b").ok());      // unterminated
+  EXPECT_FALSE(ParseText(dtd, "a & b").ok());
+}
+
+TEST(EntityTest, BoundaryCodePointsAccepted) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd(kDtd));
+  ASSERT_OK_AND_ASSIGN(std::string low, ParseAttr(dtd, "&#1;"));
+  EXPECT_EQ(low, std::string(1, '\x01'));
+  // Just below and above the surrogate block, and the Unicode maximum.
+  EXPECT_TRUE(ParseAttr(dtd, "&#xD7FF;").ok());
+  EXPECT_TRUE(ParseAttr(dtd, "&#xE000;").ok());
+  EXPECT_TRUE(ParseAttr(dtd, "&#x10FFFF;").ok());
+}
+
+}  // namespace
+}  // namespace xmlverify
