@@ -19,10 +19,20 @@
 //       thread pool, one verdict line per spec in manifest order.
 //
 // Flags, accepted anywhere on the command line (see
-// docs/observability.md for the report schema):
+// docs/observability.md for the report schema and docs/robustness.md
+// for budgets, the degradation ladder, and fault injection):
 //   --jobs=N          batch worker threads (default: hardware threads)
 //   --timeout=MS      per-check wall-clock budget in milliseconds;
 //                     an expired check reports DEADLINE_EXCEEDED
+//   --memory-limit=MB per-check tracked-allocation ceiling; exhaustion
+//                     reports RESOURCE_EXHAUSTED (exit 5), never a
+//                     definitive verdict
+//   --max-depth=N     parser/recursion nesting ceiling (default 1000)
+//   --retries=N       batch mode: re-run budget-failed items up to N
+//                     times with doubled budgets
+//   --fault-inject=SPEC  arm the deterministic fault injector, e.g.
+//                     manifest_io=1 or alloc=%7 (testing only)
+//   --fault-seed=N    seed for probabilistic fault clauses
 //   --stats           print a JSON phase/counter report to stdout
 //   --trace[=text]    stream trace events to stderr, human-readable
 //   --trace=json      stream trace events to stderr as JSON lines
@@ -37,6 +47,8 @@
 #include <vector>
 
 #include "base/deadline.h"
+#include "base/fault_injection.h"
+#include "base/resource_guard.h"
 #include "base/string_util.h"
 #include "batch/batch_runner.h"
 #include "checker/document_checker.h"
@@ -73,11 +85,35 @@ int Usage() {
                "flags (any position):\n"
                "  --jobs=N           batch worker threads\n"
                "  --timeout=MS       per-check wall-clock budget (ms)\n"
+               "  --memory-limit=MB  per-check tracked-memory ceiling\n"
+               "  --max-depth=N      parser/recursion nesting ceiling\n"
+               "  --retries=N        batch: retry budget failures with\n"
+               "                     doubled budgets\n"
+               "  --fault-inject=SPEC  arm fault injection (testing)\n"
+               "  --fault-seed=N     seed for %%P fault clauses\n"
                "  --stats            JSON phase/counter report on stdout\n"
                "  --trace[=text]     stream trace events to stderr\n"
                "  --trace=json       stream trace events as JSON lines\n");
   return 2;
 }
+
+// Budget-shaped global flags, threaded to every command.
+struct BudgetFlags {
+  int64_t timeout_millis = 0;
+  int64_t memory_limit_bytes = 0;
+  int max_depth = 0;
+  int retries = 0;
+
+  ConsistencyChecker::Options MakeCheckerOptions() const {
+    ConsistencyChecker::Options options;
+    if (timeout_millis > 0) {
+      options.deadline = Deadline::AfterMillis(timeout_millis);
+    }
+    options.budget.set_memory_limit_bytes(memory_limit_bytes);
+    options.budget.set_max_depth(max_depth);
+    return options;
+  }
+};
 
 // Either two files (DTD + constraints) or one combined `.xvc` file
 // with a `%%` separator line.
@@ -93,12 +129,8 @@ Result<Specification> LoadSpec(const std::string& dtd_path,
 }
 
 int RunCheck(const Specification& spec, const std::string& witness_path,
-             int64_t timeout_millis) {
-  ConsistencyChecker::Options options;
-  if (timeout_millis > 0) {
-    options.deadline = Deadline::AfterMillis(timeout_millis);
-  }
-  ConsistencyChecker checker(options);
+             const BudgetFlags& budget) {
+  ConsistencyChecker checker(budget.MakeCheckerOptions());
   Result<ConsistencyVerdict> verdict = checker.Check(spec);
   if (!verdict.ok()) {
     std::fprintf(stderr, "error: %s\n", verdict.status().ToString().c_str());
@@ -111,21 +143,24 @@ int RunCheck(const Specification& spec, const std::string& witness_path,
     out << verdict->witness->ToXml(spec.dtd);
     std::printf("witness written to %s\n", witness_path.c_str());
   }
-  // Exit codes: 0 consistent, 1 inconsistent, 3 unknown, 4 deadline.
+  // Exit codes: 0 consistent, 1 inconsistent, 3 unknown, 4 deadline,
+  // 5 resource-exhausted.
   switch (verdict->outcome) {
     case ConsistencyOutcome::kConsistent: return 0;
     case ConsistencyOutcome::kInconsistent: return 1;
     case ConsistencyOutcome::kUnknown: return 3;
     case ConsistencyOutcome::kDeadlineExceeded: return 4;
+    case ConsistencyOutcome::kResourceExhausted: return 5;
   }
   return 2;
 }
 
 // The batch driver: one verdict line per manifest entry, in manifest
 // order, then a '#'-prefixed summary. Exit code reflects the worst
-// outcome in the batch: error > deadline > unknown > inconsistent.
+// outcome in the batch: error > resource-exhausted > deadline >
+// unknown > inconsistent.
 int RunBatchCommand(const std::string& manifest_path, int jobs,
-                    int64_t timeout_millis, StatsRegistry* stats) {
+                    const BudgetFlags& budget, StatsRegistry* stats) {
   Result<std::string> manifest = ReadFile(manifest_path);
   if (!manifest.ok()) {
     std::fprintf(stderr, "error: %s\n", manifest.status().ToString().c_str());
@@ -143,7 +178,12 @@ int RunBatchCommand(const std::string& manifest_path, int jobs,
 
   BatchOptions options;
   options.jobs = jobs;
-  options.timeout_millis = timeout_millis;
+  // The per-item deadline is derived from timeout_millis when a worker
+  // picks the item up, so the Deadline is not stamped here.
+  options.timeout_millis = budget.timeout_millis;
+  options.retries = budget.retries;
+  options.check.budget.set_memory_limit_bytes(budget.memory_limit_bytes);
+  options.check.budget.set_max_depth(budget.max_depth);
   options.stats = stats;
   BatchResult result = RunBatch(*entries, options);
 
@@ -162,11 +202,16 @@ int RunBatchCommand(const std::string& manifest_path, int jobs,
   }
   std::printf(
       "# checked %zu spec(s): %d consistent, %d inconsistent, %d unknown, "
-      "%d deadline-exceeded, %d error(s) in %lld ms\n",
+      "%d deadline-exceeded, %d resource-exhausted, %d error(s) in %lld ms\n",
       result.items.size(), result.consistent, result.inconsistent,
-      result.unknown, result.deadline_exceeded, result.errors,
-      static_cast<long long>(result.wall_millis));
+      result.unknown, result.deadline_exceeded, result.resource_exhausted,
+      result.errors, static_cast<long long>(result.wall_millis));
+  if (result.retries > 0) {
+    std::printf("# %d retry attempt(s), %d item(s) recovered\n",
+                result.retries, result.retry_recovered);
+  }
   if (result.errors > 0) return 2;
+  if (result.resource_exhausted > 0) return 5;
   if (result.deadline_exceeded > 0) return 4;
   if (result.unknown > 0) return 3;
   if (result.inconsistent > 0) return 1;
@@ -223,7 +268,7 @@ int RunClassify(const Specification& spec) {
   return 0;
 }
 
-int RunCommand(int argc, char** argv, int64_t timeout_millis) {
+int RunCommand(int argc, char** argv, const BudgetFlags& budget) {
   if (argc < 3) return Usage();
   std::string command = argv[1];
   // A spec is either one combined `.xvc` file or a DTD + constraints
@@ -244,7 +289,7 @@ int RunCommand(int argc, char** argv, int64_t timeout_millis) {
     for (int arg = rest; arg + 1 < argc; ++arg) {
       if (std::string(argv[arg]) == "--witness") witness_path = argv[arg + 1];
     }
-    return RunCheck(*spec, witness_path, timeout_millis);
+    return RunCheck(*spec, witness_path, budget);
   }
   if (command == "validate") {
     if (argc < rest + 1) return Usage();
@@ -282,12 +327,26 @@ int RunCommand(int argc, char** argv, int64_t timeout_millis) {
 using namespace xmlverify;
 
 int main(int argc, char** argv) {
+  // Fault injection can be armed from the environment
+  // (XMLVERIFY_FAULT_INJECT / XMLVERIFY_FAULT_SEED) so tests can
+  // exercise failure paths without touching the command line; the
+  // --fault-inject flag below overrides it.
+  Status env_armed = FaultInjector::ArmFromEnv();
+  if (!env_armed.ok()) {
+    std::fprintf(stderr, "error: XMLVERIFY_FAULT_INJECT: %s\n",
+                 env_armed.ToString().c_str());
+    return 2;
+  }
+
   // Global flags are accepted anywhere: strip them wherever they
   // appear, leaving the positional command line.
   bool stats = false;
   bool batch = false;
   int jobs = 0;
-  int64_t timeout_millis = 0;
+  BudgetFlags budget;
+  std::string fault_spec;
+  uint64_t fault_seed = 0;
+  bool fault_armed = false;
   std::string trace_mode;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
@@ -303,12 +362,40 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (StartsWith(arg, "--timeout=")) {
-      timeout_millis = std::atoll(arg.c_str() + 10);
-      if (timeout_millis <= 0) {
+      budget.timeout_millis = std::atoll(arg.c_str() + 10);
+      if (budget.timeout_millis <= 0) {
         std::fprintf(stderr,
                      "error: --timeout expects a positive millisecond count\n");
         return 2;
       }
+    } else if (StartsWith(arg, "--memory-limit=")) {
+      int64_t megabytes = std::atoll(arg.c_str() + 15);
+      if (megabytes <= 0) {
+        std::fprintf(stderr,
+                     "error: --memory-limit expects a positive megabyte "
+                     "count\n");
+        return 2;
+      }
+      budget.memory_limit_bytes = megabytes * int64_t{1024} * 1024;
+    } else if (StartsWith(arg, "--max-depth=")) {
+      budget.max_depth = std::atoi(arg.c_str() + 12);
+      if (budget.max_depth <= 0) {
+        std::fprintf(stderr, "error: --max-depth expects a positive integer\n");
+        return 2;
+      }
+      SetMaxParseDepth(budget.max_depth);
+    } else if (StartsWith(arg, "--retries=")) {
+      budget.retries = std::atoi(arg.c_str() + 10);
+      if (budget.retries < 0) {
+        std::fprintf(stderr,
+                     "error: --retries expects a non-negative integer\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--fault-inject=")) {
+      fault_spec = arg.substr(15);
+      fault_armed = true;
+    } else if (StartsWith(arg, "--fault-seed=")) {
+      fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
     } else if (arg == "--trace" || arg == "--trace=text") {
       trace_mode = "text";
     } else if (arg == "--trace=json") {
@@ -319,6 +406,15 @@ int main(int argc, char** argv) {
       return 2;
     } else {
       args.push_back(argv[i]);
+    }
+  }
+
+  if (fault_armed) {
+    Status armed = FaultInjector::Arm(fault_spec, fault_seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: --fault-inject: %s\n",
+                   armed.ToString().c_str());
+      return 2;
     }
   }
 
@@ -342,12 +438,11 @@ int main(int argc, char** argv) {
     if (args.size() != 2) {
       code = Usage();
     } else {
-      code = RunBatchCommand(args[1], jobs, timeout_millis,
+      code = RunBatchCommand(args[1], jobs, budget,
                              (stats || sink != nullptr) ? &registry : nullptr);
     }
   } else {
-    code = RunCommand(static_cast<int>(args.size()), args.data(),
-                      timeout_millis);
+    code = RunCommand(static_cast<int>(args.size()), args.data(), budget);
   }
   if (stats) std::fputs(registry.ToJson().c_str(), stdout);
   return code;

@@ -93,11 +93,10 @@ bool BigInt::FitsInt64() const {
   return magnitude < (uint64_t{1} << 63);
 }
 
-int64_t BigInt::ToInt64() const {
+Result<int64_t> BigInt::TryToInt64() const {
   if (!FitsInt64()) {
-    std::fprintf(stderr, "BigInt::ToInt64: %s does not fit\n",
-                 ToString().c_str());
-    std::abort();
+    return Status::ResourceExhausted("BigInt value " + ToString() +
+                                     " does not fit in int64");
   }
   uint64_t magnitude = Magnitude64();
   return negative_ ? -static_cast<int64_t>(magnitude)
@@ -304,11 +303,10 @@ BigInt BigInt::operator*(const BigInt& other) const {
   return result;
 }
 
-void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
-                    BigInt* remainder) const {
+Status BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
+                      BigInt* remainder) const {
   if (divisor.is_zero()) {
-    std::fprintf(stderr, "BigInt::DivMod: division by zero\n");
-    std::abort();
+    return Status::InvalidArgument("BigInt::DivMod: division by zero");
   }
   // Fast path: both magnitudes fit in 64 bits.
   if (limbs_.size() <= 2 && divisor.limbs_.size() <= 2) {
@@ -324,7 +322,7 @@ void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
       r.SetMagnitude64(a % b);
       *remainder = std::move(r);
     }
-    return;
+    return Status::OK();
   }
   // Fast path: single-limb divisor.
   if (divisor.limbs_.size() == 1) {
@@ -347,7 +345,7 @@ void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
       r.SetMagnitude64(rem);
       *remainder = std::move(r);
     }
-    return;
+    return Status::OK();
   }
   // Binary long division on magnitudes: scan dividend bits from the
   // most significant downward, maintaining the running remainder.
@@ -374,18 +372,24 @@ void BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
   rem.Normalize();
   if (quotient != nullptr) *quotient = std::move(quot);
   if (remainder != nullptr) *remainder = std::move(rem);
+  return Status::OK();
 }
 
+// The operator forms keep value signatures; every internal caller
+// guards against zero divisors (Rational normalization, simplex ratio
+// tests, the Gcd loop), so the degenerate zero result below is
+// unreachable from library code and merely keeps arbitrary callers
+// crash-free.
 BigInt BigInt::operator/(const BigInt& other) const {
   BigInt quotient;
-  DivMod(other, &quotient, nullptr);
+  if (!DivMod(other, &quotient, nullptr).ok()) return BigInt();
   quotient.negative_ = !quotient.is_zero() && (negative_ != other.negative_);
   return quotient;
 }
 
 BigInt BigInt::operator%(const BigInt& other) const {
   BigInt remainder;
-  DivMod(other, nullptr, &remainder);
+  if (!DivMod(other, nullptr, &remainder).ok()) return BigInt();
   remainder.negative_ = !remainder.is_zero() && negative_;
   return remainder;
 }
@@ -393,7 +397,7 @@ BigInt BigInt::operator%(const BigInt& other) const {
 BigInt BigInt::FloorDiv(const BigInt& other) const {
   BigInt quotient;
   BigInt remainder;
-  DivMod(other, &quotient, &remainder);
+  if (!DivMod(other, &quotient, &remainder).ok()) return BigInt();
   bool exact = remainder.is_zero();
   bool negative_result = negative_ != other.negative_;
   quotient.negative_ = !quotient.is_zero() && negative_result;
@@ -404,7 +408,7 @@ BigInt BigInt::FloorDiv(const BigInt& other) const {
 BigInt BigInt::CeilDiv(const BigInt& other) const {
   BigInt quotient;
   BigInt remainder;
-  DivMod(other, &quotient, &remainder);
+  if (!DivMod(other, &quotient, &remainder).ok()) return BigInt();
   bool exact = remainder.is_zero();
   bool negative_result = negative_ != other.negative_;
   quotient.negative_ = !quotient.is_zero() && negative_result;
@@ -430,7 +434,8 @@ BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
       return result;
     }
     BigInt remainder;
-    x.DivMod(y, nullptr, &remainder);
+    // y is nonzero by the loop condition.
+    (void)x.DivMod(y, nullptr, &remainder);
     x = std::move(y);
     y = std::move(remainder);
   }

@@ -139,8 +139,12 @@ class BigInt {
 
   /// True if the value fits in int64_t.
   bool FitsInt64() const;
-  /// Value as int64_t; aborts if it does not fit (use FitsInt64 first).
-  int64_t ToInt64() const;
+  /// Value as int64_t, or kResourceExhausted when it does not fit. The
+  /// quantities this converts are counts about to be materialized
+  /// (witness nodes, value pools), so "does not fit" means "too large
+  /// to build" — the same ceiling semantics as a memory budget, and
+  /// never a crash, whatever the input.
+  Result<int64_t> TryToInt64() const;
 
   /// Approximate double conversion (for reporting only).
   double ToDouble() const;
@@ -171,8 +175,12 @@ class BigInt {
   BigInt CeilDiv(const BigInt& other) const;
 
   /// Quotient and remainder of |*this| / |divisor| in one pass.
-  /// Both results are nonnegative. divisor must be nonzero.
-  void DivMod(const BigInt& divisor, BigInt* quotient, BigInt* remainder) const;
+  /// Both results are nonnegative. A zero divisor yields
+  /// kInvalidArgument and leaves the outputs untouched; the operators
+  /// above share divisor checks with their callers and degrade to
+  /// zero on that (internally unreachable) path instead of aborting.
+  Status DivMod(const BigInt& divisor, BigInt* quotient,
+                BigInt* remainder) const;
 
   /// Greatest common divisor of magnitudes (always nonnegative).
   static BigInt Gcd(const BigInt& a, const BigInt& b);

@@ -1,0 +1,202 @@
+#include "base/fault_injection.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+namespace {
+
+struct Rule {
+  enum class Kind { kAlways, kNth, kFromNth, kModulo };
+  Kind kind = Kind::kAlways;
+  int64_t n = 0;  // ordinal for kNth/kFromNth, modulus for kModulo
+};
+
+struct InjectorState {
+  std::mutex mutex;
+  std::map<std::string, Rule> rules;
+  std::map<std::string, int64_t> hits;
+  uint64_t seed = 0;
+};
+
+std::atomic<bool> g_armed{false};
+
+InjectorState& State() {
+  static InjectorState* state = new InjectorState();
+  return *state;
+}
+
+// Deterministic splitmix-style mix of (seed, point, hit ordinal).
+uint64_t MixHash(uint64_t seed, const std::string& point, int64_t hit) {
+  uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= static_cast<uint64_t>(hit);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+Result<int64_t> ParseOrdinal(const std::string& text,
+                             const std::string& clause) {
+  if (text.empty() || text.size() > 12) {
+    return Status::InvalidArgument("bad fault-injection count in clause '" +
+                                   clause + "'");
+  }
+  int64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad fault-injection count in clause '" +
+                                     clause + "'");
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value <= 0) {
+    return Status::InvalidArgument(
+        "fault-injection counts are 1-based; got '" + clause + "'");
+  }
+  return value;
+}
+
+Result<std::pair<std::string, Rule>> ParseClause(const std::string& clause) {
+  size_t eq = clause.find('=');
+  std::string point = clause.substr(0, eq);
+  if (point.empty()) {
+    return Status::InvalidArgument("empty point name in fault-injection spec");
+  }
+  Rule rule;
+  if (eq == std::string::npos) {
+    rule.kind = Rule::Kind::kAlways;
+    return std::make_pair(point, rule);
+  }
+  std::string arg = clause.substr(eq + 1);
+  if (!arg.empty() && arg[0] == '%') {
+    rule.kind = Rule::Kind::kModulo;
+    ASSIGN_OR_RETURN(rule.n, ParseOrdinal(arg.substr(1), clause));
+    return std::make_pair(point, rule);
+  }
+  if (!arg.empty() && arg.back() == '+') {
+    rule.kind = Rule::Kind::kFromNth;
+    ASSIGN_OR_RETURN(rule.n, ParseOrdinal(arg.substr(0, arg.size() - 1),
+                                          clause));
+    return std::make_pair(point, rule);
+  }
+  rule.kind = Rule::Kind::kNth;
+  ASSIGN_OR_RETURN(rule.n, ParseOrdinal(arg, clause));
+  return std::make_pair(point, rule);
+}
+
+}  // namespace
+
+Status FaultInjector::Arm(const std::string& spec, uint64_t seed) {
+#ifdef XMLVERIFY_DISABLE_FAULT_INJECTION
+  (void)spec;
+  (void)seed;
+  return Status::Unsupported("fault injection is compiled out");
+#else
+  std::map<std::string, Rule> rules;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    size_t end = comma == std::string::npos ? spec.size() : comma;
+    std::string clause = spec.substr(start, end - start);
+    if (!clause.empty()) {
+      ASSIGN_OR_RETURN(auto parsed, ParseClause(clause));
+      rules[parsed.first] = parsed.second;
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (rules.empty()) {
+    return Status::InvalidArgument("empty fault-injection spec");
+  }
+  InjectorState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.rules = std::move(rules);
+    state.hits.clear();
+    state.seed = seed;
+  }
+  g_armed.store(true, std::memory_order_release);
+  return Status::OK();
+#endif
+}
+
+void FaultInjector::Disarm() {
+  g_armed.store(false, std::memory_order_release);
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.rules.clear();
+  state.hits.clear();
+}
+
+Status FaultInjector::ArmFromEnv() {
+  const char* spec = std::getenv("XMLVERIFY_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  uint64_t seed = 0;
+  if (const char* seed_text = std::getenv("XMLVERIFY_FAULT_SEED")) {
+    seed = std::strtoull(seed_text, nullptr, 10);
+  }
+  return Arm(spec, seed);
+}
+
+Status FaultInjector::Injected(const char* point) {
+  return Status::ResourceExhausted(std::string("injected fault at ") + point);
+}
+
+int64_t FaultInjector::HitCount(const std::string& point) {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.hits.find(point);
+  return it == state.hits.end() ? 0 : it->second;
+}
+
+#ifndef XMLVERIFY_DISABLE_FAULT_INJECTION
+
+bool FaultInjector::Armed() {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  if (!Armed()) return false;
+  InjectorState& state = State();
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto it = state.rules.find(point);
+    if (it == state.rules.end()) return false;
+    int64_t hit = ++state.hits[point];
+    const Rule& rule = it->second;
+    switch (rule.kind) {
+      case Rule::Kind::kAlways:
+        fire = true;
+        break;
+      case Rule::Kind::kNth:
+        fire = hit == rule.n;
+        break;
+      case Rule::Kind::kFromNth:
+        fire = hit >= rule.n;
+        break;
+      case Rule::Kind::kModulo:
+        fire = MixHash(state.seed, it->first, hit) % rule.n == 0;
+        break;
+    }
+  }
+  if (fire) {
+    trace::Count("fault/injected");
+    trace::Count(std::string("fault/") + point);
+  }
+  return fire;
+}
+
+#endif  // !XMLVERIFY_DISABLE_FAULT_INJECTION
+
+}  // namespace xmlverify

@@ -1,0 +1,75 @@
+// Deterministic fault injection for robustness testing.
+//
+// The pipeline registers named injection points at the places where
+// real resource failures originate:
+//
+//   alloc         — ResourceBudget::ChargeMemory (tracked allocation)
+//   cache_insert  — SharedCache::Insert (memo-cache publication)
+//   solver_pivot  — the exact simplex pivot loop
+//   manifest_io   — batch-runner file reads
+//
+// Tests (and the CLI via --fault-inject / the XMLVERIFY_FAULT_INJECT
+// environment variable) arm the injector with a spec naming which
+// points fire and when:
+//
+//   point         every hit fails
+//   point=N       exactly the Nth hit fails (1-based)
+//   point=N+      the Nth and every later hit fail
+//   point=%P      a deterministic 1-in-P of hits fail, keyed on the
+//                 seed, the point name, and the hit ordinal
+//
+// Multiple clauses are comma-separated. Firing is deterministic for a
+// fixed spec + seed + execution order, so a failure found under
+// injection replays. The disarmed fast path is one relaxed atomic
+// load; configure -DXMLVERIFY_FAULT_INJECTION=OFF to compile every
+// hook to a constant-false no-op for release builds.
+#ifndef XMLVERIFY_BASE_FAULT_INJECTION_H_
+#define XMLVERIFY_BASE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+
+namespace xmlverify {
+
+class FaultInjector {
+ public:
+  /// Arms the injector with `spec` (grammar above) and a seed for the
+  /// `%P` probabilistic clauses. Replaces any previous arming; resets
+  /// hit counts. InvalidArgument on a malformed spec, Unsupported when
+  /// fault injection is compiled out.
+  static Status Arm(const std::string& spec, uint64_t seed = 0);
+
+  /// Disarms and clears all rules and hit counts.
+  static void Disarm();
+
+  /// Arms from XMLVERIFY_FAULT_INJECT / XMLVERIFY_FAULT_SEED if set;
+  /// OK (and disarmed) when the variables are absent.
+  static Status ArmFromEnv();
+
+  /// The canonical Status for a fired point: kResourceExhausted, so
+  /// injected faults flow down the exact propagation paths that real
+  /// exhaustion takes.
+  static Status Injected(const char* point);
+
+  /// Hits observed at `point` since arming (0 when disarmed or never
+  /// hit). For tests.
+  static int64_t HitCount(const std::string& point);
+
+#ifdef XMLVERIFY_DISABLE_FAULT_INJECTION
+  static constexpr bool Armed() { return false; }
+  static constexpr bool ShouldFail(const char*) { return false; }
+#else
+  /// True while armed. One relaxed atomic load.
+  static bool Armed();
+
+  /// Counts a hit at `point` and reports whether the armed rules say
+  /// this hit fails. False (without counting) when disarmed.
+  static bool ShouldFail(const char* point);
+#endif
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_FAULT_INJECTION_H_

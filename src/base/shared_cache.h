@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "base/fault_injection.h"
+
 namespace xmlverify {
 
 template <typename Value>
@@ -52,6 +54,11 @@ class SharedCache {
   /// callers converge on one shared instance.
   std::shared_ptr<const Value> Insert(const std::string& key, Value value) {
     auto owned = std::make_shared<const Value>(std::move(value));
+    // Fault point `cache_insert`: simulate publication failure by
+    // skipping the map insert. The caller still gets a usable (merely
+    // unshared) value — callers must tolerate the cache dropping any
+    // insert, which is also what the epoch clear below does.
+    if (FaultInjector::ShouldFail("cache_insert")) return owned;
     std::lock_guard<std::mutex> lock(mutex_);
     if (entries_.size() >= max_entries_ &&
         entries_.find(key) == entries_.end()) {

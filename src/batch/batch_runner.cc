@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "base/deadline.h"
+#include "base/fault_injection.h"
 #include "base/string_util.h"
 #include "core/specification.h"
 
@@ -17,6 +18,11 @@ namespace xmlverify {
 namespace {
 
 Result<std::string> ReadFile(const std::string& path) {
+  // Fault point `manifest_io`: a simulated transient read failure,
+  // retryable like any other resource failure.
+  if (FaultInjector::ShouldFail("manifest_io")) {
+    return FaultInjector::Injected("manifest_io");
+  }
   std::ifstream in(path);
   if (!in.good()) return Status::NotFound("cannot open '" + path + "'");
   std::ostringstream buffer;
@@ -40,8 +46,11 @@ Result<Specification> LoadSpec(const BatchEntry& entry) {
   return Specification::Parse(dtd_text, constraints_text);
 }
 
-// Checks one entry end to end: load, stamp the deadline, decide.
-BatchItem CheckOne(const BatchEntry& entry, const BatchOptions& options) {
+// One attempt at one entry: load, stamp budgets scaled by `factor`,
+// decide. Loading is inside the attempt so transient IO failures
+// (the manifest_io fault point) are retried along with the check.
+BatchItem CheckOnce(const BatchEntry& entry, const BatchOptions& options,
+                    double factor) {
   BatchItem item;
   Result<Specification> spec = LoadSpec(entry);
   if (!spec.ok()) {
@@ -55,7 +64,16 @@ BatchItem CheckOne(const BatchEntry& entry, const BatchOptions& options) {
   // construction keeps per-check memory flat across a large manifest.
   check.build_witness = false;
   if (options.timeout_millis > 0) {
-    check.deadline = Deadline::AfterMillis(options.timeout_millis);
+    check.deadline = Deadline::AfterMillis(
+        static_cast<int64_t>(static_cast<double>(options.timeout_millis) *
+                             factor));
+  }
+  // Budget limits are plain members (only the accounting block is
+  // shared), so scaling this copy leaves the caller's base intact.
+  int64_t memory_limit = check.budget.memory_limit_bytes();
+  if (memory_limit > 0) {
+    check.budget.set_memory_limit_bytes(
+        static_cast<int64_t>(static_cast<double>(memory_limit) * factor));
   }
   ConsistencyChecker checker(std::move(check));
   Result<ConsistencyVerdict> verdict = checker.Check(*spec);
@@ -66,6 +84,38 @@ BatchItem CheckOne(const BatchEntry& entry, const BatchOptions& options) {
     return item;
   }
   item.verdict = *std::move(verdict);
+  return item;
+}
+
+// A budget failure — wherever it surfaced — is worth retrying with a
+// bigger budget; anything definitive (or structurally broken) is not.
+bool Retryable(const BatchItem& item) {
+  if (!item.status.ok()) {
+    return item.status.code() == StatusCode::kDeadlineExceeded ||
+           item.status.code() == StatusCode::kResourceExhausted;
+  }
+  return item.verdict.outcome == ConsistencyOutcome::kDeadlineExceeded ||
+         item.verdict.outcome == ConsistencyOutcome::kResourceExhausted;
+}
+
+// Checks one entry with the retry-with-escalated-budget ladder.
+BatchItem CheckOne(const BatchEntry& entry, const BatchOptions& options,
+                   std::atomic<int>* retries, std::atomic<int>* recovered) {
+  const int max_retries = options.retries < 0 ? 0 : options.retries;
+  const double growth =
+      options.retry_budget_growth > 1.0 ? options.retry_budget_growth : 2.0;
+  double factor = 1.0;
+  BatchItem item = CheckOnce(entry, options, factor);
+  for (int retry = 0; retry < max_retries && Retryable(item); ++retry) {
+    factor *= growth;
+    trace::Count("resource/retries");
+    retries->fetch_add(1, std::memory_order_relaxed);
+    item = CheckOnce(entry, options, factor);
+    if (!Retryable(item)) {
+      trace::Count("resource/retry_recovered");
+      recovered->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return item;
 }
 
@@ -120,6 +170,8 @@ BatchResult RunBatch(const std::vector<BatchEntry>& entries,
   // slot of `result.items` — distinct indices, so no lock is needed
   // on the result vector.
   std::atomic<size_t> next{0};
+  std::atomic<int> retries{0};
+  std::atomic<int> recovered{0};
   auto worker = [&]() {
     // Per-worker session on the shared (thread-safe) registry: the
     // library's trace::Count calls from every worker aggregate into
@@ -131,7 +183,8 @@ BatchResult RunBatch(const std::vector<BatchEntry>& entries,
     while (true) {
       const size_t index = next.fetch_add(1);
       if (index >= entries.size()) break;
-      result.items[index] = CheckOne(entries[index], options);
+      result.items[index] =
+          CheckOne(entries[index], options, &retries, &recovered);
       trace::Count("batch/specs_checked");
     }
   };
@@ -157,13 +210,19 @@ BatchResult RunBatch(const std::vector<BatchEntry>& entries,
       case ConsistencyOutcome::kDeadlineExceeded:
         ++result.deadline_exceeded;
         break;
+      case ConsistencyOutcome::kResourceExhausted:
+        ++result.resource_exhausted;
+        break;
     }
   }
+  result.retries = retries.load();
+  result.retry_recovered = recovered.load();
   result.wall_millis = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - start)
                            .count();
   if (options.stats != nullptr) {
     options.stats->Add("batch/deadline_exceeded", result.deadline_exceeded);
+    options.stats->Add("batch/resource_exhausted", result.resource_exhausted);
     options.stats->Add("batch/errors", result.errors);
   }
   return result;

@@ -45,6 +45,14 @@ struct BatchOptions {
   int64_t timeout_millis = 0;
   /// Base checker options; the per-check deadline is stamped on top.
   ConsistencyChecker::Options check;
+  /// Per-item retry with escalated budgets: an item whose check ends
+  /// in DEADLINE_EXCEEDED or RESOURCE_EXHAUSTED (as a verdict or as an
+  /// IO/check error status) is re-run up to `retries` more times, each
+  /// attempt with its wall-clock and memory budgets multiplied by
+  /// another factor of `retry_budget_growth`. Unlimited budgets stay
+  /// unlimited; definitive verdicts are never retried.
+  int retries = 0;
+  double retry_budget_growth = 2.0;
   /// Optional registry shared by every worker (each worker installs
   /// its own TraceSession on it), aggregating counters such as
   /// cache/dfa_hits across the whole batch.
@@ -66,7 +74,13 @@ struct BatchResult {
   int inconsistent = 0;
   int unknown = 0;
   int deadline_exceeded = 0;
+  int resource_exhausted = 0;
   int errors = 0;
+  // Retry accounting (see BatchOptions::retries): attempts re-run
+  // after a budget failure, and how many of those items ultimately
+  // escaped the budget failure.
+  int retries = 0;
+  int retry_recovered = 0;
   int64_t wall_millis = 0;  // whole-batch wall clock
 };
 

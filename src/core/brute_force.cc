@@ -21,6 +21,8 @@ class BoundedSearcher {
         options_(options),
         deadline_check_(options.deadline) {}
 
+  ~BoundedSearcher() { options_.budget.ReleaseMemory(charged_bytes_); }
+
   Result<ConsistencyVerdict> Run() {
     TraceSpan search_span("bounded/search");
     trace::Max("bounded/max_nodes", options_.max_nodes);
@@ -40,6 +42,12 @@ class BoundedSearcher {
       trace::Count("bounded/deadline_exceeded");
       verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
       verdict.note = "deadline exceeded";
+      return verdict;
+    }
+    if (resource_hit_) {
+      trace::Count("bounded/resource_exhausted");
+      verdict.outcome = ConsistencyOutcome::kResourceExhausted;
+      verdict.note = resource_note_;
       return verdict;
     }
     verdict.outcome = ConsistencyOutcome::kUnknown;
@@ -65,6 +73,19 @@ class BoundedSearcher {
     std::vector<int> word;
     // Depth-first enumeration over DFA states.
     EnumerateWords(dfa, dfa.start(), max_length, &word, &words);
+    // The cache persists for the searcher's lifetime; charge it
+    // against the memory budget (released in the destructor).
+    int64_t bytes = 0;
+    for (const std::vector<int>& w : words) {
+      bytes += 48 + static_cast<int64_t>(w.size()) * 4;
+    }
+    Status status = options_.budget.ChargeMemory(bytes, "bounded/words");
+    if (!status.ok()) {
+      resource_hit_ = true;
+      resource_note_ = status.message();
+    } else {
+      charged_bytes_ += bytes;
+    }
     return words_cache_.emplace(key, std::move(words)).first->second;
   }
 
@@ -84,7 +105,9 @@ class BoundedSearcher {
   // Expands the first pending element with every admissible child
   // word, then recurses; complete structures go to TryValues.
   Status Expand(const XmlTree& tree, std::deque<NodeId> pending, int budget) {
-    if (found_.has_value() || budget_hit_) return Status::OK();
+    if (found_.has_value() || budget_hit_ || resource_hit_) {
+      return Status::OK();
+    }
     if (deadline_check_.Expired()) {
       deadline_hit_ = true;
       return Status::OK();
@@ -93,12 +116,24 @@ class BoundedSearcher {
     NodeId node = pending.front();
     pending.pop_front();
     int type = tree.TypeOf(node);
-    for (const std::vector<int>& word : Words(type, budget)) {
+    const std::vector<std::vector<int>>& words = Words(type, budget);
+    if (resource_hit_) return Status::OK();
+    for (const std::vector<int>& word : words) {
       int elements = 0;
       for (int symbol : word) {
         if (symbol != dtd_.pcdata_symbol()) ++elements;
       }
       if (elements > budget) continue;
+      // Charge the copied tree for the duration of the recursive call.
+      ScopedMemoryCharge tree_charge(
+          options_.budget,
+          static_cast<int64_t>(tree.AllElements().size() + word.size()) * 128,
+          "bounded/tree");
+      if (!tree_charge.status().ok()) {
+        resource_hit_ = true;
+        resource_note_ = tree_charge.status().message();
+        return Status::OK();
+      }
       XmlTree next = tree;
       std::deque<NodeId> next_pending = pending;
       for (int symbol : word) {
@@ -110,7 +145,8 @@ class BoundedSearcher {
       }
       RETURN_IF_ERROR(Expand(next, std::move(next_pending),
                              budget - elements));
-      if (found_.has_value() || budget_hit_ || deadline_hit_) {
+      if (found_.has_value() || budget_hit_ || deadline_hit_ ||
+          resource_hit_) {
         return Status::OK();
       }
     }
@@ -169,6 +205,9 @@ class BoundedSearcher {
   bool budget_hit_ = false;
   PeriodicDeadlineCheck deadline_check_;
   bool deadline_hit_ = false;
+  bool resource_hit_ = false;
+  std::string resource_note_;
+  int64_t charged_bytes_ = 0;
 };
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <functional>
 
 #include "base/deadline.h"
+#include "base/resource_guard.h"
 #include "base/status.h"
 #include "constraints/constraint.h"
 #include "core/verdict.h"
@@ -30,6 +31,10 @@ struct BoundedSearchOptions {
   /// Wall-clock budget, polled in the expansion recursion and the
   /// attribute-value odometer. Expiry yields kDeadlineExceeded.
   Deadline deadline;
+  /// Memory budget: candidate-tree copies and the child-word cache are
+  /// charged against it. Exhaustion yields kResourceExhausted (never a
+  /// definitive verdict). Default: unlimited.
+  ResourceBudget budget;
 };
 
 /// Searches for a document satisfying the specification within the

@@ -1,19 +1,22 @@
 #include "core/consistency.h"
 
+#include "core/diagnosis.h"
 #include "trace/trace.h"
 
 namespace xmlverify {
 
 namespace {
 
-SolverOptions WithDeadline(SolverOptions solver, const Deadline& deadline) {
-  if (!deadline.is_infinite()) solver.deadline = deadline;
+SolverOptions WithBudget(SolverOptions solver, const ResourceBudget& budget) {
+  solver.budget = budget;
+  if (!budget.deadline().is_infinite()) solver.deadline = budget.deadline();
   return solver;
 }
 
-BoundedSearchOptions WithDeadline(BoundedSearchOptions bounded,
-                                  const Deadline& deadline) {
-  if (!deadline.is_infinite()) bounded.deadline = deadline;
+BoundedSearchOptions WithBudget(BoundedSearchOptions bounded,
+                                const ResourceBudget& budget) {
+  bounded.budget = budget;
+  if (!budget.deadline().is_infinite()) bounded.deadline = budget.deadline();
   return bounded;
 }
 
@@ -21,22 +24,81 @@ BoundedSearchOptions WithDeadline(BoundedSearchOptions bounded,
 
 Result<ConsistencyVerdict> ConsistencyChecker::Check(
     const Specification& spec) const {
-  Result<ConsistencyVerdict> result = CheckDispatch(spec);
-  // Procedures that propagate deadlines through Result-returning
-  // recursion (the hierarchical checker) surface expiry as a Status;
-  // fold it back into a verdict so every caller sees one shape.
-  if (!result.ok() &&
-      result.status().code() == StatusCode::kDeadlineExceeded) {
-    ConsistencyVerdict verdict;
+  // One budget object carries all three ceilings through the check;
+  // the standalone `deadline` option is merged in when the budget has
+  // none of its own.
+  ResourceBudget budget = options_.budget;
+  if (budget.deadline().is_infinite() && !options_.deadline.is_infinite()) {
+    budget.set_deadline(options_.deadline);
+  }
+  bool exact_ran = false;
+  Result<ConsistencyVerdict> result = CheckDispatch(spec, budget, &exact_ran);
+
+  // Procedures that propagate limits through Result-returning
+  // recursion (the hierarchical checker) surface them as a Status;
+  // fold them back into a verdict so every caller sees one shape.
+  ConsistencyVerdict verdict;
+  if (result.ok()) {
+    verdict = std::move(result).value();
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
     verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
     verdict.note = result.status().message();
+  } else if (result.status().code() == StatusCode::kResourceExhausted) {
+    verdict.outcome = ConsistencyOutcome::kResourceExhausted;
+    verdict.note = result.status().message();
+  } else {
+    return result;
+  }
+
+  // Degradation ladder. Deadline expiry is deliberately not a rung:
+  // the clock that killed the exact stage would kill the fallback too.
+  bool ladder = exact_ran && options_.degrade_on_exhaustion &&
+                (verdict.outcome == ConsistencyOutcome::kResourceExhausted ||
+                 verdict.outcome == ConsistencyOutcome::kUnknown);
+  if (!ladder) return verdict;
+
+  trace::Count("resource/degradations");
+  std::vector<DegradationStep> trail;
+  trail.push_back({"exact", OutcomeName(verdict.outcome), verdict.note});
+
+  BoundedSearchOptions degraded = WithBudget(options_.degraded, budget);
+  Result<ConsistencyVerdict> fallback =
+      BoundedSearchConsistency(spec.dtd, spec.constraints, degraded);
+  if (!fallback.ok()) {
+    trail.push_back({"degraded-bounded", "ERROR",
+                     fallback.status().message()});
+    verdict.outcome = ConsistencyOutcome::kUnknown;
+    verdict.degradation = std::move(trail);
+    verdict.note = FormatDegradationReport(verdict.degradation);
     return verdict;
   }
-  return result;
+  ConsistencyVerdict degraded_verdict = std::move(fallback).value();
+  trail.push_back({"degraded-bounded", OutcomeName(degraded_verdict.outcome),
+                   degraded_verdict.note});
+  if (degraded_verdict.outcome == ConsistencyOutcome::kConsistent) {
+    // A witness found under smaller caps is still a witness: the
+    // degraded verdict is sound, just not the one the exact stage
+    // would have produced.
+    trace::Count("resource/degraded_recoveries");
+    degraded_verdict.degradation = std::move(trail);
+    degraded_verdict.note = "degraded: " + degraded_verdict.note;
+    return degraded_verdict;
+  }
+  // Bottom of the ladder: report UNKNOWN with the rung-by-rung trail
+  // (kResourceExhausted when even the degraded stage ran out of the
+  // same budget, so a retry with a bigger one may help).
+  verdict.outcome =
+      degraded_verdict.outcome == ConsistencyOutcome::kResourceExhausted
+          ? ConsistencyOutcome::kResourceExhausted
+          : ConsistencyOutcome::kUnknown;
+  verdict.degradation = std::move(trail);
+  verdict.note = FormatDegradationReport(verdict.degradation);
+  return verdict;
 }
 
 Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
-    const Specification& spec) const {
+    const Specification& spec, const ResourceBudget& budget,
+    bool* exact_ran) const {
   TraceSpan check_span("check");
   RETURN_IF_ERROR(spec.constraints.Validate(spec.dtd));
   ConstraintClass constraint_class;
@@ -61,8 +123,9 @@ Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
     case ConstraintClass::kAcKeysOnly:
     case ConstraintClass::kAcUnary:
     case ConstraintClass::kAcMultiPrimary: {
+      *exact_ran = true;
       AbsoluteCheckOptions absolute;
-      absolute.solver = WithDeadline(options_.solver, options_.deadline);
+      absolute.solver = WithBudget(options_.solver, budget);
       absolute.build_witness = options_.build_witness;
       absolute.verify_witness = options_.verify_witness;
       ASSIGN_OR_RETURN(
@@ -71,8 +134,9 @@ Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
       return annotate(std::move(verdict));
     }
     case ConstraintClass::kAcRegular: {
+      *exact_ran = true;
       RegularCheckOptions regular;
-      regular.solver = WithDeadline(options_.solver, options_.deadline);
+      regular.solver = WithBudget(options_.solver, budget);
       regular.build_witness = options_.build_witness;
       regular.verify_witness = options_.verify_witness;
       regular.max_expressions = options_.max_expressions;
@@ -83,8 +147,9 @@ Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
     }
     case ConstraintClass::kRelative:
     case ConstraintClass::kMixedRelative: {
+      *exact_ran = true;
       HierarchicalCheckOptions hierarchical;
-      hierarchical.solver = WithDeadline(options_.solver, options_.deadline);
+      hierarchical.solver = WithBudget(options_.solver, budget);
       hierarchical.build_witness = options_.build_witness;
       hierarchical.verify_witness = options_.verify_witness;
       Result<ConsistencyVerdict> verdict =
@@ -95,12 +160,13 @@ Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
         return verdict.status();
       }
       // Non-hierarchical (or otherwise outside HRC): undecidable in
-      // general — fall back to bounded search.
+      // general — fall back to bounded search. This is already the
+      // bounded rung, so the ladder must not re-degrade it.
+      *exact_ran = false;
       ASSIGN_OR_RETURN(
           ConsistencyVerdict bounded,
-          BoundedSearchConsistency(
-              spec.dtd, spec.constraints,
-              WithDeadline(options_.bounded, options_.deadline)));
+          BoundedSearchConsistency(spec.dtd, spec.constraints,
+                                   WithBudget(options_.bounded, budget)));
       bounded.note = verdict.status().message() +
                      (bounded.note.empty() ? "" : "; " + bounded.note);
       return annotate(std::move(bounded));
@@ -109,9 +175,8 @@ Result<ConsistencyVerdict> ConsistencyChecker::CheckDispatch(
       // Undecidable ([14]); bounded search only.
       ASSIGN_OR_RETURN(
           ConsistencyVerdict bounded,
-          BoundedSearchConsistency(
-              spec.dtd, spec.constraints,
-              WithDeadline(options_.bounded, options_.deadline)));
+          BoundedSearchConsistency(spec.dtd, spec.constraints,
+                                   WithBudget(options_.bounded, budget)));
       bounded.note =
           "SAT(AC^{*,*}) is undecidable; bounded search only" +
           (bounded.note.empty() ? std::string() : "; " + bounded.note);

@@ -36,6 +36,32 @@ class ConsistencyChecker {
     /// kDeadlineExceeded verdict (never an error, never a wrong
     /// definitive answer). Default: never expires.
     Deadline deadline;
+    /// Memory/recursion budget for the whole check, stamped into every
+    /// stage alongside the deadline (when the budget carries no
+    /// deadline of its own, `deadline` above is merged in). Exhaustion
+    /// yields kResourceExhausted — or enters the degradation ladder
+    /// below. Default: unlimited.
+    ResourceBudget budget;
+    /// Degradation ladder (see docs/robustness.md): when an *exact*
+    /// stage exhausts its budget or gives up at a solver limit
+    /// (kResourceExhausted / kUnknown), retry once with the bounded
+    /// searcher under the explicitly smaller `degraded` caps instead
+    /// of reporting failure outright. A witness found there is a sound
+    /// kConsistent; otherwise the final verdict is kUnknown (or
+    /// kResourceExhausted if even the degraded stage ran out) and
+    /// `verdict.degradation` records every rung. Stages that are
+    /// already bounded searches do not re-degrade.
+    bool degrade_on_exhaustion = true;
+    /// Caps for the degraded rung — deliberately much smaller than
+    /// `bounded`: the ladder runs after the budget proved too tight,
+    /// so the fallback must be cheap enough to finish inside it.
+    BoundedSearchOptions degraded = [] {
+      BoundedSearchOptions caps;
+      caps.max_nodes = 6;
+      caps.num_values = 2;
+      caps.max_candidates = 200000;
+      return caps;
+    }();
   };
 
   ConsistencyChecker() = default;
@@ -50,7 +76,9 @@ class ConsistencyChecker {
   Result<ConsistencyVerdict> Check(const Specification& spec) const;
 
  private:
-  Result<ConsistencyVerdict> CheckDispatch(const Specification& spec) const;
+  Result<ConsistencyVerdict> CheckDispatch(const Specification& spec,
+                                           const ResourceBudget& budget,
+                                           bool* exact_ran) const;
 
   Options options_;
 };

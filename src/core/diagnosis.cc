@@ -100,4 +100,16 @@ Result<ConstraintSet> RemoveRedundantConstraints(
   return Rebuild(flat, keep);
 }
 
+std::string FormatDegradationReport(const std::vector<DegradationStep>& steps) {
+  std::string report = "degradation ladder:";
+  bool first = true;
+  for (const DegradationStep& step : steps) {
+    report += first ? " " : " -> ";
+    first = false;
+    report += step.stage + ": " + step.outcome;
+    if (!step.reason.empty()) report += " (" + step.reason + ")";
+  }
+  return report;
+}
+
 }  // namespace xmlverify

@@ -37,6 +37,16 @@ Result<ConstraintSet> RemoveRedundantConstraints(
     const Dtd& dtd, const ConstraintSet& constraints,
     const DiagnosisOptions& options = {});
 
+/// Renders the rung-by-rung trail of a degraded check (see
+/// ConsistencyChecker::Options::degrade_on_exhaustion) as a single
+/// line for verdict notes and CLI output, e.g.
+///   degradation ladder: exact: RESOURCE_EXHAUSTED (memory budget
+///   exhausted at solver/node ...) -> degraded-bounded: UNKNOWN
+///   (candidate budget exhausted)
+/// This is the "structured partial diagnosis" a bottomed-out ladder
+/// reports instead of a bare UNKNOWN.
+std::string FormatDegradationReport(const std::vector<DegradationStep>& steps);
+
 }  // namespace xmlverify
 
 #endif  // XMLVERIFY_CORE_DIAGNOSIS_H_

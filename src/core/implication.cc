@@ -144,6 +144,9 @@ Result<ImplicationVerdict> DecideAbsoluteFast(
     case SolveOutcome::kUnknown:
       return Status::ResourceExhausted("implication fast path hit limits: " +
                                        solved.note);
+    case SolveOutcome::kResourceExhausted:
+      return Status::ResourceExhausted(
+          "implication fast path ran out of budget: " + solved.note);
     case SolveOutcome::kDeadlineExceeded:
       return Status::DeadlineExceeded("implication fast path deadline "
                                       "exceeded");
@@ -219,6 +222,9 @@ Result<ImplicationVerdict> Decide(const Dtd& dtd,
     case SolveOutcome::kUnknown:
       return Status::ResourceExhausted(
           "implication check hit solver limits: " + solved.note);
+    case SolveOutcome::kResourceExhausted:
+      return Status::ResourceExhausted(
+          "implication check ran out of budget: " + solved.note);
     case SolveOutcome::kDeadlineExceeded:
       return Status::DeadlineExceeded("implication check deadline exceeded");
     case SolveOutcome::kSat:

@@ -54,6 +54,9 @@ Result<ConsistencyVerdict> CheckAbsoluteConsistency(
     case SolveOutcome::kDeadlineExceeded:
       verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
       return verdict;
+    case SolveOutcome::kResourceExhausted:
+      verdict.outcome = ConsistencyOutcome::kResourceExhausted;
+      return verdict;
     case SolveOutcome::kSat:
       break;
   }

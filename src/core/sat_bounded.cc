@@ -42,6 +42,8 @@ class NoStarChecker {
         options_(options),
         deadline_check_(options.deadline) {}
 
+  ~NoStarChecker() { options_.budget.ReleaseMemory(charged_bytes_); }
+
   Result<ConsistencyVerdict> Run() {
     // Dimensions: element types mentioned by the constraints.
     std::set<int> mentioned;
@@ -68,9 +70,18 @@ class NoStarChecker {
       // verdict instead of a hard error.
       const Status& status = root_result.status();
       if (status.code() == StatusCode::kResourceExhausted) {
-        trace::Count("nostar/vector_cap_hits");
         ConsistencyVerdict verdict;
-        verdict.outcome = ConsistencyOutcome::kUnknown;
+        if (budget_hit_) {
+          // The process ran out of budget — says nothing about the
+          // instance, and a retry with a bigger budget may succeed.
+          trace::Count("nostar/resource_exhausted");
+          verdict.outcome = ConsistencyOutcome::kResourceExhausted;
+        } else {
+          // The max_vectors cap is a statement about the instance: it
+          // is outside the fixed-(k,d) tractable regime.
+          trace::Count("nostar/vector_cap_hits");
+          verdict.outcome = ConsistencyOutcome::kUnknown;
+        }
         verdict.note = status.message();
         return verdict;
       }
@@ -99,10 +110,27 @@ class NoStarChecker {
   }
 
  private:
+  // Charges `num_vectors` freshly materialized vectors against the
+  // memory budget; everything charged is released when the checker is
+  // destroyed (transient sets are counted until then — a conservative
+  // over-approximation of the DP's true high-water mark).
+  Status Charge(size_t num_vectors) {
+    int64_t bytes = static_cast<int64_t>(num_vectors) *
+                    (64 + static_cast<int64_t>(dims_.size()) * 8);
+    Status status = options_.budget.ChargeMemory(bytes, "nostar/vectors");
+    if (!status.ok()) {
+      budget_hit_ = true;
+      return status;
+    }
+    charged_bytes_ += bytes;
+    return Status::OK();
+  }
+
   // Achievable extent vectors of a single tau-subtree.
   Result<VectorSet> TypeSet(int type) {
     if (memo_[type].has_value()) return *memo_[type];
     ASSIGN_OR_RETURN(VectorSet content_set, RegexSet(dtd_.Content(type)));
+    RETURN_IF_ERROR(Charge(content_set.size()));
     auto it = dim_of_.find(type);
     if (it != dim_of_.end()) {
       VectorSet shifted;
@@ -133,7 +161,10 @@ class NoStarChecker {
       case RegexKind::kConcat: {
         ASSIGN_OR_RETURN(VectorSet left, RegexSet(regex.left()));
         ASSIGN_OR_RETURN(VectorSet right, RegexSet(regex.right()));
-        return SumSet(left, right, options_.max_vectors);
+        ASSIGN_OR_RETURN(VectorSet sum,
+                         SumSet(left, right, options_.max_vectors));
+        RETURN_IF_ERROR(Charge(sum.size()));
+        return sum;
       }
       case RegexKind::kUnion: {
         ASSIGN_OR_RETURN(VectorSet left, RegexSet(regex.left()));
@@ -142,6 +173,7 @@ class NoStarChecker {
         if (left.size() > options_.max_vectors) {
           return Status::ResourceExhausted("achievable-vector set too large");
         }
+        RETURN_IF_ERROR(Charge(left.size()));
         return left;
       }
       case RegexKind::kStar:
@@ -207,6 +239,8 @@ class NoStarChecker {
   std::map<int, size_t> dim_of_;
   std::vector<std::optional<VectorSet>> memo_;
   PeriodicDeadlineCheck deadline_check_;
+  int64_t charged_bytes_ = 0;
+  bool budget_hit_ = false;
 };
 
 }  // namespace

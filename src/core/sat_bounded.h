@@ -13,6 +13,7 @@
 #define XMLVERIFY_CORE_SAT_BOUNDED_H_
 
 #include "base/deadline.h"
+#include "base/resource_guard.h"
 #include "base/status.h"
 #include "constraints/constraint.h"
 #include "core/verdict.h"
@@ -30,6 +31,12 @@ struct NoStarCheckOptions {
   /// Wall-clock budget, polled in the DP recursion. Expiry yields a
   /// kDeadlineExceeded verdict.
   Deadline deadline;
+  /// Memory budget: the achievable-vector sets are charged as they
+  /// grow. Exhaustion yields a kResourceExhausted verdict — distinct
+  /// from the max_vectors cap above, which is a statement about the
+  /// instance (outside the tractable regime, kUnknown) rather than
+  /// about this process's resources. Default: unlimited.
+  ResourceBudget budget;
 };
 
 /// Requires: non-recursive no-star DTD, unary absolute constraints.

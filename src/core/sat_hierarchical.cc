@@ -125,6 +125,10 @@ class HierarchicalChecker {
       trace::Count("hierarchical/deadline_exceeded");
       return Status::DeadlineExceeded("hierarchical scope deadline exceeded");
     }
+    // The scope recursion is bounded by the context-path length; guard
+    // it against the budget's depth ceiling like any parser recursion.
+    RETURN_IF_ERROR(options_.solver.budget.CheckDepth(
+        static_cast<int>(contexts.size()), "hierarchical/scope"));
     trace::Max("hierarchical/max_context_depth",
                static_cast<int64_t>(contexts.size()));
     ASSIGN_OR_RETURN(Dtd scope_dtd, geometry_.ScopeDtd(tau));
@@ -163,6 +167,11 @@ class HierarchicalChecker {
     trace::Count("hierarchical/scopes_solved");
     if (verdict.outcome == ConsistencyOutcome::kUnknown) {
       return Status::ResourceExhausted("scope subproblem hit solver limits: " +
+                                       verdict.note);
+    }
+    if (verdict.outcome == ConsistencyOutcome::kResourceExhausted) {
+      trace::Count("hierarchical/resource_exhausted");
+      return Status::ResourceExhausted("scope subproblem ran out of budget: " +
                                        verdict.note);
     }
     if (verdict.outcome == ConsistencyOutcome::kDeadlineExceeded) {

@@ -48,6 +48,9 @@ Result<ConsistencyVerdict> CheckRegularConsistency(
     case SolveOutcome::kDeadlineExceeded:
       verdict.outcome = ConsistencyOutcome::kDeadlineExceeded;
       return verdict;
+    case SolveOutcome::kResourceExhausted:
+      verdict.outcome = ConsistencyOutcome::kResourceExhausted;
+      return verdict;
     case SolveOutcome::kSat:
       break;
   }

@@ -13,6 +13,7 @@ std::string OutcomeName(ConsistencyOutcome outcome) {
     case ConsistencyOutcome::kInconsistent: return "INCONSISTENT";
     case ConsistencyOutcome::kUnknown: return "UNKNOWN";
     case ConsistencyOutcome::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ConsistencyOutcome::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "?";
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "xml/tree.h"
 
@@ -15,9 +16,21 @@ enum class ConsistencyOutcome {
   kInconsistent,  // proven: no tree satisfies the specification
   kUnknown,       // search capped (undecidable fragment or node limit)
   kDeadlineExceeded,  // wall-clock budget expired before a verdict
+  kResourceExhausted,  // memory/depth budget exhausted before a verdict
 };
 
 std::string OutcomeName(ConsistencyOutcome outcome);
+
+/// One rung of the checker's degradation ladder: which stage ran, how
+/// it ended, and why it could not (or could) settle the question.
+/// Collected in ConsistencyVerdict::degradation whenever the exact
+/// procedure gave up and a fallback was attempted, so an UNKNOWN
+/// verdict carries a structured partial diagnosis instead of silence.
+struct DegradationStep {
+  std::string stage;    // e.g. "exact (AC_{K,FK} (unary))"
+  std::string outcome;  // OutcomeName(...) or a status code name
+  std::string reason;   // verdict note or status message
+};
 
 struct CheckStats {
   int64_t solver_nodes = 0;
@@ -37,6 +50,11 @@ struct ConsistencyVerdict {
   std::optional<XmlTree> witness;
   std::string note;
   CheckStats stats;
+  /// Degradation-ladder trail: empty unless the exact procedure
+  /// exhausted its budget and the checker fell back (see
+  /// ConsistencyChecker::Options::degrade_on_exhaustion and
+  /// FormatDegradationReport in core/diagnosis.h).
+  std::vector<DegradationStep> degradation;
 
   bool consistent() const {
     return outcome == ConsistencyOutcome::kConsistent;

@@ -55,10 +55,11 @@ Status AssignAbsoluteValues(
       std::vector<int64_t> sizes;
       for (const std::string& attribute : group.attributes) {
         BigInt count = cardinality.AttrCount(type, attribute, solution);
-        if (!count.FitsInt64()) {
+        Result<int64_t> count64 = count.TryToInt64();
+        if (!count64.ok()) {
           return Status::ResourceExhausted("attribute pool too large");
         }
-        int64_t n = count.ToInt64();
+        int64_t n = *count64;
         if (n <= 0 || n > m) {
           return Status::Internal(
               "cardinality solution assigns |ext(" + dtd.TypeName(type) + "." +

@@ -260,8 +260,8 @@ Result<XmlTree> DtdFlowSystem::BuildTree(const std::vector<BigInt>& solution,
       star_budget[kind] = solution[kinds_[kind].star_out];
     }
     const BigInt& count = solution[kinds_[kind].count];
-    if (!count.FitsInt64() ||
-        (total_instances += count.ToInt64()) > max_nodes) {
+    Result<int64_t> count64 = count.TryToInt64();
+    if (!count64.ok() || (total_instances += *count64) > max_nodes) {
       return Status::ResourceExhausted(
           "witness tree would exceed the node limit; the counting "
           "solution is astronomically large");

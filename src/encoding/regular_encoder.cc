@@ -557,10 +557,11 @@ Result<XmlTree> RegularEncoder::BuildWitness(
   std::vector<PoolValue> values;
   for (size_t mask = 1; mask < (size_t{1} << k); ++mask) {
     const BigInt& count = solution[cell_vars_[mask - 1]];
-    if (!count.FitsInt64()) {
+    Result<int64_t> count64 = count.TryToInt64();
+    if (!count64.ok()) {
       return Status::ResourceExhausted("value pool too large to materialize");
     }
-    for (int64_t v = 0; v < count.ToInt64(); ++v) {
+    for (int64_t v = 0; v < *count64; ++v) {
       PoolValue value;
       value.text = "m" + std::to_string(mask) + "_v" + std::to_string(v);
       value.mask = mask;

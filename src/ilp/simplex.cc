@@ -1,8 +1,10 @@
 #include "ilp/simplex.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "base/deadline.h"
+#include "base/fault_injection.h"
 #include "trace/trace.h"
 
 namespace xmlverify {
@@ -64,15 +66,28 @@ class Tableau {
     }
   }
 
+  // Footprint of the dense tableau, for the memory budget: every cell
+  // is a Rational (two BigInts with inline limb storage).
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(num_rows_ + 1) *
+           static_cast<int64_t>(num_cols_ + 1) * 64;
+  }
+
   // Runs phase-1 to optimality. Returns true if the artificial sum
   // reaches zero (feasible). Sets *deadline_exceeded and bails out if
-  // the deadline expires first; the return value is then meaningless.
+  // the deadline expires first; sets *resource_exhausted when the
+  // solver_pivot fault point fires. Either way the return value is
+  // then meaningless.
   bool Optimize(int64_t* pivots, const Deadline& deadline,
-                bool* deadline_exceeded) {
+                bool* deadline_exceeded, bool* resource_exhausted) {
     PeriodicDeadlineCheck check(deadline, /*stride=*/16);
     while (true) {
       if (check.Expired()) {
         *deadline_exceeded = true;
+        return false;
+      }
+      if (FaultInjector::ShouldFail("solver_pivot")) {
+        *resource_exhausted = true;
         return false;
       }
       // Bland's rule: entering column = smallest index with negative
@@ -165,14 +180,34 @@ class Tableau {
 
 SimplexResult SolveLp(int num_vars,
                       const std::vector<LinearConstraint>& constraints,
-                      const Deadline& deadline) {
+                      const Deadline& deadline, const ResourceBudget* budget) {
   SimplexResult result;
   Tableau tableau(num_vars, constraints);
+  // Charge the tableau against the memory ceiling for the duration of
+  // the solve; an over-budget tableau is abandoned without a verdict,
+  // exactly like a deadline expiry.
+  std::optional<ScopedMemoryCharge> charge;
+  if (budget != nullptr) {
+    charge.emplace(*budget, tableau.ApproxBytes(), "simplex/tableau");
+    if (!charge->status().ok()) {
+      result.resource_exhausted = true;
+      result.note = charge->status().message();
+      trace::Count("simplex/resource_exhausted");
+      return result;
+    }
+  }
   result.feasible =
-      tableau.Optimize(&result.pivots, deadline, &result.deadline_exceeded);
+      tableau.Optimize(&result.pivots, deadline, &result.deadline_exceeded,
+                       &result.resource_exhausted);
   if (result.deadline_exceeded) {
     result.feasible = false;
     trace::Count("simplex/deadline_exceeded");
+    return result;
+  }
+  if (result.resource_exhausted) {
+    result.feasible = false;
+    result.note = "injected fault at solver_pivot";
+    trace::Count("simplex/resource_exhausted");
     return result;
   }
   if (result.feasible) result.solution = tableau.Solution();

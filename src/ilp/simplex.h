@@ -7,10 +7,12 @@
 #ifndef XMLVERIFY_ILP_SIMPLEX_H_
 #define XMLVERIFY_ILP_SIMPLEX_H_
 
+#include <string>
 #include <vector>
 
 #include "base/deadline.h"
 #include "base/rational.h"
+#include "base/resource_guard.h"
 #include "ilp/linear.h"
 
 namespace xmlverify {
@@ -21,20 +23,31 @@ struct SimplexResult {
   // meaningless (the tableau was abandoned, not proven infeasible) and
   // callers must not draw verdicts from it.
   bool deadline_exceeded = false;
+  // The memory budget was exhausted (or a solver_pivot fault was
+  // injected) mid-optimization. Same contract as deadline_exceeded:
+  // `feasible` is meaningless and carries no verdict.
+  bool resource_exhausted = false;
   // Values of the structural variables 0..num_vars-1 (only meaningful
   // when feasible).
   std::vector<Rational> solution;
   // Number of pivots performed (for diagnostics/benchmarks).
   int64_t pivots = 0;
+  // Diagnostic detail for resource_exhausted.
+  std::string note;
 };
 
 /// Finds a nonnegative rational point satisfying all `constraints`
 /// over variables 0..num_vars-1, or reports infeasibility. The pivot
 /// loop polls `deadline` cooperatively (amortized); on expiry the
-/// result has deadline_exceeded set and no verdict.
+/// result has deadline_exceeded set and no verdict. When `budget` is
+/// given, the dense tableau's footprint is charged against its memory
+/// ceiling before optimization, and the pivot loop consults the
+/// `solver_pivot` fault-injection point; either exhaustion sets
+/// resource_exhausted (again: no verdict).
 SimplexResult SolveLp(int num_vars,
                       const std::vector<LinearConstraint>& constraints,
-                      const Deadline& deadline = Deadline());
+                      const Deadline& deadline = Deadline(),
+                      const ResourceBudget* budget = nullptr);
 
 }  // namespace xmlverify
 

@@ -30,6 +30,13 @@ LinearConstraint VarBound(VarId var, Relation relation, BigInt bound,
   return constraint;
 }
 
+// Approximate resident footprint of one search node, charged against
+// the memory budget while the node sits on the branch stack.
+int64_t ApproxNodeBytes(const SearchNode& node) {
+  return 64 + static_cast<int64_t>(node.extra.size()) * 128 +
+         static_cast<int64_t>(node.conditional_decided.size());
+}
+
 // Per-row gcd test: an equality sum a_i x_i = b with gcd(a_i) not
 // dividing b has no integer solution at all.
 bool GcdRefutes(const LinearConstraint& constraint) {
@@ -81,9 +88,36 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
   trace::Max("solver/max_branch_depth", 0);
 
   std::deque<SearchNode> stack;
+  // Nodes are charged against the memory budget while resident on the
+  // stack; whatever is still resident when we return (SAT found, any
+  // limit) is released here so a budget shared with a fallback stage
+  // is not permanently drained.
+  int64_t stack_bytes = 0;
+  struct StackRelease {
+    const ResourceBudget& budget;
+    int64_t& bytes;
+    ~StackRelease() { budget.ReleaseMemory(bytes); }
+  } stack_release{options_.budget, stack_bytes};
+  Status push_status;
+  auto push_node = [&](SearchNode&& node) {
+    int64_t bytes = ApproxNodeBytes(node);
+    push_status = options_.budget.ChargeMemory(bytes, "solver/node");
+    if (!push_status.ok()) return false;
+    stack_bytes += bytes;
+    stack.push_back(std::move(node));
+    return true;
+  };
+  auto exhausted = [&](SolveResult* out) {
+    trace::Count("solver/resource_exhausted");
+    out->outcome = SolveOutcome::kResourceExhausted;
+    out->note = push_status.message();
+  };
   SearchNode root;
   root.conditional_decided.assign(program.conditionals().size(), false);
-  stack.push_back(std::move(root));
+  if (!push_node(std::move(root))) {
+    exhausted(&result);
+    return result;
+  }
 
   while (!stack.empty()) {
     if (result.nodes_explored >= options_.max_nodes) {
@@ -101,6 +135,11 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
     }
     SearchNode node = std::move(stack.back());
     stack.pop_back();
+    {
+      int64_t node_bytes = ApproxNodeBytes(node);
+      options_.budget.ReleaseMemory(node_bytes);
+      stack_bytes -= node_bytes;
+    }
     ++result.nodes_explored;
     trace::Count("solver/nodes");
     trace::Max("solver/max_branch_depth",
@@ -109,8 +148,8 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
     std::vector<LinearConstraint> constraints = base;
     constraints.insert(constraints.end(), node.extra.begin(),
                        node.extra.end());
-    SimplexResult lp =
-        SolveLp(program.num_variables(), constraints, options_.deadline);
+    SimplexResult lp = SolveLp(program.num_variables(), constraints,
+                               options_.deadline, &options_.budget);
     result.lp_pivots += lp.pivots;
     trace::Count("solver/lp_pivots", lp.pivots);
     // An aborted LP has no verdict: interpreting `feasible` here would
@@ -121,6 +160,12 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
       result.note = "deadline exceeded";
       return result;
     }
+    if (lp.resource_exhausted) {
+      trace::Count("solver/resource_exhausted");
+      result.outcome = SolveOutcome::kResourceExhausted;
+      result.note = lp.note;
+      return result;
+    }
     if (!lp.feasible) {
       // Attribute the prune: if dropping the cap rows restores
       // feasibility, the cap mattered and an exhausted search cannot
@@ -129,8 +174,8 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
         std::vector<LinearConstraint> uncapped(
             base.begin(), base.begin() + uncapped_size);
         uncapped.insert(uncapped.end(), node.extra.begin(), node.extra.end());
-        SimplexResult relaxed =
-            SolveLp(program.num_variables(), uncapped, options_.deadline);
+        SimplexResult relaxed = SolveLp(program.num_variables(), uncapped,
+                                        options_.deadline, &options_.budget);
         result.lp_pivots += relaxed.pivots;
         trace::Count("solver/lp_pivots", relaxed.pivots);
         trace::Count("solver/cap_relevance_probes");
@@ -138,6 +183,12 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
           trace::Count("solver/deadline_exceeded");
           result.outcome = SolveOutcome::kDeadlineExceeded;
           result.note = "deadline exceeded";
+          return result;
+        }
+        if (relaxed.resource_exhausted) {
+          trace::Count("solver/resource_exhausted");
+          result.outcome = SolveOutcome::kResourceExhausted;
+          result.note = relaxed.note;
           return result;
         }
         if (relaxed.feasible) cap_was_relevant = true;
@@ -163,8 +214,10 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
           VarBound(fractional, Relation::kGe, value.Ceil(), "branch>="));
       // Explore the >= child first: cardinality encodings usually need
       // populated extents, so rounding up tends to reach SAT sooner.
-      stack.push_back(std::move(low));
-      stack.push_back(std::move(high));
+      if (!push_node(std::move(low)) || !push_node(std::move(high))) {
+        exhausted(&result);
+        return result;
+      }
       continue;
     }
 
@@ -198,8 +251,10 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
       active.extra.push_back(VarBound(conditional.antecedent, Relation::kGe,
                                       BigInt(1), "cond-active"));
       active.extra.push_back(conditional.consequent);
-      stack.push_back(std::move(zero));
-      stack.push_back(std::move(active));
+      if (!push_node(std::move(zero)) || !push_node(std::move(active))) {
+        exhausted(&result);
+        return result;
+      }
       continue;
     }
 
@@ -231,8 +286,10 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
       SearchNode high = std::move(node);
       high.extra.push_back(
           VarBound(violated_pq->y, Relation::kGe, v + BigInt(1), "pq-y>v"));
-      stack.push_back(std::move(high));
-      stack.push_back(std::move(low));
+      if (!push_node(std::move(high)) || !push_node(std::move(low))) {
+        exhausted(&result);
+        return result;
+      }
       continue;
     }
 
@@ -265,7 +322,8 @@ SolveResult IlpSolver::SolveWithDeepening(const IntegerProgram& program,
     last = capped.Solve(program);
     if (last.outcome == SolveOutcome::kSat ||
         last.outcome == SolveOutcome::kUnsat ||
-        last.outcome == SolveOutcome::kDeadlineExceeded) {
+        last.outcome == SolveOutcome::kDeadlineExceeded ||
+        last.outcome == SolveOutcome::kResourceExhausted) {
       return last;
     }
     if (cap >= max_cap) return last;

@@ -21,6 +21,7 @@
 
 #include "base/bigint.h"
 #include "base/deadline.h"
+#include "base/resource_guard.h"
 #include "ilp/linear.h"
 
 namespace xmlverify {
@@ -30,6 +31,7 @@ enum class SolveOutcome {
   kUnsat,    // proven infeasible over nonnegative integers
   kUnknown,  // search capped (node limit or variable cap)
   kDeadlineExceeded,  // wall-clock budget expired before a verdict
+  kResourceExhausted,  // memory budget exhausted (or fault injected)
 };
 
 struct SolveResult {
@@ -52,6 +54,11 @@ struct SolverOptions {
   /// (amortized) inside the simplex pivot loop. Expiry yields
   /// kDeadlineExceeded — never a definitive verdict. Default: never.
   Deadline deadline;
+  /// Memory/depth budget. Search nodes are charged while resident on
+  /// the branch stack and each LP tableau is charged for the solve's
+  /// duration; exhaustion yields kResourceExhausted — like a deadline
+  /// expiry, never a definitive verdict. Default: unlimited.
+  ResourceBudget budget;
 };
 
 class IlpSolver {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <set>
 
+#include "base/resource_guard.h"
+
 namespace xmlverify {
 
 namespace {
@@ -282,13 +284,24 @@ class Parser {
     }
     char c = text_[pos_];
     if (c == '(') {
+      // '(' is the only way the descent recurses; guard it so
+      // adversarially deep nesting becomes a parse error rather than
+      // a stack overflow (~4 frames per level).
+      if (++depth_ > MaxParseDepth()) {
+        --depth_;
+        return Status::ResourceExhausted(
+            "regex nesting exceeds the depth ceiling of " +
+            std::to_string(MaxParseDepth()));
+      }
       ++pos_;
-      ASSIGN_OR_RETURN(Regex inner, ParseUnion());
+      Result<Regex> inner = ParseUnion();
+      --depth_;
+      RETURN_IF_ERROR(inner.status());
       if (!Consume(')')) {
         return Status::InvalidArgument("missing ')' in regex: '" + text_ +
                                        "'");
       }
-      return inner;
+      return std::move(inner).value();
     }
     if (c == '%') {
       ++pos_;
@@ -327,6 +340,7 @@ class Parser {
 
   const std::string& text_;
   const std::function<int(const std::string&)>& resolve_;
+  int depth_ = 0;
   size_t pos_ = 0;
 };
 

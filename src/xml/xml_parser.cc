@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/resource_guard.h"
 #include "base/string_util.h"
 
 namespace xmlverify {
@@ -285,7 +286,18 @@ class XmlParser {
         ASSIGN_OR_RETURN(std::string child_name, ExpectOpenTag());
         ASSIGN_OR_RETURN(int child_type, dtd_.TypeId(child_name));
         NodeId child = tree->AddElement(node, child_type);
-        RETURN_IF_ERROR(ParseAttributesAndBody(tree, child, child_name));
+        // Element nesting drives the ParseChildren <->
+        // ParseAttributesAndBody recursion; guard it so pathologically
+        // deep documents fail as a parse error, not a stack overflow.
+        if (++depth_ > MaxParseDepth()) {
+          --depth_;
+          return Status::ResourceExhausted(
+              "element nesting exceeds the depth ceiling of " +
+              std::to_string(MaxParseDepth()));
+        }
+        Status body = ParseAttributesAndBody(tree, child, child_name);
+        --depth_;
+        RETURN_IF_ERROR(body);
         continue;
       }
       pending_text += text_[pos_++];
@@ -295,6 +307,7 @@ class XmlParser {
   const std::string& text_;
   const Dtd& dtd_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -85,9 +85,21 @@ TEST(BigIntTest, DivModLargeRoundTrip) {
   ASSERT_OK_AND_ASSIGN(BigInt b, BigInt::FromString("18446744073709551629"));
   BigInt quotient;
   BigInt remainder;
-  a.DivMod(b, &quotient, &remainder);
+  ASSERT_OK(a.DivMod(b, &quotient, &remainder));
   EXPECT_EQ(quotient * b + remainder, a);
   EXPECT_TRUE(remainder < b);
+}
+
+TEST(BigIntTest, DivModByZeroIsAnErrorNotACrash) {
+  BigInt quotient;
+  BigInt remainder;
+  Status status = BigInt(42).DivMod(BigInt(0), &quotient, &remainder);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The operator forms degrade to zero instead of aborting.
+  EXPECT_EQ(BigInt(42) / BigInt(0), BigInt(0));
+  EXPECT_EQ(BigInt(42) % BigInt(0), BigInt(0));
+  EXPECT_EQ(BigInt(42).FloorDiv(BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt(42).CeilDiv(BigInt(0)), BigInt(0));
 }
 
 TEST(BigIntTest, GcdMatchesEuclid) {
@@ -110,8 +122,13 @@ TEST(BigIntTest, FitsInt64Boundaries) {
   EXPECT_TRUE(BigInt(INT64_MIN).FitsInt64());
   EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).FitsInt64());
   EXPECT_TRUE((BigInt(INT64_MIN) + BigInt(1)).FitsInt64());
-  EXPECT_EQ(BigInt(INT64_MIN).ToInt64(), INT64_MIN);
-  EXPECT_EQ(BigInt(INT64_MAX).ToInt64(), INT64_MAX);
+  ASSERT_OK_AND_ASSIGN(int64_t min64, BigInt(INT64_MIN).TryToInt64());
+  EXPECT_EQ(min64, INT64_MIN);
+  ASSERT_OK_AND_ASSIGN(int64_t max64, BigInt(INT64_MAX).TryToInt64());
+  EXPECT_EQ(max64, INT64_MAX);
+  Result<int64_t> overflow = (BigInt(INT64_MAX) + BigInt(1)).TryToInt64();
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(BigIntTest, PowAndPow2) {
@@ -148,7 +165,7 @@ TEST_P(BigIntPropertyTest, RingAxiomsAcrossLimbBoundaries) {
         EXPECT_EQ((a * b) / b, a);
         BigInt quotient;
         BigInt remainder;
-        a.DivMod(b, &quotient, &remainder);
+        ASSERT_OK(a.DivMod(b, &quotient, &remainder));
         EXPECT_EQ(quotient * b + remainder, a.Abs());
       }
       EXPECT_EQ(a * b, b * a);

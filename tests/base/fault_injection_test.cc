@@ -1,0 +1,117 @@
+#include "base/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/resource_guard.h"
+#include "base/status.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+#ifndef XMLVERIFY_DISABLE_FAULT_INJECTION
+
+// Every test leaves the injector disarmed so the rest of the suite
+// runs clean.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Disarm(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedNeverFails) {
+  EXPECT_FALSE(FaultInjector::Armed());
+  EXPECT_FALSE(FaultInjector::ShouldFail("alloc"));
+  EXPECT_EQ(FaultInjector::HitCount("alloc"), 0);
+}
+
+TEST_F(FaultInjectionTest, BarePointFailsEveryHit) {
+  ASSERT_OK(FaultInjector::Arm("alloc"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("alloc"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("alloc"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("solver_pivot"));
+  EXPECT_EQ(FaultInjector::HitCount("alloc"), 2);
+}
+
+TEST_F(FaultInjectionTest, NthHitClauseFiresExactlyOnce) {
+  ASSERT_OK(FaultInjector::Arm("cache_insert=3"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("cache_insert"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("cache_insert"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("cache_insert"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("cache_insert"));
+}
+
+TEST_F(FaultInjectionTest, NthOnwardClauseFiresFromNOn) {
+  ASSERT_OK(FaultInjector::Arm("manifest_io=2+"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("manifest_io"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("manifest_io"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("manifest_io"));
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticClauseIsDeterministicPerSeed) {
+  ASSERT_OK(FaultInjector::Arm("alloc=%3", /*seed=*/42));
+  std::vector<bool> first;
+  for (int i = 0; i < 300; ++i) first.push_back(FaultInjector::ShouldFail("alloc"));
+  ASSERT_OK(FaultInjector::Arm("alloc=%3", /*seed=*/42));
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(FaultInjector::ShouldFail("alloc"), first[i]) << "hit " << i;
+  }
+  // Roughly 1-in-3 of hits fire: loose bounds, deterministic stream.
+  int fired = 0;
+  for (bool hit : first) fired += hit ? 1 : 0;
+  EXPECT_GT(fired, 50);
+  EXPECT_LT(fired, 250);
+}
+
+TEST_F(FaultInjectionTest, CommaSeparatedClausesArmIndependently) {
+  ASSERT_OK(FaultInjector::Arm("alloc=1,solver_pivot"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("alloc"));
+  EXPECT_FALSE(FaultInjector::ShouldFail("alloc"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("solver_pivot"));
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecIsInvalidArgument) {
+  EXPECT_EQ(FaultInjector::Arm("alloc=").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultInjector::Arm("=3").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(FaultInjector::Arm("alloc=%0").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultInjectionTest, InjectedStatusIsResourceExhausted) {
+  Status injected = FaultInjector::Injected("alloc");
+  EXPECT_EQ(injected.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FaultInjectionTest, AllocFaultSurfacesThroughChargeMemory) {
+  ASSERT_OK(FaultInjector::Arm("alloc=2"));
+  ResourceBudget budget;
+  EXPECT_OK(budget.ChargeMemory(8, "test/a"));
+  Status injected = budget.ChargeMemory(8, "test/b");
+  EXPECT_EQ(injected.code(), StatusCode::kResourceExhausted);
+  // The injected failure, like a real one, records no charge.
+  EXPECT_EQ(budget.memory_used(), 8);
+}
+
+TEST_F(FaultInjectionTest, DisarmClearsRulesAndCounts) {
+  ASSERT_OK(FaultInjector::Arm("alloc"));
+  EXPECT_TRUE(FaultInjector::ShouldFail("alloc"));
+  FaultInjector::Disarm();
+  EXPECT_FALSE(FaultInjector::Armed());
+  EXPECT_FALSE(FaultInjector::ShouldFail("alloc"));
+  EXPECT_EQ(FaultInjector::HitCount("alloc"), 0);
+}
+
+#else  // XMLVERIFY_DISABLE_FAULT_INJECTION
+
+TEST(FaultInjectionCompiledOutTest, ArmIsUnsupportedAndHooksAreInert) {
+  EXPECT_EQ(FaultInjector::Arm("alloc").code(), StatusCode::kUnsupported);
+  EXPECT_FALSE(FaultInjector::Armed());
+  EXPECT_FALSE(FaultInjector::ShouldFail("alloc"));
+}
+
+#endif
+
+}  // namespace
+}  // namespace xmlverify

@@ -6,11 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "base/fault_injection.h"
 #include "encoding/cardinality.h"
 #include "regex/automaton.h"
 #include "tests/test_util.h"
@@ -47,7 +49,11 @@ std::string WriteFile(const std::string& path, const std::string& text) {
 class BatchRunnerTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir();
+    // ctest runs each test case as its own process, concurrently; a
+    // per-test directory keeps their spec files from racing.
+    dir_ = ::testing::TempDir() + "/" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::create_directories(dir_);
     good_ = WriteFile(dir_ + "/good.xvc", kConsistentSpec);
     bad_ = WriteFile(dir_ + "/bad.xvc", kInconsistentSpec);
   }
@@ -71,6 +77,73 @@ TEST_F(BatchRunnerTest, ManifestParsesCommentsPairsAndRelativePaths) {
   EXPECT_EQ(entries[2].dtd_path, "/abs/path.xvc");  // absolute: untouched
 
   EXPECT_FALSE(ParseBatchManifest("a b c\n", "").ok());  // three fields
+}
+
+TEST_F(BatchRunnerTest, ManifestToleratesCrlfLineEndings) {
+  // A manifest written on Windows: CRLF line endings, blank lines and
+  // comments with trailing \r. The \r must never leak into a path.
+  ASSERT_OK_AND_ASSIGN(std::vector<BatchEntry> entries,
+                       ParseBatchManifest("# comment\r\n"
+                                          "\r\n"
+                                          "good.xvc\r\n"
+                                          "spec.dtd spec.constraints\r\n",
+                                          "/base"));
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].dtd_path, "/base/good.xvc");
+  EXPECT_EQ(entries[1].dtd_path, "/base/spec.dtd");
+  EXPECT_EQ(entries[1].constraints_path, "/base/spec.constraints");
+  for (const BatchEntry& entry : entries) {
+    EXPECT_EQ(entry.dtd_path.find('\r'), std::string::npos);
+    EXPECT_EQ(entry.constraints_path.find('\r'), std::string::npos);
+  }
+}
+
+TEST_F(BatchRunnerTest, RetryRecoversFromATransientInjectedFault) {
+  // The first manifest read fails (injected); with one retry allowed
+  // the item is re-attempted with a grown budget and succeeds.
+  ASSERT_OK(FaultInjector::Arm("manifest_io=1"));
+  std::vector<BatchEntry> entries(1);
+  entries[0].dtd_path = good_;
+  entries[0].line = 1;
+  BatchOptions options;
+  options.jobs = 1;
+  options.retries = 1;
+  BatchResult result = RunBatch(entries, options);
+  FaultInjector::Disarm();
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_OK(result.items[0].status);
+  EXPECT_EQ(result.items[0].verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_EQ(result.retries, 1);
+  EXPECT_EQ(result.retry_recovered, 1);
+}
+
+TEST_F(BatchRunnerTest, WithoutRetriesAnInjectedFaultStaysAFailure) {
+  ASSERT_OK(FaultInjector::Arm("manifest_io=1"));
+  std::vector<BatchEntry> entries(1);
+  entries[0].dtd_path = good_;
+  entries[0].line = 1;
+  BatchOptions options;
+  options.jobs = 1;
+  BatchResult result = RunBatch(entries, options);
+  FaultInjector::Disarm();
+  ASSERT_EQ(result.items.size(), 1u);
+  EXPECT_EQ(result.items[0].status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(result.retries, 0);
+}
+
+TEST_F(BatchRunnerTest, DefinitiveVerdictsAreNeverRetried) {
+  // An inconsistent spec is a real answer: retries must not re-run it.
+  std::vector<BatchEntry> entries(1);
+  entries[0].dtd_path = bad_;
+  entries[0].line = 1;
+  BatchOptions options;
+  options.jobs = 1;
+  options.retries = 3;
+  BatchResult result = RunBatch(entries, options);
+  EXPECT_EQ(result.inconsistent, 1);
+  EXPECT_EQ(result.retries, 0);
+  EXPECT_EQ(result.retry_recovered, 0);
 }
 
 TEST_F(BatchRunnerTest, ResultsLandInManifestOrderForEveryJobCount) {
@@ -230,6 +303,31 @@ TEST_F(BatchRunnerTest, CliBatchStatsReportsCacheCounters) {
       << output;
   EXPECT_NE(output.find("\"cache/cardinality_hits\""), std::string::npos)
       << output;
+}
+
+TEST_F(BatchRunnerTest, CliBatchRetriesRecoverFromInjectedFault) {
+  // The acceptance demo: a transient injected failure on the first
+  // read, recovered by --retries, ends in a clean exit 0 with the
+  // retry accounting in the summary.
+  std::string manifest =
+      WriteFile(dir_ + "/manifest_retry.txt", "good.xvc\n");
+  int exit_code = 0;
+  std::string output = RunAndCapture(
+      std::string(XMLVC_BINARY_PATH) + " --batch " + manifest +
+          " --jobs=1 --retries=2 --fault-inject=manifest_io=1 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(WEXITSTATUS(exit_code), 0) << output;
+  EXPECT_NE(output.find("good.xvc: CONSISTENT"), std::string::npos) << output;
+  EXPECT_NE(output.find("retry attempt(s)"), std::string::npos) << output;
+  EXPECT_NE(output.find("1 item(s) recovered"), std::string::npos) << output;
+
+  // The same injected fault without retries is a hard item error.
+  output = RunAndCapture(
+      std::string(XMLVC_BINARY_PATH) + " --batch " + manifest +
+          " --jobs=1 --fault-inject=manifest_io=1 2>/dev/null",
+      &exit_code);
+  EXPECT_EQ(WEXITSTATUS(exit_code), 2) << output;
+  EXPECT_NE(output.find("ERROR"), std::string::npos) << output;
 }
 
 TEST_F(BatchRunnerTest, CliBatchMissingManifestExitsWithUsageError) {

@@ -1,0 +1,117 @@
+// The graceful-degradation ladder: exact stage exhausts -> one
+// explicitly smaller bounded retry -> sound recovery or a structured
+// partial diagnosis. See docs/robustness.md.
+#include <gtest/gtest.h>
+
+#include "core/consistency.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+// A consistent keys-only specification whose exact path runs through
+// the ILP solver.
+Specification TinyConsistentSpec() {
+  return Parse("<!ELEMENT r (a+)>\n<!ATTLIST a v>", "a.v -> a\n");
+}
+
+TEST(DegradationTest, SolverGiveUpRecoversThroughDegradedBoundedSearch) {
+  ConsistencyChecker::Options options;
+  // Force the exact stage to give up instantly: zero branch-and-bound
+  // nodes means "node limit reached" before any work.
+  options.solver.max_nodes = 0;
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       checker.Check(TinyConsistentSpec()));
+  // The degraded bounded search finds a real witness, so the recovery
+  // is a sound kConsistent — with the ladder recorded.
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  ASSERT_FALSE(verdict.degradation.empty());
+  EXPECT_EQ(verdict.degradation[0].stage, "exact");
+  EXPECT_NE(verdict.note.find("degraded"), std::string::npos);
+}
+
+TEST(DegradationTest, MemoryExhaustionEndsInResourceExhaustedNotAVerdict) {
+  ConsistencyChecker::Options options;
+  // A budget too small for even one simplex tableau: the exact stage
+  // and the degraded rung both run out.
+  options.budget.set_memory_limit_bytes(50);
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       checker.Check(TinyConsistentSpec()));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kResourceExhausted);
+  // Exhaustion is never mistaken for a definitive answer.
+  EXPECT_NE(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_NE(verdict.outcome, ConsistencyOutcome::kInconsistent);
+  ASSERT_FALSE(verdict.degradation.empty());
+  EXPECT_NE(verdict.note.find("degradation ladder"), std::string::npos);
+}
+
+TEST(DegradationTest, LadderCanBeDisabled) {
+  ConsistencyChecker::Options options;
+  options.budget.set_memory_limit_bytes(50);
+  options.degrade_on_exhaustion = false;
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       checker.Check(TinyConsistentSpec()));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kResourceExhausted);
+  EXPECT_TRUE(verdict.degradation.empty());
+}
+
+TEST(DegradationTest, DeadlineExpiryIsNotARung) {
+  ConsistencyChecker::Options options;
+  // The clock that killed the exact stage would kill the fallback
+  // too, so deadline expiry must not enter the ladder.
+  options.deadline = Deadline::AfterMillis(0);
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       checker.Check(TinyConsistentSpec()));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kDeadlineExceeded);
+  EXPECT_TRUE(verdict.degradation.empty());
+}
+
+TEST(DegradationTest, AlreadyBoundedStagesDoNotReDegrade) {
+  // kAcMultiGeneral is undecidable: the checker goes straight to
+  // bounded search, which is not an "exact" rung — an inconclusive
+  // result there must not loop back into the ladder.
+  Specification spec = Parse(
+      "<!ELEMENT r (p, q)>\n<!ATTLIST p a b>\n<!ATTLIST q c d>\n",
+      "p[a,b] <= q[c,d]\n");
+  ConsistencyChecker::Options options;
+  options.bounded.max_nodes = 1;  // root only: no witness possible
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kUnknown);
+  EXPECT_TRUE(verdict.degradation.empty());
+}
+
+TEST(DegradationTest, GenerousBudgetLeavesExactVerdictsUntouched) {
+  ConsistencyChecker::Options options;
+  options.budget.set_memory_limit_bytes(int64_t{256} * 1024 * 1024);
+  options.budget.set_max_depth(500);
+  ConsistencyChecker checker(options);
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                       checker.Check(TinyConsistentSpec()));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_TRUE(verdict.degradation.empty());
+}
+
+TEST(DegradationTest, InconsistentSpecStaysInconsistentUnderALadder) {
+  // The paper's key/foreign-key clash: two b's with keyed w must both
+  // reference the single a's v — impossible. The exact stage proves
+  // it; the armed ladder must not soften the verdict.
+  Specification spec = Parse(
+      "<!ELEMENT r (a, b, b)>\n<!ATTLIST a v>\n<!ATTLIST b w>",
+      "b.w -> b\nfk b.w <= a.v\n");
+  ConsistencyChecker checker;
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(spec));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
+  EXPECT_TRUE(verdict.degradation.empty());
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -110,5 +110,62 @@ TEST(AdversarialInputTest, DeeplyNestedRegexDoesNotOverflow) {
   (void)ParseRegex(deep, resolve);
 }
 
+// The depth-ceiling regressions: 100k-deep nesting would overflow any
+// default thread stack if the recursive descent were unguarded. Each
+// parser must return kResourceExhausted, not crash.
+
+std::string NestedParens(int depth, const std::string& core) {
+  std::string out(static_cast<size_t>(depth), '(');
+  out += core;
+  out.append(static_cast<size_t>(depth), ')');
+  return out;
+}
+
+TEST(DepthCeilingTest, HundredThousandDeepRegexIsAParseError) {
+  auto resolve = [](const std::string&) { return 0; };
+  Result<Regex> deep = ParseRegex(NestedParens(100000, "a"), resolve);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DepthCeilingTest, HundredThousandDeepContentModelIsAParseError) {
+  Result<Dtd> deep =
+      ParseDtd("<!ELEMENT r " + NestedParens(100000, "a") + ">");
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DepthCeilingTest, HundredThousandDeepConstraintPathIsAnError) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (a*)>\n<!ATTLIST a v>"));
+  // Whatever the path grammar thinks of 100k parentheses, it must
+  // answer with a Status, not a stack overflow.
+  std::string line = "r." + NestedParens(100000, "a") + ".v -> r._*.a";
+  ConstraintSet set;
+  Status deep = ParseConstraintLine(line, dtd, &set);
+  EXPECT_FALSE(deep.ok());
+}
+
+TEST(DepthCeilingTest, HundredThousandDeepXmlDocumentIsAParseError) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (r*)>"));
+  std::string deep = "<r>";
+  for (int i = 0; i < 100000; ++i) deep += "<r>";
+  for (int i = 0; i < 100000; ++i) deep += "</r>";
+  deep += "</r>";
+  Result<XmlTree> tree = ParseXmlDocument(deep, dtd);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DepthCeilingTest, DocumentsAtTheCeilingStillParse) {
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (r*)>"));
+  // Fifty levels is far below the kDefaultMaxParseDepth of 1000:
+  // legitimate nesting must be unaffected by the guard.
+  std::string fine = "<r>";
+  for (int i = 0; i < 50; ++i) fine += "<r>";
+  for (int i = 0; i < 50; ++i) fine += "</r>";
+  fine += "</r>";
+  EXPECT_OK(ParseXmlDocument(fine, dtd).status());
+}
+
 }  // namespace
 }  // namespace xmlverify
