@@ -1,0 +1,70 @@
+// Differential-testing throughput: how many specs per second the
+// subsystem can generate, cross-check, and (when needed) shrink.
+//
+// Three questions (docs/testing.md):
+//   * Generation cost — BM_GenerateSpec: the seeded generator alone,
+//     per class. This bounds how cheap a "spec" is as a unit of work.
+//   * Cross-check cost — BM_CrossCheck: one spec through every
+//     applicable procedure, witness replay included. This is the
+//     dominant term of a difftest sweep and sets the seeds/second a
+//     nightly run can afford.
+//   * Shrink cost — BM_Shrink: delta-debugging a spec to a local
+//     minimum under a size predicate (a stand-in for "the cross-check
+//     still disagrees", which is mercifully rare on healthy builds).
+#include <benchmark/benchmark.h>
+
+#include "difftest/oracle.h"
+#include "difftest/shrinker.h"
+#include "difftest/spec_generator.h"
+
+namespace xmlverify {
+namespace {
+
+DifftestClass ClassArg(int64_t arg) {
+  return AllDifftestClasses()[static_cast<size_t>(arg)];
+}
+
+void BM_GenerateSpec(benchmark::State& state) {
+  DifftestClass cls = ClassArg(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Result<GeneratedSpec> generated = GenerateSpec(seed++, cls, {});
+    benchmark::DoNotOptimize(generated.ok());
+  }
+  state.SetLabel(DifftestClassName(cls));
+}
+BENCHMARK(BM_GenerateSpec)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_CrossCheck(benchmark::State& state) {
+  DifftestClass cls = ClassArg(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Result<GeneratedSpec> generated = GenerateSpec(seed++, cls, {});
+    CrossCheckReport report = CrossCheckSpecification(generated.value().spec);
+    benchmark::DoNotOptimize(report.agreed());
+  }
+  state.SetLabel(DifftestClassName(cls));
+}
+BENCHMARK(BM_CrossCheck)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_Shrink(benchmark::State& state) {
+  // Shrink toward "still has at least one constraint" — every
+  // candidate evaluation is cheap, so this times the shrinker's own
+  // candidate enumeration and recomposition machinery.
+  Result<GeneratedSpec> generated =
+      GenerateSpec(11, DifftestClass::kAcUnary, {});
+  const Specification& spec = generated.value().spec;
+  SpecPredicate keep = [](const Specification& candidate) {
+    return candidate.constraints.size() >= 1;
+  };
+  for (auto _ : state) {
+    ShrinkOutcome outcome = ShrinkSpecification(spec, keep, {});
+    benchmark::DoNotOptimize(outcome.rounds);
+  }
+}
+BENCHMARK(BM_Shrink)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xmlverify
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+# Runs xmlvc-difftest twice — single-threaded and multi-threaded —
+# and fails unless the two summaries are byte-identical. Invoked by
+# the difftest_determinism ctest entry.
+if(NOT DEFINED DIFFTEST_BINARY)
+  message(FATAL_ERROR "pass -DDIFFTEST_BINARY=/path/to/xmlvc-difftest")
+endif()
+
+execute_process(
+  COMMAND ${DIFFTEST_BINARY} --seeds=10 --seed=42 --jobs=1
+  OUTPUT_VARIABLE first
+  RESULT_VARIABLE first_rc)
+execute_process(
+  COMMAND ${DIFFTEST_BINARY} --seeds=10 --seed=42 --jobs=4
+  OUTPUT_VARIABLE second
+  RESULT_VARIABLE second_rc)
+
+if(NOT first_rc EQUAL 0)
+  message(FATAL_ERROR "first run failed (rc=${first_rc}):\n${first}")
+endif()
+if(NOT second_rc EQUAL 0)
+  message(FATAL_ERROR "second run failed (rc=${second_rc}):\n${second}")
+endif()
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR
+          "summaries differ across job counts:\n--- jobs=1 ---\n${first}"
+          "\n--- jobs=4 ---\n${second}")
+endif()

@@ -199,8 +199,10 @@ Result<Dtd> RelativeGeometry::ScopeDtd(int tau) const {
     // R_tau(tau) = {} (the scope root's attributes belong to the
     // enclosing scope, where tau appears as a leaf); every other
     // scope type — including truncated restricted leaves — keeps
-    // R(type), matching the paper's definition of D_tau.
-    if (type == tau) continue;
+    // R(type), matching the paper's definition of D_tau. The global
+    // root is the exception: it has no enclosing scope, so its scope
+    // keeps R(root) and assigns the root's attributes itself.
+    if (type == tau && tau != dtd_->root()) continue;
     for (const std::string& attribute : dtd_->Attributes(type)) {
       builder.AddAttribute(dtd_->TypeName(type), attribute);
     }

@@ -212,6 +212,22 @@ Result<ConsistencyVerdict> CheckHierarchicalConsistency(
     const Dtd& dtd, const ConstraintSet& constraints,
     const HierarchicalCheckOptions& options) {
   RETURN_IF_ERROR(constraints.Validate(dtd));
+  // Folding an absolute constraint into a relative one with context
+  // root drops the root node from every extent (scopes are strict
+  // subtrees), which is harmless for keys on the root (a singleton
+  // extent is always a key) but changes the meaning of inclusions
+  // that mention the root's attributes. Those lie outside the scope
+  // decomposition; refuse them rather than silently answering for a
+  // different specification.
+  for (const AbsoluteInclusion& inclusion : constraints.absolute_inclusions()) {
+    if (inclusion.child_type == dtd.root() ||
+        inclusion.parent_type == dtd.root()) {
+      return Status::Unsupported(
+          "absolute inclusion references the root type's attributes; the "
+          "scope decomposition cannot express the root's extent — use the "
+          "absolute or bounded checker");
+    }
+  }
   ASSIGN_OR_RETURN(ConstraintSet relative,
                    WithAbsoluteAsRelative(constraints, dtd.root()));
   ASSIGN_OR_RETURN(RelativeGeometry geometry,

@@ -1,0 +1,363 @@
+#include "difftest/shrinker.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "difftest/spec_generator.h"
+#include "regex/regex.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+// A specification taken apart into freely editable pieces. Type ids
+// index `names`; the pcdata symbol is names.size().
+struct Parts {
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> attrs;
+  std::vector<Regex> contents;
+  int root = 0;
+  ConstraintSet constraints;
+};
+
+Parts Decompose(const Specification& spec) {
+  Parts parts;
+  int n = spec.dtd.num_element_types();
+  for (int type = 0; type < n; ++type) {
+    parts.names.push_back(spec.dtd.TypeName(type));
+    parts.attrs.push_back(spec.dtd.Attributes(type));
+    parts.contents.push_back(spec.dtd.Content(type));
+  }
+  parts.root = spec.dtd.root();
+  parts.constraints = spec.constraints;
+  return parts;
+}
+
+Result<Specification> Recompose(const Parts& parts) {
+  Dtd::Builder builder(parts.names, parts.names[parts.root]);
+  for (size_t type = 0; type < parts.names.size(); ++type) {
+    for (const std::string& attr : parts.attrs[type]) {
+      builder.AddAttribute(parts.names[type], attr);
+    }
+    builder.SetContent(parts.names[type], parts.contents[type]);
+  }
+  Specification spec;
+  ASSIGN_OR_RETURN(spec.dtd, builder.Build());
+  spec.constraints = parts.constraints;
+  RETURN_IF_ERROR(spec.constraints.Validate(spec.dtd));
+  return spec;
+}
+
+// Replaces every occurrence of a symbol in `drop` with epsilon.
+Regex EraseSymbols(const Regex& regex, const std::set<int>& drop) {
+  switch (regex.kind()) {
+    case RegexKind::kEpsilon:
+    case RegexKind::kWildcard:
+      return regex;
+    case RegexKind::kSymbol:
+      return drop.count(regex.symbol()) > 0 ? Regex::Epsilon() : regex;
+    case RegexKind::kConcat:
+      return Regex::Concat(EraseSymbols(regex.left(), drop),
+                           EraseSymbols(regex.right(), drop));
+    case RegexKind::kUnion:
+      return Regex::Union(EraseSymbols(regex.left(), drop),
+                          EraseSymbols(regex.right(), drop));
+    case RegexKind::kStar:
+      return Regex::Star(EraseSymbols(regex.left(), drop));
+  }
+  return regex;
+}
+
+bool MentionsAny(const Regex& regex, const std::set<int>& drop) {
+  for (int symbol : regex.Symbols()) {
+    if (drop.count(symbol) > 0) return true;
+  }
+  return false;
+}
+
+// Removes the given (non-root) types: erases them from every content
+// model, renumbers the survivors (the pcdata symbol shifts down with
+// them), and drops every constraint that mentions a removed type.
+Parts RemoveTypes(const Parts& parts, const std::set<int>& drop) {
+  int old_n = static_cast<int>(parts.names.size());
+  std::vector<int> remap(old_n + 1, -1);
+  Parts out;
+  for (int type = 0; type < old_n; ++type) {
+    if (drop.count(type) > 0) continue;
+    remap[type] = static_cast<int>(out.names.size());
+    out.names.push_back(parts.names[type]);
+    out.attrs.push_back(parts.attrs[type]);
+  }
+  remap[old_n] = static_cast<int>(out.names.size());  // pcdata symbol
+  out.root = remap[parts.root];
+  auto remap_fn = [&remap](int symbol) { return remap[symbol]; };
+  for (int type = 0; type < old_n; ++type) {
+    if (drop.count(type) > 0) continue;
+    out.contents.push_back(
+        RemapSymbols(EraseSymbols(parts.contents[type], drop), remap_fn));
+  }
+
+  const ConstraintSet& c = parts.constraints;
+  for (const AbsoluteKey& key : c.absolute_keys()) {
+    if (drop.count(key.type) > 0) continue;
+    out.constraints.Add(AbsoluteKey{remap[key.type], key.attributes});
+  }
+  for (const AbsoluteInclusion& inc : c.absolute_inclusions()) {
+    if (drop.count(inc.child_type) > 0 || drop.count(inc.parent_type) > 0) {
+      continue;
+    }
+    out.constraints.Add(AbsoluteInclusion{remap[inc.child_type],
+                                          inc.child_attributes,
+                                          remap[inc.parent_type],
+                                          inc.parent_attributes});
+  }
+  for (const RegularKey& key : c.regular_keys()) {
+    if (drop.count(key.type) > 0 || MentionsAny(key.node_path, drop)) continue;
+    out.constraints.Add(RegularKey{RemapSymbols(key.node_path, remap_fn),
+                                   remap[key.type], key.attribute});
+  }
+  for (const RegularInclusion& inc : c.regular_inclusions()) {
+    if (drop.count(inc.child_type) > 0 || drop.count(inc.parent_type) > 0 ||
+        MentionsAny(inc.child_path, drop) ||
+        MentionsAny(inc.parent_path, drop)) {
+      continue;
+    }
+    out.constraints.Add(RegularInclusion{
+        RemapSymbols(inc.child_path, remap_fn), remap[inc.child_type],
+        inc.child_attribute, RemapSymbols(inc.parent_path, remap_fn),
+        remap[inc.parent_type], inc.parent_attribute});
+  }
+  for (const RelativeKey& key : c.relative_keys()) {
+    if (drop.count(key.context) > 0 || drop.count(key.type) > 0) continue;
+    out.constraints.Add(
+        RelativeKey{remap[key.context], remap[key.type], key.attribute});
+  }
+  for (const RelativeInclusion& inc : c.relative_inclusions()) {
+    if (drop.count(inc.context) > 0 || drop.count(inc.child_type) > 0 ||
+        drop.count(inc.parent_type) > 0) {
+      continue;
+    }
+    out.constraints.Add(RelativeInclusion{
+        remap[inc.context], remap[inc.child_type], inc.child_attribute,
+        remap[inc.parent_type], inc.parent_attribute});
+  }
+  return out;
+}
+
+// Deletes any type no longer referenced from the root: the Builder
+// rejects disconnected DTDs, so content simplifications cascade into
+// type removals.
+Parts PruneUnreachable(Parts parts) {
+  while (true) {
+    int n = static_cast<int>(parts.names.size());
+    std::vector<bool> reachable(n, false);
+    std::vector<int> stack = {parts.root};
+    reachable[parts.root] = true;
+    while (!stack.empty()) {
+      int type = stack.back();
+      stack.pop_back();
+      for (int symbol : parts.contents[type].Symbols()) {
+        if (symbol < n && !reachable[symbol]) {
+          reachable[symbol] = true;
+          stack.push_back(symbol);
+        }
+      }
+    }
+    std::set<int> drop;
+    for (int type = 0; type < n; ++type) {
+      if (!reachable[type]) drop.insert(type);
+    }
+    if (drop.empty()) return parts;
+    parts = RemoveTypes(parts, drop);
+  }
+}
+
+// Single-step regex reductions anywhere in the tree: a node is
+// replaced by epsilon, by its own operand, or by one side of a binary
+// operator. `limit` caps the enumeration.
+void Reductions(const Regex& regex, size_t limit, std::vector<Regex>* out) {
+  if (out->size() >= limit) return;
+  switch (regex.kind()) {
+    case RegexKind::kEpsilon:
+      return;
+    case RegexKind::kSymbol:
+    case RegexKind::kWildcard:
+      out->push_back(Regex::Epsilon());
+      return;
+    case RegexKind::kStar:
+      out->push_back(Regex::Epsilon());
+      out->push_back(regex.left());  // a* -> a
+      for (Regex inner : [&] {
+             std::vector<Regex> inners;
+             Reductions(regex.left(), limit, &inners);
+             return inners;
+           }()) {
+        if (out->size() >= limit) return;
+        out->push_back(Regex::Star(std::move(inner)));
+      }
+      return;
+    case RegexKind::kConcat:
+    case RegexKind::kUnion: {
+      bool concat = regex.kind() == RegexKind::kConcat;
+      out->push_back(regex.left());
+      out->push_back(regex.right());
+      std::vector<Regex> lefts;
+      Reductions(regex.left(), limit, &lefts);
+      for (Regex& left : lefts) {
+        if (out->size() >= limit) return;
+        out->push_back(concat ? Regex::Concat(std::move(left), regex.right())
+                              : Regex::Union(std::move(left), regex.right()));
+      }
+      std::vector<Regex> rights;
+      Reductions(regex.right(), limit, &rights);
+      for (Regex& right : rights) {
+        if (out->size() >= limit) return;
+        out->push_back(concat ? Regex::Concat(regex.left(), std::move(right))
+                              : Regex::Union(regex.left(), std::move(right)));
+      }
+      return;
+    }
+  }
+}
+
+// Rebuilds the constraint set with one flat-indexed constraint
+// removed (ordering: absolute keys, absolute inclusions, regular
+// keys, regular inclusions, relative keys, relative inclusions).
+ConstraintSet WithoutConstraint(const ConstraintSet& c, int index) {
+  ConstraintSet out;
+  int i = 0;
+  for (const AbsoluteKey& x : c.absolute_keys()) {
+    if (i++ != index) out.Add(x);
+  }
+  for (const AbsoluteInclusion& x : c.absolute_inclusions()) {
+    if (i++ != index) out.Add(x);
+  }
+  for (const RegularKey& x : c.regular_keys()) {
+    if (i++ != index) out.Add(x);
+  }
+  for (const RegularInclusion& x : c.regular_inclusions()) {
+    if (i++ != index) out.Add(x);
+  }
+  for (const RelativeKey& x : c.relative_keys()) {
+    if (i++ != index) out.Add(x);
+  }
+  for (const RelativeInclusion& x : c.relative_inclusions()) {
+    if (i++ != index) out.Add(x);
+  }
+  return out;
+}
+
+bool AttributeUsed(const ConstraintSet& c, int type, const std::string& attr) {
+  for (const AbsoluteKey& x : c.absolute_keys()) {
+    if (x.type == type) {
+      for (const std::string& a : x.attributes) {
+        if (a == attr) return true;
+      }
+    }
+  }
+  for (const AbsoluteInclusion& x : c.absolute_inclusions()) {
+    if (x.child_type == type) {
+      for (const std::string& a : x.child_attributes) {
+        if (a == attr) return true;
+      }
+    }
+    if (x.parent_type == type) {
+      for (const std::string& a : x.parent_attributes) {
+        if (a == attr) return true;
+      }
+    }
+  }
+  for (const RegularKey& x : c.regular_keys()) {
+    if (x.type == type && x.attribute == attr) return true;
+  }
+  for (const RegularInclusion& x : c.regular_inclusions()) {
+    if ((x.child_type == type && x.child_attribute == attr) ||
+        (x.parent_type == type && x.parent_attribute == attr)) {
+      return true;
+    }
+  }
+  for (const RelativeKey& x : c.relative_keys()) {
+    if (x.type == type && x.attribute == attr) return true;
+  }
+  for (const RelativeInclusion& x : c.relative_inclusions()) {
+    if ((x.child_type == type && x.child_attribute == attr) ||
+        (x.parent_type == type && x.parent_attribute == attr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// All shrink candidates for `parts`, cheapest-and-biggest-win first:
+// drop a constraint, drop a type, simplify a content model, drop an
+// unused attribute.
+std::vector<Parts> Candidates(const Parts& parts) {
+  std::vector<Parts> out;
+  int num_constraints = parts.constraints.size();
+  for (int i = 0; i < num_constraints; ++i) {
+    Parts candidate = parts;
+    candidate.constraints = WithoutConstraint(parts.constraints, i);
+    out.push_back(PruneUnreachable(std::move(candidate)));
+  }
+  int n = static_cast<int>(parts.names.size());
+  for (int type = 0; type < n; ++type) {
+    if (type == parts.root) continue;
+    out.push_back(PruneUnreachable(RemoveTypes(parts, {type})));
+  }
+  for (int type = 0; type < n; ++type) {
+    std::vector<Regex> reduced;
+    Reductions(parts.contents[type], 24, &reduced);
+    for (Regex& content : reduced) {
+      Parts candidate = parts;
+      candidate.contents[type] = std::move(content);
+      out.push_back(PruneUnreachable(std::move(candidate)));
+    }
+  }
+  for (int type = 0; type < n; ++type) {
+    for (const std::string& attr : parts.attrs[type]) {
+      if (AttributeUsed(parts.constraints, type, attr)) continue;
+      Parts candidate = parts;
+      std::vector<std::string>& attrs = candidate.attrs[type];
+      attrs.erase(std::find(attrs.begin(), attrs.end(), attr));
+      out.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome ShrinkSpecification(const Specification& start,
+                                  const SpecPredicate& keep,
+                                  const ShrinkOptions& options) {
+  Parts current = Decompose(start);
+  ShrinkOutcome outcome;
+  for (int round = 0; round < options.max_rounds; ++round) {
+    bool adopted = false;
+    for (Parts& candidate : Candidates(current)) {
+      if (outcome.candidates >= options.max_candidates) break;
+      Result<Specification> spec = Recompose(candidate);
+      if (!spec.ok()) continue;  // invalid shrink step; try the next
+      ++outcome.candidates;
+      trace::Count("difftest/shrink_candidates");
+      if (keep(*spec)) {
+        current = std::move(candidate);
+        adopted = true;
+        break;
+      }
+    }
+    if (!adopted) break;
+    ++outcome.rounds;
+    trace::Count("difftest/shrink_steps");
+  }
+  // Recompose cannot fail here: `current` either is the decomposed
+  // original or has already been recomposed successfully above.
+  outcome.spec = Recompose(current).ValueOrDie();
+  outcome.text = SpecToText(outcome.spec);
+  return outcome;
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,44 @@
+// Delta-debugging shrinker for disagreeing specifications: greedily
+// applies structure-removing transformations (drop a constraint, drop
+// an element type, simplify a content model, drop an unused
+// attribute) while a caller-supplied predicate — typically "the
+// cross-check still disagrees" — keeps holding, until no
+// transformation applies. The result is a local minimum: removing any
+// single piece makes the disagreement vanish.
+#ifndef XMLVERIFY_DIFFTEST_SHRINKER_H_
+#define XMLVERIFY_DIFFTEST_SHRINKER_H_
+
+#include <functional>
+#include <string>
+
+#include "core/specification.h"
+
+namespace xmlverify {
+
+/// Returns true when the candidate still exhibits the behavior being
+/// minimized. Candidates always satisfy ConstraintSet::Validate.
+using SpecPredicate = std::function<bool(const Specification&)>;
+
+struct ShrinkOptions {
+  /// Fixpoint rounds (each adopts at most one transformation).
+  int max_rounds = 64;
+  /// Total candidate evaluations across all rounds.
+  int max_candidates = 2000;
+};
+
+struct ShrinkOutcome {
+  Specification spec;   // the minimized specification
+  std::string text;     // its canonical .xvc rendering
+  int rounds = 0;       // transformations adopted
+  int candidates = 0;   // predicate evaluations spent
+};
+
+/// Greedily minimizes `start` under `keep`. `keep(start)` is assumed
+/// true; the returned spec always satisfies `keep`.
+ShrinkOutcome ShrinkSpecification(const Specification& start,
+                                  const SpecPredicate& keep,
+                                  const ShrinkOptions& options = {});
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_DIFFTEST_SHRINKER_H_

@@ -1,0 +1,75 @@
+// Seeded random generator of XML specifications for differential
+// testing: random DTDs (recursive and not, with and without stars)
+// paired with constraint sets drawn from one of the decidable classes
+// of Figures 3/4. Generation is a pure function of (seed, class,
+// options) — the same inputs always produce byte-identical output —
+// so every run is reproducible from its seed alone.
+#ifndef XMLVERIFY_DIFFTEST_SPEC_GENERATOR_H_
+#define XMLVERIFY_DIFFTEST_SPEC_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+/// Target classes the generator can aim for (the decidable rows of
+/// Figures 3/4 plus the hierarchical relative fragment). The class a
+/// generated spec actually lands in is re-derived by Classify(); the
+/// generator only steers the constraint shapes.
+enum class DifftestClass {
+  kAcK,           // absolute unary keys only
+  kAcUnary,       // unary keys + foreign keys / inclusions
+  kAcMultiPrimary,  // multi-attribute disjoint keys, unary inclusions
+  kAcRegular,     // regular-path keys/inclusions (plus folded absolute)
+  kHrc,           // relative (hierarchical when the geometry allows)
+};
+
+/// Short stable name used in CLI flags and summaries: "ack", "acfk",
+/// "pkfk", "reg", "hrc".
+std::string DifftestClassName(DifftestClass cls);
+Result<DifftestClass> ParseDifftestClass(const std::string& name);
+std::vector<DifftestClass> AllDifftestClasses();
+
+struct SpecGeneratorOptions {
+  /// Element types besides the root: 1 .. max_extra_types.
+  int max_extra_types = 4;
+  /// Constraints per spec: 1 .. max_constraints.
+  int max_constraints = 3;
+  /// Allow back-edges among non-root types (never into the root,
+  /// which Definition 2.1 forbids). Forced off for kHrc, whose
+  /// geometry analysis requires a non-recursive DTD.
+  bool allow_recursion = true;
+  /// Allow Kleene stars / plus in content models.
+  bool allow_star = true;
+};
+
+struct GeneratedSpec {
+  Specification spec;
+  /// Canonical `.xvc` text (root directive, DTD, `%%`, constraints).
+  /// Reparsing it yields a specification with identical symbol ids.
+  std::string text;
+};
+
+/// splitmix64: the tiny, seedable, platform-independent PRNG used
+/// throughout the difftest subsystem.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministically generates one specification. Errors indicate a
+/// generator bug (the result always passes ConstraintSet::Validate).
+Result<GeneratedSpec> GenerateSpec(uint64_t seed, DifftestClass cls,
+                                   const SpecGeneratorOptions& options = {});
+
+/// Canonical `.xvc` rendering: `root <name>`, the DTD listing, a `%%`
+/// separator, then the constraint listing. Specification::ParseCombined
+/// accepts the output, and — because the DTD listing declares types in
+/// symbol-id order with the root first — the reparsed specification
+/// assigns the same ids.
+std::string SpecToText(const Specification& spec);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_DIFFTEST_SPEC_GENERATOR_H_

@@ -244,6 +244,54 @@ Result<DtdFlowSystem> DtdFlowSystem::Build(const Dtd& dtd, ProductDfa* product,
   return system;
 }
 
+bool DtdFlowSystem::RemainderProducible(
+    const std::vector<int>& sources, const std::vector<BigInt>& required,
+    const std::vector<BigInt>& created, const std::vector<BigInt>& alt_a_budget,
+    const std::vector<BigInt>& alt_b_budget,
+    const std::vector<BigInt>& star_budget) const {
+  std::vector<char> reached(kinds_.size(), 0);
+  std::vector<int> stack;
+  for (int kind : sources) {
+    if (!reached[kind]) {
+      reached[kind] = 1;
+      stack.push_back(kind);
+    }
+  }
+  auto visit = [&](int kind) {
+    if (!reached[kind]) {
+      reached[kind] = 1;
+      stack.push_back(kind);
+    }
+  };
+  while (!stack.empty()) {
+    int index = stack.back();
+    stack.pop_back();
+    const Kind& kind = kinds_[index];
+    const NarrowRule& rule = narrowed_.rules[kind.symbol];
+    switch (rule.kind) {
+      case NarrowRule::Kind::kEpsilon:
+      case NarrowRule::Kind::kString:
+        break;
+      case NarrowRule::Kind::kElement:
+      case NarrowRule::Kind::kSeq:
+        visit(kind.child_a);
+        if (rule.kind == NarrowRule::Kind::kSeq) visit(kind.child_b);
+        break;
+      case NarrowRule::Kind::kAlt:
+        if (alt_a_budget[index] > BigInt(0)) visit(kind.child_a);
+        if (alt_b_budget[index] > BigInt(0)) visit(kind.child_b);
+        break;
+      case NarrowRule::Kind::kStar:
+        if (star_budget[index] > BigInt(0)) visit(kind.child_a);
+        break;
+    }
+  }
+  for (size_t kind = 0; kind < kinds_.size(); ++kind) {
+    if (created[kind] < required[kind] && !reached[kind]) return false;
+  }
+  return true;
+}
+
 Result<XmlTree> DtdFlowSystem::BuildTree(const std::vector<BigInt>& solution,
                                          int64_t max_nodes) const {
   // Budgets for alternative and star expansions.
@@ -266,6 +314,11 @@ Result<XmlTree> DtdFlowSystem::BuildTree(const std::vector<BigInt>& solution,
           "witness tree would exceed the node limit; the counting "
           "solution is astronomically large");
     }
+  }
+
+  std::vector<BigInt> required(kinds_.size(), BigInt(0));
+  for (size_t kind = 0; kind < kinds_.size(); ++kind) {
+    required[kind] = solution[kinds_[kind].count];
   }
 
   XmlTree tree(dtd_->root());
@@ -313,17 +366,44 @@ Result<XmlTree> DtdFlowSystem::BuildTree(const std::vector<BigInt>& solution,
           stack.push_back(kind.child_a);
           break;
         case NarrowRule::Kind::kAlt: {
-          int chosen;
-          if (alt_a_budget[kind_index] > BigInt(0)) {
-            alt_a_budget[kind_index] -= 1;
-            chosen = kind.child_a;
-          } else if (alt_b_budget[kind_index] > BigInt(0)) {
-            alt_b_budget[kind_index] -= 1;
-            chosen = kind.child_b;
-          } else {
+          bool can_a = alt_a_budget[kind_index] > BigInt(0);
+          bool can_b = alt_b_budget[kind_index] > BigInt(0);
+          if (!can_a && !can_b) {
             return Status::Internal(
                 "alternative budgets exhausted while rebuilding the witness "
                 "tree (flow solution inconsistent)");
+          }
+          int chosen;
+          if (can_a && can_b) {
+            // Both branches have budget, so the flow solution does not
+            // pin down which instance takes which — and a careless
+            // choice can strand the remainder of a recursive cycle
+            // (e.g. taking the terminating branch of t0 -> (% | t2),
+            // t2 -> t0 at the only pending t0 leaves the counted
+            // t2/t0 tail unreachable). Take branch a only if the
+            // still-owed kinds stay producible from the pending work
+            // afterwards; otherwise branch b must be the one that
+            // keeps the chain alive.
+            alt_a_budget[kind_index] -= 1;
+            created[kind.child_a] += 1;
+            std::vector<int> sources = {kind.child_a};
+            for (const ElementItem& pending : elements) {
+              sources.push_back(pending.kind);
+            }
+            sources.insert(sources.end(), stack.begin(), stack.end());
+            bool a_keeps_producible =
+                RemainderProducible(sources, required, created, alt_a_budget,
+                                    alt_b_budget, star_budget);
+            alt_a_budget[kind_index] += 1;
+            created[kind.child_a] -= 1;
+            chosen = a_keeps_producible ? kind.child_a : kind.child_b;
+          } else {
+            chosen = can_a ? kind.child_a : kind.child_b;
+          }
+          if (chosen == kind.child_a) {
+            alt_a_budget[kind_index] -= 1;
+          } else {
+            alt_b_budget[kind_index] -= 1;
           }
           created[chosen] += 1;
           stack.push_back(chosen);

@@ -84,6 +84,17 @@ class DtdFlowSystem {
 
   int KindIndex(int symbol, int state) const;
 
+  // True when every kind still owing instances (created < required)
+  // is reachable from `sources` through rule edges with remaining
+  // budget. Steers alternative choices in BuildTree away from
+  // stranding the tail of a recursive cycle.
+  bool RemainderProducible(const std::vector<int>& sources,
+                           const std::vector<BigInt>& required,
+                           const std::vector<BigInt>& created,
+                           const std::vector<BigInt>& alt_a_budget,
+                           const std::vector<BigInt>& alt_b_budget,
+                           const std::vector<BigInt>& star_budget) const;
+
   const Dtd* dtd_ = nullptr;
   NarrowedDtd narrowed_;
   std::vector<Kind> kinds_;

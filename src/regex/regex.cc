@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <map>
 #include <set>
 
 #include "base/resource_guard.h"
@@ -97,6 +98,38 @@ bool Regex::IsStarFree() const {
       return false;
   }
   return true;
+}
+
+int64_t Regex::ExpandedSize(int64_t cap) const {
+  // Post-order over the node DAG with a memo, so shared subtrees are
+  // measured once; their size still multiplies through every
+  // reference, which is exactly the expansion a consumer would pay.
+  std::map<const Node*, int64_t> memo;
+  struct Frame { const Node* node; bool expanded; };
+  std::vector<Frame> stack = {{node_.get(), false}};
+  auto saturating_add = [cap](int64_t a, int64_t b) {
+    return a >= cap - b ? cap : a + b;
+  };
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.node == nullptr || memo.count(frame.node) > 0) continue;
+    if (!frame.expanded) {
+      stack.push_back({frame.node, true});
+      stack.push_back({frame.node->left.get(), false});
+      stack.push_back({frame.node->right.get(), false});
+      continue;
+    }
+    int64_t size = 1;
+    if (frame.node->left != nullptr) {
+      size = saturating_add(size, memo.at(frame.node->left.get()));
+    }
+    if (frame.node->right != nullptr) {
+      size = saturating_add(size, memo.at(frame.node->right.get()));
+    }
+    memo[frame.node] = size;
+  }
+  return memo.at(node_.get());
 }
 
 std::vector<int> Regex::Symbols() const {
@@ -219,10 +252,16 @@ class Parser {
 
   // Bounded repetition a{n}, a{n,}, a{n,m}: expanded structurally
   // into n mandatory copies followed by optional tails (or a star for
-  // an open upper bound). Bounds are capped to keep the expansion
-  // from exploding.
+  // an open upper bound). The *expanded* size is capped — the copies
+  // share nodes, so the parse itself is cheap, but every downstream
+  // consumer (ToString, Thompson construction, determinization) pays
+  // for the full expansion, and nested repetitions multiply: without
+  // the product check, ((a{500}){500}){500} slips under any per-bound
+  // limit yet expands to 1.25e8 atoms. An oversized repetition is a
+  // property of the input, not of this process's resources, so it is
+  // an InvalidArgument (ResourceExhausted would invite budget-escalated
+  // retries that can never succeed).
   Result<Regex> ParseRepetition(Regex base) {
-    static constexpr int64_t kMaxRepetition = 512;
     Consume('{');
     ASSIGN_OR_RETURN(int64_t low, ParseCount());
     int64_t high = low;
@@ -243,9 +282,18 @@ class Parser {
       return Status::InvalidArgument("repetition bounds out of order: '" +
                                      text_ + "'");
     }
-    if (low > kMaxRepetition || (!unbounded && high > kMaxRepetition)) {
-      return Status::ResourceExhausted(
-          "repetition bound exceeds " + std::to_string(kMaxRepetition));
+    // Copies of `base` the expansion will reference: the mandatory
+    // prefix plus either the star or the optional tail. Each copy
+    // also costs roughly one operator node (concat/union/star), hence
+    // the +1 in the product bound.
+    int64_t copies = unbounded ? low + 1 : high;
+    if (copies == 0) copies = 1;  // a{0} still holds one epsilon node
+    int64_t base_size = base.ExpandedSize(kMaxExpandedRegexSize);
+    if (copies > kMaxExpandedRegexSize / (base_size + 1)) {
+      return Status::InvalidArgument(
+          "repetition in '" + text_ + "' expands to more than " +
+          std::to_string(kMaxExpandedRegexSize) +
+          " nodes; rewrite with '*' or smaller bounds");
     }
     std::vector<Regex> parts;
     for (int64_t i = 0; i < low; ++i) parts.push_back(base);

@@ -11,6 +11,7 @@
 #ifndef XMLVERIFY_REGEX_REGEX_H_
 #define XMLVERIFY_REGEX_REGEX_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +20,12 @@
 #include "base/status.h"
 
 namespace xmlverify {
+
+/// Total expanded-size ceiling enforced by ParseRegex on bounded
+/// repetitions: a{n} builds a node-sharing AST, but consumers walk the
+/// expansion, so the product of nested bounds is capped here and an
+/// oversized repetition is an InvalidArgument parse error.
+inline constexpr int64_t kMaxExpandedRegexSize = 4096;
 
 enum class RegexKind {
   kEpsilon,   // empty word
@@ -68,6 +75,15 @@ class Regex {
 
   /// All distinct symbols mentioned (wildcard not included).
   std::vector<int> Symbols() const;
+
+  /// Size of the fully expanded syntax tree (atoms plus operators) as
+  /// downstream consumers — ToString, Thompson construction — would
+  /// walk it. The AST shares nodes, so a bounded repetition is cheap
+  /// to build yet expensive to consume; this measures the consumed
+  /// size. Memoized over shared nodes (O(DAG) time) and saturated at
+  /// `cap`, so callers can guard against blow-ups without paying for
+  /// one: a return value >= cap means "at least cap".
+  int64_t ExpandedSize(int64_t cap) const;
 
   /// Renders with the paper's syntax: '.', '|', '*', '_', 'epsilon'.
   /// `name_of` maps a symbol id to its display name.

@@ -234,8 +234,12 @@ Dtd::Builder& Dtd::Builder::SetContent(const std::string& name,
   }
   Result<Regex> content = ParseRegex(text, resolve);
   if (!content.ok()) {
-    RecordError(Status::InvalidArgument("in content of '" + name +
-                                        "': " + content.status().message()));
+    // Keep the original status code: a ResourceExhausted from the
+    // regex depth ceiling must stay ResourceExhausted (callers key
+    // retry/abort decisions on the code, not the message).
+    RecordError(Status(content.status().code(),
+                       "in content of '" + name +
+                           "': " + content.status().message()));
     return *this;
   }
   return SetContent(name, std::move(content).value());

@@ -1,5 +1,7 @@
 #include "xml/tree.h"
 
+#include <utility>
+
 namespace xmlverify {
 
 XmlTree::XmlTree(int root_type) {
@@ -138,6 +140,30 @@ std::string XmlTree::ToXml(const Dtd& dtd) const {
   std::string out;
   AppendNode(*this, dtd, root(), 0, &out);
   return out;
+}
+
+bool TreesEqual(const XmlTree& a, const XmlTree& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  // Iterative pairwise walk (documents can be deeper than the stack).
+  std::vector<std::pair<NodeId, NodeId>> pending = {{a.root(), b.root()}};
+  while (!pending.empty()) {
+    auto [na, nb] = pending.back();
+    pending.pop_back();
+    if (a.IsText(na) != b.IsText(nb)) return false;
+    if (a.IsText(na)) {
+      if (a.TextOf(na) != b.TextOf(nb)) return false;
+      continue;
+    }
+    if (a.TypeOf(na) != b.TypeOf(nb)) return false;
+    if (a.AttributesOf(na) != b.AttributesOf(nb)) return false;
+    const std::vector<NodeId>& ca = a.ChildrenOf(na);
+    const std::vector<NodeId>& cb = b.ChildrenOf(nb);
+    if (ca.size() != cb.size()) return false;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      pending.push_back({ca[i], cb[i]});
+    }
+  }
+  return true;
 }
 
 }  // namespace xmlverify

@@ -83,6 +83,12 @@ class XmlTree {
   std::vector<Node> nodes_;
 };
 
+/// Structural equality: same shape, element types, attribute maps,
+/// and text values, with children compared in document order. This is
+/// the equality the serializer↔parser round-trip property is stated
+/// over (Parse(Serialize(T)) == T).
+bool TreesEqual(const XmlTree& a, const XmlTree& b);
+
 }  // namespace xmlverify
 
 #endif  // XMLVERIFY_XML_TREE_H_

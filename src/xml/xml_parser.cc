@@ -237,6 +237,13 @@ class XmlParser {
       ASSIGN_OR_RETURN(
           std::string value,
           DecodeEntities(std::string_view(text_).substr(pos_, end - pos_)));
+      // Well-formedness constraint "Unique Att Spec": <a x="1" x="2"/>
+      // is not XML. Last-write-wins here would silently change the
+      // attribute values the key/foreign-key semantics compare.
+      if (tree->HasAttribute(node, attribute)) {
+        return Status::InvalidArgument("duplicate attribute '" + attribute +
+                                       "' on <" + name + ">");
+      }
       tree->SetAttribute(node, attribute, std::move(value));
       pos_ = end + 1;
     }

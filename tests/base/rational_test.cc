@@ -106,5 +106,28 @@ TEST(RationalTest, FromStringParsesAndValidates) {
   EXPECT_FALSE(Rational::FromString("").ok());
 }
 
+TEST(RationalTest, FromStringNormalizesDenominatorSign) {
+  // A negative denominator must be folded into the numerator, or the
+  // cross-multiplication in Compare (which assumes positive
+  // denominators) silently misorders — and with it every simplex
+  // ratio test pivoting on parsed coefficients.
+  struct Case { const char* text; int64_t num; int64_t den; };
+  for (const Case& c : {Case{"-1/2", -1, 2}, Case{"1/-2", -1, 2},
+                        Case{"-1/-2", 1, 2}, Case{"3/-6", -1, 2},
+                        Case{"0/-7", 0, 1}}) {
+    Result<Rational> parsed = Rational::FromString(c.text);
+    ASSERT_TRUE(parsed.ok()) << c.text;
+    EXPECT_EQ(parsed->numerator(), BigInt(c.num)) << c.text;
+    EXPECT_EQ(parsed->denominator(), BigInt(c.den)) << c.text;
+    EXPECT_FALSE(parsed->denominator().is_negative()) << c.text;
+  }
+  // Order sanity across the normalized values: 1/-2 < 1/3.
+  ASSERT_TRUE(Rational::FromString("1/-2").ok());
+  EXPECT_LT(Rational::FromString("1/-2").ValueOrDie(),
+            Rational::FromString("1/3").ValueOrDie());
+  EXPECT_GT(Rational::FromString("-1/-2").ValueOrDie(),
+            Rational::FromString("1/3").ValueOrDie());
+}
+
 }  // namespace
 }  // namespace xmlverify

@@ -1,0 +1,58 @@
+// Regression corpus: every shrunken spec that once exposed a
+// cross-procedure disagreement lives under tests/difftest/corpus/ and
+// must cross-check cleanly forever after. New difftest finds get
+// fixed, shrunk, and added here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/specification.h"
+#include "difftest/oracle.h"
+#include "tests/test_util.h"
+
+#ifndef DIFFTEST_CORPUS_DIR
+#error "DIFFTEST_CORPUS_DIR must point at tests/difftest/corpus"
+#endif
+
+namespace xmlverify {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(DIFFTEST_CORPUS_DIR)) {
+    if (entry.path().extension() == ".xvc") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CorpusTest, CorpusIsNotEmpty) {
+  EXPECT_FALSE(CorpusFiles().empty());
+}
+
+TEST(CorpusTest, EveryCorpusSpecCrossChecksCleanly) {
+  for (const std::filesystem::path& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    ASSERT_OK_AND_ASSIGN(Specification spec,
+                         Specification::ParseCombined(ReadFile(path)));
+    CrossCheckReport report = CrossCheckSpecification(spec);
+    EXPECT_TRUE(report.agreed())
+        << (report.disagreements.empty() ? "" : report.disagreements[0]);
+  }
+}
+
+}  // namespace
+}  // namespace xmlverify

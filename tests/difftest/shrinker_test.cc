@@ -1,0 +1,79 @@
+#include "difftest/shrinker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/specification.h"
+#include "difftest/spec_generator.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+Specification MustParse(const std::string& text) {
+  Result<Specification> spec = Specification::ParseCombined(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  return std::move(spec).ValueOrDie();
+}
+
+TEST(ShrinkerTest, RemovesIrrelevantStructure) {
+  Specification spec = MustParse(
+      "root r\n"
+      "<!ELEMENT r (a.b.c*)>\n"
+      "<!ELEMENT a (%)>\n"
+      "<!ATTLIST a id CDATA #REQUIRED>\n"
+      "<!ATTLIST a extra CDATA #REQUIRED>\n"
+      "<!ELEMENT b (%)>\n"
+      "<!ELEMENT c (%)>\n"
+      "%%\n"
+      "a.id -> a\n");
+  // Keep: "still has a key on a.id" — everything else should go.
+  SpecPredicate keep = [](const Specification& candidate) {
+    for (const AbsoluteKey& key : candidate.constraints.absolute_keys()) {
+      for (const std::string& attribute : key.attributes) {
+        if (attribute == "id") return true;
+      }
+    }
+    return false;
+  };
+  ShrinkOutcome outcome = ShrinkSpecification(spec, keep, {});
+  EXPECT_TRUE(keep(outcome.spec));
+  EXPECT_GT(outcome.rounds, 0);
+  // b, c, and the unused attribute must be gone.
+  EXPECT_EQ(outcome.spec.dtd.num_element_types(), 2);
+  EXPECT_EQ(outcome.spec.constraints.size(), 1);
+  for (int type = 0; type < outcome.spec.dtd.num_element_types(); ++type) {
+    for (const std::string& attribute : outcome.spec.dtd.Attributes(type)) {
+      EXPECT_NE(attribute, "extra");
+    }
+  }
+}
+
+TEST(ShrinkerTest, ResultAlwaysSatisfiesPredicate) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec generated,
+                         GenerateSpec(seed, DifftestClass::kAcUnary, {}));
+    SpecPredicate keep = [](const Specification& candidate) {
+      return candidate.constraints.size() >= 1;
+    };
+    if (!keep(generated.spec)) continue;
+    ShrinkOutcome outcome = ShrinkSpecification(generated.spec, keep, {});
+    EXPECT_TRUE(keep(outcome.spec)) << "seed " << seed;
+    EXPECT_OK(outcome.spec.constraints.Validate(outcome.spec.dtd));
+    // The minimized text is itself a parseable canonical spec.
+    ASSERT_OK_AND_ASSIGN(Specification reparsed,
+                         Specification::ParseCombined(outcome.text));
+    EXPECT_EQ(SpecToText(reparsed), outcome.text);
+  }
+}
+
+TEST(ShrinkerTest, TrueOnEverythingShrinksToBareRoot) {
+  ASSERT_OK_AND_ASSIGN(GeneratedSpec generated,
+                       GenerateSpec(4, DifftestClass::kAcUnary, {}));
+  SpecPredicate keep = [](const Specification&) { return true; };
+  ShrinkOutcome outcome = ShrinkSpecification(generated.spec, keep, {});
+  EXPECT_EQ(outcome.spec.dtd.num_element_types(), 1);
+  EXPECT_EQ(outcome.spec.constraints.size(), 0);
+}
+
+}  // namespace
+}  // namespace xmlverify

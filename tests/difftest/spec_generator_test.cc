@@ -1,0 +1,93 @@
+#include "difftest/spec_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/specification.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(SpecGeneratorTest, SameSeedSameSpec) {
+  for (DifftestClass cls : AllDifftestClasses()) {
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec first, GenerateSpec(7, cls, {}));
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec second, GenerateSpec(7, cls, {}));
+    EXPECT_EQ(first.text, second.text) << DifftestClassName(cls);
+  }
+}
+
+TEST(SpecGeneratorTest, DifferentSeedsUsuallyDiffer) {
+  int distinct = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec a,
+                         GenerateSpec(seed, DifftestClass::kAcUnary, {}));
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec b,
+                         GenerateSpec(seed + 1, DifftestClass::kAcUnary, {}));
+    if (a.text != b.text) ++distinct;
+  }
+  EXPECT_GE(distinct, 8);
+}
+
+TEST(SpecGeneratorTest, GeneratedSpecsValidate) {
+  for (DifftestClass cls : AllDifftestClasses()) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      ASSERT_OK_AND_ASSIGN(GeneratedSpec generated, GenerateSpec(seed, cls, {}));
+      EXPECT_OK(generated.spec.constraints.Validate(generated.spec.dtd));
+    }
+  }
+}
+
+TEST(SpecGeneratorTest, ClassesProduceMatchingConstraintShapes) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec ack,
+                         GenerateSpec(seed, DifftestClass::kAcK, {}));
+    EXPECT_FALSE(ack.spec.constraints.HasInclusions());
+    EXPECT_FALSE(ack.spec.constraints.HasRelative());
+    EXPECT_FALSE(ack.spec.constraints.HasRegular());
+
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec reg,
+                         GenerateSpec(seed, DifftestClass::kAcRegular, {}));
+    EXPECT_TRUE(reg.spec.constraints.HasRegular());
+
+    ASSERT_OK_AND_ASSIGN(GeneratedSpec hrc,
+                         GenerateSpec(seed, DifftestClass::kHrc, {}));
+    EXPECT_TRUE(hrc.spec.constraints.HasRelative());
+    EXPECT_FALSE(hrc.spec.dtd.IsRecursive());
+  }
+}
+
+TEST(SpecGeneratorTest, MultiPrimaryHasAMultiAttributeKey) {
+  ASSERT_OK_AND_ASSIGN(GeneratedSpec generated,
+                       GenerateSpec(3, DifftestClass::kAcMultiPrimary, {}));
+  bool multi = false;
+  for (const AbsoluteKey& key : generated.spec.constraints.absolute_keys()) {
+    if (key.attributes.size() > 1) multi = true;
+  }
+  EXPECT_TRUE(multi);
+}
+
+// The canonical text must reparse into an identical specification:
+// the .xvc in a difftest report IS the failing spec, byte for byte.
+TEST(SpecGeneratorTest, CanonicalTextReparsesToItself) {
+  for (DifftestClass cls : AllDifftestClasses()) {
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+      ASSERT_OK_AND_ASSIGN(GeneratedSpec generated, GenerateSpec(seed, cls, {}));
+      ASSERT_OK_AND_ASSIGN(Specification reparsed,
+                           Specification::ParseCombined(generated.text));
+      EXPECT_EQ(generated.text, SpecToText(reparsed))
+          << DifftestClassName(cls) << " seed " << seed;
+    }
+  }
+}
+
+TEST(SpecGeneratorTest, ParseDifftestClassRoundTrips) {
+  for (DifftestClass cls : AllDifftestClasses()) {
+    ASSERT_OK_AND_ASSIGN(DifftestClass parsed,
+                         ParseDifftestClass(DifftestClassName(cls)));
+    EXPECT_EQ(parsed, cls);
+  }
+  EXPECT_FALSE(ParseDifftestClass("bogus").ok());
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -145,11 +145,14 @@ TEST(DepthCeilingTest, HundredThousandDeepConstraintPathIsAnError) {
   EXPECT_FALSE(deep.ok());
 }
 
+// Note the root must not recurse into itself (Definition 2.1: r
+// appears in no P(tau)), so the deep documents nest a non-root type.
 TEST(DepthCeilingTest, HundredThousandDeepXmlDocumentIsAParseError) {
-  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (r*)>"));
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (a*)>\n"
+                                         "<!ELEMENT a (a*)>"));
   std::string deep = "<r>";
-  for (int i = 0; i < 100000; ++i) deep += "<r>";
-  for (int i = 0; i < 100000; ++i) deep += "</r>";
+  for (int i = 0; i < 100000; ++i) deep += "<a>";
+  for (int i = 0; i < 100000; ++i) deep += "</a>";
   deep += "</r>";
   Result<XmlTree> tree = ParseXmlDocument(deep, dtd);
   ASSERT_FALSE(tree.ok());
@@ -157,12 +160,13 @@ TEST(DepthCeilingTest, HundredThousandDeepXmlDocumentIsAParseError) {
 }
 
 TEST(DepthCeilingTest, DocumentsAtTheCeilingStillParse) {
-  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (r*)>"));
+  ASSERT_OK_AND_ASSIGN(Dtd dtd, ParseDtd("<!ELEMENT r (a*)>\n"
+                                         "<!ELEMENT a (a*)>"));
   // Fifty levels is far below the kDefaultMaxParseDepth of 1000:
   // legitimate nesting must be unaffected by the guard.
   std::string fine = "<r>";
-  for (int i = 0; i < 50; ++i) fine += "<r>";
-  for (int i = 0; i < 50; ++i) fine += "</r>";
+  for (int i = 0; i < 50; ++i) fine += "<a>";
+  for (int i = 0; i < 50; ++i) fine += "</a>";
   fine += "</r>";
   EXPECT_OK(ParseXmlDocument(fine, dtd).status());
 }

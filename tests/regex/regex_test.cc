@@ -144,8 +144,35 @@ TEST(RegexTest, BoundedRepetition) {
   EXPECT_FALSE(ParseRegex("a{3,2}", Resolve).ok());
   EXPECT_FALSE(ParseRegex("a{", Resolve).ok());
   EXPECT_FALSE(ParseRegex("a{x}", Resolve).ok());
+}
+
+TEST(RegexTest, RepetitionExpansionIsCapped) {
+  // An oversized repetition is a statement about the input, not this
+  // process's memory: InvalidArgument, never ResourceExhausted (which
+  // would invite budget-escalated retries that cannot succeed).
   EXPECT_EQ(ParseRegex("a{10000}", Resolve).status().code(),
-            StatusCode::kResourceExhausted);
+            StatusCode::kInvalidArgument);
+  // Nine digits pass ParseCount; the expansion cap must still reject.
+  EXPECT_EQ(ParseRegex("a{999999999}", Resolve).status().code(),
+            StatusCode::kInvalidArgument);
+  // Nested repetitions multiply: each level is small, the product is
+  // not. The parser builds a node-sharing AST, so without the
+  // expanded-size cap this would parse "successfully" and then
+  // exhaust memory in the first consumer that walks the expansion.
+  EXPECT_EQ(ParseRegex("((a{64}){64}){64}", Resolve).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRegex("(((a{500}){500}){500}){500}", Resolve).status().code(),
+            StatusCode::kInvalidArgument);
+  // Sequential (additive) repetitions stay inside the cap.
+  ASSERT_OK_AND_ASSIGN(Regex seq, ParseRegex("a{512}.a{512}", Resolve));
+  EXPECT_TRUE(seq.IsStarFree());
+  // Boundary: the cap applies to the expansion, which includes the
+  // concat operators, so a{4096} overflows while a{2048} fits.
+  EXPECT_FALSE(ParseRegex("a{4096}", Resolve).ok());
+  EXPECT_OK(ParseRegex("a{2048}", Resolve).status());
+  // And an open bound keeps working.
+  ASSERT_OK_AND_ASSIGN(Regex open2, ParseRegex("a{2000,}", Resolve));
+  EXPECT_FALSE(open2.IsStarFree());
 }
 
 TEST(RegexTest, RepetitionSemantics) {
