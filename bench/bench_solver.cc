@@ -1,8 +1,11 @@
 // Substrate benchmark: the exact integer solver (rational simplex +
 // branch and bound) that underlies every consistency verdict. Not a
 // paper figure — it calibrates where encoder-level costs end and
-// solver-level costs begin, and tracks the effect of the BigInt
-// small-value fast paths.
+// solver-level costs begin, and tracks the solver fast path against
+// the legacy reference pipeline (see docs/performance.md):
+//   * fast   — presolve + sparse two-tier (int64/BigInt) simplex
+//   * legacy — no presolve, dense BigInt tableau
+// BENCH_solver.json records the before/after numbers.
 #include <benchmark/benchmark.h>
 
 #include "ilp/simplex.h"
@@ -11,9 +14,17 @@
 namespace xmlverify {
 namespace {
 
+SolverOptions PipelineOptions(bool fast) {
+  SolverOptions options;
+  options.use_presolve = fast;
+  options.use_sparse_simplex = fast;
+  return options;
+}
+
 // A dense feasible LP: n variables, n rows of sum-style constraints.
-void BM_SimplexDense(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+// Worst case for the sparse engine (every row touches every column);
+// the two-tier cells still pay off.
+std::vector<LinearConstraint> DenseLp(int n) {
   std::vector<LinearConstraint> constraints;
   for (int r = 0; r < n; ++r) {
     LinearConstraint c;
@@ -24,24 +35,71 @@ void BM_SimplexDense(benchmark::State& state) {
     c.rhs = BigInt(r % 2 == 0 ? n : 10 * n);
     constraints.push_back(std::move(c));
   }
+  return constraints;
+}
+
+// A banded feasible LP: n variables, each row touches 4 consecutive
+// columns — the cardinality-encoding shape the checkers actually emit
+// (each flow row mentions one parent and its children only).
+std::vector<LinearConstraint> BandLp(int n) {
+  std::vector<LinearConstraint> constraints;
+  for (int r = 0; r < n; ++r) {
+    LinearConstraint c;
+    for (int k = 0; k < 4; ++k) {
+      c.lhs.Add((r + k) % n, BigInt(k + 1));
+    }
+    c.relation = r % 2 == 0 ? Relation::kGe : Relation::kLe;
+    c.rhs = BigInt(r % 2 == 0 ? 2 : 5 * n);
+    constraints.push_back(std::move(c));
+  }
+  return constraints;
+}
+
+void SimplexBench(benchmark::State& state,
+                  std::vector<LinearConstraint> (*make)(int), bool sparse) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<LinearConstraint> constraints = make(n);
+  SimplexOptions options{sparse};
   int64_t pivots = 0;
   for (auto _ : state) {
-    SimplexResult result = SolveLp(n, constraints);
+    SimplexResult result =
+        SolveLp(n, constraints, Deadline(), nullptr, options);
     benchmark::DoNotOptimize(result.feasible);
     pivots = result.pivots;
   }
   state.counters["pivots"] = static_cast<double>(pivots);
 }
-BENCHMARK(BM_SimplexDense)
-    ->Arg(8)
-    ->Arg(16)
-    ->Arg(32)
-    ->Arg(64)
+
+void BM_SimplexDense_Fast(benchmark::State& state) {
+  SimplexBench(state, DenseLp, /*sparse=*/true);
+}
+void BM_SimplexDense_Legacy(benchmark::State& state) {
+  SimplexBench(state, DenseLp, /*sparse=*/false);
+}
+BENCHMARK(BM_SimplexDense_Fast)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimplexDense_Legacy)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimplexBand_Fast(benchmark::State& state) {
+  SimplexBench(state, BandLp, /*sparse=*/true);
+}
+void BM_SimplexBand_Legacy(benchmark::State& state) {
+  SimplexBench(state, BandLp, /*sparse=*/false);
+}
+// Arg capped at 64: past ~100 variables Bland's rule needs thousands
+// of pivots on this family and a single iteration takes seconds.
+BENCHMARK(BM_SimplexBand_Fast)
+    ->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimplexBand_Legacy)
+    ->Arg(16)->Arg(64)
     ->Unit(benchmark::kMillisecond);
 
 // Integer feasibility with branching: knapsack-style equality.
-void BM_BranchAndBound(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+IntegerProgram Knapsack(int n) {
   IntegerProgram program;
   LinearExpr sum;
   for (int v = 0; v < n; ++v) {
@@ -53,24 +111,49 @@ void BM_BranchAndBound(benchmark::State& state) {
   int64_t total = 0;
   for (int v = 0; v < n; ++v) total += 2 * v + 3;
   program.AddLinear(std::move(sum), Relation::kEq, BigInt(total / 2 + 1));
+  return program;
+}
+
+void BranchAndBoundBench(benchmark::State& state, SolverOptions options) {
+  const int n = static_cast<int>(state.range(0));
+  IntegerProgram program = Knapsack(n);
   int64_t nodes = 0;
   for (auto _ : state) {
-    SolveResult result = IlpSolver().Solve(program);
+    SolveResult result = IlpSolver(options).Solve(program);
     benchmark::DoNotOptimize(result.outcome);
     nodes = result.nodes_explored;
   }
   state.counters["nodes"] = static_cast<double>(nodes);
 }
-BENCHMARK(BM_BranchAndBound)
-    ->Arg(6)
-    ->Arg(10)
-    ->Arg(14)
-    ->Arg(18)
+
+void BM_BranchAndBound_Fast(benchmark::State& state) {
+  BranchAndBoundBench(state, PipelineOptions(/*fast=*/true));
+}
+void BM_BranchAndBound_Legacy(benchmark::State& state) {
+  BranchAndBoundBench(state, PipelineOptions(/*fast=*/false));
+}
+// Ablation: sparse simplex without presolve isolates each layer's
+// contribution.
+void BM_BranchAndBound_SparseNoPresolve(benchmark::State& state) {
+  SolverOptions options;
+  options.use_presolve = false;
+  options.use_sparse_simplex = true;
+  BranchAndBoundBench(state, options);
+}
+BENCHMARK(BM_BranchAndBound_Fast)
+    ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BranchAndBound_Legacy)
+    ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BranchAndBound_SparseNoPresolve)
+    ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
     ->Unit(benchmark::kMillisecond);
 
-// Coefficient growth: the same system scaled by 10^k exercises the
-// BigInt paths beyond the 64-bit fast lane.
-void BM_BigCoefficients(benchmark::State& state) {
+// Coefficient growth: the same system scaled by 10^k. Small scales sit
+// in the int64 tier; large scales force promotion to BigInt cells, so
+// the fast/legacy gap narrows as digits grow.
+void BigCoefficientsBench(benchmark::State& state, SolverOptions options) {
   const int scale_digits = static_cast<int>(state.range(0));
   BigInt scale = BigInt::Pow(BigInt(10), scale_digits);
   IntegerProgram program;
@@ -81,15 +164,22 @@ void BM_BigCoefficients(benchmark::State& state) {
   a.Add(y, BigInt(5) * scale);
   program.AddLinear(std::move(a), Relation::kEq, BigInt(17) * scale);
   for (auto _ : state) {
-    SolveResult result = IlpSolver().Solve(program);
+    SolveResult result = IlpSolver(options).Solve(program);
     benchmark::DoNotOptimize(result.outcome);
   }
 }
-BENCHMARK(BM_BigCoefficients)
-    ->Arg(0)
-    ->Arg(10)
-    ->Arg(30)
-    ->Arg(60)
+
+void BM_BigCoefficients_Fast(benchmark::State& state) {
+  BigCoefficientsBench(state, PipelineOptions(/*fast=*/true));
+}
+void BM_BigCoefficients_Legacy(benchmark::State& state) {
+  BigCoefficientsBench(state, PipelineOptions(/*fast=*/false));
+}
+BENCHMARK(BM_BigCoefficients_Fast)
+    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BigCoefficients_Legacy)
+    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -15,6 +15,10 @@
 //   --jobs=N        worker threads (default: hardware threads)
 //   --shrink / --no-shrink
 //                   minimize disagreeing specs (default on)
+//   --solver=MODE   fast (presolve + sparse two-tier simplex,
+//                   default), legacy (reference dense pipeline), or
+//                   both (run the two pipelines per cell and report
+//                   any definitive verdict that differs)
 //   --timeout=MS    per-procedure wall-clock budget in milliseconds
 //   --stats         print a JSON phase/counter report to stdout
 //
@@ -47,6 +51,7 @@ int Usage() {
                "  --jobs=N       worker threads\n"
                "  --shrink / --no-shrink\n"
                "                 minimize disagreeing specs (default on)\n"
+               "  --solver=MODE  fast (default), legacy, or both\n"
                "  --timeout=MS   per-procedure budget (ms)\n"
                "  --stats        JSON phase/counter report on stdout\n");
   return 2;
@@ -100,6 +105,19 @@ int main(int argc, char** argv) {
       options.shrink = true;
     } else if (arg == "--no-shrink") {
       options.shrink = false;
+    } else if (StartsWith(arg, "--solver=")) {
+      std::string mode = arg.substr(9);
+      if (mode == "fast") {
+        options.solver_path = SolverPath::kFast;
+      } else if (mode == "legacy") {
+        options.solver_path = SolverPath::kLegacy;
+      } else if (mode == "both") {
+        options.solver_path = SolverPath::kBoth;
+      } else {
+        std::fprintf(stderr,
+                     "error: --solver expects fast, legacy, or both\n");
+        return 2;
+      }
     } else if (StartsWith(arg, "--timeout=")) {
       options.oracle.timeout_millis = std::atoll(arg.c_str() + 10);
       if (options.oracle.timeout_millis <= 0) {

@@ -208,6 +208,23 @@ Limbs BigInt::SubMagnitude(const Limbs& a, const Limbs& b) {
 Limbs BigInt::MulMagnitude(const Limbs& a, const Limbs& b) {
   Limbs result;
   if (a.empty() || b.empty()) return result;
+  // Single-limb fast path: one carry-propagating pass instead of the
+  // schoolbook double loop. (2^32-1)^2 + carry stays below 2^64.
+  if (a.size() == 1 || b.size() == 1) {
+    const Limbs& multi = a.size() == 1 ? b : a;
+    const uint64_t single = (a.size() == 1 ? a : b)[0];
+    result.reserve(multi.size() + 1);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < multi.size(); ++i) {
+      uint64_t cur = single * multi[i] + carry;
+      result.push_back(static_cast<uint32_t>(cur));
+      carry = cur >> 32;
+    }
+    if (carry != 0) result.push_back(static_cast<uint32_t>(carry));
+    while (!result.empty() && result.back() == 0) result.pop_back();
+    return result;
+  }
+  result.reserve(a.size() + b.size());
   result.assign(a.size() + b.size(), 0);
   for (size_t i = 0; i < a.size(); ++i) {
     uint64_t carry = 0;
@@ -324,15 +341,18 @@ Status BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
     }
     return Status::OK();
   }
-  // Fast path: single-limb divisor.
-  if (divisor.limbs_.size() == 1) {
-    uint64_t b = divisor.limbs_[0];
+  // Fast path: divisor fits a machine word (one or two limbs). The
+  // running remainder stays below the divisor, so each step divides a
+  // value below 2^96 by a 64-bit word — a single __int128 divide per
+  // limb instead of binary long division over every dividend bit.
+  if (divisor.limbs_.size() <= 2) {
+    const uint64_t b = divisor.Magnitude64();
     Limbs q;
     q.assign(limbs_.size(), 0);
-    uint64_t rem = 0;
+    unsigned __int128 rem = 0;
     for (size_t i = limbs_.size(); i-- > 0;) {
-      uint64_t cur = (rem << 32) | limbs_[i];
-      q[i] = static_cast<uint32_t>(cur / b);
+      unsigned __int128 cur = (rem << 32) | limbs_[i];
+      q[i] = static_cast<uint32_t>(cur / b);  // < 2^32 since rem < b
       rem = cur % b;
     }
     if (quotient != nullptr) {
@@ -342,7 +362,7 @@ Status BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
     }
     if (remainder != nullptr) {
       BigInt r;
-      r.SetMagnitude64(rem);
+      r.SetMagnitude64(static_cast<uint64_t>(rem));
       *remainder = std::move(r);
     }
     return Status::OK();

@@ -64,6 +64,9 @@ class LimbVector {
     Reserve(size_ + 1);
     data()[size_++] = limb;
   }
+  /// Pre-sizes the backing store so a known run of push_backs cannot
+  /// reallocate mid-loop (used by the schoolbook multiply paths).
+  void reserve(size_t count) { Reserve(count); }
   void pop_back() { --size_; }
   void clear() { size_ = 0; }
   void assign(size_t count, uint32_t value) {

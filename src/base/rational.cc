@@ -112,6 +112,59 @@ Rational Rational::operator/(const Rational& other) const {
                   denominator_ * other.numerator_);
 }
 
+Rational& Rational::operator+=(const Rational& other) {
+  if (is_integer() && other.is_integer()) {
+    numerator_ += other.numerator_;
+    return *this;
+  }
+  // Full cross product computed before either member mutates, so the
+  // aliased r += r case reads consistent values.
+  BigInt numerator =
+      numerator_ * other.denominator_ + other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  numerator_ = std::move(numerator);
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+  if (is_integer() && other.is_integer()) {
+    numerator_ -= other.numerator_;
+    return *this;
+  }
+  BigInt numerator =
+      numerator_ * other.denominator_ - other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  numerator_ = std::move(numerator);
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+  if (is_integer() && other.is_integer()) {
+    numerator_ *= other.numerator_;
+    return *this;
+  }
+  numerator_ *= other.numerator_;
+  // other.denominator_ is unchanged by the numerator update even when
+  // `other` aliases *this, so the product below is still exact.
+  denominator_ *= other.denominator_;
+  Normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  if (other.is_zero()) {
+    std::fprintf(stderr, "Rational: division by zero\n");
+    std::abort();
+  }
+  BigInt numerator = numerator_ * other.denominator_;
+  denominator_ *= other.numerator_;
+  numerator_ = std::move(numerator);
+  Normalize();
+  return *this;
+}
+
 int Rational::Compare(const Rational& other) const {
   if (is_integer() && other.is_integer()) {
     return numerator_.Compare(other.numerator_);

@@ -57,10 +57,12 @@ class Rational {
   Rational operator*(const Rational& other) const;
   Rational operator/(const Rational& other) const;
 
-  Rational& operator+=(const Rational& other) { return *this = *this + other; }
-  Rational& operator-=(const Rational& other) { return *this = *this - other; }
-  Rational& operator*=(const Rational& other) { return *this = *this * other; }
-  Rational& operator/=(const Rational& other) { return *this = *this / other; }
+  // Compound forms mutate in place (no *this = *this + other temporary
+  // churn); all four are safe under self-assignment (r += r).
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
 
   int Compare(const Rational& other) const;
 

@@ -1,0 +1,287 @@
+#include "base/smallrat.h"
+
+#include <ostream>
+#include <utility>
+
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+namespace {
+
+using int128 = __int128;
+using uint128 = unsigned __int128;
+
+uint128 Abs128(int128 value) {
+  return value < 0 ? static_cast<uint128>(-value) : static_cast<uint128>(value);
+}
+
+uint128 Gcd128(uint128 a, uint128 b) {
+  while (b != 0) {
+    uint128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// Reduces num/den (den > 0) by their gcd and stores the result if the
+// canonical pair fits int64 (|num| <= INT64_MAX keeps negation safe).
+bool Reduce128(int128 num, int128 den, SmallRational* out) {
+  if (num == 0) {
+    *out = SmallRational(0);
+    return true;
+  }
+  uint128 magnitude = Abs128(num);
+  uint128 udden = static_cast<uint128>(den);
+  uint128 gcd = Gcd128(magnitude, udden);
+  magnitude /= gcd;
+  udden /= gcd;
+  constexpr uint128 kMax = static_cast<uint128>(INT64_MAX);
+  if (magnitude > kMax || udden > kMax) return false;
+  int64_t n = static_cast<int64_t>(magnitude);
+  return SmallRational::Make(num < 0 ? -n : n, static_cast<int64_t>(udden),
+                             out);
+}
+
+}  // namespace
+
+bool SmallRational::Make(int64_t num, int64_t den, SmallRational* out) {
+  if (den == 0 || num == INT64_MIN || den == INT64_MIN) return false;
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) {
+    *out = SmallRational(0);
+    return true;
+  }
+  uint64_t magnitude = num < 0 ? static_cast<uint64_t>(-num)
+                               : static_cast<uint64_t>(num);
+  uint64_t udden = static_cast<uint64_t>(den);
+  // Binary-free Euclid is plenty here; operands are already reduced in
+  // the common (tableau) case so the loop exits quickly.
+  uint64_t a = magnitude;
+  uint64_t b = udden;
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  if (a > 1) {
+    magnitude /= a;
+    udden /= a;
+  }
+  out->num_ = num < 0 ? -static_cast<int64_t>(magnitude)
+                      : static_cast<int64_t>(magnitude);
+  out->den_ = static_cast<int64_t>(udden);
+  return true;
+}
+
+bool SmallRational::Add(const SmallRational& a, const SmallRational& b,
+                        SmallRational* out) {
+  // Products are below 2^126, so the sum stays within __int128.
+  int128 num = static_cast<int128>(a.num_) * b.den_ +
+               static_cast<int128>(b.num_) * a.den_;
+  int128 den = static_cast<int128>(a.den_) * b.den_;
+  return Reduce128(num, den, out);
+}
+
+bool SmallRational::Sub(const SmallRational& a, const SmallRational& b,
+                        SmallRational* out) {
+  int128 num = static_cast<int128>(a.num_) * b.den_ -
+               static_cast<int128>(b.num_) * a.den_;
+  int128 den = static_cast<int128>(a.den_) * b.den_;
+  return Reduce128(num, den, out);
+}
+
+bool SmallRational::Mul(const SmallRational& a, const SmallRational& b,
+                        SmallRational* out) {
+  int128 num = static_cast<int128>(a.num_) * b.num_;
+  int128 den = static_cast<int128>(a.den_) * b.den_;
+  return Reduce128(num, den, out);
+}
+
+bool SmallRational::Div(const SmallRational& a, const SmallRational& b,
+                        SmallRational* out) {
+  if (b.num_ == 0) return false;
+  int128 num = static_cast<int128>(a.num_) * b.den_;
+  int128 den = static_cast<int128>(a.den_) * b.num_;
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  return Reduce128(num, den, out);
+}
+
+bool SmallRational::SubMul(const SmallRational& a, const SmallRational& b,
+                           const SmallRational& c, SmallRational* out) {
+  // Reduce the product b*c first; if even the reduced product escapes
+  // int64 the caller promotes (the final difference would rarely fit
+  // anyway, and the big tier demotes results that shrink back).
+  SmallRational product;
+  if (!Mul(b, c, &product)) return false;
+  return Sub(a, product, out);
+}
+
+int SmallRational::Compare(const SmallRational& other) const {
+  // Denominators are positive: cross products preserve order and fit
+  // in __int128 exactly.
+  int128 lhs = static_cast<int128>(num_) * other.den_;
+  int128 rhs = static_cast<int128>(other.num_) * den_;
+  if (lhs == rhs) return 0;
+  return lhs < rhs ? -1 : 1;
+}
+
+bool SmallRational::FromRational(const Rational& value, SmallRational* out) {
+  Result<int64_t> num = value.numerator().TryToInt64();
+  if (!num.ok() || *num == INT64_MIN) return false;
+  Result<int64_t> den = value.denominator().TryToInt64();
+  if (!den.ok()) return false;
+  // Rational is canonical (reduced, positive denominator) already.
+  out->num_ = *num;
+  out->den_ = *den;
+  return true;
+}
+
+std::string SmallRational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+TwoTierRational::TwoTierRational(const BigInt& value) {
+  Result<int64_t> as_int = value.TryToInt64();
+  if (as_int.ok() && *as_int != INT64_MIN) {
+    small_ = SmallRational(*as_int);
+  } else {
+    big_ = new Rational(value);
+  }
+}
+
+TwoTierRational::TwoTierRational(const Rational& value) {
+  if (!SmallRational::FromRational(value, &small_)) {
+    big_ = new Rational(value);
+  }
+}
+
+void TwoTierRational::Promote(Rational value) {
+  big_ = new Rational(std::move(value));
+  trace::Count("solver/smallrat_promotions");
+}
+
+void TwoTierRational::SetBig(Rational value) {
+  if (big_ == nullptr) {
+    big_ = new Rational(std::move(value));
+  } else {
+    *big_ = std::move(value);
+  }
+}
+
+void TwoTierRational::TryDemote() {
+  if (big_ == nullptr) return;
+  SmallRational demoted;
+  if (!SmallRational::FromRational(*big_, &demoted)) return;
+  delete big_;
+  big_ = nullptr;
+  small_ = demoted;
+  trace::Count("solver/smallrat_demotions");
+}
+
+TwoTierRational& TwoTierRational::operator+=(const TwoTierRational& other) {
+  if (small() && other.small()) {
+    SmallRational r;
+    if (SmallRational::Add(small_, other.small_, &r)) {
+      small_ = r;
+      return *this;
+    }
+    Promote(small_.ToRational() + other.small_.ToRational());
+    return *this;
+  }
+  SetBig(ToRational() + other.ToRational());
+  TryDemote();
+  return *this;
+}
+
+TwoTierRational& TwoTierRational::operator-=(const TwoTierRational& other) {
+  if (small() && other.small()) {
+    SmallRational r;
+    if (SmallRational::Sub(small_, other.small_, &r)) {
+      small_ = r;
+      return *this;
+    }
+    Promote(small_.ToRational() - other.small_.ToRational());
+    return *this;
+  }
+  SetBig(ToRational() - other.ToRational());
+  TryDemote();
+  return *this;
+}
+
+TwoTierRational& TwoTierRational::operator*=(const TwoTierRational& other) {
+  if (small() && other.small()) {
+    SmallRational r;
+    if (SmallRational::Mul(small_, other.small_, &r)) {
+      small_ = r;
+      return *this;
+    }
+    Promote(small_.ToRational() * other.small_.ToRational());
+    return *this;
+  }
+  SetBig(ToRational() * other.ToRational());
+  TryDemote();
+  return *this;
+}
+
+TwoTierRational& TwoTierRational::operator/=(const TwoTierRational& other) {
+  if (small() && other.small()) {
+    SmallRational r;
+    if (SmallRational::Div(small_, other.small_, &r)) {
+      small_ = r;
+      return *this;
+    }
+    Promote(small_.ToRational() / other.small_.ToRational());
+    return *this;
+  }
+  SetBig(ToRational() / other.ToRational());
+  TryDemote();
+  return *this;
+}
+
+TwoTierRational& TwoTierRational::SubMul(const TwoTierRational& b,
+                                         const TwoTierRational& c) {
+  if (small() && b.small() && c.small()) {
+    SmallRational r;
+    if (SmallRational::SubMul(small_, b.small_, c.small_, &r)) {
+      small_ = r;
+      return *this;
+    }
+    Promote(small_.ToRational() - b.small_.ToRational() * c.small_.ToRational());
+    return *this;
+  }
+  SetBig(ToRational() - b.ToRational() * c.ToRational());
+  TryDemote();
+  return *this;
+}
+
+void TwoTierRational::Negate() {
+  if (small()) {
+    small_ = -small_;
+  } else {
+    SetBig(-*big_);
+  }
+}
+
+int TwoTierRational::Compare(const TwoTierRational& other) const {
+  if (small() && other.small()) return small_.Compare(other.small_);
+  return ToRational().Compare(other.ToRational());
+}
+
+std::string TwoTierRational::ToString() const {
+  return small() ? small_.ToString() : big_->ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const TwoTierRational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace xmlverify

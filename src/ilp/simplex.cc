@@ -2,20 +2,25 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "base/deadline.h"
 #include "base/fault_injection.h"
+#include "base/smallrat.h"
 #include "trace/trace.h"
 
 namespace xmlverify {
 
 namespace {
 
-// Dense phase-1 tableau. Columns: structural vars, slack/surplus vars,
-// artificial vars, then the right-hand side.
-class Tableau {
+// ---------------------------------------------------------------------
+// Legacy dense phase-1 tableau over BigInt rationals. Kept byte-for-
+// byte as the reference engine for --solver=legacy differential runs.
+// Columns: structural vars, slack/surplus vars, artificial vars, then
+// the right-hand side.
+class DenseTableau {
  public:
-  Tableau(int num_vars, const std::vector<LinearConstraint>& constraints)
+  DenseTableau(int num_vars, const std::vector<LinearConstraint>& constraints)
       : num_vars_(num_vars), num_rows_(static_cast<int>(constraints.size())) {
     // One slack/surplus per inequality, one artificial per row.
     int num_slacks = 0;
@@ -71,6 +76,16 @@ class Tableau {
   int64_t ApproxBytes() const {
     return static_cast<int64_t>(num_rows_ + 1) *
            static_cast<int64_t>(num_cols_ + 1) * 64;
+  }
+
+  int64_t Nonzeros() const {
+    int64_t count = 0;
+    for (const auto& row : rows_) {
+      for (const Rational& cell : row) {
+        if (!cell.is_zero()) ++count;
+      }
+    }
+    return count;
   }
 
   // Runs phase-1 to optimality. Returns true if the artificial sum
@@ -176,13 +191,245 @@ class Tableau {
   std::vector<int> basis_;
 };
 
-}  // namespace
+// ---------------------------------------------------------------------
+// Sparse phase-1 tableau over two-tier rationals. Rows are sorted
+// (column, value) pair vectors holding nonzeros only; row combination
+// is a merge walk that drops exact cancellations, so sparsity survives
+// pivoting wherever the arithmetic allows. Cells start in the int64
+// tier and promote to BigInt individually on overflow. Column layout
+// matches the dense engine: vars, slack/surplus, artificials.
+class SparseTableau {
+ public:
+  using Cell = std::pair<int, TwoTierRational>;
+  using SparseRow = std::vector<Cell>;
 
-SimplexResult SolveLp(int num_vars,
-                      const std::vector<LinearConstraint>& constraints,
-                      const Deadline& deadline, const ResourceBudget* budget) {
+  SparseTableau(int num_vars, const std::vector<LinearConstraint>& constraints)
+      : num_vars_(num_vars), num_rows_(static_cast<int>(constraints.size())) {
+    int num_slacks = 0;
+    for (const LinearConstraint& constraint : constraints) {
+      if (constraint.relation != Relation::kEq) ++num_slacks;
+    }
+    slack_base_ = num_vars_;
+    artificial_base_ = slack_base_ + num_slacks;
+    num_cols_ = artificial_base_ + num_rows_;
+
+    rows_.resize(num_rows_);
+    rhs_.resize(num_rows_);
+    basis_.assign(num_rows_, -1);
+
+    int next_slack = slack_base_;
+    for (int i = 0; i < num_rows_; ++i) {
+      const LinearConstraint& constraint = constraints[i];
+      SparseRow& row = rows_[i];
+      row.reserve(constraint.lhs.terms().size() + 2);
+      // LinearExpr terms are map-ordered and the slack and artificial
+      // columns come after every structural column, so appending keeps
+      // the row sorted.
+      for (const auto& [var, coeff] : constraint.lhs.terms()) {
+        row.emplace_back(var, TwoTierRational(coeff));
+      }
+      rhs_[i] = TwoTierRational(constraint.rhs);
+      if (constraint.relation == Relation::kLe) {
+        row.emplace_back(next_slack++, TwoTierRational(int64_t{1}));
+      } else if (constraint.relation == Relation::kGe) {
+        row.emplace_back(next_slack++, TwoTierRational(int64_t{-1}));
+      }
+      if (rhs_[i].is_negative()) {
+        for (Cell& cell : row) cell.second.Negate();
+        rhs_[i].Negate();
+      }
+      int artificial = artificial_base_ + i;
+      row.emplace_back(artificial, TwoTierRational(int64_t{1}));
+      basis_[i] = artificial;
+    }
+
+    // Phase-1 reduced costs (dense: the cost row fills in quickly and
+    // the Bland scan wants positional access anyway).
+    reduced_.assign(num_cols_, TwoTierRational());
+    objective_ = TwoTierRational();
+    for (int i = 0; i < num_rows_; ++i) {
+      for (const Cell& cell : rows_[i]) {
+        if (cell.first < artificial_base_) {
+          reduced_[cell.first] -= cell.second;
+        }
+      }
+      objective_ += rhs_[i];
+    }
+  }
+
+  // Initial footprint for the memory budget: stored nonzeros plus the
+  // dense cost row and per-row vectors. Fill-in during pivoting is not
+  // re-charged; the deadline and the solver_pivot fault point bound
+  // runaway growth instead.
+  int64_t ApproxBytes() const {
+    int64_t cells = static_cast<int64_t>(num_cols_) + 2 * num_rows_;
+    for (const SparseRow& row : rows_) {
+      cells += static_cast<int64_t>(row.size());
+    }
+    return cells * static_cast<int64_t>(sizeof(Cell));
+  }
+
+  int64_t Nonzeros() const {
+    int64_t count = 0;
+    for (const SparseRow& row : rows_) {
+      count += static_cast<int64_t>(row.size());
+    }
+    return count;
+  }
+
+  bool Optimize(int64_t* pivots, const Deadline& deadline,
+                bool* deadline_exceeded, bool* resource_exhausted) {
+    PeriodicDeadlineCheck check(deadline, /*stride=*/16);
+    while (true) {
+      if (check.Expired()) {
+        *deadline_exceeded = true;
+        return false;
+      }
+      if (FaultInjector::ShouldFail("solver_pivot")) {
+        *resource_exhausted = true;
+        return false;
+      }
+      // Bland's rule: entering column = smallest index with negative
+      // reduced cost.
+      int entering = -1;
+      for (int j = 0; j < num_cols_; ++j) {
+        if (reduced_[j].is_negative()) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) break;  // optimal
+      // Ratio test over rows with a positive entering-column entry;
+      // Bland tie-break on the smallest basis variable.
+      int leaving_row = -1;
+      std::optional<TwoTierRational> best_ratio;
+      for (int i = 0; i < num_rows_; ++i) {
+        const TwoTierRational* coeff = Find(rows_[i], entering);
+        if (coeff == nullptr || coeff->sign() <= 0) continue;
+        TwoTierRational ratio = rhs_[i];
+        ratio /= *coeff;
+        if (leaving_row < 0) {
+          leaving_row = i;
+          best_ratio = std::move(ratio);
+          continue;
+        }
+        int cmp = ratio.Compare(*best_ratio);
+        if (cmp < 0 || (cmp == 0 && basis_[i] < basis_[leaving_row])) {
+          leaving_row = i;
+          best_ratio = std::move(ratio);
+        }
+      }
+      if (leaving_row < 0) {
+        // Phase-1 objective is bounded below by zero, so this cannot
+        // happen with exact arithmetic; treat as optimal defensively.
+        break;
+      }
+      Pivot(leaving_row, entering);
+      ++*pivots;
+    }
+    return objective_.is_zero();
+  }
+
+  std::vector<Rational> Solution() const {
+    std::vector<Rational> solution(num_vars_, Rational(0));
+    for (int i = 0; i < num_rows_; ++i) {
+      if (basis_[i] < num_vars_) solution[basis_[i]] = rhs_[i].ToRational();
+    }
+    return solution;
+  }
+
+ private:
+  // Binary search for a column's cell; nullptr when structurally zero.
+  static const TwoTierRational* Find(const SparseRow& row, int col) {
+    auto it = std::lower_bound(
+        row.begin(), row.end(), col,
+        [](const Cell& cell, int c) { return cell.first < c; });
+    if (it == row.end() || it->first != col) return nullptr;
+    return &it->second;
+  }
+
+  // target -= factor * src, as one sorted merge walk. Exact
+  // cancellations are dropped, so fill-in only happens where the
+  // combined entry is genuinely nonzero.
+  static void RowSubMul(SparseRow* target, const TwoTierRational& factor,
+                        const SparseRow& src) {
+    SparseRow result;
+    result.reserve(target->size() + src.size());
+    auto t = target->begin();
+    auto s = src.begin();
+    while (t != target->end() || s != src.end()) {
+      if (s == src.end() || (t != target->end() && t->first < s->first)) {
+        result.push_back(std::move(*t));
+        ++t;
+      } else if (t == target->end() || s->first < t->first) {
+        // 0 - factor*src: the product of nonzero rationals is nonzero.
+        TwoTierRational value = factor;
+        value *= s->second;
+        value.Negate();
+        result.emplace_back(s->first, std::move(value));
+        ++s;
+      } else {
+        t->second.SubMul(factor, s->second);
+        if (!t->second.is_zero()) result.push_back(std::move(*t));
+        ++t;
+        ++s;
+      }
+    }
+    target->swap(result);
+  }
+
+  void Pivot(int pivot_row, int pivot_col) {
+    SparseRow& prow = rows_[pivot_row];
+    // Normalize the pivot row (copy the pivot value first: the loop
+    // divides it by itself in place).
+    TwoTierRational pivot_value = *Find(prow, pivot_col);
+    for (Cell& cell : prow) cell.second /= pivot_value;
+    rhs_[pivot_row] /= pivot_value;
+    // Eliminate the pivot column from the other rows.
+    for (int i = 0; i < num_rows_; ++i) {
+      if (i == pivot_row) continue;
+      const TwoTierRational* entry = Find(rows_[i], pivot_col);
+      if (entry == nullptr || entry->is_zero()) continue;
+      // Copy: RowSubMul rebuilds the row the factor points into.
+      TwoTierRational factor = *entry;
+      RowSubMul(&rows_[i], factor, prow);
+      rhs_[i].SubMul(factor, rhs_[pivot_row]);
+    }
+    // Reduced-cost row: same elimination against the dense cost row.
+    if (!reduced_[pivot_col].is_zero()) {
+      TwoTierRational factor = reduced_[pivot_col];
+      for (const Cell& cell : prow) {
+        reduced_[cell.first].SubMul(factor, cell.second);
+      }
+      // z_new = z_old + r_entering * t  (t = normalized pivot rhs).
+      TwoTierRational delta = factor;
+      delta *= rhs_[pivot_row];
+      objective_ += delta;
+    }
+    basis_[pivot_row] = pivot_col;
+  }
+
+  int num_vars_;
+  int num_rows_;
+  int num_cols_ = 0;
+  int slack_base_ = 0;
+  int artificial_base_ = 0;
+  std::vector<SparseRow> rows_;
+  std::vector<TwoTierRational> rhs_;
+  std::vector<TwoTierRational> reduced_;
+  TwoTierRational objective_;
+  std::vector<int> basis_;
+};
+
+// Shared solve driver: budget charge, optimize, counters.
+template <typename TableauT>
+SimplexResult RunWithTableau(int num_vars,
+                             const std::vector<LinearConstraint>& constraints,
+                             const Deadline& deadline,
+                             const ResourceBudget* budget) {
   SimplexResult result;
-  Tableau tableau(num_vars, constraints);
+  TableauT tableau(num_vars, constraints);
+  trace::Count("simplex/nnz", tableau.Nonzeros());
   // Charge the tableau against the memory ceiling for the duration of
   // the solve; an over-budget tableau is abandoned without a verdict,
   // exactly like a deadline expiry.
@@ -215,6 +462,21 @@ SimplexResult SolveLp(int num_vars,
   trace::Count("simplex/pivots", result.pivots);
   if (!result.feasible) trace::Count("simplex/infeasible");
   return result;
+}
+
+}  // namespace
+
+SimplexResult SolveLp(int num_vars,
+                      const std::vector<LinearConstraint>& constraints,
+                      const Deadline& deadline, const ResourceBudget* budget,
+                      const SimplexOptions& options) {
+  if (options.sparse) {
+    trace::Count("simplex/sparse_calls");
+    return RunWithTableau<SparseTableau>(num_vars, constraints, deadline,
+                                         budget);
+  }
+  trace::Count("simplex/dense_calls");
+  return RunWithTableau<DenseTableau>(num_vars, constraints, deadline, budget);
 }
 
 }  // namespace xmlverify

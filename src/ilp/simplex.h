@@ -1,9 +1,16 @@
-// Exact rational simplex (phase-1 feasibility) over BigInt rationals.
+// Exact rational simplex (phase-1 feasibility).
 //
 // Decides feasibility of { A x rel b, x >= 0 } and produces a basic
 // feasible point. Exactness matters: the consistency verdicts of the
 // checkers reduce to feasibility questions, and floating-point LP
 // could flip a verdict. Bland's rule guarantees termination.
+//
+// Two tableau engines share the pivot driver (see docs/performance.md):
+//   * sparse (default): rows stored as sorted (column, value) pairs of
+//     two-tier rationals (int64 fast tier, BigInt on overflow), pivots
+//     walk nonzeros only;
+//   * dense (legacy): the original dense BigInt-rational tableau, kept
+//     as the differential-testing reference engine.
 #ifndef XMLVERIFY_ILP_SIMPLEX_H_
 #define XMLVERIFY_ILP_SIMPLEX_H_
 
@@ -16,6 +23,12 @@
 #include "ilp/linear.h"
 
 namespace xmlverify {
+
+struct SimplexOptions {
+  /// Use the sparse two-tier tableau. Off selects the legacy dense
+  /// BigInt tableau (slower; used as the difftest reference).
+  bool sparse = true;
+};
 
 struct SimplexResult {
   bool feasible = false;
@@ -40,14 +53,15 @@ struct SimplexResult {
 /// over variables 0..num_vars-1, or reports infeasibility. The pivot
 /// loop polls `deadline` cooperatively (amortized); on expiry the
 /// result has deadline_exceeded set and no verdict. When `budget` is
-/// given, the dense tableau's footprint is charged against its memory
+/// given, the tableau's footprint is charged against its memory
 /// ceiling before optimization, and the pivot loop consults the
 /// `solver_pivot` fault-injection point; either exhaustion sets
 /// resource_exhausted (again: no verdict).
 SimplexResult SolveLp(int num_vars,
                       const std::vector<LinearConstraint>& constraints,
                       const Deadline& deadline = Deadline(),
-                      const ResourceBudget* budget = nullptr);
+                      const ResourceBudget* budget = nullptr,
+                      const SimplexOptions& options = {});
 
 }  // namespace xmlverify
 

@@ -4,6 +4,7 @@
 #include <deque>
 #include <utility>
 
+#include "ilp/presolve.h"
 #include "ilp/simplex.h"
 #include "trace/trace.h"
 
@@ -58,31 +59,71 @@ bool GcdRefutes(const LinearConstraint& constraint) {
 SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
   SolveResult result;
 
-  // Base constraint list shared by all nodes; cap rows are kept in a
-  // separate block so infeasibility can be attributed to them.
-  std::vector<LinearConstraint> base = program.linear();
-  for (VarId var = 0; var < program.num_variables(); ++var) {
-    const BigInt* bound = program.UpperBound(var);
-    if (bound != nullptr) {
-      base.push_back(VarBound(var, Relation::kLe, *bound, "ub"));
+  // Honour exhausted budgets before doing any work (including
+  // presolve): an expired deadline or a zero node budget must yield
+  // the non-verdict outcome the caller asked for, not a refutation
+  // computed on borrowed time.
+  if (options_.deadline.Expired()) {
+    trace::Count("solver/deadline_exceeded");
+    result.outcome = SolveOutcome::kDeadlineExceeded;
+    result.note = "deadline exceeded";
+    return result;
+  }
+  if (options_.max_nodes <= 0) {
+    result.outcome = SolveOutcome::kUnknown;
+    result.note = "node limit reached";
+    return result;
+  }
+
+  // Base constraint list shared by all nodes, either from the presolve
+  // pass (reduced rows + tightened bound rows, possibly over a reduced
+  // variable space) or assembled directly from the program (legacy
+  // path). Cap rows are kept in a separate trailing block so
+  // infeasibility can be attributed to them.
+  std::optional<PresolveInfo> presolve;
+  int search_vars = program.num_variables();
+  std::vector<LinearConstraint> base;
+  if (options_.use_presolve) {
+    PresolveOptions presolve_options;
+    // Conditionals and prequadratics reference variables by original
+    // id outside the linear rows, so the space must stay intact.
+    presolve_options.allow_variable_elimination =
+        program.conditionals().empty() && program.prequadratics().empty();
+    presolve = PresolveProgram(program, presolve_options);
+    if (presolve->infeasible()) {
+      result.outcome = SolveOutcome::kUnsat;
+      result.note = presolve->infeasible_reason();
+      return result;
+    }
+    base = presolve->rows();
+    search_vars = presolve->reduced_num_vars();
+  } else {
+    base = program.linear();
+    for (VarId var = 0; var < program.num_variables(); ++var) {
+      const BigInt* bound = program.UpperBound(var);
+      if (bound != nullptr) {
+        base.push_back(VarBound(var, Relation::kLe, *bound, "ub"));
+      }
+    }
+    // Per-row gcd test (the presolve pass subsumes this when enabled).
+    for (const LinearConstraint& constraint : base) {
+      if (GcdRefutes(constraint)) {
+        trace::Count("solver/gcd_refutations");
+        result.outcome = SolveOutcome::kUnsat;
+        result.note = "gcd test refutes: " +
+                      constraint.ToString(program.variable_names());
+        return result;
+      }
     }
   }
+  const SimplexOptions simplex_options{options_.use_sparse_simplex};
   const size_t uncapped_size = base.size();
   bool cap_active = options_.variable_cap.has_value();
   bool cap_was_relevant = false;
   if (cap_active) {
-    for (VarId var = 0; var < program.num_variables(); ++var) {
+    for (VarId var = 0; var < search_vars; ++var) {
       base.push_back(
           VarBound(var, Relation::kLe, *options_.variable_cap, "cap"));
-    }
-  }
-  for (const LinearConstraint& constraint : base) {
-    if (GcdRefutes(constraint)) {
-      trace::Count("solver/gcd_refutations");
-      result.outcome = SolveOutcome::kUnsat;
-      result.note = "gcd test refutes: " +
-                    constraint.ToString(program.variable_names());
-      return result;
     }
   }
   trace::Max("solver/max_branch_depth", 0);
@@ -148,8 +189,8 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
     std::vector<LinearConstraint> constraints = base;
     constraints.insert(constraints.end(), node.extra.begin(),
                        node.extra.end());
-    SimplexResult lp = SolveLp(program.num_variables(), constraints,
-                               options_.deadline, &options_.budget);
+    SimplexResult lp = SolveLp(search_vars, constraints, options_.deadline,
+                               &options_.budget, simplex_options);
     result.lp_pivots += lp.pivots;
     trace::Count("solver/lp_pivots", lp.pivots);
     // An aborted LP has no verdict: interpreting `feasible` here would
@@ -174,8 +215,9 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
         std::vector<LinearConstraint> uncapped(
             base.begin(), base.begin() + uncapped_size);
         uncapped.insert(uncapped.end(), node.extra.begin(), node.extra.end());
-        SimplexResult relaxed = SolveLp(program.num_variables(), uncapped,
-                                        options_.deadline, &options_.budget);
+        SimplexResult relaxed =
+            SolveLp(search_vars, uncapped, options_.deadline, &options_.budget,
+                    simplex_options);
         result.lp_pivots += relaxed.pivots;
         trace::Count("solver/lp_pivots", relaxed.pivots);
         trace::Count("solver/cap_relevance_probes");
@@ -198,7 +240,7 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
 
     // Branch on the first fractional coordinate.
     int fractional = -1;
-    for (int var = 0; var < program.num_variables(); ++var) {
+    for (int var = 0; var < search_vars; ++var) {
       if (!lp.solution[var].is_integer()) {
         fractional = var;
         break;
@@ -221,11 +263,15 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
       continue;
     }
 
-    // Integral candidate.
-    std::vector<BigInt> candidate(program.num_variables());
-    for (int var = 0; var < program.num_variables(); ++var) {
+    // Integral candidate, mapped back onto the original variables when
+    // presolve reduced the space (identity when conditionals or
+    // prequadratics kept the space intact, so the id-based checks
+    // below stay valid either way).
+    std::vector<BigInt> candidate(search_vars);
+    for (int var = 0; var < search_vars; ++var) {
       candidate[var] = lp.solution[var].numerator();
     }
+    if (presolve.has_value()) candidate = presolve->MapSolution(candidate);
 
     // Violated conditional? Split: either the antecedent is zero, or
     // it is >= 1 and the consequent becomes a hard constraint.
@@ -293,7 +339,16 @@ SolveResult IlpSolver::Solve(const IntegerProgram& program) const {
       continue;
     }
 
-    // All constraint classes satisfied by an integral point.
+    // All constraint classes satisfied by an integral point. When the
+    // point went through the presolve back-map, re-check it against
+    // the full original program: a mismatch would mean an unsound
+    // reduction, and the legacy pipeline decides instead of us.
+    if (presolve.has_value() && !program.IsSatisfied(candidate)) {
+      trace::Count("solver/presolve_mapback_mismatch");
+      SolverOptions legacy = options_;
+      legacy.use_presolve = false;
+      return IlpSolver(legacy).Solve(program);
+    }
     result.outcome = SolveOutcome::kSat;
     result.assignment = std::move(candidate);
     return result;

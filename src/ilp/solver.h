@@ -59,6 +59,15 @@ struct SolverOptions {
   /// duration; exhaustion yields kResourceExhausted — like a deadline
   /// expiry, never a definitive verdict. Default: unlimited.
   ResourceBudget budget;
+  /// Run the exact MIP presolve pass (src/ilp/presolve.h) before
+  /// branch-and-bound. Variable elimination engages only for purely
+  /// linear programs; with conditionals or prequadratics present the
+  /// row reductions still apply over the original variable space.
+  /// Off restores the legacy pipeline (the difftest reference).
+  bool use_presolve = true;
+  /// Use the sparse two-tier simplex for LP relaxations; off selects
+  /// the legacy dense BigInt tableau.
+  bool use_sparse_simplex = true;
 };
 
 class IlpSolver {

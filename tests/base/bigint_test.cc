@@ -178,5 +178,63 @@ INSTANTIATE_TEST_SUITE_P(LimbBoundaries, BigIntPropertyTest,
                          ::testing::Values(1, 16, 31, 32, 33, 63, 64, 65, 96,
                                            128));
 
+// The single-limb multiply shortcut must agree with the schoolbook
+// path at every limb boundary, including carries out of the top limb.
+TEST(BigIntTest, SingleLimbMultiplyBoundaries) {
+  const uint64_t small_values[] = {1, 2, 0x7fffffff, 0x80000000, 0xffffffff};
+  const int shifts[] = {0, 31, 32, 33, 63, 64, 65, 127, 128};
+  for (uint64_t s : small_values) {
+    BigInt single(static_cast<int64_t>(s));
+    for (int shift : shifts) {
+      for (int64_t delta = -1; delta <= 1; ++delta) {
+        BigInt multi = BigInt::Pow2(shift) + BigInt(delta);
+        BigInt product = multi * single;
+        EXPECT_EQ(product, single * multi);  // either operand may be short
+        if (!single.is_zero()) {
+          EXPECT_EQ(product / single, multi)
+              << "s=" << s << " shift=" << shift << " delta=" << delta;
+          EXPECT_TRUE((product % single).is_zero());
+        }
+      }
+    }
+  }
+  // Max carry propagation: (2^96 - 1) * (2^32 - 1).
+  BigInt all_ones = BigInt::Pow2(96) - BigInt(1);
+  BigInt top_limb = BigInt::Pow2(32) - BigInt(1);
+  EXPECT_EQ(all_ones * top_limb,
+            BigInt::Pow2(128) - BigInt::Pow2(96) - BigInt::Pow2(32) + BigInt(1));
+}
+
+// The widened (<= 2 limb) divisor shortcut must match the long-division
+// path around the 2^32 and 2^64 divisor boundaries.
+TEST(BigIntTest, ShortDivisorBoundaries) {
+  BigInt dividend = BigInt::Pow2(200) + BigInt::Pow2(100) + BigInt(12345);
+  const int divisor_shifts[] = {1, 31, 32, 33, 63};
+  for (int shift : divisor_shifts) {
+    for (int64_t delta = -1; delta <= 1; ++delta) {
+      BigInt divisor = BigInt::Pow2(shift) + BigInt(delta);
+      if (divisor.is_zero()) continue;
+      BigInt quotient;
+      BigInt remainder;
+      ASSERT_OK(dividend.DivMod(divisor, &quotient, &remainder));
+      EXPECT_EQ(quotient * divisor + remainder, dividend)
+          << "shift=" << shift << " delta=" << delta;
+      EXPECT_LT(remainder, divisor);
+      EXPECT_FALSE(remainder.is_negative());
+    }
+  }
+  // Divisor exactly at the top of the two-limb range: 2^64 - 1.
+  BigInt two_limb_max = BigInt::Pow2(64) - BigInt(1);
+  BigInt quotient;
+  BigInt remainder;
+  ASSERT_OK(dividend.DivMod(two_limb_max, &quotient, &remainder));
+  EXPECT_EQ(quotient * two_limb_max + remainder, dividend);
+  EXPECT_LT(remainder, two_limb_max);
+  // And just past it (2^64 + 1 takes the general path).
+  BigInt three_limb = BigInt::Pow2(64) + BigInt(1);
+  ASSERT_OK(dividend.DivMod(three_limb, &quotient, &remainder));
+  EXPECT_EQ(quotient * three_limb + remainder, dividend);
+}
+
 }  // namespace
 }  // namespace xmlverify

@@ -106,6 +106,62 @@ TEST(RationalTest, FromStringParsesAndValidates) {
   EXPECT_FALSE(Rational::FromString("").ok());
 }
 
+TEST(RationalTest, CompoundOperatorsMatchBinaryForms) {
+  const Rational values[] = {
+      Rational(0), Rational(3), Rational(-7),
+      Rational(BigInt(1), BigInt(2)), Rational(BigInt(-5), BigInt(6)),
+      Rational(BigInt::Pow2(80), BigInt(3)),
+      Rational(BigInt(7), BigInt::Pow2(70))};
+  for (const Rational& a : values) {
+    for (const Rational& b : values) {
+      Rational sum = a;
+      sum += b;
+      EXPECT_EQ(sum, a + b);
+      Rational diff = a;
+      diff -= b;
+      EXPECT_EQ(diff, a - b);
+      Rational product = a;
+      product *= b;
+      EXPECT_EQ(product, a * b);
+      if (!b.is_zero()) {
+        Rational quotient = a;
+        quotient /= b;
+        EXPECT_EQ(quotient, a / b);
+      }
+    }
+  }
+}
+
+TEST(RationalTest, CompoundOperatorsKeepCanonicalForm) {
+  // In-place updates must leave the value normalized (reduced, positive
+  // denominator), or Compare's cross-multiplication breaks downstream.
+  Rational r(BigInt(1), BigInt(6));
+  r += Rational(BigInt(1), BigInt(3));  // 1/6 + 2/6 = 1/2, reduced
+  EXPECT_EQ(r.numerator(), BigInt(1));
+  EXPECT_EQ(r.denominator(), BigInt(2));
+  r *= Rational(BigInt(4), BigInt(3));  // 2/3
+  EXPECT_EQ(r.numerator(), BigInt(2));
+  EXPECT_EQ(r.denominator(), BigInt(3));
+  r /= Rational(BigInt(-2), BigInt(3));  // -1, integer again
+  EXPECT_EQ(r.numerator(), BigInt(-1));
+  EXPECT_EQ(r.denominator(), BigInt(1));
+  r -= Rational(BigInt(-3), BigInt(2));  // 1/2
+  EXPECT_EQ(r.numerator(), BigInt(1));
+  EXPECT_EQ(r.denominator(), BigInt(2));
+}
+
+TEST(RationalTest, CompoundOperatorsSafeUnderSelfAssignment) {
+  Rational r(BigInt(3), BigInt(4));
+  r += r;
+  EXPECT_EQ(r, Rational(BigInt(3), BigInt(2)));
+  r *= r;
+  EXPECT_EQ(r, Rational(BigInt(9), BigInt(4)));
+  r /= r;
+  EXPECT_EQ(r, Rational(1));
+  r -= r;
+  EXPECT_TRUE(r.is_zero());
+}
+
 TEST(RationalTest, FromStringNormalizesDenominatorSign) {
   // A negative denominator must be folded into the numerator, or the
   // cross-multiplication in Compare (which assumes positive

@@ -1,0 +1,260 @@
+#include "base/smallrat.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/rational.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(SmallRationalTest, MakeCanonicalizes) {
+  SmallRational r;
+  ASSERT_TRUE(SmallRational::Make(6, 4, &r));
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+
+  ASSERT_TRUE(SmallRational::Make(1, -2, &r));
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+
+  ASSERT_TRUE(SmallRational::Make(-9, -3, &r));
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 1);
+
+  ASSERT_TRUE(SmallRational::Make(0, -7, &r));
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+
+  EXPECT_FALSE(SmallRational::Make(1, 0, &r));
+}
+
+TEST(SmallRationalTest, MakeRejectsUnreducibleInt64Min) {
+  // INT64_MIN cannot be negated, so a canonical pair holding it in
+  // either slot (after reduction) must be rejected rather than left
+  // with a numerator whose magnitude overflows on operator-.
+  SmallRational r;
+  EXPECT_FALSE(SmallRational::Make(INT64_MIN, 1, &r));
+  EXPECT_FALSE(SmallRational::Make(1, INT64_MIN, &r));
+  // The rejection is deliberately conservative: even INT64_MIN/2,
+  // which would reduce into range, is refused up front. The only cost
+  // is an unnecessary promotion to the BigInt tier.
+  EXPECT_FALSE(SmallRational::Make(INT64_MIN, 2, &r));
+  // One step inside the boundary works.
+  ASSERT_TRUE(SmallRational::Make(INT64_MIN + 1, 1, &r));
+  EXPECT_EQ(r.num(), INT64_MIN + 1);
+}
+
+// Reference check: every small-tier op must agree with the BigInt tier.
+void ExpectAgreesWithRational(const SmallRational& a, const SmallRational& b) {
+  Rational ra = a.ToRational();
+  Rational rb = b.ToRational();
+  SmallRational out;
+  if (SmallRational::Add(a, b, &out)) {
+    EXPECT_EQ(out.ToRational(), ra + rb) << a.ToString() << "+" << b.ToString();
+  }
+  if (SmallRational::Sub(a, b, &out)) {
+    EXPECT_EQ(out.ToRational(), ra - rb) << a.ToString() << "-" << b.ToString();
+  }
+  if (SmallRational::Mul(a, b, &out)) {
+    EXPECT_EQ(out.ToRational(), ra * rb) << a.ToString() << "*" << b.ToString();
+  }
+  if (!b.is_zero() && SmallRational::Div(a, b, &out)) {
+    EXPECT_EQ(out.ToRational(), ra / rb) << a.ToString() << "/" << b.ToString();
+  }
+  EXPECT_EQ(a.Compare(b), ra.Compare(rb));
+}
+
+TEST(SmallRationalTest, ArithmeticMatchesBigIntTier) {
+  std::vector<SmallRational> values;
+  const int64_t nums[] = {0,  1,  -1, 2,  3,  -5, 7,  100, -999,
+                          INT64_MAX, INT64_MAX - 1, -(INT64_MAX - 7)};
+  const int64_t dens[] = {1, 2, 3, 7, 1000, INT64_MAX};
+  for (int64_t n : nums) {
+    for (int64_t d : dens) {
+      SmallRational r;
+      if (SmallRational::Make(n, d, &r)) values.push_back(r);
+    }
+  }
+  for (const SmallRational& a : values) {
+    for (const SmallRational& b : values) {
+      ExpectAgreesWithRational(a, b);
+    }
+  }
+}
+
+TEST(SmallRationalTest, SubMulMatchesTwoStepResult) {
+  SmallRational a, b, c;
+  ASSERT_TRUE(SmallRational::Make(7, 3, &a));
+  ASSERT_TRUE(SmallRational::Make(-5, 2, &b));
+  ASSERT_TRUE(SmallRational::Make(11, 6, &c));
+  SmallRational fused;
+  ASSERT_TRUE(SmallRational::SubMul(a, b, c, &fused));
+  EXPECT_EQ(fused.ToRational(),
+            a.ToRational() - b.ToRational() * c.ToRational());
+}
+
+TEST(SmallRationalTest, OverflowIsReportedNotWrapped) {
+  SmallRational big;
+  ASSERT_TRUE(SmallRational::Make(INT64_MAX, 1, &big));
+  SmallRational out;
+  // MAX + MAX and MAX * MAX leave int64 range even after reduction.
+  EXPECT_FALSE(SmallRational::Add(big, big, &out));
+  EXPECT_FALSE(SmallRational::Mul(big, big, &out));
+  // MAX - MAX collapses to zero: fine in the small tier.
+  ASSERT_TRUE(SmallRational::Sub(big, big, &out));
+  EXPECT_TRUE(out.is_zero());
+  // Huge denominators: 1/MAX + 1/(MAX-1) needs a denominator product
+  // far beyond int64.
+  SmallRational tiny_a, tiny_b;
+  ASSERT_TRUE(SmallRational::Make(1, INT64_MAX, &tiny_a));
+  ASSERT_TRUE(SmallRational::Make(1, INT64_MAX - 1, &tiny_b));
+  EXPECT_FALSE(SmallRational::Add(tiny_a, tiny_b, &out));
+}
+
+TEST(SmallRationalTest, AliasedOutputIsSafe) {
+  SmallRational a, b;
+  ASSERT_TRUE(SmallRational::Make(3, 4, &a));
+  ASSERT_TRUE(SmallRational::Make(5, 6, &b));
+  SmallRational expected;
+  ASSERT_TRUE(SmallRational::Add(a, b, &expected));
+  ASSERT_TRUE(SmallRational::Add(a, b, &a));  // out aliases lhs
+  EXPECT_EQ(a.Compare(expected), 0);
+  ASSERT_TRUE(SmallRational::Make(3, 4, &a));
+  ASSERT_TRUE(SmallRational::Mul(a, a, &a));  // all three alias
+  SmallRational nine_sixteenths;
+  ASSERT_TRUE(SmallRational::Make(9, 16, &nine_sixteenths));
+  EXPECT_EQ(a.Compare(nine_sixteenths), 0);
+}
+
+TEST(SmallRationalTest, FromRationalRoundTrips) {
+  SmallRational r;
+  ASSERT_TRUE(SmallRational::FromRational(Rational(BigInt(-7), BigInt(3)), &r));
+  EXPECT_EQ(r.num(), -7);
+  EXPECT_EQ(r.den(), 3);
+  // A numerator beyond int64 must be rejected.
+  Rational huge(BigInt::Pow2(80), BigInt(3));
+  EXPECT_FALSE(SmallRational::FromRational(huge, &r));
+  // INT64_MIN is representable as a BigInt numerator but not as a
+  // canonical SmallRational (negation would overflow).
+  Rational min_num{BigInt(INT64_MIN), BigInt(1)};
+  EXPECT_FALSE(SmallRational::FromRational(min_num, &r));
+}
+
+// ---------------------------------------------------------------------
+
+TEST(TwoTierRationalTest, StaysSmallOnSmallArithmetic) {
+  TwoTierRational a(int64_t{7});
+  TwoTierRational b(int64_t{3});
+  a /= b;  // 7/3
+  a += TwoTierRational(int64_t{1});
+  EXPECT_TRUE(a.small());
+  EXPECT_EQ(a.ToRational(), Rational(BigInt(10), BigInt(3)));
+}
+
+TEST(TwoTierRationalTest, PromotesOnOverflowAndStaysExact) {
+  TwoTierRational big(BigInt(INT64_MAX));
+  EXPECT_TRUE(big.small());
+  TwoTierRational product = big;
+  product *= big;  // MAX^2: must promote
+  EXPECT_FALSE(product.small());
+  EXPECT_EQ(product.ToRational(),
+            Rational(BigInt(INT64_MAX) * BigInt(INT64_MAX)));
+}
+
+TEST(TwoTierRationalTest, DemotesWhenResultShrinks) {
+  TwoTierRational value(BigInt(INT64_MAX));
+  TwoTierRational copy = value;
+  value *= copy;  // promoted
+  ASSERT_FALSE(value.small());
+  // Divide back down: MAX^2 / MAX = MAX fits the small tier again.
+  value /= copy;
+  EXPECT_TRUE(value.small());
+  EXPECT_EQ(value.ToRational(), Rational(BigInt(INT64_MAX)));
+}
+
+TEST(TwoTierRationalTest, ConstructionFromBigValueStartsBig) {
+  TwoTierRational value(BigInt::Pow2(100));
+  EXPECT_FALSE(value.small());
+  TwoTierRational small_again(BigInt(42));
+  EXPECT_TRUE(small_again.small());
+}
+
+TEST(TwoTierRationalTest, MixedTierArithmeticIsExact) {
+  TwoTierRational big(BigInt::Pow2(100));
+  TwoTierRational small(int64_t{5});
+  TwoTierRational sum = big;
+  sum += small;
+  EXPECT_EQ(sum.ToRational(), Rational(BigInt::Pow2(100) + BigInt(5)));
+  TwoTierRational diff = small;
+  diff -= big;
+  EXPECT_EQ(diff.ToRational(), Rational(BigInt(5) - BigInt::Pow2(100)));
+}
+
+TEST(TwoTierRationalTest, SubMulKernelMatchesReference) {
+  // Small path.
+  TwoTierRational a(int64_t{7});
+  TwoTierRational b(int64_t{2});
+  TwoTierRational c(int64_t{3});
+  a.SubMul(b, c);
+  EXPECT_TRUE(a.small());
+  EXPECT_EQ(a.ToRational(), Rational(1));
+  // Overflowing path: a - b*c where b*c leaves int64.
+  TwoTierRational base(int64_t{1});
+  TwoTierRational big(BigInt(INT64_MAX));
+  base.SubMul(big, big);
+  EXPECT_EQ(base.ToRational(),
+            Rational(BigInt(1) - BigInt(INT64_MAX) * BigInt(INT64_MAX)));
+  // Cancellation demotes: MAX^2 - MAX*MAX = 0.
+  TwoTierRational squared = big;
+  squared *= big;
+  squared.SubMul(big, big);
+  EXPECT_TRUE(squared.small());
+  EXPECT_TRUE(squared.is_zero());
+}
+
+TEST(TwoTierRationalTest, CompareCrossesTiers) {
+  TwoTierRational small(int64_t{3});
+  TwoTierRational big(BigInt::Pow2(100));
+  EXPECT_LT(small.Compare(big), 0);
+  EXPECT_GT(big.Compare(small), 0);
+  TwoTierRational promoted_three(BigInt::Pow2(100));
+  promoted_three -= big;
+  promoted_three += small;  // equals 3, possibly after demotion
+  EXPECT_EQ(promoted_three.Compare(small), 0);
+}
+
+TEST(TwoTierRationalTest, CopyAndMoveSemantics) {
+  TwoTierRational big(BigInt::Pow2(90));
+  TwoTierRational copy = big;
+  EXPECT_EQ(copy.Compare(big), 0);
+  copy += TwoTierRational(int64_t{1});
+  EXPECT_NE(copy.Compare(big), 0);  // deep copy, not shared state
+  TwoTierRational moved = std::move(copy);
+  EXPECT_EQ(moved.ToRational(), Rational(BigInt::Pow2(90) + BigInt(1)));
+  // Self-assignment keeps the value.
+  TwoTierRational& alias = big;
+  big = alias;
+  EXPECT_EQ(big.ToRational(), Rational(BigInt::Pow2(90)));
+  // Aliased compound ops.
+  TwoTierRational x(int64_t{4});
+  x += x;
+  EXPECT_EQ(x.ToRational(), Rational(8));
+  x.SubMul(x, TwoTierRational(int64_t{1}));  // x - x*1 = 0
+  EXPECT_TRUE(x.is_zero());
+}
+
+TEST(TwoTierRationalTest, NegateBothTiers) {
+  TwoTierRational small(int64_t{5});
+  small.Negate();
+  EXPECT_EQ(small.ToRational(), Rational(-5));
+  TwoTierRational big(BigInt::Pow2(100));
+  big.Negate();
+  EXPECT_EQ(big.ToRational(), Rational(BigInt(0) - BigInt::Pow2(100)));
+}
+
+}  // namespace
+}  // namespace xmlverify
