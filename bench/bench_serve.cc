@@ -1,0 +1,301 @@
+// Load generator for the verification service (src/serve): an
+// in-process ServeServer driven over real loopback sockets by
+// concurrent ServeClient threads. Two timed phases over a pool of
+// difftest-generated specifications:
+//
+//   cold   every distinct spec once — each request runs the full
+//          parse -> canonicalize -> check pipeline and fills the
+//          verdict cache;
+//   hit    concurrent clients replaying the definitive subset — every
+//          request is a raw-tier verdict-cache hit.
+//
+// Reports throughput and p50/p95/p99 latency per phase plus the
+// hit-vs-cold speedup (the serving PR's acceptance number: >= 10x),
+// and writes the machine-readable snapshot to BENCH_serve.json
+// (--out=PATH to override; see docs/performance.md).
+//
+// Unlike the bench_* microbenchmarks this is a standalone driver, not
+// a google-benchmark binary: the quantities of interest are tail
+// latencies across concurrent connections, which need one measured
+// sample per request rather than a tight single-threaded loop.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "difftest/spec_generator.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+struct BenchConfig {
+  int pool = 48;           // distinct specs in the cold phase
+  int hit_requests = 512;  // total requests in the hit phase
+  int clients = 4;         // concurrent connections in the hit phase
+  int jobs = 4;            // server worker threads
+  std::string out = "BENCH_serve.json";
+};
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+struct LatencyStats {
+  int64_t count = 0;
+  double mean_us = 0;
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+  double throughput_rps = 0;
+};
+
+LatencyStats Summarize(std::vector<int64_t> latencies_us,
+                       int64_t wall_micros) {
+  LatencyStats stats;
+  stats.count = static_cast<int64_t>(latencies_us.size());
+  if (latencies_us.empty()) return stats;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  double total = 0;
+  for (int64_t v : latencies_us) total += static_cast<double>(v);
+  stats.mean_us = total / static_cast<double>(latencies_us.size());
+  auto percentile = [&](double p) {
+    size_t index = static_cast<size_t>(p * (latencies_us.size() - 1) + 0.5);
+    return latencies_us[std::min(index, latencies_us.size() - 1)];
+  };
+  stats.p50_us = percentile(0.50);
+  stats.p95_us = percentile(0.95);
+  stats.p99_us = percentile(0.99);
+  if (wall_micros > 0) {
+    stats.throughput_rps = static_cast<double>(latencies_us.size()) * 1e6 /
+                           static_cast<double>(wall_micros);
+  }
+  return stats;
+}
+
+std::string StatsJson(const LatencyStats& stats) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"requests\": %lld, \"throughput_rps\": %.1f, "
+                "\"latency_us\": {\"mean\": %.1f, \"p50\": %lld, "
+                "\"p95\": %lld, \"p99\": %lld}}",
+                static_cast<long long>(stats.count), stats.throughput_rps,
+                stats.mean_us, static_cast<long long>(stats.p50_us),
+                static_cast<long long>(stats.p95_us),
+                static_cast<long long>(stats.p99_us));
+  return buffer;
+}
+
+int Run(const BenchConfig& config) {
+  StatsRegistry registry;
+  ServeOptions options;
+  options.jobs = config.jobs;
+  options.stats = &registry;
+  ServeServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.message().c_str());
+    return 1;
+  }
+
+  // A seed-deterministic spec pool spanning every difftest class, so
+  // the cold phase exercises each checking procedure.
+  std::vector<std::string> pool;
+  std::vector<DifftestClass> classes = AllDifftestClasses();
+  for (uint64_t seed = 1; pool.size() < static_cast<size_t>(config.pool);
+       ++seed) {
+    for (DifftestClass cls : classes) {
+      if (pool.size() >= static_cast<size_t>(config.pool)) break;
+      Result<GeneratedSpec> generated = GenerateSpec(seed, cls);
+      if (generated.ok()) pool.push_back(generated->text);
+    }
+  }
+
+  // Cold phase: one client, every spec once, nothing cached yet.
+  std::vector<std::string> definitive;  // cacheable subset for phase 2
+  std::vector<int64_t> cold_us;
+  int64_t cold_start = NowMicros();
+  {
+    Result<ServeClient> client = ServeClient::Connect("127.0.0.1",
+                                                      server.port());
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n", client.status().message().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < pool.size(); ++i) {
+      std::string request = "{\"id\":\"cold" + std::to_string(i) +
+                            "\",\"spec\":\"" + JsonEscape(pool[i]) + "\"}";
+      int64_t begin = NowMicros();
+      if (!client->SendLine(request).ok()) return 1;
+      Result<std::string> response = client->ReadLine();
+      if (!response.ok()) return 1;
+      cold_us.push_back(NowMicros() - begin);
+      bool cacheable =
+          response->find("\"verdict\":\"CONSISTENT\"") != std::string::npos ||
+          response->find("\"verdict\":\"INCONSISTENT\"") != std::string::npos;
+      if (cacheable) definitive.push_back(pool[i]);
+    }
+  }
+  int64_t cold_wall = NowMicros() - cold_start;
+
+  if (definitive.empty()) {
+    std::fprintf(stderr, "no definitive verdicts in the pool\n");
+    return 1;
+  }
+
+  // Hit phase: concurrent clients replaying the definitive subset;
+  // every request must be served from the verdict cache.
+  std::vector<int64_t> hit_us;
+  std::mutex hit_mutex;
+  std::atomic<int> next_request{0};
+  std::atomic<int> not_cached{0};
+  std::atomic<int> failures{0};
+  int64_t hit_start = NowMicros();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      Result<ServeClient> client = ServeClient::Connect("127.0.0.1",
+                                                        server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      std::vector<int64_t> local;
+      int index;
+      while ((index = next_request.fetch_add(1)) < config.hit_requests) {
+        const std::string& spec = definitive[index % definitive.size()];
+        std::string request = "{\"id\":\"hit" + std::to_string(index) +
+                              "\",\"spec\":\"" + JsonEscape(spec) + "\"}";
+        int64_t begin = NowMicros();
+        if (!client->SendLine(request).ok()) {
+          ++failures;
+          return;
+        }
+        Result<std::string> response = client->ReadLine();
+        if (!response.ok()) {
+          ++failures;
+          return;
+        }
+        local.push_back(NowMicros() - begin);
+        if (response->find("\"cached\":true") == std::string::npos) {
+          ++not_cached;
+        }
+      }
+      std::lock_guard<std::mutex> lock(hit_mutex);
+      hit_us.insert(hit_us.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  int64_t hit_wall = NowMicros() - hit_start;
+  server.Shutdown();
+
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "%d client failures\n", failures.load());
+    return 1;
+  }
+
+  LatencyStats cold = Summarize(std::move(cold_us), cold_wall);
+  LatencyStats hit = Summarize(std::move(hit_us), hit_wall);
+  double speedup_p50 =
+      hit.p50_us > 0 ? static_cast<double>(cold.p50_us) /
+                           static_cast<double>(hit.p50_us)
+                     : 0;
+  double speedup_mean = hit.mean_us > 0 ? cold.mean_us / hit.mean_us : 0;
+
+  std::printf("serve bench: pool=%d definitive=%zu clients=%d jobs=%d\n",
+              config.pool, definitive.size(), config.clients, config.jobs);
+  std::printf("  cold: %s\n", StatsJson(cold).c_str());
+  std::printf("  hit:  %s\n", StatsJson(hit).c_str());
+  std::printf("  hit speedup: p50 %.1fx, mean %.1fx (acceptance: >= 10x)\n",
+              speedup_p50, speedup_mean);
+  if (not_cached.load() > 0) {
+    std::printf("  WARNING: %d hit-phase responses were not cache hits\n",
+                not_cached.load());
+  }
+
+  std::ofstream out(config.out);
+  out << "{\n"
+      << "  \"bench\": \"serve\",\n"
+      << "  \"config\": {\"pool\": " << config.pool
+      << ", \"definitive\": " << definitive.size()
+      << ", \"hit_requests\": " << config.hit_requests
+      << ", \"clients\": " << config.clients << ", \"jobs\": " << config.jobs
+      << "},\n"
+      << "  \"cold\": " << StatsJson(cold) << ",\n"
+      << "  \"hit\": " << StatsJson(hit) << ",\n";
+  char ratio[128];
+  std::snprintf(ratio, sizeof(ratio),
+                "  \"hit_speedup\": {\"p50\": %.1f, \"mean\": %.1f},\n",
+                speedup_p50, speedup_mean);
+  out << ratio << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.Counters()) {
+    if (name.rfind("serve/", 0) != 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << name << "\": " << value;
+  }
+  out << "}\n}\n";
+  std::printf("  wrote %s\n", config.out.c_str());
+  return (not_cached.load() > 0 || speedup_p50 < 10.0) ? 2 : 0;
+}
+
+}  // namespace
+}  // namespace xmlverify
+
+int main(int argc, char** argv) {
+  xmlverify::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--pool=")) {
+      config.pool = std::atoi(v);
+    } else if (const char* v = value("--requests=")) {
+      config.hit_requests = std::atoi(v);
+    } else if (const char* v = value("--clients=")) {
+      config.clients = std::atoi(v);
+    } else if (const char* v = value("--jobs=")) {
+      config.jobs = std::atoi(v);
+    } else if (const char* v = value("--out=")) {
+      config.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_serve [--pool=N] [--requests=N] "
+                   "[--clients=N] [--jobs=N] [--out=PATH]\n");
+      return 1;
+    }
+  }
+  return xmlverify::Run(config);
+}

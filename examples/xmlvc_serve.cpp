@@ -1,0 +1,169 @@
+// xmlvc-serve: the persistent verification service.
+//
+//   xmlvc-serve [--port=N] [--jobs=N] [--queue-limit=N] [--timeout=MS]
+//               [--memory-limit=MB] [--max-depth=N] [--cache-entries=N]
+//               [--max-requests=N] [--stats]
+//
+// Binds 127.0.0.1:<port> (an ephemeral port when --port is omitted or
+// 0), prints one line
+//
+//   LISTENING 127.0.0.1 <port>
+//
+// to stdout, and serves JSON-lines verification requests until
+// SIGINT/SIGTERM (or until --max-requests responses have been
+// written). Protocol, verdict-cache semantics, and the operator
+// runbook: docs/serving.md.
+//
+// Flags:
+//   --port=N          TCP port on 127.0.0.1 (default 0: ephemeral)
+//   --jobs=N          worker threads (default: hardware threads)
+//   --queue-limit=N   bounded admission queue; a request arriving with
+//                     N already waiting is shed with a RETRYABLE
+//                     response (default 256)
+//   --timeout=MS      per-request wall-clock ceiling; a request's own
+//                     timeout_ms may tighten but never exceed it
+//   --memory-limit=MB per-request tracked-allocation ceiling
+//   --max-depth=N     parser/recursion nesting ceiling
+//   --cache-entries=N verdict-cache capacity per tier (default 65536)
+//   --max-requests=N  exit after N responses (testing/benches)
+//   --stats           on exit, print the JSON counter report (the
+//                     serve/* counters plus everything the checks
+//                     recorded) to stdout
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "base/resource_guard.h"
+#include "base/string_util.h"
+#include "serve/server.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace xmlverify;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xmlvc-serve [--port=N] [--jobs=N] [--queue-limit=N]\n"
+               "                   [--timeout=MS] [--memory-limit=MB]\n"
+               "                   [--max-depth=N] [--cache-entries=N]\n"
+               "                   [--max-requests=N] [--stats]\n"
+               "serves JSON-lines verification requests on 127.0.0.1\n"
+               "(wire protocol and runbook: docs/serving.md)\n");
+  return 2;
+}
+
+// Signal handlers may only set a flag; a watcher thread bridges the
+// flag to a clean ServeServer::Shutdown.
+volatile std::sig_atomic_t g_signalled = 0;
+
+void SetSignalled(int) { g_signalled = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions options;
+  bool stats = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--port=")) {
+      options.port = std::atoi(arg.c_str() + 7);
+      if (options.port < 0 || options.port > 65535) {
+        std::fprintf(stderr, "error: --port expects 0..65535\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--jobs=")) {
+      options.jobs = std::atoi(arg.c_str() + 7);
+      if (options.jobs <= 0) {
+        std::fprintf(stderr, "error: --jobs expects a positive integer\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--queue-limit=")) {
+      long limit = std::atol(arg.c_str() + 14);
+      if (limit <= 0) {
+        std::fprintf(stderr,
+                     "error: --queue-limit expects a positive integer\n");
+        return 2;
+      }
+      options.queue_limit = static_cast<size_t>(limit);
+    } else if (StartsWith(arg, "--timeout=")) {
+      options.timeout_millis = std::atoll(arg.c_str() + 10);
+      if (options.timeout_millis <= 0) {
+        std::fprintf(stderr,
+                     "error: --timeout expects a positive millisecond count\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--memory-limit=")) {
+      int64_t megabytes = std::atoll(arg.c_str() + 15);
+      if (megabytes <= 0) {
+        std::fprintf(stderr,
+                     "error: --memory-limit expects a positive megabyte "
+                     "count\n");
+        return 2;
+      }
+      options.memory_limit_bytes = megabytes * int64_t{1024} * 1024;
+    } else if (StartsWith(arg, "--max-depth=")) {
+      options.max_depth = std::atoi(arg.c_str() + 12);
+      if (options.max_depth <= 0) {
+        std::fprintf(stderr, "error: --max-depth expects a positive integer\n");
+        return 2;
+      }
+      SetMaxParseDepth(options.max_depth);
+    } else if (StartsWith(arg, "--cache-entries=")) {
+      long entries = std::atol(arg.c_str() + 16);
+      if (entries <= 0) {
+        std::fprintf(stderr,
+                     "error: --cache-entries expects a positive integer\n");
+        return 2;
+      }
+      options.cache_entries = static_cast<size_t>(entries);
+    } else if (StartsWith(arg, "--max-requests=")) {
+      options.max_requests = std::atoll(arg.c_str() + 15);
+      if (options.max_requests <= 0) {
+        std::fprintf(stderr,
+                     "error: --max-requests expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--stats") {
+      stats = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+
+  StatsRegistry registry;
+  options.stats = &registry;
+
+  ServeServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 2;
+  }
+  std::printf("LISTENING 127.0.0.1 %d\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, SetSignalled);
+  std::signal(SIGTERM, SetSignalled);
+
+  // The watcher polls the signal flag and triggers a clean shutdown;
+  // it exits as soon as the server stops for any reason (signal or
+  // --max-requests), so the join below never waits long.
+  std::thread signal_watcher([&server] {
+    while (g_signalled == 0 && !server.stopped()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (g_signalled != 0) server.Shutdown();
+  });
+
+  server.Wait();
+  signal_watcher.join();
+
+  if (stats) std::fputs(registry.ToJson().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "core/canonical.h"
+
+#include <cstdint>
+
+namespace xmlverify {
+
+std::string CanonicalSpecText(const Specification& spec) {
+  return "root " + spec.dtd.TypeName(spec.dtd.root()) + "\n" +
+         spec.dtd.ToString() + "%%\n" + spec.constraints.ToString(spec.dtd);
+}
+
+std::string FingerprintText(const std::string& text) {
+  // 128-bit FNV-1a split into two 64-bit lanes: the standard 64-bit
+  // FNV-1a stream, and a second lane seeded differently and fed the
+  // bytes in the same order, so the two halves decorrelate. Chosen
+  // for portability (no __int128 needed in the header) rather than
+  // cryptographic strength — collisions are cosmetic because callers
+  // key caches on the full canonical text.
+  uint64_t lo = 0xcbf29ce484222325ULL;
+  uint64_t hi = 0x84222325cbf29ce4ULL;
+  for (unsigned char byte : text) {
+    lo = (lo ^ byte) * 0x100000001b3ULL;
+    hi = (hi ^ (byte + 0x9e)) * 0x100000001b3ULL;
+  }
+  static const char kHex[] = "0123456789abcdef";
+  std::string digest(32, '0');
+  for (int nibble = 0; nibble < 16; ++nibble) {
+    digest[15 - nibble] = kHex[(hi >> (4 * nibble)) & 0xf];
+    digest[31 - nibble] = kHex[(lo >> (4 * nibble)) & 0xf];
+  }
+  return digest;
+}
+
+std::string SpecFingerprint(const Specification& spec) {
+  return FingerprintText(CanonicalSpecText(spec));
+}
+
+}  // namespace xmlverify

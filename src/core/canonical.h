@@ -1,0 +1,42 @@
+// Canonical serialization and fingerprinting of specifications.
+//
+// CanonicalSpecText renders a specification as `.xvc` text in a
+// normal form that is a parse -> serialize fixed point: reparsing the
+// output yields a specification whose canonical text is byte-identical
+// (the DTD listing declares types in symbol-id order with the root
+// first, so the reparsed specification assigns the same ids). Two
+// syntactically different inputs that denote the same specification
+// therefore canonicalize to the same bytes, which is what makes the
+// text usable as an exact cache key: the serve-layer verdict cache
+// (src/serve/verdict_cache.h) and the difftest generator both key on
+// it.
+//
+// SpecFingerprint condenses the canonical text into a short stable
+// hex digest for display, logging, and wire responses. The digest is
+// NOT the cache key — caches key on the full canonical text, so a
+// hash collision can never alias two specifications to one verdict.
+#ifndef XMLVERIFY_CORE_CANONICAL_H_
+#define XMLVERIFY_CORE_CANONICAL_H_
+
+#include <string>
+
+#include "core/specification.h"
+
+namespace xmlverify {
+
+/// Canonical `.xvc` rendering: `root <name>`, the DTD listing, a `%%`
+/// separator, then the constraint listing. Specification::ParseCombined
+/// accepts the output and reassigns identical symbol ids.
+std::string CanonicalSpecText(const Specification& spec);
+
+/// 128-bit FNV-1a digest of `text`, as 32 lower-case hex characters.
+/// Deterministic across platforms and runs.
+std::string FingerprintText(const std::string& text);
+
+/// FingerprintText(CanonicalSpecText(spec)): the stable identity of a
+/// specification modulo surface syntax.
+std::string SpecFingerprint(const Specification& spec);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_CORE_CANONICAL_H_

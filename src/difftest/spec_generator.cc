@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/canonical.h"
 #include "regex/regex.h"
 #include "trace/trace.h"
 
@@ -41,8 +42,7 @@ std::vector<DifftestClass> AllDifftestClasses() {
 }
 
 std::string SpecToText(const Specification& spec) {
-  return "root " + spec.dtd.TypeName(spec.dtd.root()) + "\n" +
-         spec.dtd.ToString() + "%%\n" + spec.constraints.ToString(spec.dtd);
+  return CanonicalSpecText(spec);
 }
 
 namespace {

@@ -63,11 +63,9 @@ uint64_t SplitMix64(uint64_t* state);
 Result<GeneratedSpec> GenerateSpec(uint64_t seed, DifftestClass cls,
                                    const SpecGeneratorOptions& options = {});
 
-/// Canonical `.xvc` rendering: `root <name>`, the DTD listing, a `%%`
-/// separator, then the constraint listing. Specification::ParseCombined
-/// accepts the output, and — because the DTD listing declares types in
-/// symbol-id order with the root first — the reparsed specification
-/// assigns the same ids.
+/// Canonical `.xvc` rendering; thin wrapper over the public
+/// CanonicalSpecText utility in core/canonical.h (kept here so
+/// existing difftest call sites read naturally).
 std::string SpecToText(const Specification& spec);
 
 }  // namespace xmlverify

@@ -1,0 +1,48 @@
+// A small blocking line client for the serve protocol, shared by the
+// load-generator bench, the serve tests, and ad-hoc drivers. One
+// client wraps one TCP connection; SendLine/ReadLine frame on '\n'.
+// Not thread-safe: give each concurrent client its own instance (the
+// server handles any number of connections).
+#ifndef XMLVERIFY_SERVE_CLIENT_H_
+#define XMLVERIFY_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace xmlverify {
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1").
+  static Result<ServeClient> Connect(const std::string& host, int port);
+
+  /// Writes `line`, appending the terminating '\n' if missing.
+  Status SendLine(const std::string& line);
+
+  /// Blocks until one full line arrives; the '\n' is stripped.
+  /// kNotFound on clean EOF before any byte of a new line.
+  Result<std::string> ReadLine();
+
+  /// Half-closes the write side (the server sees EOF and finishes
+  /// pending responses before closing).
+  void FinishWriting();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_SERVE_CLIENT_H_

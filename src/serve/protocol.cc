@@ -1,0 +1,419 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+namespace {
+
+// A minimal strict JSON reader, sufficient for the flat request
+// objects of the wire protocol. Values nest (the grammar is full
+// JSON) but requests only ever use strings, numbers, and booleans at
+// the top level; depth is capped so adversarial nesting cannot
+// overflow the stack.
+constexpr int kMaxJsonDepth = 32;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after the JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON, byte " + std::to_string(pos_) +
+                                   ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r' ||
+            text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxJsonDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char head = text_[pos_];
+    if (head == '{') return ParseObject(depth);
+    if (head == '[') return ParseArray(depth);
+    if (head == '"') return ParseString();
+    if (head == 't' || head == 'f') return ParseBool();
+    if (head == 'n') return ParseNull();
+    if (head == '-' || (head >= '0' && head <= '9')) return ParseNumber();
+    return Error(std::string("unexpected character '") + head + "'");
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected a quoted object key");
+      }
+      ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      ASSIGN_OR_RETURN(JsonValue member, ParseValue(depth + 1));
+      for (const auto& [existing, unused] : value.object) {
+        if (existing == key.string) {
+          return Error("duplicate key \"" + key.string + "\"");
+        }
+      }
+      value.object.emplace_back(std::move(key.string), std::move(member));
+      SkipWhitespace();
+      if (Consume('}')) return value;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      ASSIGN_OR_RETURN(JsonValue element, ParseValue(depth + 1));
+      value.array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return value;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    ++pos_;  // '"'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char ch = text_[pos_++];
+      if (ch == '"') return value;
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        value.string.push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char escape = text_[pos_++];
+      switch (escape) {
+        case '"': value.string.push_back('"'); break;
+        case '\\': value.string.push_back('\\'); break;
+        case '/': value.string.push_back('/'); break;
+        case 'b': value.string.push_back('\b'); break;
+        case 'f': value.string.push_back('\f'); break;
+        case 'n': value.string.push_back('\n'); break;
+        case 'r': value.string.push_back('\r'); break;
+        case 't': value.string.push_back('\t'); break;
+        case 'u': {
+          ASSIGN_OR_RETURN(uint32_t code, ParseHex4());
+          // Surrogate pair: a high surrogate must be followed by an
+          // escaped low surrogate; anything else is malformed.
+          if (code >= 0xd800 && code <= 0xdbff) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired UTF-16 high surrogate");
+            }
+            pos_ += 2;
+            ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xdc00 || low > 0xdfff) {
+              return Error("invalid UTF-16 low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          } else if (code >= 0xdc00 && code <= 0xdfff) {
+            return Error("unpaired UTF-16 low surrogate");
+          }
+          AppendUtf8(code, &value.string);
+          break;
+        }
+        default:
+          return Error(std::string("invalid escape '\\") + escape + "'");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char ch = text_[pos_++];
+      code <<= 4;
+      if (ch >= '0' && ch <= '9') code |= ch - '0';
+      else if (ch >= 'a' && ch <= 'f') code |= ch - 'a' + 10;
+      else if (ch >= 'A' && ch <= 'F') code |= ch - 'A' + 10;
+      else return Error("non-hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Error("expected 'true' or 'false'");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) return Error("expected 'null'");
+    pos_ += 4;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNull;
+    return value;
+  }
+
+  Result<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    if (!std::isdigit(static_cast<unsigned char>(
+            pos_ < text_.size() ? text_[pos_] : '\0'))) {
+      return Error("malformed number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(text_.c_str() + start, nullptr);
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status FieldTypeError(const std::string& field, const char* expected) {
+  return Status::InvalidArgument("field \"" + field + "\" must be " +
+                                 expected);
+}
+
+}  // namespace
+
+Result<ServeRequest> ParseServeRequest(const std::string& line) {
+  JsonParser parser(line);
+  Result<JsonValue> parsed = parser.Parse();
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+
+  ServeRequest request;
+  bool saw_id = false;
+  bool saw_dtd = false;
+  bool saw_constraints = false;
+  for (const auto& [key, value] : parsed->object) {
+    if (key == "id") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return FieldTypeError(key, "a string");
+      }
+      request.id = value.string;
+      saw_id = true;
+    } else if (key == "spec") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return FieldTypeError(key, "a string");
+      }
+      request.spec_text = value.string;
+      request.has_spec = true;
+    } else if (key == "dtd") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return FieldTypeError(key, "a string");
+      }
+      request.dtd_text = value.string;
+      request.has_pair = true;
+      saw_dtd = true;
+    } else if (key == "constraints") {
+      if (value.kind != JsonValue::Kind::kString) {
+        return FieldTypeError(key, "a string");
+      }
+      request.constraints_text = value.string;
+      request.has_pair = true;
+      saw_constraints = true;
+    } else if (key == "timeout_ms") {
+      if (value.kind != JsonValue::Kind::kNumber ||
+          value.number != static_cast<int64_t>(value.number)) {
+        return FieldTypeError(key, "an integer millisecond count");
+      }
+      request.timeout_millis = static_cast<int64_t>(value.number);
+      if (request.timeout_millis < 0) {
+        return Status::InvalidArgument("field \"timeout_ms\" must be >= 0");
+      }
+    } else if (key == "witness") {
+      if (value.kind != JsonValue::Kind::kBool) {
+        return FieldTypeError(key, "a boolean");
+      }
+      request.want_witness = value.boolean;
+    } else {
+      return Status::InvalidArgument("unknown field \"" + key + "\"");
+    }
+  }
+
+  if (!saw_id || request.id.empty()) {
+    return Status::InvalidArgument(
+        "field \"id\" is required and must be a non-empty string");
+  }
+  if (request.has_spec && request.has_pair) {
+    return Status::InvalidArgument(
+        "give either \"spec\" or \"dtd\"+\"constraints\", not both");
+  }
+  if (!request.has_spec && !request.has_pair) {
+    return Status::InvalidArgument(
+        "one of \"spec\" or \"dtd\"+\"constraints\" is required");
+  }
+  if (request.has_pair && (!saw_dtd || !saw_constraints)) {
+    return Status::InvalidArgument(
+        "\"dtd\" and \"constraints\" must be given together");
+  }
+  return request;
+}
+
+std::string RecoverRequestId(const std::string& line) {
+  // Even a line that failed strict parsing often carries a legible
+  // `"id": "..."` member; a lenient scan for that one field lets the
+  // error response keep the client's correlation id.
+  JsonParser parser(line);
+  Result<JsonValue> parsed = parser.Parse();
+  if (parsed.ok() && parsed->kind == JsonValue::Kind::kObject) {
+    for (const auto& [key, value] : parsed->object) {
+      if (key == "id" && value.kind == JsonValue::Kind::kString) {
+        return value.string;
+      }
+    }
+    return "";
+  }
+  size_t key_at = line.find("\"id\"");
+  if (key_at == std::string::npos) return "";
+  size_t colon = line.find(':', key_at + 4);
+  if (colon == std::string::npos) return "";
+  size_t open = line.find('"', colon + 1);
+  if (open == std::string::npos) return "";
+  std::string id;
+  for (size_t i = open + 1; i < line.size(); ++i) {
+    if (line[i] == '\\') {
+      ++i;  // lenient: take the escaped char literally
+      if (i < line.size()) id.push_back(line[i]);
+      continue;
+    }
+    if (line[i] == '"') return id;
+    id.push_back(line[i]);
+  }
+  return "";
+}
+
+std::string FormatVerdictResponse(const std::string& id,
+                                  ConsistencyOutcome outcome,
+                                  const std::string& note,
+                                  const std::string& fingerprint, bool cached,
+                                  const std::string& witness_xml,
+                                  bool include_witness) {
+  std::string line = "{\"id\":" + trace::JsonQuote(id) +
+                     ",\"verdict\":" + trace::JsonQuote(OutcomeName(outcome)) +
+                     ",\"cached\":" + (cached ? "true" : "false") +
+                     ",\"fingerprint\":" + trace::JsonQuote(fingerprint);
+  if (!note.empty()) line += ",\"note\":" + trace::JsonQuote(note);
+  if (include_witness && !witness_xml.empty()) {
+    line += ",\"witness\":" + trace::JsonQuote(witness_xml);
+  }
+  line += "}\n";
+  return line;
+}
+
+std::string FormatErrorResponse(const std::string& id, const std::string& code,
+                                const std::string& message, bool retryable) {
+  return "{\"id\":" + trace::JsonQuote(id) +
+         ",\"error\":" + trace::JsonQuote(code) +
+         ",\"message\":" + trace::JsonQuote(message) +
+         ",\"retryable\":" + (retryable ? "true" : "false") + "}\n";
+}
+
+}  // namespace xmlverify

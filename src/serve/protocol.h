@@ -1,0 +1,77 @@
+// Wire protocol of the verification service: JSON lines over a byte
+// stream, one request per line, one response per line. Requests carry
+// a client-chosen `id` that is echoed back, so responses may complete
+// out of order (a cache hit overtakes a slow cold check on another
+// worker) and clients match them up by id.
+//
+// Request object (unknown fields are a structured error, never
+// ignored — silent acceptance would mask client typos like
+// "timeout_millis" for "timeout_ms"):
+//
+//   {"id": "r1",                        // required, non-empty string
+//    "spec": "<combined .xvc text>",    // this, or dtd+constraints
+//    "dtd": "...", "constraints": "...",
+//    "timeout_ms": 5000,                // optional per-request budget
+//    "witness": true}                   // optional, default false
+//
+// Response object, exactly one of three shapes:
+//
+//   {"id":"r1","verdict":"CONSISTENT","note":"...","cached":false,
+//    "fingerprint":"<32 hex>","witness":"<xml>"}      // witness opt-in
+//   {"id":"r1","error":"INVALID_REQUEST","message":"...",
+//    "retryable":false}                               // per-request error
+//   {"id":"r7","error":"RETRYABLE","message":"queue full",
+//    "retryable":true}                                // load shed
+//
+// Parsing is strict and total: malformed JSON, non-object lines,
+// wrong field types, oversized lines, and unknown fields all map to
+// Status values (surfaced to the client as INVALID_REQUEST), never to
+// a crash or a dropped connection. See docs/serving.md.
+#ifndef XMLVERIFY_SERVE_PROTOCOL_H_
+#define XMLVERIFY_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/status.h"
+#include "core/verdict.h"
+
+namespace xmlverify {
+
+/// One parsed request line.
+struct ServeRequest {
+  std::string id;
+  /// Combined `.xvc` text ("spec"), or the pair below.
+  std::string spec_text;
+  std::string dtd_text;
+  std::string constraints_text;
+  bool has_spec = false;       // "spec" was present
+  bool has_pair = false;       // "dtd"/"constraints" were present
+  int64_t timeout_millis = 0;  // 0: no per-request budget
+  bool want_witness = false;
+};
+
+/// Parses one request line. Rejects (kInvalidArgument): non-JSON,
+/// non-object roots, missing/empty/non-string "id", unknown fields,
+/// wrong field types, neither or both spec forms, and negative
+/// timeouts. The returned request is ready to hand to the server.
+Result<ServeRequest> ParseServeRequest(const std::string& line);
+
+/// Best-effort id recovery from a line that failed ParseServeRequest,
+/// so the error response can still be routed by the client. Returns
+/// "" when no "id" string field can be extracted.
+std::string RecoverRequestId(const std::string& line);
+
+/// Serializers: each returns one newline-terminated JSON line.
+std::string FormatVerdictResponse(const std::string& id,
+                                  ConsistencyOutcome outcome,
+                                  const std::string& note,
+                                  const std::string& fingerprint, bool cached,
+                                  const std::string& witness_xml,
+                                  bool include_witness);
+std::string FormatErrorResponse(const std::string& id, const std::string& code,
+                                const std::string& message, bool retryable);
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_SERVE_PROTOCOL_H_

@@ -1,0 +1,451 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/canonical.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+namespace {
+
+// Composite raw-tier cache key covering both request forms; the
+// separator bytes cannot appear adjacently in either text, so the two
+// forms (and distinct pairs) never collide.
+std::string RawCacheKey(const ServeRequest& request) {
+  if (request.has_spec) return "s\n" + request.spec_text;
+  return "p\n" + request.dtd_text + "\n\x1f\n" + request.constraints_text;
+}
+
+}  // namespace
+
+ServeServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+ServeServer::ServeServer(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_entries == 0 ? 1 : options_.cache_entries) {}
+
+ServeServer::~ServeServer() { Shutdown(); }
+
+Status ServeServer::Start() {
+  if (started_.exchange(true)) return Status::Internal("already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  // Loopback only: the service speaks an unauthenticated protocol, so
+  // exposure beyond the host is an operator decision (front it with a
+  // real proxy), not a default.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind 127.0.0.1:" + std::to_string(options_.port) +
+                            ": " + std::strerror(saved));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(saved));
+  }
+  port_ = ntohs(bound.sin_port);
+  if (::listen(listen_fd_, 128) != 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("listen: ") + std::strerror(saved));
+  }
+
+  int jobs = options_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  workers_.reserve(jobs);
+  for (int job = 0; job < jobs; ++job) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status();
+}
+
+void ServeServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    wait_cv_.wait(lock, [this] { return stop_.load(); });
+  }
+  Shutdown();
+}
+
+void ServeServer::RequestStop() {
+  stop_.store(true);
+  wait_cv_.notify_all();
+  queue_cv_.notify_all();
+  // Unblock the acceptor without closing the fd out from under it
+  // (Shutdown joins before closing). The mutex keeps a late stop
+  // request from touching an fd number the OS has already recycled.
+  std::lock_guard<std::mutex> lock(listen_mutex_);
+  if (listen_fd_ >= 0 && !listen_shut_) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    listen_shut_ = true;
+  }
+}
+
+void ServeServer::Shutdown() {
+  if (!started_.load()) return;
+  RequestStop();
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mutex_);
+  if (joined_) return;
+  joined_ = true;
+
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(listen_mutex_);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  // Kick every parked reader out of recv(); their connections close
+  // as the last shared_ptr (reader or in-flight job) is released.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& conn : connections_) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    for (ReaderSlot& slot : readers_) {
+      if (slot.thread.joinable()) slot.thread.join();
+    }
+    readers_.clear();
+  }
+
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.clear();
+}
+
+void ServeServer::AcceptLoop() {
+  std::unique_ptr<TraceSession> session;
+  if (options_.stats != nullptr) {
+    session = std::make_unique<TraceSession>(options_.stats);
+  }
+  while (!stop_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket shut down (or a fatal accept error)
+    }
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.insert(conn);
+    }
+    trace::Count("serve/connections");
+    std::lock_guard<std::mutex> lock(readers_mutex_);
+    // Reap readers that already finished (join returns immediately),
+    // so a long-lived server does not accumulate thread handles.
+    for (auto it = readers_.begin(); it != readers_.end();) {
+      if (it->done.load()) {
+        if (it->thread.joinable()) it->thread.join();
+        it = readers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    readers_.emplace_back();
+    ReaderSlot& slot = readers_.back();
+    slot.thread = std::thread([this, conn, &slot] {
+      ReadLoop(conn);
+      slot.done.store(true);
+    });
+  }
+}
+
+void ServeServer::ReadLoop(std::shared_ptr<Connection> conn) {
+  std::unique_ptr<TraceSession> session;
+  if (options_.stats != nullptr) {
+    session = std::make_unique<TraceSession>(options_.stats);
+  }
+  std::string buffer;
+  bool discarding = false;
+  char chunk[16384];
+  while (!stop_.load()) {
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client finished writing
+    size_t begin = 0;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (chunk[i] != '\n') continue;
+      if (discarding) {
+        // The tail of an oversized line: drop it and resume framing.
+        discarding = false;
+        buffer.clear();
+      } else {
+        buffer.append(chunk + begin, static_cast<size_t>(i) - begin);
+        // A line can exceed the cap within a single recv chunk, so the
+        // limit is enforced at completion too, not just while buffering.
+        if (buffer.size() > options_.max_line_bytes) {
+          trace::Count("serve/oversized_lines");
+          WriteResponse(conn,
+                        FormatErrorResponse(
+                            "", "LINE_TOO_LONG",
+                            "request line exceeds " +
+                                std::to_string(options_.max_line_bytes) +
+                                " bytes",
+                            false));
+        } else {
+          HandleLine(conn, buffer);
+        }
+        buffer.clear();
+      }
+      begin = static_cast<size_t>(i) + 1;
+    }
+    if (!discarding) {
+      buffer.append(chunk + begin, static_cast<size_t>(n) - begin);
+      if (buffer.size() > options_.max_line_bytes) {
+        trace::Count("serve/oversized_lines");
+        WriteResponse(conn, FormatErrorResponse(
+                                "", "LINE_TOO_LONG",
+                                "request line exceeds " +
+                                    std::to_string(options_.max_line_bytes) +
+                                    " bytes",
+                                false));
+        buffer.clear();
+        discarding = true;
+      }
+    }
+  }
+  // A final unterminated line is still a request (netcat piping a
+  // file without a trailing newline).
+  if (!discarding && !buffer.empty() && !stop_.load()) {
+    HandleLine(conn, buffer);
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.erase(conn);
+}
+
+void ServeServer::HandleLine(const std::shared_ptr<Connection>& conn,
+                             const std::string& line) {
+  // Blank lines are tolerated silently: they carry no id to answer
+  // under and commonly appear when driving the port by hand.
+  bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+  if (blank) return;
+
+  Result<ServeRequest> request = ParseServeRequest(line);
+  if (!request.ok()) {
+    trace::Count("serve/invalid_requests");
+    WriteResponse(conn,
+                  FormatErrorResponse(RecoverRequestId(line), "INVALID_REQUEST",
+                                      request.status().message(), false));
+    return;
+  }
+  trace::Count("serve/requests");
+  Job job;
+  job.request = *std::move(request);
+  job.conn = conn;
+  std::string id = job.request.id;
+  if (!TryEnqueue(std::move(job))) {
+    trace::Count("serve/shed");
+    WriteResponse(conn, FormatErrorResponse(
+                            id, "RETRYABLE",
+                            "queue full (" + std::to_string(options_.queue_limit) +
+                                " requests waiting); retry with backoff",
+                            true));
+  }
+}
+
+bool ServeServer::TryEnqueue(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.queue_limit) return false;
+    queue_.push_back(std::move(job));
+    trace::Max("serve/queue_depth_max",
+               static_cast<int64_t>(queue_.size()));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void ServeServer::WorkerLoop() {
+  std::unique_ptr<TraceSession> session;
+  if (options_.stats != nullptr) {
+    session = std::make_unique<TraceSession>(options_.stats);
+  }
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_.load()) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (options_.debug_handle_delay_millis > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.debug_handle_delay_millis));
+    }
+    HandleRequest(job);
+  }
+}
+
+void ServeServer::HandleRequest(const Job& job) {
+  const ServeRequest& request = job.request;
+  const std::string raw_key = RawCacheKey(request);
+
+  // Raw tier first: a byte-identical repeat skips even the parse.
+  if (auto hit = cache_.LookupRaw(raw_key)) {
+    trace::Count("serve/cache_hits");
+    WriteResponse(job.conn,
+                  FormatVerdictResponse(request.id, hit->outcome, hit->note,
+                                        hit->fingerprint, /*cached=*/true,
+                                        hit->witness_xml,
+                                        request.want_witness));
+    return;
+  }
+
+  Result<Specification> spec =
+      request.has_spec
+          ? Specification::ParseCombined(request.spec_text)
+          : Specification::Parse(request.dtd_text, request.constraints_text);
+  if (!spec.ok()) {
+    trace::Count("serve/invalid_specs");
+    WriteResponse(job.conn,
+                  FormatErrorResponse(request.id, "INVALID_SPEC",
+                                      spec.status().message(), false));
+    return;
+  }
+
+  const std::string canonical = CanonicalSpecText(*spec);
+  const std::string fingerprint = FingerprintText(canonical);
+  if (auto hit = cache_.LookupCanonical(canonical, raw_key)) {
+    trace::Count("serve/cache_hits");
+    WriteResponse(job.conn,
+                  FormatVerdictResponse(request.id, hit->outcome, hit->note,
+                                        hit->fingerprint, /*cached=*/true,
+                                        hit->witness_xml,
+                                        request.want_witness));
+    return;
+  }
+  trace::Count("serve/cache_misses");
+
+  // Budgets are stamped when the worker picks the job up, so queueing
+  // time is not charged against the request (batch-runner contract).
+  ConsistencyChecker::Options check = options_.check;
+  check.build_witness = true;  // cached entries carry the witness
+  int64_t timeout = options_.timeout_millis;
+  if (request.timeout_millis > 0 &&
+      (timeout <= 0 || request.timeout_millis < timeout)) {
+    timeout = request.timeout_millis;
+  }
+  ResourceBudget budget;
+  if (timeout > 0) {
+    check.deadline = Deadline::AfterMillis(timeout);
+    budget.set_deadline(check.deadline);
+  }
+  if (options_.memory_limit_bytes > 0) {
+    budget.set_memory_limit_bytes(options_.memory_limit_bytes);
+  }
+  if (options_.max_depth > 0) budget.set_max_depth(options_.max_depth);
+  check.budget = budget;
+
+  ConsistencyChecker checker(std::move(check));
+  Result<ConsistencyVerdict> verdict = checker.Check(*spec);
+  if (!verdict.ok()) {
+    trace::Count("serve/check_errors");
+    bool retryable =
+        verdict.status().code() == StatusCode::kDeadlineExceeded ||
+        verdict.status().code() == StatusCode::kResourceExhausted;
+    WriteResponse(job.conn,
+                  FormatErrorResponse(request.id, "CHECK_FAILED",
+                                      verdict.status().message(), retryable));
+    return;
+  }
+
+  std::string witness_xml;
+  if (verdict->witness.has_value()) {
+    witness_xml = verdict->witness->ToXml(spec->dtd);
+  }
+  // Only definitive verdicts enter the cache; Insert enforces the
+  // policy (UNKNOWN/DEADLINE_EXCEEDED/RESOURCE_EXHAUSTED describe
+  // this run's budget, not the specification).
+  cache_.Insert(canonical, raw_key, fingerprint, verdict->outcome,
+                verdict->note, witness_xml);
+  WriteResponse(job.conn,
+                FormatVerdictResponse(request.id, verdict->outcome,
+                                      verdict->note, fingerprint,
+                                      /*cached=*/false, witness_xml,
+                                      request.want_witness));
+}
+
+void ServeServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                                const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    size_t sent = 0;
+    while (sent < line.size()) {
+      ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        trace::Count("serve/write_errors");
+        break;  // client went away; drop the response
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  trace::Count("serve/responses");
+  int64_t sent_total = responses_sent_.fetch_add(1) + 1;
+  if (options_.max_requests > 0 && sent_total >= options_.max_requests) {
+    RequestStop();
+  }
+}
+
+}  // namespace xmlverify

@@ -1,0 +1,186 @@
+// The long-lived verification service: a multi-threaded TCP front
+// end over the consistency checker that keeps process-wide state warm
+// across requests — the regex->DFA and cardinality-plan memo caches
+// (base/shared_cache.h) and the serve layer's own verdict cache
+// (serve/verdict_cache.h).
+//
+// Thread shape (docs/serving.md has the operator's view):
+//
+//   acceptor ──> one reader thread per connection
+//                   │ parse line, admission control
+//                   ▼
+//              bounded job queue ──> N worker threads
+//                                       │ verdict cache / checker
+//                                       ▼
+//                                    response line (per-connection
+//                                    write mutex; out of order by id)
+//
+// Admission control: the queue is bounded; when it is full the reader
+// answers immediately with the distinct RETRYABLE error instead of
+// queueing (load shedding — the client owns the retry policy, the
+// server never builds unbounded backlog). Per-request budgets ride on
+// the existing Deadline/ResourceBudget machinery: every check gets a
+// fresh deadline when a worker picks it up (queueing time is not
+// charged, as in the batch runner), and the degradation ladder of
+// docs/robustness.md applies unchanged.
+#ifndef XMLVERIFY_SERVE_SERVER_H_
+#define XMLVERIFY_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "core/consistency.h"
+#include "serve/protocol.h"
+#include "serve/verdict_cache.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+struct ServeOptions {
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (read it back
+  /// from ServeServer::port()).
+  int port = 0;
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Bounded admission queue; a request arriving while `queue_limit`
+  /// jobs are already waiting is shed with a RETRYABLE response.
+  size_t queue_limit = 256;
+  /// Server-side per-request wall-clock ceiling in milliseconds;
+  /// <= 0 means none. A request's own `timeout_ms` may only tighten
+  /// it, never exceed it.
+  int64_t timeout_millis = 0;
+  /// Per-request tracked-memory ceiling in bytes; <= 0 means none.
+  int64_t memory_limit_bytes = 0;
+  /// Per-request recursion-depth ceiling; <= 0 means none.
+  int max_depth = 0;
+  /// Verdict-cache capacity per tier (see serve/verdict_cache.h).
+  size_t cache_entries = 1 << 16;
+  /// Longest accepted request line; longer lines are discarded up to
+  /// the next newline and answered with a LINE_TOO_LONG error.
+  size_t max_line_bytes = 4u << 20;
+  /// Stop serving after this many responses have been written
+  /// (0: serve forever). Lets tests and benches run a bounded session
+  /// without signal choreography.
+  int64_t max_requests = 0;
+  /// Base checker options; budgets/deadline stamped per request.
+  ConsistencyChecker::Options check;
+  /// Test-only: each worker sleeps this long before handling a job,
+  /// making queue buildup (and thus shedding) deterministic in tests.
+  int64_t debug_handle_delay_millis = 0;
+  /// Optional registry shared by every server thread (each installs
+  /// its own TraceSession), aggregating the serve/* counters.
+  StatsRegistry* stats = nullptr;
+};
+
+class ServeServer {
+ public:
+  explicit ServeServer(ServeOptions options);
+  ~ServeServer();
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens, and spawns the acceptor and worker threads.
+  Status Start();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Blocks until the server decides to stop (max_requests reached or
+  /// Shutdown called from another thread), then completes the
+  /// shutdown. Returns once every thread is joined.
+  void Wait();
+
+  /// Idempotent, thread-safe: stops accepting, unblocks every reader,
+  /// drains the queue, joins all threads. Concurrent callers block
+  /// until the teardown is complete (never returns with threads still
+  /// running).
+  void Shutdown();
+
+  /// True once the server has decided to stop (signal from Shutdown
+  /// or the max_requests threshold); threads may still be draining.
+  bool stopped() const { return stop_.load(); }
+
+  /// Responses written so far (verdicts, errors, and sheds alike).
+  int64_t responses_sent() const {
+    return responses_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One client connection. The fd is owned here and closed on
+  /// destruction; workers and the reader share the connection via
+  /// shared_ptr, so the fd stays valid until the last in-flight
+  /// response for it has been written.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection();
+    int fd;
+    std::mutex write_mutex;
+  };
+
+  struct Job {
+    ServeRequest request;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void HandleLine(const std::shared_ptr<Connection>& conn,
+                  const std::string& line);
+  void HandleRequest(const Job& job);
+  bool TryEnqueue(Job job);
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const std::string& line);
+  void RequestStop();
+
+  ServeOptions options_;
+  VerdictCache cache_;
+  std::mutex listen_mutex_;  // guards listen_fd_/listen_shut_ teardown
+  int listen_fd_ = -1;
+  bool listen_shut_ = false;
+  int port_ = 0;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  // Reader threads, reaped opportunistically by the acceptor (a slot
+  // whose `done` flag is set joins instantly) and finally in
+  // Shutdown.
+  struct ReaderSlot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex readers_mutex_;
+  std::list<ReaderSlot> readers_;
+
+  // Open connections, tracked so Shutdown can unblock readers that
+  // are parked in recv().
+  std::mutex connections_mutex_;
+  std::set<std::shared_ptr<Connection>> connections_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  bool joined_ = false;           // guarded by shutdown_mutex_
+  std::mutex shutdown_mutex_;     // serializes the join sequence
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+
+  std::atomic<int64_t> responses_sent_{0};
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_SERVE_SERVER_H_

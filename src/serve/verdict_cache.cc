@@ -1,0 +1,51 @@
+#include "serve/verdict_cache.h"
+
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+std::shared_ptr<const CachedVerdict> VerdictCache::LookupRaw(
+    const std::string& raw_text) {
+  auto found = raw_.Lookup(raw_text);
+  if (found != nullptr) trace::Count("serve/cache_hits_raw");
+  return found;
+}
+
+std::shared_ptr<const CachedVerdict> VerdictCache::LookupCanonical(
+    const std::string& canonical_text, const std::string& raw_text) {
+  auto found = canonical_.Lookup(canonical_text);
+  if (found == nullptr) return nullptr;
+  trace::Count("serve/cache_hits_canonical");
+  // Back-fill the raw tier so the next byte-identical request skips
+  // parse + canonicalize. SharedCache::Insert copies the entry; both
+  // tiers stay independently evictable.
+  if (!raw_text.empty() && raw_text != canonical_text) {
+    raw_.Insert(raw_text, *found);
+  }
+  return found;
+}
+
+std::shared_ptr<const CachedVerdict> VerdictCache::Insert(
+    const std::string& canonical_text, const std::string& raw_text,
+    const std::string& fingerprint, ConsistencyOutcome outcome,
+    const std::string& note, const std::string& witness_xml) {
+  if (!Cacheable(outcome)) {
+    trace::Count("serve/cache_uncacheable");
+    return nullptr;
+  }
+  CachedVerdict entry;
+  entry.outcome = outcome;
+  entry.note = note;
+  entry.witness_xml = outcome == ConsistencyOutcome::kConsistent
+                          ? witness_xml
+                          : std::string();
+  entry.fingerprint = fingerprint;
+  auto shared = canonical_.Insert(canonical_text, entry);
+  if (!raw_text.empty() && raw_text != canonical_text) {
+    raw_.Insert(raw_text, std::move(entry));
+  }
+  trace::Count("serve/cache_inserts");
+  return shared;
+}
+
+}  // namespace xmlverify

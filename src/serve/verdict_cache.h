@@ -1,0 +1,85 @@
+// The serve layer's verdict cache: finished verdicts keyed on the
+// canonical form of the specification (core/canonical.h), so two
+// requests whose `.xvc` texts differ only in surface syntax —
+// whitespace, comments, constraint order as normalized by the parser —
+// share one entry.
+//
+// Two lookup tiers, both mapping to the same immutable entry objects:
+//
+//   raw tier        key = the request's spec bytes exactly as sent.
+//                   A repeat of an identical request skips parsing and
+//                   canonicalization entirely — this is the hot path
+//                   that makes a hit orders of magnitude cheaper than
+//                   a cold check.
+//   canonical tier  key = the full canonical `.xvc` text (not its
+//                   hash: a collision must never alias two specs to
+//                   one verdict). Filled on every insert; hit when a
+//                   syntactically different spelling of a known spec
+//                   arrives, and the raw tier is then back-filled.
+//
+// Cacheability policy (docs/serving.md): only definitive verdicts —
+// CONSISTENT (with its validated witness) and INCONSISTENT — are ever
+// stored. UNKNOWN, DEADLINE_EXCEEDED, and RESOURCE_EXHAUSTED describe
+// the budget of the run that produced them, not the specification,
+// so caching them would wrongly starve future requests that carry
+// bigger budgets. Insert() enforces this; callers need not check.
+#ifndef XMLVERIFY_SERVE_VERDICT_CACHE_H_
+#define XMLVERIFY_SERVE_VERDICT_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "base/shared_cache.h"
+#include "core/verdict.h"
+
+namespace xmlverify {
+
+/// One cached definitive verdict. The witness is stored serialized:
+/// entries are immutable and shared across threads, and replaying a
+/// pre-rendered document is exactly what a cache hit should cost.
+struct CachedVerdict {
+  ConsistencyOutcome outcome = ConsistencyOutcome::kUnknown;
+  std::string note;
+  std::string witness_xml;    // empty unless outcome is kConsistent
+  std::string fingerprint;    // SpecFingerprint of the canonical text
+};
+
+class VerdictCache {
+ public:
+  /// `max_entries` bounds each tier (SharedCache epoch-clear
+  /// semantics; see base/shared_cache.h).
+  explicit VerdictCache(size_t max_entries = 1 << 16)
+      : raw_(max_entries), canonical_(max_entries) {}
+
+  /// True for outcomes the cache will store.
+  static bool Cacheable(ConsistencyOutcome outcome) {
+    return outcome == ConsistencyOutcome::kConsistent ||
+           outcome == ConsistencyOutcome::kInconsistent;
+  }
+
+  /// Raw-tier probe, keyed on the request text exactly as received.
+  std::shared_ptr<const CachedVerdict> LookupRaw(const std::string& raw_text);
+
+  /// Canonical-tier probe; on a hit, back-fills the raw tier under
+  /// `raw_text` so the next identical request short-circuits.
+  std::shared_ptr<const CachedVerdict> LookupCanonical(
+      const std::string& canonical_text, const std::string& raw_text);
+
+  /// Stores a definitive verdict under both tiers; silently refuses
+  /// non-definitive outcomes and returns nullptr. `witness_xml` must
+  /// already be rendered (empty when no witness was built).
+  std::shared_ptr<const CachedVerdict> Insert(
+      const std::string& canonical_text, const std::string& raw_text,
+      const std::string& fingerprint, ConsistencyOutcome outcome,
+      const std::string& note, const std::string& witness_xml);
+
+  size_t size() const { return canonical_.size(); }
+
+ private:
+  SharedCache<CachedVerdict> raw_;
+  SharedCache<CachedVerdict> canonical_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_SERVE_VERDICT_CACHE_H_

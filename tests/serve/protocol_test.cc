@@ -1,0 +1,165 @@
+// Wire-protocol framing: every malformed line maps to a structured
+// kInvalidArgument, never a crash, and the serializers emit the three
+// documented response shapes exactly.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/verdict.h"
+#include "tests/test_util.h"
+
+namespace xmlverify {
+namespace {
+
+ServeRequest MustParse(const std::string& line) {
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  return *parsed;
+}
+
+void ExpectRejected(const std::string& line, const std::string& why) {
+  Result<ServeRequest> parsed = ParseServeRequest(line);
+  EXPECT_FALSE(parsed.ok()) << "accepted " << why << ": " << line;
+  if (!parsed.ok()) {
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << why;
+  }
+}
+
+TEST(ProtocolTest, ParsesMinimalSpecRequest) {
+  ServeRequest request = MustParse(R"({"id":"r1","spec":"root r"})");
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_TRUE(request.has_spec);
+  EXPECT_FALSE(request.has_pair);
+  EXPECT_EQ(request.spec_text, "root r");
+  EXPECT_EQ(request.timeout_millis, 0);
+  EXPECT_FALSE(request.want_witness);
+}
+
+TEST(ProtocolTest, ParsesPairFormWithOptions) {
+  ServeRequest request = MustParse(
+      R"({"id":"x","dtd":"<!ELEMENT r (%)>","constraints":"","timeout_ms":2500,"witness":true})");
+  EXPECT_TRUE(request.has_pair);
+  EXPECT_FALSE(request.has_spec);
+  EXPECT_EQ(request.dtd_text, "<!ELEMENT r (%)>");
+  EXPECT_EQ(request.constraints_text, "");
+  EXPECT_EQ(request.timeout_millis, 2500);
+  EXPECT_TRUE(request.want_witness);
+}
+
+TEST(ProtocolTest, DecodesJsonEscapesAndSurrogatePairs) {
+  ServeRequest request = MustParse(
+      "{\"id\":\"e\",\"spec\":\"a\\n\\tb \\\\ \\\" \\u0041 \\ud83d\\ude00\"}");
+  EXPECT_EQ(request.spec_text,
+            "a\n\tb \\ \" A \xF0\x9F\x98\x80");
+}
+
+TEST(ProtocolTest, RejectsMalformedLines) {
+  ExpectRejected("", "empty line");
+  ExpectRejected("not json", "non-JSON");
+  ExpectRejected("{\"id\":\"a\",\"spec\":\"s\"", "unterminated object");
+  ExpectRejected("[1,2]", "non-object root");
+  ExpectRejected("\"just a string\"", "string root");
+  ExpectRejected(R"({"id":"a","spec":"s"} trailing)", "trailing garbage");
+  ExpectRejected(R"({"id":"a","spec":"s","spec":"t"})", "duplicate key");
+  ExpectRejected("{\"id\":\"a\",\"spec\":\"bad \\u12 escape\"}",
+                 "truncated unicode escape");
+  ExpectRejected("{\"id\":\"a\",\"spec\":\"lone \\ud800 surrogate\"}",
+                 "unpaired surrogate");
+}
+
+TEST(ProtocolTest, RejectsUnknownAndMistypedFields) {
+  ExpectRejected(R"({"id":"a","spec":"s","timeout_millis":5})",
+                 "unknown field (common typo)");
+  ExpectRejected(R"({"id":"a","spec":"s","extra":1})", "unknown field");
+  ExpectRejected(R"({"id":7,"spec":"s"})", "non-string id");
+  ExpectRejected(R"({"id":"a","spec":17})", "non-string spec");
+  ExpectRejected(R"({"id":"a","spec":"s","timeout_ms":"5"})",
+                 "string timeout");
+  ExpectRejected(R"({"id":"a","spec":"s","timeout_ms":2.5})",
+                 "fractional timeout");
+  ExpectRejected(R"({"id":"a","spec":"s","timeout_ms":-1})",
+                 "negative timeout");
+  ExpectRejected(R"({"id":"a","spec":"s","witness":"yes"})",
+                 "non-boolean witness");
+}
+
+TEST(ProtocolTest, RejectsMissingOrConflictingFields) {
+  ExpectRejected(R"({"spec":"s"})", "missing id");
+  ExpectRejected(R"({"id":"","spec":"s"})", "empty id");
+  ExpectRejected(R"({"id":"a"})", "no spec form");
+  ExpectRejected(R"({"id":"a","dtd":"d"})", "dtd without constraints");
+  ExpectRejected(R"({"id":"a","constraints":"c"})",
+                 "constraints without dtd");
+  ExpectRejected(R"({"id":"a","spec":"s","dtd":"d","constraints":"c"})",
+                 "both spec forms");
+}
+
+TEST(ProtocolTest, RejectsPathologicalNesting) {
+  std::string deep = R"({"id":"a","spec":)";
+  for (int i = 0; i < 80; ++i) deep += "[";
+  for (int i = 0; i < 80; ++i) deep += "]";
+  deep += "}";
+  ExpectRejected(deep, "deep nesting");
+}
+
+TEST(ProtocolTest, RecoverRequestIdIsBestEffort) {
+  EXPECT_EQ(RecoverRequestId(R"({"id":"r9","spec":17})"), "r9");
+  EXPECT_EQ(RecoverRequestId(R"({"spec":"s","id":"later"})"), "later");
+  EXPECT_EQ(RecoverRequestId("complete garbage"), "");
+  EXPECT_EQ(RecoverRequestId(R"({"id":42})"), "");
+}
+
+TEST(ProtocolTest, FormatsVerdictResponses) {
+  std::string line = FormatVerdictResponse(
+      "r1", ConsistencyOutcome::kConsistent, "note", "abc123", false,
+      "<r/>", /*include_witness=*/true);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"id\":\"r1\""), std::string::npos);
+  EXPECT_NE(line.find("\"verdict\":\"CONSISTENT\""), std::string::npos);
+  EXPECT_NE(line.find("\"cached\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"fingerprint\":\"abc123\""), std::string::npos);
+  EXPECT_NE(line.find("\"witness\":"), std::string::npos);
+  // Single line: the embedded newline in notes must be escaped.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+
+  std::string no_witness = FormatVerdictResponse(
+      "r2", ConsistencyOutcome::kInconsistent, "a\nb", "ff", true, "<r/>",
+      /*include_witness=*/false);
+  EXPECT_EQ(no_witness.find("witness"), std::string::npos);
+  EXPECT_NE(no_witness.find("\"cached\":true"), std::string::npos);
+  EXPECT_EQ(no_witness.find('\n'), no_witness.size() - 1);
+}
+
+TEST(ProtocolTest, FormatsErrorResponses) {
+  std::string shed = FormatErrorResponse("r7", "RETRYABLE", "queue full",
+                                         /*retryable=*/true);
+  EXPECT_NE(shed.find("\"error\":\"RETRYABLE\""), std::string::npos);
+  EXPECT_NE(shed.find("\"retryable\":true"), std::string::npos);
+  EXPECT_EQ(shed.back(), '\n');
+
+  std::string invalid = FormatErrorResponse("", "INVALID_REQUEST",
+                                            "quote \" here",
+                                            /*retryable=*/false);
+  EXPECT_NE(invalid.find("\"id\":\"\""), std::string::npos);
+  EXPECT_NE(invalid.find("\"retryable\":false"), std::string::npos);
+  // Round-trip safety of the quoted message.
+  EXPECT_NE(invalid.find("quote \\\" here"), std::string::npos);
+}
+
+// A formatted response must itself parse as a JSON object — the
+// parser and serializers agree on the dialect. (Responses are not
+// requests, so full ParseServeRequest acceptance is not expected;
+// we only check the id survives the round trip.)
+TEST(ProtocolTest, ResponsesCarryRecoverableIds) {
+  EXPECT_EQ(RecoverRequestId(FormatVerdictResponse(
+                "rt", ConsistencyOutcome::kUnknown, "n", "fp", false, "",
+                false)),
+            "rt");
+  EXPECT_EQ(RecoverRequestId(FormatErrorResponse("er", "X", "m", false)),
+            "er");
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -1,0 +1,174 @@
+// Smoke test of the real `xmlvc-serve` binary: spawn it on an
+// ephemeral port, drive concurrent requests over real sockets, and
+// assert the verdicts are byte-identical to what the one-shot `xmlvc`
+// CLI prints for the same specifications. The server is bounded with
+// --max-requests so it exits on its own and popen/pclose need no
+// signal choreography.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "tests/test_util.h"
+
+#if defined(XMLVC_SERVE_BINARY_PATH) && defined(XMLVC_BINARY_PATH) && \
+    defined(XMLVC_SPECS_DIR)
+
+namespace xmlverify {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// The verdict word in free-form CLI output or a JSON response line.
+// Longest name first: CONSISTENT is a substring of INCONSISTENT.
+std::string ExtractVerdict(const std::string& text) {
+  for (const char* name :
+       {"RESOURCE_EXHAUSTED", "DEADLINE_EXCEEDED", "INCONSISTENT",
+        "CONSISTENT", "UNKNOWN"}) {
+    if (text.find(name) != std::string::npos) return name;
+  }
+  return "";
+}
+
+std::string RunAndCapture(const std::string& command, int* exit_code) {
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return output;
+  }
+  char buffer[4096];
+  size_t read;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    output.append(buffer, read);
+  }
+  *exit_code = pclose(pipe);
+  return output;
+}
+
+TEST(ServeSmokeTest, ConcurrentVerdictsMatchOneShotCli) {
+  const std::string specs = XMLVC_SPECS_DIR;
+  const std::string school_dtd = ReadFileOrDie(specs + "/school.dtd");
+  const std::string school_constraints =
+      ReadFileOrDie(specs + "/school.constraints");
+  const std::string geography = ReadFileOrDie(specs + "/geography.xvc");
+
+  // Ground truth from the one-shot CLI on the same inputs.
+  int exit_code = 0;
+  const std::string school_cli = ExtractVerdict(RunAndCapture(
+      std::string(XMLVC_BINARY_PATH) + " check " + specs + "/school.dtd " +
+          specs + "/school.constraints 2>/dev/null",
+      &exit_code));
+  const std::string geography_cli = ExtractVerdict(
+      RunAndCapture(std::string(XMLVC_BINARY_PATH) + " check " + specs +
+                        "/geography.xvc 2>/dev/null; exit 0",
+                    &exit_code));
+  ASSERT_EQ(school_cli, "CONSISTENT");
+  ASSERT_EQ(geography_cli, "INCONSISTENT");
+
+  // 2 priming requests + 4 clients x 2 repeats = 10 responses total;
+  // the server exits by itself after writing the 10th.
+  constexpr int kClients = 4;
+  constexpr int kTotalResponses = 2 + kClients * 2;
+  FILE* server = popen((std::string(XMLVC_SERVE_BINARY_PATH) +
+                        " --port=0 --jobs=2 --max-requests=" +
+                        std::to_string(kTotalResponses) + " 2>/dev/null")
+                           .c_str(),
+                       "r");
+  ASSERT_NE(server, nullptr);
+  char line[256];
+  ASSERT_NE(fgets(line, sizeof(line), server), nullptr);
+  int port = 0;
+  ASSERT_EQ(sscanf(line, "LISTENING 127.0.0.1 %d", &port), 1) << line;
+  ASSERT_GT(port, 0);
+
+  const std::string school_request =
+      "{\"id\":\"school\",\"dtd\":\"" + JsonEscape(school_dtd) +
+      "\",\"constraints\":\"" + JsonEscape(school_constraints) + "\"}";
+  const std::string geography_request =
+      "{\"id\":\"geo\",\"spec\":\"" + JsonEscape(geography) + "\"}";
+
+  // Prime both cache entries.
+  {
+    ASSERT_OK_AND_ASSIGN(ServeClient client,
+                         ServeClient::Connect("127.0.0.1", port));
+    ASSERT_OK(client.SendLine(school_request));
+    ASSERT_OK_AND_ASSIGN(std::string response, client.ReadLine());
+    EXPECT_EQ(ExtractVerdict(response), school_cli) << response;
+    ASSERT_OK(client.SendLine(geography_request));
+    ASSERT_OK_AND_ASSIGN(std::string geo_response, client.ReadLine());
+    EXPECT_EQ(ExtractVerdict(geo_response), geography_cli) << geo_response;
+  }
+
+  // Concurrent clients: every verdict must match the CLI's, and the
+  // primed entries must be served from the cache.
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Result<ServeClient> client = ServeClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        errors[i] = client.status().message();
+        return;
+      }
+      for (const auto& [request, want] :
+           {std::pair(school_request, school_cli),
+            std::pair(geography_request, geography_cli)}) {
+        Status sent = client->SendLine(request);
+        if (!sent.ok()) {
+          errors[i] = sent.message();
+          return;
+        }
+        Result<std::string> response = client->ReadLine();
+        if (!response.ok()) {
+          errors[i] = response.status().message();
+          return;
+        }
+        if (ExtractVerdict(*response) != want ||
+            response->find("\"cached\":true") == std::string::npos) {
+          errors[i] = "unexpected response: " + *response;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) EXPECT_EQ(errors[i], "") << "client " << i;
+
+  // Response budget spent: the server exits cleanly on its own.
+  int server_exit = pclose(server);
+  EXPECT_EQ(WEXITSTATUS(server_exit), 0);
+}
+
+}  // namespace
+}  // namespace xmlverify
+
+#endif  // XMLVC_SERVE_BINARY_PATH && XMLVC_BINARY_PATH && XMLVC_SPECS_DIR

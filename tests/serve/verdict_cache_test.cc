@@ -1,0 +1,103 @@
+// Cacheability policy and the two-tier lookup contract of the serve
+// verdict cache. The invariant the serving docs promise: a
+// non-definitive outcome is never stored, under any tier or key.
+#include "serve/verdict_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/verdict.h"
+
+namespace xmlverify {
+namespace {
+
+TEST(VerdictCacheTest, CacheablePolicy) {
+  EXPECT_TRUE(VerdictCache::Cacheable(ConsistencyOutcome::kConsistent));
+  EXPECT_TRUE(VerdictCache::Cacheable(ConsistencyOutcome::kInconsistent));
+  EXPECT_FALSE(VerdictCache::Cacheable(ConsistencyOutcome::kUnknown));
+  EXPECT_FALSE(VerdictCache::Cacheable(ConsistencyOutcome::kDeadlineExceeded));
+  EXPECT_FALSE(
+      VerdictCache::Cacheable(ConsistencyOutcome::kResourceExhausted));
+}
+
+TEST(VerdictCacheTest, DefinitiveVerdictHitsBothTiers) {
+  VerdictCache cache;
+  auto inserted =
+      cache.Insert("canonical-text", "raw-text", "fp01",
+                   ConsistencyOutcome::kConsistent, "note", "<r/>");
+  ASSERT_NE(inserted, nullptr);
+  EXPECT_EQ(inserted->fingerprint, "fp01");
+  EXPECT_EQ(inserted->witness_xml, "<r/>");
+
+  auto raw_hit = cache.LookupRaw("raw-text");
+  ASSERT_NE(raw_hit, nullptr);
+  EXPECT_EQ(raw_hit->outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_EQ(raw_hit->note, "note");
+
+  auto canonical_hit = cache.LookupCanonical("canonical-text", "raw-text");
+  ASSERT_NE(canonical_hit, nullptr);
+  EXPECT_EQ(canonical_hit->fingerprint, "fp01");
+
+  EXPECT_EQ(cache.LookupRaw("other-raw"), nullptr);
+  EXPECT_EQ(cache.LookupCanonical("other-canonical", "other-raw"), nullptr);
+}
+
+TEST(VerdictCacheTest, NonDefinitiveOutcomesAreNeverStored) {
+  VerdictCache cache;
+  for (ConsistencyOutcome outcome :
+       {ConsistencyOutcome::kUnknown, ConsistencyOutcome::kDeadlineExceeded,
+        ConsistencyOutcome::kResourceExhausted}) {
+    SCOPED_TRACE(OutcomeName(outcome));
+    EXPECT_EQ(cache.Insert("canonical", "raw", "fp", outcome, "n", ""),
+              nullptr);
+    EXPECT_EQ(cache.LookupRaw("raw"), nullptr);
+    EXPECT_EQ(cache.LookupCanonical("canonical", "raw"), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+  }
+}
+
+TEST(VerdictCacheTest, CanonicalHitBackFillsRawTier) {
+  VerdictCache cache;
+  ASSERT_NE(cache.Insert("canonical", "spelling-one", "fp",
+                         ConsistencyOutcome::kInconsistent, "n", ""),
+            nullptr);
+  // A second, syntactically different spelling misses the raw tier...
+  EXPECT_EQ(cache.LookupRaw("spelling-two"), nullptr);
+  // ...hits the canonical tier (back-filling the raw tier)...
+  ASSERT_NE(cache.LookupCanonical("canonical", "spelling-two"), nullptr);
+  // ...so the next identical request short-circuits on the raw tier.
+  auto raw_hit = cache.LookupRaw("spelling-two");
+  ASSERT_NE(raw_hit, nullptr);
+  EXPECT_EQ(raw_hit->outcome, ConsistencyOutcome::kInconsistent);
+}
+
+TEST(VerdictCacheTest, WitnessStoredOnlyForConsistent) {
+  VerdictCache cache;
+  auto inconsistent =
+      cache.Insert("c1", "r1", "fp1", ConsistencyOutcome::kInconsistent,
+                   "core", "<bogus/>");
+  ASSERT_NE(inconsistent, nullptr);
+  EXPECT_EQ(inconsistent->witness_xml, "");
+
+  auto consistent = cache.Insert(
+      "c2", "r2", "fp2", ConsistencyOutcome::kConsistent, "ok", "<r/>");
+  ASSERT_NE(consistent, nullptr);
+  EXPECT_EQ(consistent->witness_xml, "<r/>");
+}
+
+TEST(VerdictCacheTest, FirstWriterWins) {
+  VerdictCache cache;
+  auto first = cache.Insert("c", "r", "fp", ConsistencyOutcome::kConsistent,
+                            "first", "<a/>");
+  auto second = cache.Insert("c", "r", "fp", ConsistencyOutcome::kConsistent,
+                             "second", "<b/>");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(cache.LookupRaw("r")->note, first->note);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xmlverify
