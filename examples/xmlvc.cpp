@@ -75,7 +75,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  xmlvc check <spec.dtd> <constraints.txt> "
-               "[--witness <out.xml>]\n"
+               "[--witness <out.xml>] [--explain-core]\n"
                "  xmlvc validate <spec.dtd> <constraints.txt> <doc.xml>\n"
                "  xmlvc classify <spec.dtd> <constraints.txt>\n"
                "  xmlvc diagnose <spec.dtd> <constraints.txt>\n"
@@ -89,6 +89,8 @@ int Usage() {
                "  --max-depth=N      parser/recursion nesting ceiling\n"
                "  --retries=N        batch: retry budget failures with\n"
                "                     doubled budgets\n"
+               "  --explain-core     check: on INCONSISTENT, also print a\n"
+               "                     1-minimal inconsistent core\n"
                "  --fault-inject=SPEC  arm fault injection (testing)\n"
                "  --fault-seed=N     seed for %%P fault clauses\n"
                "  --stats            JSON phase/counter report on stdout\n"
@@ -103,6 +105,7 @@ struct BudgetFlags {
   int64_t memory_limit_bytes = 0;
   int max_depth = 0;
   int retries = 0;
+  bool explain_core = false;  // check: minimize a core on INCONSISTENT
 
   ConsistencyChecker::Options MakeCheckerOptions() const {
     ConsistencyChecker::Options options;
@@ -138,6 +141,20 @@ int RunCheck(const Specification& spec, const std::string& witness_path,
   }
   std::printf("%s\n", OutcomeName(verdict->outcome).c_str());
   if (!verdict->note.empty()) std::printf("note: %s\n", verdict->note.c_str());
+  if (budget.explain_core &&
+      verdict->outcome == ConsistencyOutcome::kInconsistent) {
+    DiagnosisOptions diagnosis;
+    diagnosis.checker = budget.MakeCheckerOptions();
+    Result<ConstraintSet> core =
+        MinimizeInconsistentCore(spec.dtd, spec.constraints, diagnosis);
+    if (core.ok()) {
+      std::printf("minimal inconsistent core (%d constraints):\n%s",
+                  core->size(), core->ToString(spec.dtd).c_str());
+    } else {
+      std::fprintf(stderr, "core minimization failed: %s\n",
+                   core.status().ToString().c_str());
+    }
+  }
   if (verdict->witness.has_value() && !witness_path.empty()) {
     std::ofstream out(witness_path);
     out << verdict->witness->ToXml(spec.dtd);
@@ -384,6 +401,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       SetMaxParseDepth(budget.max_depth);
+    } else if (arg == "--explain-core") {
+      budget.explain_core = true;
     } else if (StartsWith(arg, "--retries=")) {
       budget.retries = std::atoi(arg.c_str() + 10);
       if (budget.retries < 0) {

@@ -52,6 +52,9 @@ int Usage() {
                "  --shrink / --no-shrink\n"
                "                 minimize disagreeing specs (default on)\n"
                "  --solver=MODE  fast (default), legacy, or both\n"
+               "  --impl         also cross-check the implication engine\n"
+               "                 (quick tier vs full encoding vs brute\n"
+               "                 force) on every generated spec\n"
                "  --timeout=MS   per-procedure budget (ms)\n"
                "  --stats        JSON phase/counter report on stdout\n");
   return 2;
@@ -101,6 +104,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --jobs expects a positive integer\n");
         return 2;
       }
+    } else if (arg == "--impl") {
+      options.impl_mode = true;
     } else if (arg == "--shrink") {
       options.shrink = true;
     } else if (arg == "--no-shrink") {

@@ -51,7 +51,8 @@ int Usage() {
                "usage: xmlvc-serve [--port=N] [--jobs=N] [--queue-limit=N]\n"
                "                   [--timeout=MS] [--memory-limit=MB]\n"
                "                   [--max-depth=N] [--cache-entries=N]\n"
-               "                   [--max-requests=N] [--stats]\n"
+               "                   [--max-requests=N] [--no-incremental]\n"
+               "                   [--stats]\n"
                "serves JSON-lines verification requests on 127.0.0.1\n"
                "(wire protocol and runbook: docs/serving.md)\n");
   return 2;
@@ -128,6 +129,11 @@ int main(int argc, char** argv) {
                      "error: --max-requests expects a positive integer\n");
         return 2;
       }
+    } else if (arg == "--no-incremental") {
+      // Disable cache-assisted incremental re-verification (the
+      // quick-implication confirmation path; docs/implication.md) —
+      // every verdict-cache miss then pays for a cold solve.
+      options.incremental = false;
     } else if (arg == "--stats") {
       stats = true;
     } else {

@@ -69,6 +69,27 @@ class SharedCache {
     return it->second;
   }
 
+  /// Publishes `value` under `key`, overwriting any existing entry
+  /// (unlike Insert's first-writer-wins). For enriching a published
+  /// entry with lazily computed data — e.g. attaching a minimized
+  /// core to a cached INCONSISTENT verdict. Outstanding shared_ptrs
+  /// to the old value stay valid; only future lookups see the new one.
+  std::shared_ptr<const Value> Replace(const std::string& key, Value value) {
+    auto owned = std::make_shared<const Value>(std::move(value));
+    // Same contract as Insert: the cache may drop any publication
+    // (fault point, epoch clear), and the caller still gets a usable
+    // unshared value.
+    if (FaultInjector::ShouldFail("cache_insert")) return owned;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.size() >= max_entries_ &&
+        entries_.find(key) == entries_.end()) {
+      entries_.clear();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    entries_[key] = owned;
+    return owned;
+  }
+
   /// Convenience wrapper: Lookup, and on a miss compute outside the
   /// lock via `factory()` (returning Value) and Insert the result.
   template <typename Factory>

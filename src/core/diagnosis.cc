@@ -1,9 +1,12 @@
 #include "core/diagnosis.h"
 
+#include <algorithm>
 #include <variant>
 #include <vector>
 
 #include "core/implication.h"
+#include "core/implication_engine.h"
+#include "trace/trace.h"
 
 namespace xmlverify {
 
@@ -35,12 +38,76 @@ ConstraintSet Rebuild(const std::vector<AnyConstraint>& flat,
   return set;
 }
 
+// The wall-clock allowance a single probe may spend: whatever the
+// caller's options leave, measured once at entry so every probe gets
+// the same allowance.
+Deadline::Clock::duration ProbeWall(const ConsistencyChecker::Options& base) {
+  return std::min(base.deadline.Remaining(),
+                  base.budget.deadline().Remaining());
+}
+
+// Per-probe checker options: the caller's ceilings, but a fresh
+// accounting block and a freshly stamped deadline. Sharing the
+// caller's ResourceBudget across all |Sigma|+1 probes accumulates
+// charges (and the one absolute deadline keeps ticking), so late
+// probes would spuriously exhaust and their constraints be
+// conservatively kept — degrading the "minimal" core toward the full
+// set.
+ConsistencyChecker::Options ProbeOptions(
+    const ConsistencyChecker::Options& base, Deadline::Clock::duration wall) {
+  ConsistencyChecker::Options probe = base;
+  ResourceBudget fresh;
+  fresh.set_memory_limit_bytes(base.budget.memory_limit_bytes());
+  fresh.set_max_depth(base.budget.max_depth());
+  if (wall == Deadline::Clock::duration::max()) {
+    probe.deadline = Deadline::Infinite();
+  } else {
+    probe.deadline = Deadline::After(wall);
+    fresh.set_deadline(probe.deadline);
+  }
+  probe.budget = fresh;
+  return probe;
+}
+
+// Is `constraint` implied by `rest` (under the DTD)? Decidable
+// flavours go through the layered engine (quick tier first, solver on
+// misses); relative and multi-attribute constraints get the quick
+// tier only. Errors and unsettled answers count as "not implied".
+bool ImpliedByRest(const ImplicationChecker& engine, const Dtd& dtd,
+                   const ConstraintSet& rest, const AnyConstraint& constraint) {
+  if (const auto* key = std::get_if<AbsoluteKey>(&constraint)) {
+    if (!key->IsUnary()) return engine.QuickImplies(dtd, rest, *key);
+    Result<ImplicationAnswer> answer = engine.CheckKey(dtd, rest, *key);
+    return answer.ok() && answer->implied;
+  }
+  if (const auto* inc = std::get_if<AbsoluteInclusion>(&constraint)) {
+    if (!inc->IsUnary()) return engine.QuickImplies(dtd, rest, *inc);
+    Result<ImplicationAnswer> answer = engine.CheckInclusion(dtd, rest, *inc);
+    return answer.ok() && answer->implied;
+  }
+  if (const auto* key = std::get_if<RegularKey>(&constraint)) {
+    Result<ImplicationAnswer> answer = engine.CheckKey(dtd, rest, *key);
+    return answer.ok() && answer->implied;
+  }
+  if (const auto* inc = std::get_if<RegularInclusion>(&constraint)) {
+    Result<ImplicationAnswer> answer = engine.CheckInclusion(dtd, rest, *inc);
+    return answer.ok() && answer->implied;
+  }
+  if (const auto* key = std::get_if<RelativeKey>(&constraint)) {
+    return engine.QuickImplies(dtd, rest, *key);
+  }
+  if (const auto* inc = std::get_if<RelativeInclusion>(&constraint)) {
+    return engine.QuickImplies(dtd, rest, *inc);
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<ConstraintSet> MinimizeInconsistentCore(
     const Dtd& dtd, const ConstraintSet& constraints,
     const DiagnosisOptions& options) {
-  ConsistencyChecker checker(options.checker);
+  const Deadline::Clock::duration wall = ProbeWall(options.checker);
   std::vector<AnyConstraint> flat = Flatten(constraints);
   std::vector<bool> keep(flat.size(), true);
 
@@ -49,22 +116,53 @@ Result<ConstraintSet> MinimizeInconsistentCore(
   // copyable; assemble a working specification per probe.
   spec.dtd = dtd;
   spec.constraints = Rebuild(flat, keep);
-  ASSIGN_OR_RETURN(ConsistencyVerdict verdict, checker.Check(spec));
-  if (verdict.outcome != ConsistencyOutcome::kInconsistent) {
-    return Status::InvalidArgument(
-        "MinimizeInconsistentCore requires an (exactly) inconsistent "
-        "specification; got " + OutcomeName(verdict.outcome));
+  {
+    ConsistencyChecker checker(ProbeOptions(options.checker, wall));
+    ASSIGN_OR_RETURN(ConsistencyVerdict verdict, checker.Check(spec));
+    if (verdict.outcome != ConsistencyOutcome::kInconsistent) {
+      return Status::InvalidArgument(
+          "MinimizeInconsistentCore requires an (exactly) inconsistent "
+          "specification; got " + OutcomeName(verdict.outcome));
+    }
   }
 
   // Iterative deletion: drop each constraint if the rest stays
-  // inconsistent.
+  // inconsistent. Each probe runs under its own derived budget (see
+  // ProbeOptions above).
   for (size_t i = 0; i < flat.size(); ++i) {
     keep[i] = false;
     spec.constraints = Rebuild(flat, keep);
+    ConsistencyChecker checker(ProbeOptions(options.checker, wall));
     Result<ConsistencyVerdict> probe = checker.Check(spec);
     bool still_inconsistent =
         probe.ok() && probe->outcome == ConsistencyOutcome::kInconsistent;
     if (!still_inconsistent) keep[i] = true;  // needed for the core
+  }
+
+  // Implication pruning: a kept constraint implied by the rest of the
+  // core constrains no document the rest does not, so dropping it
+  // leaves an equiconsistent (still inconsistent) set. Iterative
+  // deletion already yields 1-minimality when every probe settles;
+  // this pass additionally shrinks cores whose probes ended kUnknown
+  // or exhausted (those constraints were kept conservatively).
+  ImplicationEngineOptions engine_options;
+  const ConsistencyChecker::Options prune_probe =
+      ProbeOptions(options.checker, wall);
+  engine_options.full.solver = prune_probe.solver;
+  engine_options.full.solver.deadline = prune_probe.deadline;
+  engine_options.full.solver.budget = prune_probe.budget;
+  engine_options.full.max_expressions = options.checker.max_expressions;
+  engine_options.full.build_counterexample = false;
+  const ImplicationChecker engine(engine_options);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    if (!keep[i]) continue;
+    keep[i] = false;
+    ConstraintSet rest = Rebuild(flat, keep);
+    if (ImpliedByRest(engine, dtd, rest, flat[i])) {
+      trace::Count("diagnosis/implication_pruned");
+    } else {
+      keep[i] = true;
+    }
   }
   return Rebuild(flat, keep);
 }

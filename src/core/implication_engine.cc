@@ -1,0 +1,552 @@
+#include "core/implication_engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "constraints/inclusion_closure.h"
+#include "regex/automaton.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+// r._*.tau — the path reaching every tau node (Definition 2.1 places
+// root-typed elements only at the root, hence the bare-symbol case).
+Regex AbsolutePath(const Dtd& dtd, int type) {
+  if (type == dtd.root()) return Regex::Symbol(type);
+  return Regex::Concat(
+      Regex::Concat(Regex::Symbol(dtd.root()), Regex::Star(Regex::Wildcard())),
+      Regex::Symbol(type));
+}
+
+bool MentionsWildcard(const Regex& regex) {
+  switch (regex.kind()) {
+    case RegexKind::kWildcard:
+      return true;
+    case RegexKind::kConcat:
+    case RegexKind::kUnion:
+      return MentionsWildcard(regex.left()) || MentionsWildcard(regex.right());
+    case RegexKind::kStar:
+      return MentionsWildcard(regex.left());
+    default:
+      return false;
+  }
+}
+
+// Lazily-built shared state for one (dtd, sigma) quick-tier session,
+// so set-level queries (QuickImpliesAll) pay for the inclusion
+// closure and the wildcard alphabet at most once.
+struct QuickContext {
+  QuickContext(const Dtd& dtd_in, const ConstraintSet& sigma_in)
+      : dtd(dtd_in), sigma(sigma_in) {}
+
+  const Dtd& dtd;
+  const ConstraintSet& sigma;
+
+  const InclusionClosure& Closure() const {
+    if (!closure) closure.emplace(sigma);
+    return *closure;
+  }
+
+  const std::vector<int>& NonRootTypes() const {
+    if (!non_root) {
+      non_root.emplace();
+      for (int type = 0; type < dtd.num_element_types(); ++type) {
+        if (type != dtd.root()) non_root->push_back(type);
+      }
+    }
+    return *non_root;
+  }
+
+ private:
+  mutable std::optional<InclusionClosure> closure;
+  mutable std::optional<std::vector<int>> non_root;
+};
+
+// L(a) subset of L(b) over the element-type alphabet, with `_` read
+// as E \ {r} exactly as the path checkers do (document_checker.cc,
+// regular_encoder.cc). Conservatively false when a wildcard cannot be
+// expanded (single-type DTD). Determinization goes through the
+// process-wide DFA memo, so repeated quick queries are hash lookups.
+bool PathContained(const QuickContext& ctx, const Regex& a, const Regex& b) {
+  Regex ea = a;
+  Regex eb = b;
+  if (MentionsWildcard(a) || MentionsWildcard(b)) {
+    const std::vector<int>& symbols = ctx.NonRootTypes();
+    if (symbols.empty()) return false;
+    if (MentionsWildcard(a)) ea = ExpandWildcard(a, symbols);
+    if (MentionsWildcard(b)) eb = ExpandWildcard(b, symbols);
+  }
+  if (ea.CanonicalText() == eb.CanonicalText()) return true;
+  const int alphabet = ctx.dtd.num_element_types();
+  return CachedDeterminize(ea, alphabet)
+      .ContainedIn(CachedDeterminize(eb, alphabet));
+}
+
+std::vector<std::string> Sorted(std::vector<std::string> attrs) {
+  std::sort(attrs.begin(), attrs.end());
+  return attrs;
+}
+
+// Attribute tuples in keys are sets: tau[X] only asks that the
+// X-projection be identifying, so order is irrelevant.
+bool SameAttrSet(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  return a.size() == b.size() && Sorted(a) == Sorted(b);
+}
+
+bool AttrSubset(const std::vector<std::string>& sub,
+                const std::vector<std::string>& super) {
+  std::vector<std::string> s = Sorted(sub);
+  std::vector<std::string> t = Sorted(super);
+  return std::includes(t.begin(), t.end(), s.begin(), s.end());
+}
+
+// An inclusion tau1[X] <= tau2[Y] is the set of positional pairs
+// (x_i, y_i); reordering the positions does not change the constraint
+// (the same parent element witnesses every pair).
+std::vector<std::pair<std::string, std::string>> AttrPairs(
+    const AbsoluteInclusion& inc) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const size_t arity =
+      std::min(inc.child_attributes.size(), inc.parent_attributes.size());
+  pairs.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    pairs.emplace_back(inc.child_attributes[i], inc.parent_attributes[i]);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+// --- Quick-tier rules. Each returns the name of the rule that fired,
+// or nullptr for "not settled" (never "not implied"). Every rule is a
+// sound underapproximation of (D, Sigma) |- phi; soundness arguments
+// are inline and cross-checked by the difftest --impl sweep.
+
+const char* QuickRule(const QuickContext& ctx, const AbsoluteKey& phi) {
+  // Any document has exactly one root element, so a key on the root
+  // type holds vacuously.
+  if (phi.type == ctx.dtd.root()) return "singleton-root";
+  for (const AbsoluteKey& key : ctx.sigma.absolute_keys()) {
+    if (key.type != phi.type) continue;
+    if (SameAttrSet(key.attributes, phi.attributes)) return "verbatim";
+    // tau[Y] -> tau with Y subset of X: if two elements agree on all
+    // of X they agree on Y, so the Y-key already separates them.
+    if (AttrSubset(key.attributes, phi.attributes)) return "key-subsumes";
+  }
+  if (phi.IsUnary()) {
+    const Regex all_paths = AbsolutePath(ctx.dtd, phi.type);
+    // A regular key over a superset of the tau node set: two
+    // colliding tau nodes would both lie in nodes(beta.tau) and
+    // violate it.
+    for (const RegularKey& key : ctx.sigma.regular_keys()) {
+      if (key.type != phi.type || key.attribute != phi.attributes[0]) continue;
+      if (PathContained(ctx, all_paths, key.node_path)) {
+        return "path-containment";
+      }
+    }
+    // A relative key at the root context ranges over the whole
+    // document: it IS the absolute key.
+    for (const RelativeKey& key : ctx.sigma.relative_keys()) {
+      if (key.context == ctx.dtd.root() && key.type == phi.type &&
+          key.attribute == phi.attributes[0]) {
+        return "root-context";
+      }
+    }
+  }
+  return nullptr;
+}
+
+const char* QuickRule(const QuickContext& ctx, const RegularKey& phi) {
+  // Root-typed elements occur only at the root, so nodes(beta.r) has
+  // at most one element and the key is vacuous.
+  if (phi.type == ctx.dtd.root()) return "singleton-root";
+  for (const RegularKey& key : ctx.sigma.regular_keys()) {
+    if (key.type != phi.type || key.attribute != phi.attribute) continue;
+    if (key.node_path.CanonicalText() == phi.node_path.CanonicalText()) {
+      return "verbatim";
+    }
+    // Sigma's key ranges over a superset node set.
+    if (PathContained(ctx, phi.node_path, key.node_path)) {
+      return "path-containment";
+    }
+  }
+  const Regex all_paths = AbsolutePath(ctx.dtd, phi.type);
+  // An absolute unary key covers every tau node, in particular
+  // nodes(phi) when L(phi) only reaches tau nodes.
+  for (const AbsoluteKey& key : ctx.sigma.absolute_keys()) {
+    if (key.type != phi.type || !key.IsUnary() ||
+        key.attributes[0] != phi.attribute) {
+      continue;
+    }
+    if (PathContained(ctx, phi.node_path, all_paths)) {
+      return "path-containment";
+    }
+  }
+  for (const RelativeKey& key : ctx.sigma.relative_keys()) {
+    if (key.context == ctx.dtd.root() && key.type == phi.type &&
+        key.attribute == phi.attribute &&
+        PathContained(ctx, phi.node_path, all_paths)) {
+      return "root-context";
+    }
+  }
+  return nullptr;
+}
+
+const char* QuickRule(const QuickContext& ctx, const AbsoluteInclusion& phi) {
+  // tau[X] <= tau[X]: every element witnesses itself.
+  if (phi.child_type == phi.parent_type &&
+      phi.child_attributes == phi.parent_attributes) {
+    return "reflexivity";
+  }
+  const auto pairs = AttrPairs(phi);
+  for (const AbsoluteInclusion& inc : ctx.sigma.absolute_inclusions()) {
+    if (inc.child_type == phi.child_type &&
+        inc.parent_type == phi.parent_type &&
+        inc.child_attributes.size() == phi.child_attributes.size() &&
+        AttrPairs(inc) == pairs) {
+      return "verbatim";
+    }
+  }
+  if (phi.IsUnary()) {
+    const std::string& ca = phi.child_attributes[0];
+    const std::string& pa = phi.parent_attributes[0];
+    // Reflexivity + transitivity over the unary inclusion graph,
+    // sound under every DTD (Cosmadakis–Kanellakis–Vardi).
+    if (ctx.Closure().Implies(phi.child_type, ca, phi.parent_type, pa)) {
+      return "closure";
+    }
+    for (const RelativeInclusion& inc : ctx.sigma.relative_inclusions()) {
+      if (inc.context == ctx.dtd.root() && inc.child_type == phi.child_type &&
+          inc.child_attribute == ca && inc.parent_type == phi.parent_type &&
+          inc.parent_attribute == pa) {
+        return "root-context";
+      }
+    }
+    // A regular inclusion whose left side covers all tau1 nodes and
+    // whose right side stays within the tau2 nodes.
+    for (const RegularInclusion& inc : ctx.sigma.regular_inclusions()) {
+      if (inc.child_type != phi.child_type || inc.child_attribute != ca ||
+          inc.parent_type != phi.parent_type || inc.parent_attribute != pa) {
+        continue;
+      }
+      if (PathContained(ctx, AbsolutePath(ctx.dtd, phi.child_type),
+                        inc.child_path) &&
+          PathContained(ctx, inc.parent_path,
+                        AbsolutePath(ctx.dtd, phi.parent_type))) {
+        return "path-containment";
+      }
+    }
+  }
+  return nullptr;
+}
+
+const char* QuickRule(const QuickContext& ctx, const RegularInclusion& phi) {
+  // nodes(child) within nodes(parent) on the same attribute: every
+  // node witnesses itself.
+  if (phi.child_type == phi.parent_type &&
+      phi.child_attribute == phi.parent_attribute &&
+      PathContained(ctx, phi.child_path, phi.parent_path)) {
+    return "reflexivity";
+  }
+  for (const RegularInclusion& inc : ctx.sigma.regular_inclusions()) {
+    if (inc.child_type != phi.child_type ||
+        inc.child_attribute != phi.child_attribute ||
+        inc.parent_type != phi.parent_type ||
+        inc.parent_attribute != phi.parent_attribute) {
+      continue;
+    }
+    if (inc.child_path.CanonicalText() == phi.child_path.CanonicalText() &&
+        inc.parent_path.CanonicalText() == phi.parent_path.CanonicalText()) {
+      return "verbatim";
+    }
+    // Shrink the left side, grow the right: Sigma's inclusion gives
+    // each node of the smaller child set a witness in the smaller
+    // parent set, which lies inside phi's larger one.
+    if (PathContained(ctx, phi.child_path, inc.child_path) &&
+        PathContained(ctx, inc.parent_path, phi.parent_path)) {
+      return "path-containment";
+    }
+  }
+  // An absolute unary inclusion covers all tau1 nodes; it settles phi
+  // when phi's child set only reaches tau1 nodes and phi's parent set
+  // contains every tau2 node.
+  for (const AbsoluteInclusion& inc : ctx.sigma.absolute_inclusions()) {
+    if (!inc.IsUnary()) continue;
+    if (inc.child_type != phi.child_type ||
+        inc.child_attributes[0] != phi.child_attribute ||
+        inc.parent_type != phi.parent_type ||
+        inc.parent_attributes[0] != phi.parent_attribute) {
+      continue;
+    }
+    if (PathContained(ctx, phi.child_path,
+                      AbsolutePath(ctx.dtd, phi.child_type)) &&
+        PathContained(ctx, AbsolutePath(ctx.dtd, phi.parent_type),
+                      phi.parent_path)) {
+      return "path-containment";
+    }
+  }
+  return nullptr;
+}
+
+const char* QuickRule(const QuickContext& ctx, const RelativeKey& phi) {
+  // Root-typed elements occur only at the root: below any context
+  // element there is at most one, so the key is vacuous.
+  if (phi.type == ctx.dtd.root()) return "singleton-root";
+  for (const RelativeKey& key : ctx.sigma.relative_keys()) {
+    if (key.context == phi.context && key.type == phi.type &&
+        key.attribute == phi.attribute) {
+      return "verbatim";
+    }
+  }
+  // A document-wide key separates tau nodes everywhere, in particular
+  // within each context subtree.
+  for (const AbsoluteKey& key : ctx.sigma.absolute_keys()) {
+    if (key.type == phi.type && key.IsUnary() &&
+        key.attributes[0] == phi.attribute) {
+      return "global-to-local";
+    }
+  }
+  const Regex all_paths = AbsolutePath(ctx.dtd, phi.type);
+  for (const RegularKey& key : ctx.sigma.regular_keys()) {
+    if (key.type == phi.type && key.attribute == phi.attribute &&
+        PathContained(ctx, all_paths, key.node_path)) {
+      return "global-to-local";
+    }
+  }
+  return nullptr;
+}
+
+const char* QuickRule(const QuickContext& ctx, const RelativeInclusion& phi) {
+  // ctx(tau.l <= tau.l): each descendant witnesses itself.
+  if (phi.child_type == phi.parent_type &&
+      phi.child_attribute == phi.parent_attribute) {
+    return "reflexivity";
+  }
+  for (const RelativeInclusion& inc : ctx.sigma.relative_inclusions()) {
+    if (inc.context == phi.context && inc.child_type == phi.child_type &&
+        inc.child_attribute == phi.child_attribute &&
+        inc.parent_type == phi.parent_type &&
+        inc.parent_attribute == phi.parent_attribute) {
+      return "verbatim";
+    }
+  }
+  // NOTE: an absolute inclusion does NOT localize — the global parent
+  // witness may live under a different context element.
+  return nullptr;
+}
+
+template <typename Phi>
+bool QuickSettled(const QuickContext& ctx, const Phi& phi) {
+  const char* rule = QuickRule(ctx, phi);
+  trace::Count(rule != nullptr ? "impl/quick_hits" : "impl/quick_misses");
+  return rule != nullptr;
+}
+
+std::string MemoKey(const Dtd& dtd, const ConstraintSet& sigma,
+                    const char* flavor, const std::string& phi_text) {
+  // Keyed on the canonical renderings: the DTD text pins the symbol
+  // ids, Sigma's text is a parse->serialize fixed point, and phi is
+  // rendered with the same names. Equal keys denote equal questions
+  // across processes and unrelated Specification objects.
+  std::string key = dtd.ToString();
+  key += "\n%%\n";
+  key += sigma.ToString(dtd);
+  key += "\n|=\n";
+  key += flavor;
+  key += ' ';
+  key += phi_text;
+  return key;
+}
+
+template <typename QuickFn, typename FullFn>
+Result<ImplicationAnswer> LayeredCheck(const ImplicationEngineOptions& options,
+                                       const Dtd& dtd,
+                                       const ConstraintSet& sigma,
+                                       const char* flavor,
+                                       const std::string& phi_text,
+                                       QuickFn&& quick, FullFn&& full) {
+  if (options.use_quick) {
+    QuickContext ctx{dtd, sigma};
+    if (const char* rule = quick(ctx)) {
+      trace::Count("impl/quick_hits");
+      ImplicationAnswer answer;
+      answer.implied = true;
+      answer.tier = ImplicationTier::kQuick;
+      answer.rule = rule;
+      return answer;
+    }
+    trace::Count("impl/quick_misses");
+  }
+  std::string key;
+  if (options.use_memo) {
+    key = MemoKey(dtd, sigma, flavor, phi_text);
+    if (auto hit = ImplicationChecker::GlobalMemo().Lookup(key)) {
+      // The memo stores verdicts only. A memoized "not implied" has
+      // no counterexample to offer, so it cannot serve a caller that
+      // asked for one — fall through and re-solve.
+      if (hit->implied || !options.full.build_counterexample) {
+        trace::Count("impl/memo_hits");
+        ImplicationAnswer answer;
+        answer.implied = hit->implied;
+        answer.tier = ImplicationTier::kMemo;
+        return answer;
+      }
+    }
+  }
+  trace::Count("impl/full_checks");
+  Result<ImplicationVerdict> verdict = full();
+  if (!verdict.ok()) return verdict.status();
+  if (options.use_memo) {
+    ImplicationChecker::GlobalMemo().Insert(key,
+                                            ImplicationMemoEntry{
+                                                verdict->implied,
+                                            });
+  }
+  ImplicationAnswer answer;
+  answer.implied = verdict->implied;
+  answer.tier = ImplicationTier::kFull;
+  answer.counterexample = std::move(verdict->counterexample);
+  answer.stats = verdict->stats;
+  return answer;
+}
+
+}  // namespace
+
+std::string ImplicationTierName(ImplicationTier tier) {
+  switch (tier) {
+    case ImplicationTier::kQuick:
+      return "quick";
+    case ImplicationTier::kMemo:
+      return "memo";
+    case ImplicationTier::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+SharedCache<ImplicationMemoEntry>& ImplicationChecker::GlobalMemo() {
+  static SharedCache<ImplicationMemoEntry>* memo =
+      new SharedCache<ImplicationMemoEntry>(1 << 14);
+  return *memo;
+}
+
+Result<ImplicationAnswer> ImplicationChecker::CheckKey(
+    const Dtd& dtd, const ConstraintSet& sigma, const AbsoluteKey& phi) const {
+  return LayeredCheck(
+      options_, dtd, sigma, "ak", phi.ToString(dtd),
+      [&](const QuickContext& ctx) { return QuickRule(ctx, phi); },
+      [&] { return CheckKeyImplication(dtd, sigma, phi, options_.full); });
+}
+
+Result<ImplicationAnswer> ImplicationChecker::CheckKey(
+    const Dtd& dtd, const ConstraintSet& sigma, const RegularKey& phi) const {
+  return LayeredCheck(
+      options_, dtd, sigma, "rk", phi.ToString(dtd),
+      [&](const QuickContext& ctx) { return QuickRule(ctx, phi); },
+      [&] { return CheckKeyImplication(dtd, sigma, phi, options_.full); });
+}
+
+Result<ImplicationAnswer> ImplicationChecker::CheckInclusion(
+    const Dtd& dtd, const ConstraintSet& sigma,
+    const AbsoluteInclusion& phi) const {
+  return LayeredCheck(
+      options_, dtd, sigma, "ai", phi.ToString(dtd),
+      [&](const QuickContext& ctx) { return QuickRule(ctx, phi); },
+      [&] {
+        return CheckInclusionImplication(dtd, sigma, phi, options_.full);
+      });
+}
+
+Result<ImplicationAnswer> ImplicationChecker::CheckInclusion(
+    const Dtd& dtd, const ConstraintSet& sigma,
+    const RegularInclusion& phi) const {
+  return LayeredCheck(
+      options_, dtd, sigma, "ri", phi.ToString(dtd),
+      [&](const QuickContext& ctx) { return QuickRule(ctx, phi); },
+      [&] {
+        return CheckInclusionImplication(dtd, sigma, phi, options_.full);
+      });
+}
+
+Result<ImplicationAnswer> ImplicationChecker::CheckForeignKey(
+    const Dtd& dtd, const ConstraintSet& sigma,
+    const AbsoluteInclusion& phi) const {
+  // Quick tier must settle BOTH parts; otherwise delegate to the full
+  // foreign-key check, which reports whichever part fails first.
+  return LayeredCheck(
+      options_, dtd, sigma, "fk", phi.ToString(dtd),
+      [&](const QuickContext& ctx) -> const char* {
+        const AbsoluteKey key_part{phi.parent_type, phi.parent_attributes};
+        if (QuickRule(ctx, key_part) == nullptr) return nullptr;
+        return QuickRule(ctx, phi);
+      },
+      [&] {
+        return CheckForeignKeyImplication(dtd, sigma, phi, options_.full);
+      });
+}
+
+bool ImplicationChecker::QuickImplies(const Dtd& dtd,
+                                      const ConstraintSet& sigma,
+                                      const AbsoluteKey& phi) const {
+  return QuickSettled(QuickContext{dtd, sigma}, phi);
+}
+
+bool ImplicationChecker::QuickImplies(const Dtd& dtd,
+                                      const ConstraintSet& sigma,
+                                      const AbsoluteInclusion& phi) const {
+  return QuickSettled(QuickContext{dtd, sigma}, phi);
+}
+
+bool ImplicationChecker::QuickImplies(const Dtd& dtd,
+                                      const ConstraintSet& sigma,
+                                      const RegularKey& phi) const {
+  return QuickSettled(QuickContext{dtd, sigma}, phi);
+}
+
+bool ImplicationChecker::QuickImplies(const Dtd& dtd,
+                                      const ConstraintSet& sigma,
+                                      const RegularInclusion& phi) const {
+  return QuickSettled(QuickContext{dtd, sigma}, phi);
+}
+
+bool ImplicationChecker::QuickImplies(const Dtd& dtd,
+                                      const ConstraintSet& sigma,
+                                      const RelativeKey& phi) const {
+  return QuickSettled(QuickContext{dtd, sigma}, phi);
+}
+
+bool ImplicationChecker::QuickImplies(const Dtd& dtd,
+                                      const ConstraintSet& sigma,
+                                      const RelativeInclusion& phi) const {
+  return QuickSettled(QuickContext{dtd, sigma}, phi);
+}
+
+bool ImplicationChecker::QuickImpliesAll(const Dtd& dtd,
+                                         const ConstraintSet& sigma,
+                                         const ConstraintSet& phis) const {
+  const QuickContext ctx{dtd, sigma};
+  for (const AbsoluteKey& phi : phis.absolute_keys()) {
+    if (!QuickSettled(ctx, phi)) return false;
+  }
+  for (const AbsoluteInclusion& phi : phis.absolute_inclusions()) {
+    if (!QuickSettled(ctx, phi)) return false;
+  }
+  for (const RegularKey& phi : phis.regular_keys()) {
+    if (!QuickSettled(ctx, phi)) return false;
+  }
+  for (const RegularInclusion& phi : phis.regular_inclusions()) {
+    if (!QuickSettled(ctx, phi)) return false;
+  }
+  for (const RelativeKey& phi : phis.relative_keys()) {
+    if (!QuickSettled(ctx, phi)) return false;
+  }
+  for (const RelativeInclusion& phi : phis.relative_inclusions()) {
+    if (!QuickSettled(ctx, phi)) return false;
+  }
+  return true;
+}
+
+}  // namespace xmlverify

@@ -86,6 +86,12 @@ Cell RunCell(uint64_t seed, DifftestClass cls, const DifftestOptions& options) {
 
   CrossCheckReport report = CheckUnderSolverPath(generated->spec, options);
   cell.consensus = report.consensus;
+  if (options.impl_mode) {
+    std::vector<std::string> impl_reasons =
+        CrossCheckImplication(generated->spec, options.impl);
+    report.disagreements.insert(report.disagreements.end(),
+                                impl_reasons.begin(), impl_reasons.end());
+  }
   if (report.agreed()) return cell;
 
   cell.disagreed = true;
@@ -95,7 +101,9 @@ Cell RunCell(uint64_t seed, DifftestClass cls, const DifftestOptions& options) {
   cell.disagreement.spec_text = generated->text;
   if (options.shrink) {
     SpecPredicate still_disagrees = [&options](const Specification& spec) {
-      return !CheckUnderSolverPath(spec, options).agreed();
+      if (!CheckUnderSolverPath(spec, options).agreed()) return true;
+      return options.impl_mode &&
+             !CrossCheckImplication(spec, options.impl).empty();
     };
     ShrinkOutcome shrunk = ShrinkSpecification(generated->spec,
                                                still_disagrees,

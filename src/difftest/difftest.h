@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "difftest/impl_check.h"
 #include "difftest/oracle.h"
 #include "difftest/shrinker.h"
 #include "difftest/spec_generator.h"
@@ -44,6 +45,11 @@ struct DifftestOptions {
   int jobs = 1;
   /// Minimize disagreeing specs before reporting them.
   bool shrink = true;
+  /// Also run the implication cross-check on every generated spec
+  /// (difftest/impl_check.h): quick tier vs full encoding vs bounded /
+  /// exhaustive counterexample search, per constraint.
+  bool impl_mode = false;
+  ImplCheckOptions impl;
   SpecGeneratorOptions generator;
   OracleOptions oracle;
   ShrinkOptions shrinker;

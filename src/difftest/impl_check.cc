@@ -1,0 +1,313 @@
+#include "difftest/impl_check.h"
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/string_util.h"
+#include "checker/document_checker.h"
+#include "constraints/constraint.h"
+#include "core/implication.h"
+#include "difftest/oracle.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+enum class Flavor { kAbsKey, kAbsInc, kRegKey, kRegInc, kRelKey, kRelInc };
+
+// Sigma \ {the `skip`-th constraint of flavour `f`}: rebuilt by
+// re-adding everything else (ConstraintSet has no erase).
+ConstraintSet Without(const ConstraintSet& s, Flavor f, size_t skip) {
+  ConstraintSet out;
+  for (size_t i = 0; i < s.absolute_keys().size(); ++i) {
+    if (f == Flavor::kAbsKey && i == skip) continue;
+    out.Add(s.absolute_keys()[i]);
+  }
+  for (size_t i = 0; i < s.absolute_inclusions().size(); ++i) {
+    if (f == Flavor::kAbsInc && i == skip) continue;
+    out.Add(s.absolute_inclusions()[i]);
+  }
+  for (size_t i = 0; i < s.regular_keys().size(); ++i) {
+    if (f == Flavor::kRegKey && i == skip) continue;
+    out.Add(s.regular_keys()[i]);
+  }
+  for (size_t i = 0; i < s.regular_inclusions().size(); ++i) {
+    if (f == Flavor::kRegInc && i == skip) continue;
+    out.Add(s.regular_inclusions()[i]);
+  }
+  for (size_t i = 0; i < s.relative_keys().size(); ++i) {
+    if (f == Flavor::kRelKey && i == skip) continue;
+    out.Add(s.relative_keys()[i]);
+  }
+  for (size_t i = 0; i < s.relative_inclusions().size(); ++i) {
+    if (f == Flavor::kRelInc && i == skip) continue;
+    out.Add(s.relative_inclusions()[i]);
+  }
+  return out;
+}
+
+// The exhaustive gate of difftest/oracle.cc: when the DTD's document
+// space is finite and its maximal document fits the caps, a value
+// pool covering every attribute slot makes the enumeration complete
+// (constraint semantics only see value equality, so any document
+// relabels injectively into the pool).
+struct ExhaustiveGate {
+  bool complete = false;
+  BoundedSearchOptions search;
+};
+
+ExhaustiveGate GateExhaustive(const Dtd& dtd, const ImplCheckOptions& options) {
+  ExhaustiveGate gate;
+  if (dtd.IsRecursive() || !dtd.IsNoStar()) return gate;
+  int nodes = MaxDocumentNodes(dtd, options.exhaustive_max_nodes + 1);
+  int slots = MaxAttributeSlots(dtd, options.exhaustive_max_slots + 1);
+  if (nodes > options.exhaustive_max_nodes ||
+      slots > options.exhaustive_max_slots) {
+    return gate;
+  }
+  gate.complete = true;
+  gate.search.max_nodes = nodes;
+  gate.search.num_values = slots < 1 ? 1 : slots;
+  gate.search.max_candidates =
+      options.bounded.max_candidates < 500000 ? 500000
+                                              : options.bounded.max_candidates;
+  return gate;
+}
+
+// One implication question: does (D, Sigma \ {c}) imply c? Holds the
+// verdicts of every route that ran.
+struct Question {
+  std::string name;                   // c rendered, for reasons
+  bool quick = false;                 // quick tier settled "implied"
+  std::optional<bool> full;           // full tier (decidable flavours)
+  std::optional<XmlTree> full_counterexample;
+  std::optional<bool> brute_refuted;  // bounded search found a witness
+  std::optional<XmlTree> brute_counterexample;
+  std::optional<bool> exhaustive;     // complete enumeration verdict
+};
+
+// Replays `ce` against the question: a genuine counterexample is a
+// DTD-valid document satisfying Sigma' and violating phi. `phi` holds
+// the constraint under test (two entries for a foreign key).
+void ReplayCounterexample(const Dtd& dtd, const ConstraintSet& sigma_prime,
+                          const ConstraintSet& phi, const XmlTree& ce,
+                          const std::string& route, const std::string& name,
+                          std::vector<std::string>* reasons) {
+  Status premises = CheckDocument(ce, dtd, sigma_prime);
+  if (!premises.ok()) {
+    reasons->push_back("impl: " + route + " counterexample for " + name +
+                       " does not satisfy the premises: " +
+                       premises.message());
+    return;
+  }
+  if (CheckConstraints(ce, dtd, phi).ok()) {
+    // The documented CheckForeignKeyImplication failure mode: a
+    // "counterexample" that in fact satisfies the constraint (both
+    // foreign-key parts) refutes nothing.
+    reasons->push_back("impl: " + route + " counterexample for " + name +
+                       " satisfies the constraint it should violate");
+  }
+}
+
+void JudgeQuestion(const Question& q, std::vector<std::string>* reasons) {
+  if (q.quick && q.full.has_value() && !*q.full) {
+    reasons->push_back("impl: quick tier claims " + q.name +
+                       " implied, full check says not implied");
+  }
+  if (q.quick && q.brute_refuted.value_or(false)) {
+    reasons->push_back("impl: quick tier claims " + q.name +
+                       " implied, bounded search found a counterexample");
+  }
+  if (q.full.value_or(false) && q.brute_refuted.value_or(false)) {
+    reasons->push_back("impl: full check claims " + q.name +
+                       " implied, bounded search found a counterexample");
+  }
+  if (q.exhaustive.has_value() && q.full.has_value() &&
+      *q.exhaustive != *q.full) {
+    reasons->push_back(
+        "impl: exhaustive enumeration says " + q.name +
+        (*q.exhaustive ? " implied" : " not implied") +
+        ", full check disagrees");
+  }
+  if (q.exhaustive.has_value() && !*q.exhaustive && q.quick) {
+    reasons->push_back("impl: quick tier claims " + q.name +
+                       " implied, exhaustive enumeration refutes it");
+  }
+}
+
+// Runs every route for one constraint. `run_full` invokes the
+// engine's layered check (nullopt when the flavour is undecidable or
+// the check errored on budget).
+void RunQuestion(
+    const Dtd& dtd, const ConstraintSet& sigma_prime, const ConstraintSet& phi,
+    const std::string& name, bool quick,
+    const std::optional<Result<ImplicationAnswer>>& full,
+    const ImplCheckOptions& options, const ExhaustiveGate& gate,
+    std::vector<std::string>* reasons) {
+  Question q;
+  q.name = name;
+  q.quick = quick;
+  if (full.has_value() && full->ok()) {
+    q.full = (*full)->implied;
+    if (!(*full)->implied && (*full)->counterexample.has_value()) {
+      ReplayCounterexample(dtd, sigma_prime, phi, *(*full)->counterexample,
+                           "full-tier", name, reasons);
+    }
+  }
+
+  BoundedSearchOptions bounded = options.bounded;
+  if (options.timeout_millis > 0) {
+    bounded.deadline = Deadline::AfterMillis(options.timeout_millis);
+  }
+  Result<BoundedRefutation> brute =
+      SearchImplicationCounterexample(dtd, sigma_prime, phi, bounded);
+  if (brute.ok()) {
+    q.brute_refuted = brute->refuted;
+    if (brute->refuted && brute->counterexample.has_value()) {
+      ReplayCounterexample(dtd, sigma_prime, phi, *brute->counterexample,
+                           "bounded-search", name, reasons);
+    }
+  }
+
+  if (gate.complete) {
+    BoundedSearchOptions exhaustive = gate.search;
+    if (options.timeout_millis > 0) {
+      exhaustive.deadline = Deadline::AfterMillis(options.timeout_millis);
+    }
+    Result<ConsistencyVerdict> search = BoundedSearchDocument(
+        dtd,
+        [&](const XmlTree& tree) {
+          return CheckConstraints(tree, dtd, sigma_prime).ok() &&
+                 !CheckConstraints(tree, dtd, phi).ok();
+        },
+        exhaustive);
+    if (search.ok()) {
+      if (search->outcome == ConsistencyOutcome::kConsistent) {
+        q.exhaustive = false;  // counterexample exists: not implied
+        if (search->witness.has_value()) {
+          ReplayCounterexample(dtd, sigma_prime, phi, *search->witness,
+                               "exhaustive", name, reasons);
+        }
+      } else if (search->outcome == ConsistencyOutcome::kUnknown &&
+                 StartsWith(search->note, "no satisfying document")) {
+        q.exhaustive = true;  // full space enumerated, no counterexample
+        trace::Count("difftest/impl_exhaustive_proofs");
+      }
+    }
+  }
+
+  JudgeQuestion(q, reasons);
+}
+
+ConstraintSet Only(AbsoluteKey c) { ConstraintSet s; s.Add(std::move(c)); return s; }
+ConstraintSet Only(AbsoluteInclusion c) { ConstraintSet s; s.Add(std::move(c)); return s; }
+ConstraintSet Only(RegularKey c) { ConstraintSet s; s.Add(std::move(c)); return s; }
+ConstraintSet Only(RegularInclusion c) { ConstraintSet s; s.Add(std::move(c)); return s; }
+ConstraintSet Only(RelativeKey c) { ConstraintSet s; s.Add(std::move(c)); return s; }
+ConstraintSet Only(RelativeInclusion c) { ConstraintSet s; s.Add(std::move(c)); return s; }
+
+}  // namespace
+
+std::vector<std::string> CrossCheckImplication(const Specification& spec,
+                                               const ImplCheckOptions& options) {
+  std::vector<std::string> reasons;
+  const Dtd& dtd = spec.dtd;
+  const ConstraintSet& sigma = spec.constraints;
+  if (!sigma.Validate(dtd).ok()) return reasons;
+
+  ImplicationEngineOptions engine_options = options.engine;
+  engine_options.full.build_counterexample = true;  // replay needs them
+  // Quick-tier queries take no budgets; full-tier solves get a fresh
+  // per-question deadline through `full_engine` (Deadline is an
+  // absolute time point, so it cannot be stamped once up front).
+  const ImplicationChecker engine(engine_options);
+  auto full_engine = [&]() {
+    ImplicationEngineOptions stamped = engine_options;
+    if (options.timeout_millis > 0) {
+      stamped.full.solver.deadline =
+          Deadline::AfterMillis(options.timeout_millis);
+    }
+    return ImplicationChecker(stamped);
+  };
+  const ExhaustiveGate gate = GateExhaustive(dtd, options);
+
+  for (size_t i = 0; i < sigma.absolute_keys().size(); ++i) {
+    const AbsoluteKey& c = sigma.absolute_keys()[i];
+    ConstraintSet rest = Without(sigma, Flavor::kAbsKey, i);
+    std::optional<Result<ImplicationAnswer>> full;
+    if (c.IsUnary()) full = full_engine().CheckKey(dtd, rest, c);
+    RunQuestion(dtd, rest, Only(c), c.ToString(dtd),
+                engine.QuickImplies(dtd, rest, c), full, options, gate,
+                &reasons);
+  }
+  for (size_t i = 0; i < sigma.absolute_inclusions().size(); ++i) {
+    const AbsoluteInclusion& c = sigma.absolute_inclusions()[i];
+    ConstraintSet rest = Without(sigma, Flavor::kAbsInc, i);
+    std::optional<Result<ImplicationAnswer>> full;
+    if (c.IsUnary()) full = full_engine().CheckInclusion(dtd, rest, c);
+    RunQuestion(dtd, rest, Only(c), c.ToString(dtd),
+                engine.QuickImplies(dtd, rest, c), full, options, gate,
+                &reasons);
+
+    // Foreign-key audit: when Sigma also keys the referenced side,
+    // cross-check CheckForeignKeyImplication's two-part verdict and
+    // replay its counterexample against BOTH parts (the historical
+    // failure mode is a counterexample satisfying each part).
+    if (c.IsUnary()) {
+      AbsoluteKey parent_key{c.parent_type, c.parent_attributes};
+      bool has_parent_key = false;
+      for (const AbsoluteKey& k : sigma.absolute_keys()) {
+        if (k.type == parent_key.type &&
+            k.attributes == parent_key.attributes) {
+          has_parent_key = true;
+          break;
+        }
+      }
+      if (has_parent_key) {
+        Result<ImplicationAnswer> fk = full_engine().CheckForeignKey(dtd, rest, c);
+        if (fk.ok() && !(*fk).implied && (*fk).counterexample.has_value()) {
+          ConstraintSet fk_parts = Only(c);
+          fk_parts.Add(parent_key);
+          ReplayCounterexample(dtd, rest, fk_parts, *(*fk).counterexample,
+                               "foreign-key", c.ToString(dtd) + " (as FK)",
+                               &reasons);
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < sigma.regular_keys().size(); ++i) {
+    const RegularKey& c = sigma.regular_keys()[i];
+    ConstraintSet rest = Without(sigma, Flavor::kRegKey, i);
+    RunQuestion(dtd, rest, Only(c), c.ToString(dtd),
+                engine.QuickImplies(dtd, rest, c),
+                full_engine().CheckKey(dtd, rest, c), options, gate, &reasons);
+  }
+  for (size_t i = 0; i < sigma.regular_inclusions().size(); ++i) {
+    const RegularInclusion& c = sigma.regular_inclusions()[i];
+    ConstraintSet rest = Without(sigma, Flavor::kRegInc, i);
+    RunQuestion(dtd, rest, Only(c), c.ToString(dtd),
+                engine.QuickImplies(dtd, rest, c),
+                full_engine().CheckInclusion(dtd, rest, c), options, gate, &reasons);
+  }
+  // Relative premises make Impl undecidable (Corollary 4.5): only the
+  // quick tier and the (one-sided or exhaustive) search apply.
+  for (size_t i = 0; i < sigma.relative_keys().size(); ++i) {
+    const RelativeKey& c = sigma.relative_keys()[i];
+    ConstraintSet rest = Without(sigma, Flavor::kRelKey, i);
+    RunQuestion(dtd, rest, Only(c), c.ToString(dtd),
+                engine.QuickImplies(dtd, rest, c), std::nullopt, options,
+                gate, &reasons);
+  }
+  for (size_t i = 0; i < sigma.relative_inclusions().size(); ++i) {
+    const RelativeInclusion& c = sigma.relative_inclusions()[i];
+    ConstraintSet rest = Without(sigma, Flavor::kRelInc, i);
+    RunQuestion(dtd, rest, Only(c), c.ToString(dtd),
+                engine.QuickImplies(dtd, rest, c), std::nullopt, options,
+                gate, &reasons);
+  }
+  return reasons;
+}
+
+}  // namespace xmlverify

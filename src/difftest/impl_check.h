@@ -1,0 +1,64 @@
+// Differential cross-check of the layered implication engine
+// (core/implication_engine.h): for every constraint c of a generated
+// specification, asks whether Sigma \ {c} implies c through three
+// independent routes —
+//
+//   quick  the syntactic quick tier (sound underapproximation);
+//   full   the SAT-based contrapositive encoding, on the decidable
+//          fragments (unary absolute, regular);
+//   brute  bounded counterexample search, upgraded to a complete
+//          enumeration when the DTD's document space is finite and
+//          small (the oracle's exhaustive gate, difftest/oracle.h).
+//
+// Soundness assertions (any violation is a reported disagreement):
+//   quick implied      => full implied, and no brute counterexample;
+//   full implied       => no brute counterexample;
+//   exhaustive implied => full must agree implied;
+//   every full-tier counterexample replays through the dynamic
+//   document checker: it satisfies (D, Sigma \ {c}) and violates c —
+//   in particular CheckForeignKeyImplication counterexamples must
+//   violate at least one of the foreign key's two parts.
+#ifndef XMLVERIFY_DIFFTEST_IMPL_CHECK_H_
+#define XMLVERIFY_DIFFTEST_IMPL_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/brute_force.h"
+#include "core/implication_engine.h"
+#include "core/specification.h"
+
+namespace xmlverify {
+
+struct ImplCheckOptions {
+  ImplCheckOptions() {
+    // The cross-check runs one bounded search per constraint, so its
+    // caps are an order of magnitude below the oracle's per-cell ones.
+    bounded.max_nodes = 6;
+    bounded.max_candidates = 20000;
+  }
+
+  /// Engine options for the quick/full tiers. Counterexamples are
+  /// forced on for the full tier (the replay needs them).
+  ImplicationEngineOptions engine;
+  /// Caps for the always-on bounded refutation search.
+  BoundedSearchOptions bounded;
+  /// Per-route wall-clock budget in milliseconds (0 = none), stamped
+  /// freshly for each search/solve so one slow question cannot starve
+  /// the rest into spurious findings.
+  int64_t timeout_millis = 2000;
+  /// Exhaustive-gate ceilings, as in OracleOptions: the DTD's maximal
+  /// document must fit for the enumeration to count as complete.
+  int exhaustive_max_nodes = 7;
+  int exhaustive_max_slots = 4;
+};
+
+/// Runs the three-way implication cross-check on every constraint of
+/// `spec`. Returns human-readable disagreement reasons; empty means
+/// all routes agreed (and every counterexample replayed cleanly).
+std::vector<std::string> CrossCheckImplication(
+    const Specification& spec, const ImplCheckOptions& options = {});
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_DIFFTEST_IMPL_CHECK_H_

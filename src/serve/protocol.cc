@@ -333,6 +333,11 @@ Result<ServeRequest> ParseServeRequest(const std::string& line) {
         return FieldTypeError(key, "a boolean");
       }
       request.want_witness = value.boolean;
+    } else if (key == "core") {
+      if (value.kind != JsonValue::Kind::kBool) {
+        return FieldTypeError(key, "a boolean");
+      }
+      request.want_core = value.boolean;
     } else {
       return Status::InvalidArgument("unknown field \"" + key + "\"");
     }
@@ -395,7 +400,9 @@ std::string FormatVerdictResponse(const std::string& id,
                                   const std::string& note,
                                   const std::string& fingerprint, bool cached,
                                   const std::string& witness_xml,
-                                  bool include_witness) {
+                                  bool include_witness,
+                                  const std::string& core_text,
+                                  bool include_core) {
   std::string line = "{\"id\":" + trace::JsonQuote(id) +
                      ",\"verdict\":" + trace::JsonQuote(OutcomeName(outcome)) +
                      ",\"cached\":" + (cached ? "true" : "false") +
@@ -403,6 +410,12 @@ std::string FormatVerdictResponse(const std::string& id,
   if (!note.empty()) line += ",\"note\":" + trace::JsonQuote(note);
   if (include_witness && !witness_xml.empty()) {
     line += ",\"witness\":" + trace::JsonQuote(witness_xml);
+  }
+  // Cores accompany INCONSISTENT verdicts only (the cache enforces
+  // the same invariant on its side).
+  if (include_core && !core_text.empty() &&
+      outcome == ConsistencyOutcome::kInconsistent) {
+    line += ",\"core\":" + trace::JsonQuote(core_text);
   }
   line += "}\n";
   return line;

@@ -12,12 +12,17 @@
 //    "spec": "<combined .xvc text>",    // this, or dtd+constraints
 //    "dtd": "...", "constraints": "...",
 //    "timeout_ms": 5000,                // optional per-request budget
-//    "witness": true}                   // optional, default false
+//    "witness": true,                   // optional, default false
+//    "core": true}                      // optional, default false:
+//                                       // on INCONSISTENT, return a
+//                                       // minimized unsat core
 //
 // Response object, exactly one of three shapes:
 //
 //   {"id":"r1","verdict":"CONSISTENT","note":"...","cached":false,
 //    "fingerprint":"<32 hex>","witness":"<xml>"}      // witness opt-in
+//   (INCONSISTENT responses additionally carry
+//    "core":"<constraint lines>" when requested — docs/implication.md)
 //   {"id":"r1","error":"INVALID_REQUEST","message":"...",
 //    "retryable":false}                               // per-request error
 //   {"id":"r7","error":"RETRYABLE","message":"queue full",
@@ -49,6 +54,9 @@ struct ServeRequest {
   bool has_pair = false;       // "dtd"/"constraints" were present
   int64_t timeout_millis = 0;  // 0: no per-request budget
   bool want_witness = false;
+  /// "core": on an INCONSISTENT verdict, minimize and return an unsat
+  /// core (ignored for other outcomes).
+  bool want_core = false;
 };
 
 /// Parses one request line. Rejects (kInvalidArgument): non-JSON,
@@ -68,7 +76,9 @@ std::string FormatVerdictResponse(const std::string& id,
                                   const std::string& note,
                                   const std::string& fingerprint, bool cached,
                                   const std::string& witness_xml,
-                                  bool include_witness);
+                                  bool include_witness,
+                                  const std::string& core_text = std::string(),
+                                  bool include_core = false);
 std::string FormatErrorResponse(const std::string& id, const std::string& code,
                                 const std::string& message, bool retryable);
 

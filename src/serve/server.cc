@@ -13,8 +13,12 @@
 #include <thread>
 #include <utility>
 
+#include "checker/document_checker.h"
 #include "core/canonical.h"
+#include "core/diagnosis.h"
+#include "core/implication_engine.h"
 #include "core/specification.h"
+#include "xml/xml_parser.h"
 
 namespace xmlverify {
 
@@ -27,6 +31,13 @@ std::string RawCacheKey(const ServeRequest& request) {
   if (request.has_spec) return "s\n" + request.spec_text;
   return "p\n" + request.dtd_text + "\n\x1f\n" + request.constraints_text;
 }
+
+// Bounds for the incremental-reverification history: a small FIFO of
+// recently solved constraint sets per DTD, and an epoch clear on the
+// DTD map itself, mirroring SharedCache's crude-but-contention-free
+// policy.
+constexpr size_t kHistoryPerDtd = 4;
+constexpr size_t kHistoryDtds = 1024;
 
 }  // namespace
 
@@ -336,19 +347,137 @@ void ServeServer::WorkerLoop() {
   }
 }
 
+int64_t ServeServer::EffectiveTimeout(const ServeRequest& request) const {
+  int64_t timeout = options_.timeout_millis;
+  if (request.timeout_millis > 0 &&
+      (timeout <= 0 || request.timeout_millis < timeout)) {
+    timeout = request.timeout_millis;
+  }
+  return timeout;
+}
+
+ConsistencyChecker::Options ServeServer::StampedCheckOptions(
+    int64_t timeout_millis) const {
+  ConsistencyChecker::Options check = options_.check;
+  check.build_witness = true;  // cached entries carry the witness
+  ResourceBudget budget;
+  if (timeout_millis > 0) {
+    check.deadline = Deadline::AfterMillis(timeout_millis);
+    budget.set_deadline(check.deadline);
+  }
+  if (options_.memory_limit_bytes > 0) {
+    budget.set_memory_limit_bytes(options_.memory_limit_bytes);
+  }
+  if (options_.max_depth > 0) budget.set_max_depth(options_.max_depth);
+  check.budget = budget;
+  return check;
+}
+
+std::string ServeServer::ComputeCoreText(const Specification& spec,
+                                         int64_t timeout_millis,
+                                         ConstraintSet* core_out) {
+  // The minimization runs |Sigma|+1 probe checks; it gets one fresh
+  // request-sized budget here, and MinimizeInconsistentCore derives a
+  // fresh per-probe budget from it (core/diagnosis.cc).
+  DiagnosisOptions diagnosis;
+  diagnosis.checker = StampedCheckOptions(timeout_millis);
+  diagnosis.checker.build_witness = false;  // probes only need verdicts
+  Result<ConstraintSet> core =
+      MinimizeInconsistentCore(spec.dtd, spec.constraints, diagnosis);
+  if (!core.ok()) {
+    trace::Count("serve/core_failed");
+    return std::string();
+  }
+  trace::Count("serve/core_computed");
+  if (core_out != nullptr) *core_out = *core;
+  return core->ToString(spec.dtd);
+}
+
+void ServeServer::RecordHistory(const std::string& dtd_text,
+                                HistoryEntry entry) {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  if (history_.size() >= kHistoryDtds &&
+      history_.find(dtd_text) == history_.end()) {
+    history_.clear();  // epoch clear, SharedCache-style
+  }
+  std::vector<HistoryEntry>& entries = history_[dtd_text];
+  entries.push_back(std::move(entry));
+  if (entries.size() > kHistoryPerDtd) entries.erase(entries.begin());
+}
+
+bool ServeServer::TryIncremental(const Specification& spec,
+                                 HistoryEntry* confirmed) {
+  std::vector<HistoryEntry> candidates;
+  {
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    auto it = history_.find(spec.dtd.ToString());
+    if (it == history_.end()) return false;
+    candidates = it->second;  // small copy; confirm outside the lock
+  }
+  const ImplicationChecker engine;
+  // Most recent first: incremental editing sessions hit the last
+  // verdict almost always.
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const HistoryEntry& old = *it;
+    if (old.outcome == ConsistencyOutcome::kInconsistent) {
+      // Sigma_new |= core (or the full old Sigma): any document
+      // satisfying the new spec would satisfy an inconsistent set.
+      const ConstraintSet& base = old.has_core ? old.core : old.constraints;
+      if (engine.QuickImpliesAll(spec.dtd, spec.constraints, base)) {
+        *confirmed = old;
+        // The old core need not be a subset of the new constraints;
+        // core-requesting clients get a fresh minimization instead.
+        confirmed->has_core = false;
+        confirmed->core = ConstraintSet();
+        confirmed->witness_xml.clear();
+        return true;
+      }
+    } else if (old.outcome == ConsistencyOutcome::kConsistent) {
+      // Sigma_old |= Sigma_new pointwise: the old witness satisfies
+      // the new spec. Defense in depth: replay it through the dynamic
+      // checker before trusting the implication algebra.
+      if (!engine.QuickImpliesAll(spec.dtd, old.constraints,
+                                  spec.constraints)) {
+        continue;
+      }
+      if (old.witness_xml.empty()) continue;
+      Result<XmlTree> witness = ParseXmlDocument(old.witness_xml, spec.dtd);
+      if (!witness.ok() ||
+          !CheckDocument(*witness, spec.dtd, spec.constraints).ok()) {
+        trace::Count("serve/incremental_witness_rejected");
+        continue;
+      }
+      *confirmed = old;
+      confirmed->has_core = false;
+      confirmed->core = ConstraintSet();
+      return true;
+    }
+  }
+  return false;
+}
+
 void ServeServer::HandleRequest(const Job& job) {
   const ServeRequest& request = job.request;
   const std::string raw_key = RawCacheKey(request);
 
-  // Raw tier first: a byte-identical repeat skips even the parse.
+  // Raw tier first: a byte-identical repeat skips even the parse —
+  // unless the entry owes the client a core it does not have yet, in
+  // which case the parse path below computes and attaches it once.
   if (auto hit = cache_.LookupRaw(raw_key)) {
-    trace::Count("serve/cache_hits");
-    WriteResponse(job.conn,
-                  FormatVerdictResponse(request.id, hit->outcome, hit->note,
-                                        hit->fingerprint, /*cached=*/true,
-                                        hit->witness_xml,
-                                        request.want_witness));
-    return;
+    const bool core_pending =
+        request.want_core &&
+        hit->outcome == ConsistencyOutcome::kInconsistent &&
+        hit->core_text.empty();
+    if (!core_pending) {
+      trace::Count("serve/cache_hits");
+      WriteResponse(job.conn,
+                    FormatVerdictResponse(request.id, hit->outcome, hit->note,
+                                          hit->fingerprint, /*cached=*/true,
+                                          hit->witness_xml,
+                                          request.want_witness, hit->core_text,
+                                          request.want_core));
+      return;
+    }
   }
 
   Result<Specification> spec =
@@ -367,36 +496,70 @@ void ServeServer::HandleRequest(const Job& job) {
   const std::string fingerprint = FingerprintText(canonical);
   if (auto hit = cache_.LookupCanonical(canonical, raw_key)) {
     trace::Count("serve/cache_hits");
+    std::string core_text = hit->core_text;
+    if (request.want_core &&
+        hit->outcome == ConsistencyOutcome::kInconsistent &&
+        core_text.empty()) {
+      ConstraintSet core;
+      core_text = ComputeCoreText(*spec, EffectiveTimeout(request), &core);
+      if (!core_text.empty()) {
+        cache_.AttachCore(canonical, raw_key, core_text);
+        HistoryEntry entry;
+        entry.constraints = spec->constraints;
+        entry.core = core;
+        entry.has_core = true;
+        entry.outcome = hit->outcome;
+        entry.note = hit->note;
+        RecordHistory(spec->dtd.ToString(), std::move(entry));
+      }
+    }
     WriteResponse(job.conn,
                   FormatVerdictResponse(request.id, hit->outcome, hit->note,
                                         hit->fingerprint, /*cached=*/true,
-                                        hit->witness_xml,
-                                        request.want_witness));
+                                        hit->witness_xml, request.want_witness,
+                                        core_text, request.want_core));
     return;
   }
   trace::Count("serve/cache_misses");
 
+  // Incremental re-verification: before paying for a cold solve, try
+  // to confirm a verdict previously computed for the same DTD whose
+  // constraints differ only in ways the quick implication tier can
+  // discharge (docs/implication.md).
+  if (options_.incremental) {
+    HistoryEntry confirmed;
+    if (TryIncremental(*spec, &confirmed)) {
+      trace::Count("serve/incremental_hits");
+      cache_.Insert(canonical, raw_key, fingerprint, confirmed.outcome,
+                    confirmed.note, confirmed.witness_xml);
+      std::string core_text;
+      if (request.want_core &&
+          confirmed.outcome == ConsistencyOutcome::kInconsistent) {
+        ConstraintSet core;
+        core_text = ComputeCoreText(*spec, EffectiveTimeout(request), &core);
+        if (!core_text.empty()) {
+          cache_.AttachCore(canonical, raw_key, core_text);
+          confirmed.core = core;
+          confirmed.has_core = true;
+        }
+      }
+      HistoryEntry record = confirmed;
+      record.constraints = spec->constraints;
+      RecordHistory(spec->dtd.ToString(), std::move(record));
+      WriteResponse(job.conn,
+                    FormatVerdictResponse(request.id, confirmed.outcome,
+                                          confirmed.note, fingerprint,
+                                          /*cached=*/true,
+                                          confirmed.witness_xml,
+                                          request.want_witness, core_text,
+                                          request.want_core));
+      return;
+    }
+  }
+
   // Budgets are stamped when the worker picks the job up, so queueing
   // time is not charged against the request (batch-runner contract).
-  ConsistencyChecker::Options check = options_.check;
-  check.build_witness = true;  // cached entries carry the witness
-  int64_t timeout = options_.timeout_millis;
-  if (request.timeout_millis > 0 &&
-      (timeout <= 0 || request.timeout_millis < timeout)) {
-    timeout = request.timeout_millis;
-  }
-  ResourceBudget budget;
-  if (timeout > 0) {
-    check.deadline = Deadline::AfterMillis(timeout);
-    budget.set_deadline(check.deadline);
-  }
-  if (options_.memory_limit_bytes > 0) {
-    budget.set_memory_limit_bytes(options_.memory_limit_bytes);
-  }
-  if (options_.max_depth > 0) budget.set_max_depth(options_.max_depth);
-  check.budget = budget;
-
-  ConsistencyChecker checker(std::move(check));
+  ConsistencyChecker checker(StampedCheckOptions(EffectiveTimeout(request)));
   Result<ConsistencyVerdict> verdict = checker.Check(*spec);
   if (!verdict.ok()) {
     trace::Count("serve/check_errors");
@@ -418,11 +581,33 @@ void ServeServer::HandleRequest(const Job& job) {
   // this run's budget, not the specification).
   cache_.Insert(canonical, raw_key, fingerprint, verdict->outcome,
                 verdict->note, witness_xml);
+  std::string core_text;
+  ConstraintSet core;
+  bool has_core = false;
+  if (request.want_core &&
+      verdict->outcome == ConsistencyOutcome::kInconsistent) {
+    core_text = ComputeCoreText(*spec, EffectiveTimeout(request), &core);
+    if (!core_text.empty()) {
+      cache_.AttachCore(canonical, raw_key, core_text);
+      has_core = true;
+    }
+  }
+  if (VerdictCache::Cacheable(verdict->outcome)) {
+    HistoryEntry entry;
+    entry.constraints = spec->constraints;
+    entry.core = core;
+    entry.has_core = has_core;
+    entry.outcome = verdict->outcome;
+    entry.note = verdict->note;
+    entry.witness_xml = witness_xml;
+    RecordHistory(spec->dtd.ToString(), std::move(entry));
+  }
   WriteResponse(job.conn,
                 FormatVerdictResponse(request.id, verdict->outcome,
                                       verdict->note, fingerprint,
                                       /*cached=*/false, witness_xml,
-                                      request.want_witness));
+                                      request.want_witness, core_text,
+                                      request.want_core));
 }
 
 void ServeServer::WriteResponse(const std::shared_ptr<Connection>& conn,

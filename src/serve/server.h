@@ -36,6 +36,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
@@ -74,6 +75,15 @@ struct ServeOptions {
   int64_t max_requests = 0;
   /// Base checker options; budgets/deadline stamped per request.
   ConsistencyChecker::Options check;
+  /// Incremental re-verification (docs/implication.md): on a verdict
+  /// cache miss, try to confirm a previously solved verdict for the
+  /// same DTD through quick-tier implication — Sigma_new implying the
+  /// old (in)consistency core preserves INCONSISTENT; the old Sigma
+  /// implying Sigma_new preserves CONSISTENT (with the old witness
+  /// revalidated against the new constraints) — instead of re-solving
+  /// from scratch. Sound: quick-tier answers are underapproximations
+  /// and witnesses are replayed through the dynamic checker.
+  bool incremental = true;
   /// Test-only: each worker sleeps this long before handling a job,
   /// making queue buildup (and thus shedding) deterministic in tests.
   int64_t debug_handle_delay_millis = 0;
@@ -132,6 +142,18 @@ class ServeServer {
     std::shared_ptr<Connection> conn;
   };
 
+  /// One solved specification remembered for the incremental path:
+  /// the constraints it carried, its definitive outcome, and (when a
+  /// client has paid for them) its minimized core and witness.
+  struct HistoryEntry {
+    ConstraintSet constraints;
+    ConstraintSet core;  // meaningful only when has_core
+    bool has_core = false;
+    ConsistencyOutcome outcome = ConsistencyOutcome::kUnknown;
+    std::string note;
+    std::string witness_xml;
+  };
+
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
@@ -143,8 +165,34 @@ class ServeServer {
                      const std::string& line);
   void RequestStop();
 
+  /// Per-request checker options with freshly stamped budgets
+  /// (queueing time is never charged; see HandleRequest).
+  ConsistencyChecker::Options StampedCheckOptions(
+      int64_t timeout_millis) const;
+  /// Effective per-request timeout: the server ceiling tightened by
+  /// the request's own timeout_ms.
+  int64_t EffectiveTimeout(const ServeRequest& request) const;
+  /// Minimizes an unsat core for an INCONSISTENT spec under a fresh
+  /// request-sized budget; returns the rendered constraint text ("" on
+  /// failure) and the core set itself via `core_out` (when non-null).
+  std::string ComputeCoreText(const Specification& spec,
+                              int64_t timeout_millis,
+                              ConstraintSet* core_out);
+  /// Remembers a definitive verdict for the incremental path
+  /// (bounded per DTD and globally; replaces an entry with the same
+  /// constraint text).
+  void RecordHistory(const std::string& dtd_text, HistoryEntry entry);
+  /// Tries to confirm a cached verdict for `spec` from the history of
+  /// its DTD via quick-tier implication. On success fills `confirmed`.
+  bool TryIncremental(const Specification& spec, HistoryEntry* confirmed);
+
   ServeOptions options_;
   VerdictCache cache_;
+
+  // Recently solved specifications grouped by their canonical DTD
+  // text (same text => same symbol ids, so constraint sets transfer).
+  std::mutex history_mutex_;
+  std::unordered_map<std::string, std::vector<HistoryEntry>> history_;
   std::mutex listen_mutex_;  // guards listen_fd_/listen_shut_ teardown
   int listen_fd_ = -1;
   bool listen_shut_ = false;

@@ -48,4 +48,25 @@ std::shared_ptr<const CachedVerdict> VerdictCache::Insert(
   return shared;
 }
 
+std::shared_ptr<const CachedVerdict> VerdictCache::AttachCore(
+    const std::string& canonical_text, const std::string& raw_text,
+    const std::string& core_text) {
+  auto existing = canonical_.Lookup(canonical_text);
+  // Cores only make sense on (and are only ever attached to)
+  // INCONSISTENT entries; anything else is refused here so a buggy
+  // caller cannot break the CachedVerdict invariants.
+  if (existing == nullptr ||
+      existing->outcome != ConsistencyOutcome::kInconsistent) {
+    return nullptr;
+  }
+  CachedVerdict enriched = *existing;
+  enriched.core_text = core_text;
+  auto shared = canonical_.Replace(canonical_text, enriched);
+  if (!raw_text.empty() && raw_text != canonical_text) {
+    raw_.Replace(raw_text, std::move(enriched));
+  }
+  trace::Count("serve/cache_core_attached");
+  return shared;
+}
+
 }  // namespace xmlverify

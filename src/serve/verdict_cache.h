@@ -42,6 +42,11 @@ struct CachedVerdict {
   std::string note;
   std::string witness_xml;    // empty unless outcome is kConsistent
   std::string fingerprint;    // SpecFingerprint of the canonical text
+  /// Minimized inconsistent core in constraint syntax; empty unless
+  /// outcome is kInconsistent AND a core-requesting client has paid
+  /// for the minimization (AttachCore). Computed once, served from
+  /// the cache thereafter.
+  std::string core_text;
 };
 
 class VerdictCache {
@@ -72,6 +77,16 @@ class VerdictCache {
       const std::string& canonical_text, const std::string& raw_text,
       const std::string& fingerprint, ConsistencyOutcome outcome,
       const std::string& note, const std::string& witness_xml);
+
+  /// Attaches a minimized core to an already-cached INCONSISTENT
+  /// entry (both tiers), so later core-requesting hits are served
+  /// without re-minimizing. No-op (returning nullptr) when the
+  /// canonical entry is missing or not INCONSISTENT — the invariant
+  /// that only INCONSISTENT entries carry cores is enforced here, not
+  /// trusted to callers.
+  std::shared_ptr<const CachedVerdict> AttachCore(
+      const std::string& canonical_text, const std::string& raw_text,
+      const std::string& core_text);
 
   size_t size() const { return canonical_.size(); }
 

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/resource_guard.h"
 #include "core/implication.h"
 #include "tests/test_util.h"
 
@@ -33,6 +34,80 @@ b.id <= c.v
   EXPECT_EQ(core.absolute_inclusions().size(), 1u);
   ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
   EXPECT_EQ(core.absolute_keys()[0].type, a);
+}
+
+TEST(DiagnosisTest, ProbesGetFreshBudgetsNotTheCallersAccounting) {
+  // Regression: MinimizeInconsistentCore used to hand the caller's
+  // ConsistencyChecker::Options — including its live ResourceBudget
+  // accounting — to every deletion probe, so charges accumulated
+  // across the |Sigma|+1 probes and late probes spuriously exhausted.
+  // Each probe must instead get a budget with the caller's CEILINGS
+  // but fresh accounting: a caller whose own budget sits near its
+  // memory ceiling must not poison the probes.
+  Specification spec =
+      Specification::Parse(R"(
+<!ELEMENT r (a, a, b)>
+<!ATTLIST a id>
+<!ATTLIST b id>
+)",
+                           R"(
+a.id -> a
+a.id <= b.id
+b.id -> b
+)")
+          .ValueOrDie();
+  DiagnosisOptions options;
+  options.checker.budget.set_memory_limit_bytes(8 << 20);
+  // Park the caller's accounting 1KB below its ceiling for the whole
+  // minimization. Probes sharing this accounting would all fail with
+  // RESOURCE_EXHAUSTED; probes with fresh accounting never notice.
+  ScopedMemoryCharge parked(options.checker.budget, (8 << 20) - 1024,
+                            "test/parked");
+  ASSERT_OK(parked.status());
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet core,
+      MinimizeInconsistentCore(spec.dtd, spec.constraints, options));
+  // 1-minimal: exactly the key on a.id and the inclusion into the
+  // singleton b; the vacuous b.id -> b is deleted.
+  EXPECT_EQ(core.size(), 2);
+  EXPECT_EQ(core.absolute_keys().size(), 1u);
+  EXPECT_EQ(core.absolute_inclusions().size(), 1u);
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  EXPECT_EQ(core.absolute_keys()[0].type, a);
+}
+
+TEST(DiagnosisTest, ImplicationPruningLeavesNoImpliedConstraintInTheCore) {
+  // The pipeline's guarantee after the implication pruning pass: no
+  // kept constraint is implied by the rest of the core. The redundant
+  // transitive inclusion a.v <= c.v must never survive alongside
+  // a.v <= b.v and b.v <= c.v, whichever pass removes it.
+  Specification tight =
+      Specification::Parse(R"(
+<!ELEMENT r (a, a, b, c+)>
+<!ATTLIST a v>
+<!ATTLIST b v>
+<!ATTLIST c v>
+)",
+                           R"(
+a.v -> a
+a.v <= b.v
+b.v <= c.v
+a.v <= c.v
+c.v -> c
+b.v -> b
+)")
+          .ValueOrDie();
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet core,
+      MinimizeInconsistentCore(tight.dtd, tight.constraints));
+  // Core: a.v -> a plus a.v <= b.v (two a-values into one b slot).
+  // Everything else — including the redundant a.v <= c.v — is gone.
+  EXPECT_EQ(core.size(), 2);
+  // And 1-minimality holds: dropping either member yields consistency.
+  ConsistencyChecker checker;
+  Specification reduced{tight.dtd, core};
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict, checker.Check(reduced));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kInconsistent);
 }
 
 TEST(DiagnosisTest, RejectsConsistentSpecifications) {

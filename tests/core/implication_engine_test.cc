@@ -1,0 +1,258 @@
+// The layered implication engine: quick-tier soundness (every rule
+// cross-checked against the full contrapositive encoding), tier
+// attribution, memoization, and the set-level QuickImpliesAll
+// primitive behind incremental re-verification.
+#include "core/implication_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "checker/document_checker.h"
+#include "core/specification.h"
+#include "tests/test_util.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+Specification Parse(const std::string& dtd, const std::string& constraints) {
+  return Specification::Parse(dtd, constraints).ValueOrDie();
+}
+
+constexpr char kChainDtd[] = R"(
+<!ELEMENT r (a+, b+, c+)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+<!ATTLIST a v w>
+<!ATTLIST b v>
+<!ATTLIST c v>
+)";
+
+// Quick-tier "implied" must agree with the full encoding whenever the
+// flavour is decidable; asserts the tier as well.
+void ExpectQuickAgreesWithFull(const Specification& spec,
+                               const AbsoluteKey& phi) {
+  ImplicationChecker engine;
+  ASSERT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints, phi));
+  if (!phi.IsUnary()) return;  // full tier is unary-only
+  ImplicationEngineOptions no_quick;
+  no_quick.use_quick = false;
+  no_quick.use_memo = false;
+  ImplicationChecker full(no_quick);
+  ASSERT_OK_AND_ASSIGN(ImplicationAnswer answer,
+                       full.CheckKey(spec.dtd, spec.constraints, phi));
+  EXPECT_TRUE(answer.implied);
+  EXPECT_EQ(answer.tier, ImplicationTier::kFull);
+}
+
+TEST(QuickTierTest, VerbatimMatchesModuloAttributeOrder) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (a+)>
+<!ATTLIST a x y>
+)",
+                             "a[x,y] -> a\n");
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ImplicationChecker engine;
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                  AbsoluteKey{a, {"x", "y"}}));
+  // Attribute tuples are sets here: [y,x] is the same key.
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                  AbsoluteKey{a, {"y", "x"}}));
+  EXPECT_FALSE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                   AbsoluteKey{a, {"x"}}));
+}
+
+TEST(QuickTierTest, KeySubsumptionOverSupersetAttributes) {
+  Specification spec = Parse(kChainDtd, "a.v -> a\n");
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  // a[v] -> a gives a[v,w] -> a for free.
+  ExpectQuickAgreesWithFull(spec, AbsoluteKey{a, {"v", "w"}});
+}
+
+TEST(QuickTierTest, SingletonRootKeysAreVacuous) {
+  Specification spec = Parse("<!ELEMENT r (a*)>\n<!ATTLIST r id>\n"
+                             "<!ATTLIST a v>\n",
+                             "a.v <= a.v\n");
+  ASSERT_OK_AND_ASSIGN(int r, spec.dtd.TypeId("r"));
+  ExpectQuickAgreesWithFull(spec, AbsoluteKey{r, {"id"}});
+}
+
+TEST(QuickTierTest, InclusionReflexivity) {
+  Specification spec = Parse(kChainDtd, "");
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ImplicationChecker engine;
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                  AbsoluteInclusion{a, {"v"}, a, {"v"}}));
+  EXPECT_FALSE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                   AbsoluteInclusion{a, {"v"}, a, {"w"}}));
+}
+
+TEST(QuickTierTest, InclusionClosureTransitivity) {
+  Specification spec = Parse(kChainDtd, "a.v <= b.v\nb.v <= c.v\n");
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ASSERT_OK_AND_ASSIGN(int c, spec.dtd.TypeId("c"));
+  ImplicationChecker engine;
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                  AbsoluteInclusion{a, {"v"}, c, {"v"}}));
+  // The reverse is not implied, and the quick tier must not claim it.
+  EXPECT_FALSE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                   AbsoluteInclusion{c, {"v"}, a, {"v"}}));
+}
+
+TEST(QuickTierTest, RegularKeyPathContainment) {
+  // Sigma keys ALL items (path r._*.item); phi keys only the items
+  // under left — a smaller node set, so implied.
+  Specification spec = Parse(R"(
+<!ELEMENT r (left, right)>
+<!ELEMENT left (item*)>
+<!ELEMENT right (item*)>
+<!ELEMENT item EMPTY>
+<!ATTLIST item id>
+)",
+                             "r._*.item.id -> r._*.item\n");
+  Specification phi_spec = Parse(R"(
+<!ELEMENT r (left, right)>
+<!ELEMENT left (item*)>
+<!ELEMENT right (item*)>
+<!ELEMENT item EMPTY>
+<!ATTLIST item id>
+)",
+                                 "r.left.item.id -> r.left.item\n");
+  const RegularKey& phi = phi_spec.constraints.regular_keys()[0];
+  ImplicationChecker engine;
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints, phi));
+  // The reverse direction (narrow key does not cover all items).
+  EXPECT_FALSE(engine.QuickImplies(phi_spec.dtd, phi_spec.constraints,
+                                   spec.constraints.regular_keys()[0]));
+  // Cross-check with the full tier.
+  ImplicationEngineOptions no_quick;
+  no_quick.use_quick = false;
+  no_quick.use_memo = false;
+  ImplicationChecker full(no_quick);
+  ASSERT_OK_AND_ASSIGN(ImplicationAnswer answer,
+                       full.CheckKey(spec.dtd, spec.constraints, phi));
+  EXPECT_TRUE(answer.implied);
+}
+
+TEST(QuickTierTest, RootContextRelativeEqualsAbsolute) {
+  Specification spec = Parse(R"(
+<!ELEMENT r (a+)>
+<!ATTLIST a v>
+)",
+                             "a.v -> a\n");
+  ASSERT_OK_AND_ASSIGN(int r, spec.dtd.TypeId("r"));
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ImplicationChecker engine;
+  // r(a.v -> a) at the root context is the absolute key.
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                  RelativeKey{r, a, "v"}));
+}
+
+TEST(QuickTierTest, AbsoluteKeyStrengthensRelativeKey) {
+  // A document-wide key certainly keys within every subtree.
+  Specification spec = Parse(R"(
+<!ELEMENT r (g+)>
+<!ELEMENT g (a*)>
+<!ATTLIST a v>
+)",
+                             "a.v -> a\n");
+  ASSERT_OK_AND_ASSIGN(int g, spec.dtd.TypeId("g"));
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ImplicationChecker engine;
+  EXPECT_TRUE(engine.QuickImplies(spec.dtd, spec.constraints,
+                                  RelativeKey{g, a, "v"}));
+}
+
+TEST(LayeredCheckTest, QuickTierAnswersBeforeTheSolver) {
+  Specification spec = Parse(kChainDtd, "a.v <= b.v\n");
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  ASSERT_OK_AND_ASSIGN(int b, spec.dtd.TypeId("b"));
+  StatsRegistry registry;
+  TraceSession session(&registry);
+  ImplicationChecker engine;
+  ASSERT_OK_AND_ASSIGN(
+      ImplicationAnswer answer,
+      engine.CheckInclusion(spec.dtd, spec.constraints,
+                            AbsoluteInclusion{a, {"v"}, b, {"v"}}));
+  EXPECT_TRUE(answer.implied);
+  EXPECT_EQ(answer.tier, ImplicationTier::kQuick);
+  EXPECT_EQ(answer.rule, "verbatim");
+  EXPECT_GE(registry.Counter("impl/quick_hits"), 1);
+  EXPECT_EQ(registry.Counter("impl/full_checks"), 0);
+}
+
+TEST(LayeredCheckTest, MissFallsBackToFullAndMemoizes) {
+  Specification spec = Parse(kChainDtd, "a.v <= b.v\nb.v <= c.v\n");
+  ASSERT_OK_AND_ASSIGN(int c, spec.dtd.TypeId("c"));
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  const AbsoluteInclusion phi{c, {"v"}, a, {"v"}};  // not implied
+  ImplicationChecker::GlobalMemo().Clear();
+  StatsRegistry registry;
+  TraceSession session(&registry);
+  ImplicationEngineOptions options;
+  options.full.build_counterexample = false;
+  ImplicationChecker engine(options);
+  ASSERT_OK_AND_ASSIGN(ImplicationAnswer cold,
+                       engine.CheckInclusion(spec.dtd, spec.constraints, phi));
+  EXPECT_FALSE(cold.implied);
+  EXPECT_EQ(cold.tier, ImplicationTier::kFull);
+  EXPECT_EQ(registry.Counter("impl/full_checks"), 1);
+  ASSERT_OK_AND_ASSIGN(ImplicationAnswer warm,
+                       engine.CheckInclusion(spec.dtd, spec.constraints, phi));
+  EXPECT_FALSE(warm.implied);
+  EXPECT_EQ(warm.tier, ImplicationTier::kMemo);
+  EXPECT_EQ(registry.Counter("impl/full_checks"), 1);
+  EXPECT_GE(registry.Counter("impl/memo_hits"), 1);
+}
+
+TEST(LayeredCheckTest, MemoizedNegativeStillBuildsCounterexamples) {
+  // The memo stores verdicts only; a caller that wants the
+  // counterexample must get a fresh solve, not a bare "false".
+  Specification spec = Parse(kChainDtd, "a.v <= b.v\n");
+  ASSERT_OK_AND_ASSIGN(int c, spec.dtd.TypeId("c"));
+  ASSERT_OK_AND_ASSIGN(int a, spec.dtd.TypeId("a"));
+  const AbsoluteInclusion phi{c, {"v"}, a, {"v"}};
+  ImplicationChecker::GlobalMemo().Clear();
+  ImplicationEngineOptions no_ce;
+  no_ce.full.build_counterexample = false;
+  ImplicationChecker first(no_ce);
+  ASSERT_OK_AND_ASSIGN(ImplicationAnswer seeded,
+                       first.CheckInclusion(spec.dtd, spec.constraints, phi));
+  ASSERT_FALSE(seeded.implied);
+
+  ImplicationChecker second;  // counterexamples on (default)
+  ASSERT_OK_AND_ASSIGN(ImplicationAnswer answer,
+                       second.CheckInclusion(spec.dtd, spec.constraints, phi));
+  EXPECT_FALSE(answer.implied);
+  EXPECT_EQ(answer.tier, ImplicationTier::kFull);  // memo hit refused
+  ASSERT_TRUE(answer.counterexample.has_value());
+  EXPECT_OK(CheckDocument(*answer.counterexample, spec.dtd,
+                          spec.constraints));
+  ConstraintSet only_phi;
+  only_phi.Add(phi);
+  EXPECT_FALSE(
+      CheckConstraints(*answer.counterexample, spec.dtd, only_phi).ok());
+}
+
+TEST(QuickImpliesAllTest, DropsAndReorderings) {
+  Specification big = Parse(kChainDtd, "a.v -> a\na.v <= b.v\nb.v <= c.v\n");
+  Specification small = Parse(kChainDtd, "b.v <= c.v\na.v -> a\n");
+  Specification trans = Parse(kChainDtd, "a.v <= c.v\n");
+  Specification other = Parse(kChainDtd, "c.v <= a.v\n");
+  ImplicationChecker engine;
+  // Superset implies any reordered subset...
+  EXPECT_TRUE(engine.QuickImpliesAll(big.dtd, big.constraints,
+                                     small.constraints));
+  // ... and closure consequences ...
+  EXPECT_TRUE(engine.QuickImpliesAll(big.dtd, big.constraints,
+                                     trans.constraints));
+  // ... but never unrelated constraints.
+  EXPECT_FALSE(engine.QuickImpliesAll(big.dtd, big.constraints,
+                                      other.constraints));
+  // The subset does not imply the superset (a.v <= b.v is missing).
+  EXPECT_FALSE(engine.QuickImpliesAll(small.dtd, small.constraints,
+                                      big.constraints));
+}
+
+}  // namespace
+}  // namespace xmlverify

@@ -132,6 +132,47 @@ TEST(ProtocolTest, FormatsVerdictResponses) {
   EXPECT_EQ(no_witness.find('\n'), no_witness.size() - 1);
 }
 
+TEST(ProtocolTest, ParsesCoreFlag) {
+  ServeRequest request =
+      MustParse(R"({"id":"r1","spec":"root r","core":true})");
+  EXPECT_TRUE(request.want_core);
+  EXPECT_FALSE(MustParse(R"({"id":"r2","spec":"root r"})").want_core);
+  EXPECT_FALSE(
+      MustParse(R"({"id":"r3","spec":"root r","core":false})").want_core);
+  ExpectRejected(R"({"id":"r4","spec":"root r","core":"yes"})",
+                 "non-boolean core");
+}
+
+TEST(ProtocolTest, CoreEmittedOnlyForInconsistentWhenRequested) {
+  // Requested and INCONSISTENT: the core rides along.
+  std::string line = FormatVerdictResponse(
+      "r1", ConsistencyOutcome::kInconsistent, "n", "fp", true, "",
+      /*include_witness=*/false, "a.v -> a\nfk a.v <= b.v\n",
+      /*include_core=*/true);
+  EXPECT_NE(line.find("\"core\":\"a.v -> a\\nfk a.v <= b.v\\n\""),
+            std::string::npos);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+
+  // Not requested: no core member even when the text is available.
+  EXPECT_EQ(FormatVerdictResponse("r2", ConsistencyOutcome::kInconsistent,
+                                  "n", "fp", true, "", false, "a.v -> a\n",
+                                  /*include_core=*/false)
+                .find("\"core\""),
+            std::string::npos);
+  // CONSISTENT: cores never apply, regardless of the request.
+  EXPECT_EQ(FormatVerdictResponse("r3", ConsistencyOutcome::kConsistent,
+                                  "n", "fp", false, "<r/>", true,
+                                  "a.v -> a\n", /*include_core=*/true)
+                .find("\"core\""),
+            std::string::npos);
+  // Requested but not (yet) computed: omitted rather than empty.
+  EXPECT_EQ(FormatVerdictResponse("r4", ConsistencyOutcome::kInconsistent,
+                                  "n", "fp", false, "", false, "",
+                                  /*include_core=*/true)
+                .find("\"core\""),
+            std::string::npos);
+}
+
 TEST(ProtocolTest, FormatsErrorResponses) {
   std::string shed = FormatErrorResponse("r7", "RETRYABLE", "queue full",
                                          /*retryable=*/true);

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/consistency.h"
+#include "core/specification.h"
 #include "serve/client.h"
 #include "tests/test_util.h"
 
@@ -166,6 +168,111 @@ TEST(ServeSmokeTest, ConcurrentVerdictsMatchOneShotCli) {
   // Response budget spent: the server exits cleanly on its own.
   int server_exit = pclose(server);
   EXPECT_EQ(WEXITSTATUS(server_exit), 0);
+}
+
+// Pulls the string value of `key` out of a JSON response line and
+// undoes the escapes the serializer applies (the serve protocol only
+// ever emits \", \\, \n, \t and \u00XX control escapes; the specs in
+// this test exercise the first four).
+std::string ExtractJsonString(const std::string& line,
+                              const std::string& key) {
+  const std::string marker = "\"" + key + "\":\"";
+  size_t start = line.find(marker);
+  if (start == std::string::npos) return "";
+  start += marker.size();
+  std::string out;
+  for (size_t i = start; i < line.size(); ++i) {
+    char c = line[i];
+    if (c == '"') return out;
+    if (c != '\\' || i + 1 == line.size()) {
+      out += c;
+      continue;
+    }
+    char next = line[++i];
+    if (next == 'n') {
+      out += '\n';
+    } else if (next == 't') {
+      out += '\t';
+    } else {
+      out += next;  // \" and \\ decode to the escaped character.
+    }
+  }
+  return out;
+}
+
+// The served core must be a genuinely 1-minimal explanation: the core
+// itself is INCONSISTENT, and deleting any single constraint line
+// from it yields a CONSISTENT specification.
+TEST(ServeSmokeTest, ServedCoreIsOneMinimal) {
+  const std::string specs = XMLVC_SPECS_DIR;
+  const std::string geography = ReadFileOrDie(specs + "/geography.xvc");
+
+  // One core-computing request, one cache-served repeat.
+  FILE* server = popen((std::string(XMLVC_SERVE_BINARY_PATH) +
+                        " --port=0 --jobs=1 --max-requests=2 2>/dev/null")
+                           .c_str(),
+                       "r");
+  ASSERT_NE(server, nullptr);
+  char line[256];
+  ASSERT_NE(fgets(line, sizeof(line), server), nullptr);
+  int port = 0;
+  ASSERT_EQ(sscanf(line, "LISTENING 127.0.0.1 %d", &port), 1) << line;
+
+  const std::string request = "{\"id\":\"geo\",\"spec\":\"" +
+                              JsonEscape(geography) +
+                              "\",\"core\":true}";
+  std::string first;
+  std::string repeat;
+  {
+    ASSERT_OK_AND_ASSIGN(ServeClient client,
+                         ServeClient::Connect("127.0.0.1", port));
+    ASSERT_OK(client.SendLine(request));
+    ASSERT_OK_AND_ASSIGN(first, client.ReadLine());
+    ASSERT_OK(client.SendLine(request));
+    ASSERT_OK_AND_ASSIGN(repeat, client.ReadLine());
+  }
+  EXPECT_EQ(WEXITSTATUS(pclose(server)), 0);
+
+  ASSERT_EQ(ExtractVerdict(first), "INCONSISTENT") << first;
+  const std::string core_text = ExtractJsonString(first, "core");
+  ASSERT_NE(core_text, "") << first;
+  // The cached repeat serves the identical core without recomputing.
+  EXPECT_NE(repeat.find("\"cached\":true"), std::string::npos) << repeat;
+  EXPECT_EQ(ExtractJsonString(repeat, "core"), core_text) << repeat;
+
+  // Re-check the core against the specification's own DTD.
+  const size_t sep = geography.find("%%");
+  ASSERT_NE(sep, std::string::npos);
+  const std::string dtd_part = geography.substr(0, sep);
+
+  std::vector<std::string> core_lines;
+  std::istringstream core_stream(core_text);
+  for (std::string core_line; std::getline(core_stream, core_line);) {
+    if (!core_line.empty()) core_lines.push_back(core_line);
+  }
+  ASSERT_GE(core_lines.size(), 2u) << core_text;
+
+  ConsistencyChecker checker;
+  ASSERT_OK_AND_ASSIGN(
+      Specification core_spec,
+      Specification::ParseCombined(dtd_part + "%%\n" + core_text));
+  ASSERT_OK_AND_ASSIGN(ConsistencyVerdict core_verdict,
+                       checker.Check(core_spec));
+  EXPECT_EQ(core_verdict.outcome, ConsistencyOutcome::kInconsistent);
+
+  for (size_t skip = 0; skip < core_lines.size(); ++skip) {
+    std::string rest;
+    for (size_t i = 0; i < core_lines.size(); ++i) {
+      if (i != skip) rest += core_lines[i] + "\n";
+    }
+    ASSERT_OK_AND_ASSIGN(
+        Specification reduced,
+        Specification::ParseCombined(dtd_part + "%%\n" + rest));
+    ASSERT_OK_AND_ASSIGN(ConsistencyVerdict verdict,
+                         checker.Check(reduced));
+    EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent)
+        << "core stayed inconsistent without line: " << core_lines[skip];
+  }
 }
 
 }  // namespace

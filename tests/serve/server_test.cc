@@ -136,6 +136,103 @@ TEST_F(ServerTest, ServesVerdictsAndCachesDefinitiveOnes) {
   EXPECT_GE(stats_.Counter("serve/cache_hits"), 2);
 }
 
+// kConsistentSpec with its one constraint dropped: same DTD, weaker
+// Sigma — the incremental path confirms CONSISTENT from the history
+// entry's witness instead of solving.
+constexpr char kDroppedConstraintSpec[] =
+    "root r\n"
+    "<!ELEMENT r (a*)>\n"
+    "<!ELEMENT a (%)>\n"
+    "<!ATTLIST a x>\n"
+    "%%\n";
+
+// kInconsistentSpec plus one extra (absolute) key: a superset of an
+// inconsistent Sigma stays inconsistent, and the quick tier sees the
+// old constraints verbatim inside the new ones.
+constexpr char kExtendedInconsistentSpec[] =
+    "root r\n"
+    "<!ELEMENT r (a, b, b)>\n"
+    "<!ELEMENT a (%)>\n"
+    "<!ATTLIST a x>\n"
+    "<!ELEMENT b (%)>\n"
+    "<!ATTLIST b y>\n"
+    "%%\n"
+    "r.b.y -> r.b\n"
+    "fk r.b.y <= r.a.x\n"
+    "b.y -> b\n";
+
+TEST_F(ServerTest, IncrementalReVerificationConfirmsFromHistory) {
+  StartServer(ServeOptions{.jobs = 1});
+
+  // Cold solves seed the per-DTD history.
+  EXPECT_TRUE(Contains(RoundTrip(SpecRequest("c1", kConsistentSpec)),
+                       "\"cached\":false"));
+  EXPECT_TRUE(Contains(RoundTrip(SpecRequest("i1", kInconsistentSpec)),
+                       "\"verdict\":\"INCONSISTENT\""));
+
+  // CONSISTENT is preserved under dropped constraints (old Sigma
+  // implies new Sigma; the old witness is replayed).
+  std::string dropped = RoundTrip(SpecRequest("c2", kDroppedConstraintSpec));
+  EXPECT_TRUE(Contains(dropped, "\"verdict\":\"CONSISTENT\"")) << dropped;
+  EXPECT_TRUE(Contains(dropped, "\"cached\":true")) << dropped;
+
+  // INCONSISTENT is preserved under added constraints (new Sigma
+  // implies the old one).
+  std::string extended =
+      RoundTrip(SpecRequest("i2", kExtendedInconsistentSpec));
+  EXPECT_TRUE(Contains(extended, "\"verdict\":\"INCONSISTENT\"")) << extended;
+  EXPECT_TRUE(Contains(extended, "\"cached\":true")) << extended;
+
+  // And the confirmations are cached as first-class verdicts: the
+  // byte-identical repeats hit the raw tier.
+  EXPECT_TRUE(Contains(RoundTrip(SpecRequest("c3", kDroppedConstraintSpec)),
+                       "\"cached\":true"));
+
+  server_->Shutdown();
+  EXPECT_GE(stats_.Counter("serve/incremental_hits"), 2);
+}
+
+TEST_F(ServerTest, NoIncrementalFlagForcesColdSolves) {
+  StartServer(ServeOptions{.jobs = 1, .incremental = false});
+  EXPECT_TRUE(Contains(RoundTrip(SpecRequest("c1", kConsistentSpec)),
+                       "\"cached\":false"));
+  std::string dropped = RoundTrip(SpecRequest("c2", kDroppedConstraintSpec));
+  EXPECT_TRUE(Contains(dropped, "\"verdict\":\"CONSISTENT\"")) << dropped;
+  EXPECT_TRUE(Contains(dropped, "\"cached\":false")) << dropped;
+  server_->Shutdown();
+  EXPECT_EQ(stats_.Counter("serve/incremental_hits"), 0);
+}
+
+TEST_F(ServerTest, CoresComputedOncePerSpecAndServedFromCache) {
+  StartServer(ServeOptions{.jobs = 1});
+
+  // First core-requesting INCONSISTENT response pays for the
+  // minimization...
+  std::string first =
+      RoundTrip(SpecRequest("k1", kInconsistentSpec, ",\"core\":true"));
+  EXPECT_TRUE(Contains(first, "\"verdict\":\"INCONSISTENT\"")) << first;
+  EXPECT_TRUE(Contains(first, "\"core\":\"")) << first;
+
+  // ...repeats serve the attached core straight from the cache...
+  std::string repeat =
+      RoundTrip(SpecRequest("k2", kInconsistentSpec, ",\"core\":true"));
+  EXPECT_TRUE(Contains(repeat, "\"cached\":true")) << repeat;
+  EXPECT_TRUE(Contains(repeat, "\"core\":\"")) << repeat;
+
+  // ...clients that did not opt in never see the member...
+  EXPECT_FALSE(Contains(RoundTrip(SpecRequest("k3", kInconsistentSpec)),
+                        "\"core\""));
+
+  // ...and CONSISTENT verdicts have no core, opted-in or not.
+  EXPECT_FALSE(Contains(
+      RoundTrip(SpecRequest("k4", kConsistentSpec, ",\"core\":true")),
+      "\"core\""));
+
+  server_->Shutdown();
+  EXPECT_EQ(stats_.Counter("serve/core_computed"), 1);
+  EXPECT_GE(stats_.Counter("serve/cache_core_attached"), 1);
+}
+
 TEST_F(ServerTest, PairFormMatchesCombinedFormVerdict) {
   StartServer(ServeOptions{.jobs = 1});
   std::string combined = RoundTrip(SpecRequest("a", kConsistentSpec));

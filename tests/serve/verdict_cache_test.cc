@@ -87,6 +87,39 @@ TEST(VerdictCacheTest, WitnessStoredOnlyForConsistent) {
   EXPECT_EQ(consistent->witness_xml, "<r/>");
 }
 
+TEST(VerdictCacheTest, AttachCoreEnrichesBothTiers) {
+  VerdictCache cache;
+  ASSERT_NE(cache.Insert("canonical", "raw", "fp",
+                         ConsistencyOutcome::kInconsistent, "n", ""),
+            nullptr);
+  EXPECT_EQ(cache.LookupRaw("raw")->core_text, "");
+
+  auto enriched = cache.AttachCore("canonical", "raw", "a.v -> a\n");
+  ASSERT_NE(enriched, nullptr);
+  EXPECT_EQ(enriched->core_text, "a.v -> a\n");
+  // Both tiers serve the core from now on; the rest of the entry is
+  // untouched.
+  EXPECT_EQ(cache.LookupRaw("raw")->core_text, "a.v -> a\n");
+  EXPECT_EQ(cache.LookupCanonical("canonical", "raw")->core_text,
+            "a.v -> a\n");
+  EXPECT_EQ(cache.LookupRaw("raw")->note, "n");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VerdictCacheTest, AttachCoreRefusesMissingAndConsistentEntries) {
+  VerdictCache cache;
+  // Missing entry: nothing to enrich.
+  EXPECT_EQ(cache.AttachCore("absent", "absent-raw", "core"), nullptr);
+  // CONSISTENT entry: cores are an INCONSISTENT-only concept; the
+  // cache enforces the invariant rather than trusting callers.
+  ASSERT_NE(cache.Insert("c", "r", "fp", ConsistencyOutcome::kConsistent,
+                         "ok", "<r/>"),
+            nullptr);
+  EXPECT_EQ(cache.AttachCore("c", "r", "core"), nullptr);
+  EXPECT_EQ(cache.LookupRaw("r")->core_text, "");
+  EXPECT_EQ(cache.LookupRaw("r")->witness_xml, "<r/>");
+}
+
 TEST(VerdictCacheTest, FirstWriterWins) {
   VerdictCache cache;
   auto first = cache.Insert("c", "r", "fp", ConsistencyOutcome::kConsistent,
