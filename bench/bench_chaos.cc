@@ -1,0 +1,566 @@
+// Chaos soak harness for the verification service (docs/serving.md,
+// "Chaos soak"): spawns a real xmlvc-serve process with fault
+// injection armed, batters it for a fixed duration with a seeded mix
+// of hostile and valid traffic —
+//
+//   valid requests        (via CallWithRetry, exercising the client
+//                          retry/backoff policy against shed load)
+//   malformed frames      (non-JSON junk, truncated objects)
+//   oversized lines       (past --max-line-bytes)
+//   mid-request aborts    (half a request, then an RST)
+//   slowloris connections (a few bytes, then silence past the idle
+//                          deadline)
+//
+// — and then asserts the crash-resilience contract:
+//
+//   1. the process is alive and still answers (no wedged threads);
+//   2. every definitive post-chaos verdict is identical to a one-shot
+//      `xmlvc check` of the same specification;
+//   3. counters are sane (traffic was actually served; the slowloris
+//      connections were reclaimed by the idle deadline);
+//   4. after SIGTERM + restart with the same --cache-snapshot, at
+//      least 90% of the definitive verdicts come back `cached:true`,
+//      and the snapshot loads with zero skipped records.
+//
+// Exits non-zero on any violation, so CI can run it directly. Like
+// bench_serve this is a standalone driver, not a google-benchmark
+// binary: the quantity of interest is "nothing broke", not a latency
+// distribution.
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "difftest/spec_generator.h"
+#include "serve/client.h"
+
+#ifndef XMLVC_SERVE_BINARY_PATH
+#define XMLVC_SERVE_BINARY_PATH ""
+#endif
+#ifndef XMLVC_BINARY_PATH
+#define XMLVC_BINARY_PATH ""
+#endif
+
+namespace xmlverify {
+namespace {
+
+struct ChaosConfig {
+  std::string server_binary = XMLVC_SERVE_BINARY_PATH;
+  std::string xmlvc_binary = XMLVC_BINARY_PATH;
+  int duration_s = 30;
+  uint64_t seed = 1;
+  int clients = 4;
+  int pool = 24;  // distinct specs in the valid-traffic pool
+  std::string snapshot = "bench_chaos_snapshot.xvcsnap";
+  // Armed on the soak server only; the restart phase runs clean so
+  // the snapshot round-trip invariant (zero skipped records) holds.
+  std::string fault_spec = "socket_accept=%11,cache_snapshot_write=%4";
+};
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  std::printf("%s %s\n", ok ? "ok  " : "FAIL", what.c_str());
+  if (!ok) ++g_failures;
+}
+
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// The first definitive verdict token in `text`, or "" when none.
+/// INCONSISTENT is probed first because CONSISTENT is its substring.
+std::string VerdictToken(const std::string& text) {
+  if (text.find("INCONSISTENT") != std::string::npos) return "INCONSISTENT";
+  if (text.find("CONSISTENT") != std::string::npos) return "CONSISTENT";
+  return std::string();
+}
+
+/// A spawned xmlvc-serve with its stdout on a pipe (fork/exec rather
+/// than popen: the harness needs the pid for SIGTERM and waitpid).
+struct ServerProc {
+  pid_t pid = -1;
+  int out_fd = -1;
+  int port = 0;
+  std::string captured;  // everything read from stdout so far
+
+  bool alive() const {
+    if (pid <= 0) return false;
+    int status = 0;
+    return ::waitpid(pid, &status, WNOHANG) == 0;
+  }
+
+  /// Reads stdout until `pattern` appears or `timeout_ms` elapses.
+  bool WaitForOutput(const std::string& pattern, int timeout_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (captured.find(pattern) == std::string::npos) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) return false;
+      pollfd pfd{};
+      pfd.fd = out_fd;
+      pfd.events = POLLIN;
+      int ready = ::poll(&pfd, 1, static_cast<int>(left));
+      if (ready <= 0) continue;
+      char chunk[4096];
+      ssize_t n = ::read(out_fd, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      captured.append(chunk, static_cast<size_t>(n));
+    }
+    return true;
+  }
+
+  /// SIGTERM, drain stdout to EOF, reap. False if the process did not
+  /// exit within `timeout_ms` (wedged threads) — it is then SIGKILLed
+  /// so the harness itself always terminates.
+  bool TerminateAndReap(int timeout_ms) {
+    if (pid <= 0) return false;
+    ::kill(pid, SIGTERM);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    // Drain stdout so the child can flush its --stats report.
+    while (true) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left <= 0) break;
+      pollfd pfd{};
+      pfd.fd = out_fd;
+      pfd.events = POLLIN;
+      int ready = ::poll(&pfd, 1, static_cast<int>(left));
+      if (ready <= 0) break;
+      char chunk[4096];
+      ssize_t n = ::read(out_fd, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      captured.append(chunk, static_cast<size_t>(n));
+    }
+    ::close(out_fd);
+    out_fd = -1;
+    while (std::chrono::steady_clock::now() < deadline) {
+      int status = 0;
+      pid_t done = ::waitpid(pid, &status, WNOHANG);
+      if (done == pid) {
+        pid = -1;
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    pid = -1;
+    return false;
+  }
+
+  /// Counter value from the captured --stats JSON, or -1 when absent.
+  int64_t Counter(const std::string& name) const {
+    std::string key = "\"" + name + "\": ";
+    size_t pos = captured.find(key);
+    if (pos == std::string::npos) return -1;
+    return std::atoll(captured.c_str() + pos + key.size());
+  }
+};
+
+bool SpawnServer(const std::string& binary,
+                 const std::vector<std::string>& args, ServerProc* proc) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return false;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    // The soak server's faults come in via --fault-inject; make sure
+    // nothing leaks in from the harness environment either way.
+    ::unsetenv("XMLVERIFY_FAULT_INJECT");
+    ::unsetenv("XMLVERIFY_FAULT_SEED");
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::_Exit(127);
+  }
+  ::close(pipe_fds[1]);
+  proc->pid = pid;
+  proc->out_fd = pipe_fds[0];
+  if (!proc->WaitForOutput("LISTENING 127.0.0.1 ", 15000)) {
+    proc->TerminateAndReap(2000);
+    return false;
+  }
+  size_t pos = proc->captured.find("LISTENING 127.0.0.1 ");
+  proc->port = std::atoi(proc->captured.c_str() + pos +
+                         std::strlen("LISTENING 127.0.0.1 "));
+  return proc->port > 0;
+}
+
+/// One-shot oracle: `xmlvc check` on the spec written to a temp file.
+/// Returns the verdict token ("" when xmlvc itself was indefinitive).
+std::string OneShotVerdict(const std::string& xmlvc, const std::string& spec,
+                           int index) {
+  std::string path =
+      "bench_chaos_spec_" + std::to_string(index) + ".xvc";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << spec;
+  }
+  std::string command = xmlvc + " check " + path + " 2>/dev/null";
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return std::string();
+  std::string output;
+  char chunk[1024];
+  while (std::fgets(chunk, sizeof(chunk), pipe) != nullptr) output += chunk;
+  ::pclose(pipe);
+  std::remove(path.c_str());
+  return VerdictToken(output);
+}
+
+int Run(const ChaosConfig& config) {
+  if (config.server_binary.empty() || config.xmlvc_binary.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_chaos --server=PATH --xmlvc=PATH "
+                 "[--duration-s=N] [--seed=N] [--clients=N] "
+                 "[--snapshot=PATH] [--fault-spec=SPEC]\n");
+    return 2;
+  }
+  std::remove(config.snapshot.c_str());
+
+  // Seed-deterministic valid-traffic pool across every difftest class.
+  std::vector<std::string> pool;
+  std::vector<DifftestClass> classes = AllDifftestClasses();
+  for (uint64_t seed = config.seed;
+       pool.size() < static_cast<size_t>(config.pool); ++seed) {
+    for (DifftestClass cls : classes) {
+      if (pool.size() >= static_cast<size_t>(config.pool)) break;
+      Result<GeneratedSpec> generated = GenerateSpec(seed, cls);
+      if (generated.ok()) pool.push_back(generated->text);
+    }
+  }
+
+  constexpr size_t kMaxLineBytes = 65536;
+  ServerProc soak;
+  {
+    std::vector<std::string> args = {
+        "--port=0",
+        "--jobs=4",
+        "--queue-limit=64",
+        "--timeout=2000",
+        "--max-line-bytes=" + std::to_string(kMaxLineBytes),
+        "--idle-timeout-ms=1000",
+        "--write-timeout-ms=2000",
+        "--max-connections=64",
+        "--cache-snapshot=" + config.snapshot,
+        "--snapshot-interval-ms=500",
+        "--stats",
+    };
+    if (!config.fault_spec.empty()) {
+      args.push_back("--fault-inject=" + config.fault_spec);
+      args.push_back("--fault-seed=" + std::to_string(config.seed));
+    }
+    if (!SpawnServer(config.server_binary, args, &soak)) {
+      std::fprintf(stderr, "cannot spawn soak server\n");
+      return 2;
+    }
+  }
+  std::printf("soak: pid=%d port=%d duration=%ds seed=%llu faults=%s\n",
+              static_cast<int>(soak.pid), soak.port, config.duration_s,
+              static_cast<unsigned long long>(config.seed),
+              config.fault_spec.empty() ? "(none)"
+                                        : config.fault_spec.c_str());
+
+  // ---- Soak phase ----
+  auto soak_end = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(config.duration_s);
+  std::atomic<int64_t> valid_ok{0};
+  std::atomic<int64_t> valid_failed{0};
+  std::atomic<int64_t> hostile_sent{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < config.clients; ++c) {
+    threads.emplace_back([&, c] {
+      uint64_t rng = config.seed * 0x9e3779b9ULL + static_cast<uint64_t>(c);
+      ClientOptions retry;
+      retry.max_retries = 5;
+      retry.base_backoff_millis = 5;
+      retry.max_backoff_millis = 200;
+      retry.jitter_seed = rng;
+      int request_id = 0;
+      while (std::chrono::steady_clock::now() < soak_end) {
+        uint64_t roll = NextRand(&rng) % 100;
+        if (roll < 60) {
+          // Valid request through the retrying client.
+          Result<ServeClient> client =
+              ServeClient::Connect("127.0.0.1", soak.port, retry);
+          if (!client.ok()) continue;
+          client->set_recv_timeout_millis(5000).CheckOK();
+          const std::string& spec = pool[NextRand(&rng) % pool.size()];
+          std::string request =
+              "{\"id\":\"c" + std::to_string(c) + "-" +
+              std::to_string(request_id++) + "\",\"timeout_ms\":2000," +
+              "\"spec\":\"" + JsonEscape(spec) + "\"}";
+          Result<std::string> response = client->CallWithRetry(request);
+          if (response.ok()) {
+            ++valid_ok;
+          } else {
+            ++valid_failed;
+          }
+        } else if (roll < 75) {
+          // Malformed frame: junk the parser must reject politely.
+          Result<ServeClient> client =
+              ServeClient::Connect("127.0.0.1", soak.port);
+          if (!client.ok()) continue;
+          static const char* kJunk[] = {
+              "not json at all",
+              "{\"id\":\"x\", truncated",
+              "{\"spec\": 12}",
+              "\x01\x02\x7f garbage \x1b",
+          };
+          (void)client->SendLine(kJunk[NextRand(&rng) % 4]);
+          ++hostile_sent;
+          client->set_recv_timeout_millis(1000).CheckOK();
+          (void)client->ReadLine();  // INVALID_REQUEST, or nothing
+        } else if (roll < 85) {
+          // Oversized line: must be answered LINE_TOO_LONG and the
+          // tail discarded, never buffered without bound.
+          Result<ServeClient> client =
+              ServeClient::Connect("127.0.0.1", soak.port);
+          if (!client.ok()) continue;
+          std::string big(kMaxLineBytes + 512, 'x');
+          (void)client->SendLine(big);
+          ++hostile_sent;
+          client->set_recv_timeout_millis(1000).CheckOK();
+          (void)client->ReadLine();
+        } else if (roll < 95) {
+          // Mid-request death: half a frame, then an RST.
+          Result<ServeClient> client =
+              ServeClient::Connect("127.0.0.1", soak.port);
+          if (!client.ok()) continue;
+          const std::string& spec = pool[NextRand(&rng) % pool.size()];
+          std::string request = "{\"id\":\"dead\",\"spec\":\"" +
+                                JsonEscape(spec) + "\"}";
+          // Raw half-frame without the newline, then an RST: the
+          // reader sees a recv error mid-request and must cancel.
+          (void)client->SendRaw(request.substr(0, request.size() / 2));
+          ++hostile_sent;
+          client->Abort();
+        } else {
+          // Slowloris: a few bytes, then silence. The idle deadline
+          // must reclaim the connection; the short sleep here just
+          // keeps it open long enough to be a real parked reader.
+          Result<ServeClient> client =
+              ServeClient::Connect("127.0.0.1", soak.port);
+          if (!client.ok()) continue;
+          (void)client->SendRaw("{\"id\":");
+          ++hostile_sent;
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              100 + NextRand(&rng) % 150));
+          client->Abort();
+        }
+      }
+    });
+  }
+  // One dedicated slowloris that outwaits the idle deadline, so the
+  // serve/idle_timeouts counter check below is deterministic. The
+  // armed socket_accept fault can RST any individual connection right
+  // after the handshake — so park until the server itself closes the
+  // connection, and redial if that happens before the idle deadline
+  // could plausibly have been the reason.
+  threads.emplace_back([&] {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      Result<ServeClient> client =
+          ServeClient::Connect("127.0.0.1", soak.port);
+      if (!client.ok()) continue;
+      (void)client->SendRaw("{\"id\"");
+      auto parked = std::chrono::steady_clock::now();
+      (void)client->set_recv_timeout_millis(5000);
+      (void)client->ReadLine();  // blocks until the server closes us
+      auto held = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - parked);
+      client->Abort();
+      if (held.count() >= 1000) return;  // outlived the idle budget
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  std::printf("soak done: valid_ok=%lld valid_failed=%lld hostile=%lld\n",
+              static_cast<long long>(valid_ok.load()),
+              static_cast<long long>(valid_failed.load()),
+              static_cast<long long>(hostile_sent.load()));
+  Check(soak.alive(), "server process alive after soak");
+  Check(valid_ok.load() > 0, "valid requests were answered during soak");
+
+  // ---- Post-chaos verification: server answers, and definitive
+  // verdicts agree byte-for-byte with one-shot xmlvc. ----
+  std::vector<size_t> definitive;  // pool indices with definitive verdicts
+  {
+    ClientOptions retry;
+    retry.max_retries = 10;
+    retry.base_backoff_millis = 5;
+    retry.max_backoff_millis = 200;
+    retry.jitter_seed = config.seed;
+    Result<ServeClient> client =
+        ServeClient::Connect("127.0.0.1", soak.port, retry);
+    Check(client.ok(), "post-chaos connect");
+    if (client.ok()) {
+      client->set_recv_timeout_millis(10000).CheckOK();
+      size_t mismatches = 0;
+      size_t answered = 0;
+      for (size_t i = 0; i < pool.size(); ++i) {
+        std::string request = "{\"id\":\"post" + std::to_string(i) +
+                              "\",\"spec\":\"" + JsonEscape(pool[i]) + "\"}";
+        Result<std::string> response = client->CallWithRetry(request);
+        if (!response.ok()) continue;
+        ++answered;
+        std::string served = VerdictToken(*response);
+        if (served.empty()) continue;  // indefinite under chaos: tolerated
+        definitive.push_back(i);
+        std::string oneshot =
+            OneShotVerdict(config.xmlvc_binary, pool[i], static_cast<int>(i));
+        if (!oneshot.empty() && served != oneshot) {
+          ++mismatches;
+          std::printf("  mismatch on pool[%zu]: served %s, xmlvc %s\n", i,
+                      served.c_str(), oneshot.c_str());
+        }
+      }
+      Check(answered == pool.size(), "post-chaos responses for every spec");
+      Check(mismatches == 0, "post-chaos verdicts match one-shot xmlvc");
+      Check(!definitive.empty(), "some definitive verdicts under chaos");
+    }
+  }
+
+  // ---- Drain + counter sanity. ----
+  Check(soak.TerminateAndReap(15000),
+        "soak server drained cleanly on SIGTERM (no wedged threads)");
+  Check(soak.Counter("serve/requests") > 0, "counter serve/requests > 0");
+  Check(soak.Counter("serve/responses") > 0, "counter serve/responses > 0");
+  Check(soak.Counter("serve/idle_timeouts") >= 1,
+        "idle deadline reclaimed the slowloris connection");
+  Check(soak.Counter("serve/oversized_lines") >= 1,
+        "oversized lines were rejected");
+  {
+    std::ifstream snap(config.snapshot);
+    Check(snap.good(), "snapshot file exists after drain");
+  }
+
+  // ---- Kill-and-restart: the warm cache survives. ----
+  ServerProc warm;
+  {
+    std::vector<std::string> args = {
+        "--port=0",
+        "--jobs=2",
+        "--timeout=2000",
+        "--cache-snapshot=" + config.snapshot,
+        "--stats",
+    };
+    if (!SpawnServer(config.server_binary, args, &warm)) {
+      std::fprintf(stderr, "cannot spawn restart server\n");
+      return g_failures + 1;
+    }
+  }
+  {
+    Result<ServeClient> client = ServeClient::Connect("127.0.0.1", warm.port);
+    Check(client.ok(), "restart connect");
+    size_t cached = 0;
+    if (client.ok()) {
+      client->set_recv_timeout_millis(10000).CheckOK();
+      for (size_t index : definitive) {
+        std::string request = "{\"id\":\"warm" + std::to_string(index) +
+                              "\",\"spec\":\"" + JsonEscape(pool[index]) +
+                              "\"}";
+        if (!client->SendLine(request).ok()) break;
+        Result<std::string> response = client->ReadLine();
+        if (!response.ok()) break;
+        if (response->find("\"cached\":true") != std::string::npos) ++cached;
+      }
+    }
+    double fraction = definitive.empty()
+                          ? 0.0
+                          : static_cast<double>(cached) /
+                                static_cast<double>(definitive.size());
+    std::printf("restart: %zu/%zu definitive verdicts served from the "
+                "snapshot (%.0f%%)\n",
+                cached, definitive.size(), fraction * 100.0);
+    Check(fraction >= 0.9, "restart restores >= 90% of definitive verdicts");
+  }
+  Check(warm.TerminateAndReap(15000), "restart server drained cleanly");
+  Check(warm.Counter("serve/cache_snapshot_loaded") >= 1,
+        "snapshot records loaded on restart");
+  Check(warm.Counter("serve/cache_snapshot_skipped") <= 0,
+        "snapshot round-trip clean (no skipped records)");
+
+  std::printf(g_failures == 0 ? "CHAOS PASS\n" : "CHAOS FAIL (%d)\n",
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace xmlverify
+
+int main(int argc, char** argv) {
+  xmlverify::ChaosConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--server=")) {
+      config.server_binary = v;
+    } else if (const char* v = value("--xmlvc=")) {
+      config.xmlvc_binary = v;
+    } else if (const char* v = value("--duration-s=")) {
+      config.duration_s = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--clients=")) {
+      config.clients = std::atoi(v);
+    } else if (const char* v = value("--snapshot=")) {
+      config.snapshot = v;
+    } else if (const char* v = value("--fault-spec=")) {
+      config.fault_spec = v;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  return xmlverify::Run(config);
+}

@@ -43,6 +43,7 @@ struct BenchConfig {
   int hit_requests = 512;  // total requests in the hit phase
   int clients = 4;         // concurrent connections in the hit phase
   int jobs = 4;            // server worker threads
+  int retries = 0;         // hit-phase CallWithRetry budget (0: single-shot)
   std::string out = "BENCH_serve.json";
 };
 
@@ -183,8 +184,14 @@ int Run(const BenchConfig& config) {
   std::vector<std::thread> threads;
   for (int c = 0; c < config.clients; ++c) {
     threads.emplace_back([&, c] {
-      Result<ServeClient> client = ServeClient::Connect("127.0.0.1",
-                                                        server.port());
+      // With --retries, shed responses (queue full, connection cap)
+      // are retried with backoff instead of counting as failures —
+      // the realistic client behavior under deliberate overload.
+      ClientOptions client_options;
+      client_options.max_retries = config.retries;
+      client_options.jitter_seed = static_cast<uint64_t>(c) + 1;
+      Result<ServeClient> client = ServeClient::Connect(
+          "127.0.0.1", server.port(), client_options);
       if (!client.ok()) {
         ++failures;
         return;
@@ -196,11 +203,11 @@ int Run(const BenchConfig& config) {
         std::string request = "{\"id\":\"hit" + std::to_string(index) +
                               "\",\"spec\":\"" + JsonEscape(spec) + "\"}";
         int64_t begin = NowMicros();
-        if (!client->SendLine(request).ok()) {
-          ++failures;
-          return;
-        }
-        Result<std::string> response = client->ReadLine();
+        Result<std::string> response =
+            config.retries > 0 ? client->CallWithRetry(request)
+                               : (client->SendLine(request).ok()
+                                      ? client->ReadLine()
+                                      : Status::Internal("send failed"));
         if (!response.ok()) {
           ++failures;
           return;
@@ -288,12 +295,14 @@ int main(int argc, char** argv) {
       config.clients = std::atoi(v);
     } else if (const char* v = value("--jobs=")) {
       config.jobs = std::atoi(v);
+    } else if (const char* v = value("--retries=")) {
+      config.retries = std::atoi(v);
     } else if (const char* v = value("--out=")) {
       config.out = v;
     } else {
       std::fprintf(stderr,
                    "usage: bench_serve [--pool=N] [--requests=N] "
-                   "[--clients=N] [--jobs=N] [--out=PATH]\n");
+                   "[--clients=N] [--jobs=N] [--retries=N] [--out=PATH]\n");
       return 1;
     }
   }

@@ -26,9 +26,28 @@
 //   --max-depth=N     parser/recursion nesting ceiling
 //   --cache-entries=N verdict-cache capacity per tier (default 65536)
 //   --max-requests=N  exit after N responses (testing/benches)
+//   --max-line-bytes=N     longest accepted request line (default 4MiB)
+//   --idle-timeout-ms=MS   cancel + close a connection that sends no
+//                          bytes for MS (slowloris defense; default off)
+//   --write-timeout-ms=MS  cancel a connection whose peer stops
+//                          draining a response for MS (default off)
+//   --max-connections=N    shed accepts beyond N open connections with
+//                          a RETRYABLE line (default off)
+//   --cache-snapshot=PATH  load the verdict cache from PATH at start,
+//                          write it back on drain (crash recovery;
+//                          docs/serving.md)
+//   --snapshot-interval-ms=MS  additionally snapshot every MS while
+//                              serving (default: drain only)
+//   --fault-inject=SPEC    arm deterministic fault injection (same
+//                          grammar as XMLVERIFY_FAULT_INJECT;
+//                          docs/robustness.md)
+//   --fault-seed=N         seed for probabilistic fault rules
 //   --stats           on exit, print the JSON counter report (the
 //                     serve/* counters plus everything the checks
 //                     recorded) to stdout
+//
+// The XMLVERIFY_FAULT_INJECT / XMLVERIFY_FAULT_SEED environment
+// variables arm fault injection too (flags win when both are given).
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -37,6 +56,7 @@
 #include <string>
 #include <thread>
 
+#include "base/fault_injection.h"
 #include "base/resource_guard.h"
 #include "base/string_util.h"
 #include "serve/server.h"
@@ -52,6 +72,12 @@ int Usage() {
                "                   [--timeout=MS] [--memory-limit=MB]\n"
                "                   [--max-depth=N] [--cache-entries=N]\n"
                "                   [--max-requests=N] [--no-incremental]\n"
+               "                   [--idle-timeout-ms=MS]\n"
+               "                   [--write-timeout-ms=MS]\n"
+               "                   [--max-connections=N]\n"
+               "                   [--cache-snapshot=PATH]\n"
+               "                   [--snapshot-interval-ms=MS]\n"
+               "                   [--fault-inject=SPEC] [--fault-seed=N]\n"
                "                   [--stats]\n"
                "serves JSON-lines verification requests on 127.0.0.1\n"
                "(wire protocol and runbook: docs/serving.md)\n");
@@ -69,6 +95,8 @@ void SetSignalled(int) { g_signalled = 1; }
 int main(int argc, char** argv) {
   ServeOptions options;
   bool stats = false;
+  std::string fault_spec;
+  uint64_t fault_seed = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (StartsWith(arg, "--port=")) {
@@ -129,6 +157,55 @@ int main(int argc, char** argv) {
                      "error: --max-requests expects a positive integer\n");
         return 2;
       }
+    } else if (StartsWith(arg, "--max-line-bytes=")) {
+      long bytes = std::atol(arg.c_str() + 17);
+      if (bytes <= 0) {
+        std::fprintf(stderr,
+                     "error: --max-line-bytes expects a positive integer\n");
+        return 2;
+      }
+      options.max_line_bytes = static_cast<size_t>(bytes);
+    } else if (StartsWith(arg, "--idle-timeout-ms=")) {
+      options.idle_timeout_millis = std::atoll(arg.c_str() + 18);
+      if (options.idle_timeout_millis <= 0) {
+        std::fprintf(stderr,
+                     "error: --idle-timeout-ms expects a positive "
+                     "millisecond count\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--write-timeout-ms=")) {
+      options.write_timeout_millis = std::atoll(arg.c_str() + 19);
+      if (options.write_timeout_millis <= 0) {
+        std::fprintf(stderr,
+                     "error: --write-timeout-ms expects a positive "
+                     "millisecond count\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--max-connections=")) {
+      options.max_connections = std::atoi(arg.c_str() + 18);
+      if (options.max_connections <= 0) {
+        std::fprintf(stderr,
+                     "error: --max-connections expects a positive integer\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--cache-snapshot=")) {
+      options.cache_snapshot_path = arg.substr(17);
+      if (options.cache_snapshot_path.empty()) {
+        std::fprintf(stderr, "error: --cache-snapshot expects a path\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--snapshot-interval-ms=")) {
+      options.snapshot_interval_millis = std::atoll(arg.c_str() + 23);
+      if (options.snapshot_interval_millis <= 0) {
+        std::fprintf(stderr,
+                     "error: --snapshot-interval-ms expects a positive "
+                     "millisecond count\n");
+        return 2;
+      }
+    } else if (StartsWith(arg, "--fault-inject=")) {
+      fault_spec = arg.substr(15);
+    } else if (StartsWith(arg, "--fault-seed=")) {
+      fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
     } else if (arg == "--no-incremental") {
       // Disable cache-assisted incremental re-verification (the
       // quick-implication confirmation path; docs/implication.md) —
@@ -139,6 +216,25 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return Usage();
+    }
+  }
+
+  // Flags win over the environment; either way the armed spec is
+  // validated up front so a typo fails loudly at startup, not
+  // silently mid-soak.
+  if (!fault_spec.empty()) {
+    Status armed = FaultInjector::Arm(fault_spec, fault_seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: --fault-inject: %s\n",
+                   armed.ToString().c_str());
+      return 2;
+    }
+  } else {
+    Status armed = FaultInjector::ArmFromEnv();
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: XMLVERIFY_FAULT_INJECT: %s\n",
+                   armed.ToString().c_str());
+      return 2;
     }
   }
 

@@ -1,0 +1,44 @@
+// Cooperative cancellation for in-flight checks.
+//
+// A CancelToken is a cheap value type in the style of Deadline: copy
+// it freely into option structs and worker threads — copies share one
+// atomic flag, so a Cancel() from the serving layer's connection
+// reader is visible to a solver polling its deadline deep in the call
+// tree. Cancellation rides the existing cooperative checks: attach a
+// token to a Deadline (Deadline::WithCancelToken) and every
+// `Expired()` poll — the solver pivot loop, the bounded enumerations,
+// the hierarchical recursion — observes the flag with one relaxed
+// atomic load.
+//
+// Policy (docs/serving.md): a cancelled check is abandoned work, not
+// an answer. Like RESOURCE_EXHAUSTED, cancellation is never reported
+// as a definitive verdict — it surfaces through the deadline path as
+// a non-definitive outcome that is never cached.
+#ifndef XMLVERIFY_BASE_CANCEL_H_
+#define XMLVERIFY_BASE_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+namespace xmlverify {
+
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Trips the flag. Idempotent and thread-safe; there is no un-cancel
+  /// (a connection that died stays dead — reuse means a fresh token).
+  void Cancel() const { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+
+  /// The shared flag, for Deadline::WithCancelToken.
+  std::shared_ptr<const std::atomic<bool>> flag() const { return flag_; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace xmlverify
+
+#endif  // XMLVERIFY_BASE_CANCEL_H_

@@ -11,8 +11,13 @@
 #ifndef XMLVERIFY_BASE_DEADLINE_H_
 #define XMLVERIFY_BASE_DEADLINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "base/cancel.h"
 
 namespace xmlverify {
 
@@ -39,16 +44,36 @@ class Deadline {
 
   static Deadline Infinite() { return Deadline(); }
 
-  bool is_infinite() const { return !has_deadline_; }
+  /// Returns a copy that additionally expires the moment `token` is
+  /// cancelled (base/cancel.h). Every existing cooperative poll —
+  /// Expired(), PeriodicDeadlineCheck, ResourceBudget::CheckDeadline —
+  /// then observes cancellation with one relaxed atomic load; the
+  /// procedures need no changes. A cancel-only deadline (no time
+  /// component) is not infinite: it is polled like any other.
+  Deadline WithCancelToken(const CancelToken& token) const {
+    Deadline deadline = *this;
+    deadline.cancel_ = token.flag();
+    return deadline;
+  }
 
-  /// True once the wall clock has passed the deadline. Reads the
-  /// clock; in tight loops prefer PeriodicDeadlineCheck.
+  bool is_infinite() const { return !has_deadline_ && cancel_ == nullptr; }
+
+  /// True once the attached cancel token (if any) has been tripped.
+  bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
+  /// True once the wall clock has passed the deadline or the attached
+  /// cancel token has been tripped. Reads the clock; in tight loops
+  /// prefer PeriodicDeadlineCheck.
   bool Expired() const {
+    if (cancelled()) return true;
     return has_deadline_ && Clock::now() >= at_;
   }
 
   /// Time left, clamped at zero; a very large value when infinite.
   Clock::duration Remaining() const {
+    if (cancelled()) return Clock::duration::zero();
     if (!has_deadline_) return Clock::duration::max();
     Clock::time_point now = Clock::now();
     return now >= at_ ? Clock::duration::zero() : at_ - now;
@@ -57,6 +82,9 @@ class Deadline {
  private:
   bool has_deadline_ = false;
   Clock::time_point at_{};
+  // Shared with the CancelToken that produced it (null: not
+  // cancellable). Copies of the deadline share the one flag.
+  std::shared_ptr<const std::atomic<bool>> cancel_;
 };
 
 /// Amortized deadline polling for hot loops: reads the clock only

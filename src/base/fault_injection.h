@@ -3,10 +3,17 @@
 // The pipeline registers named injection points at the places where
 // real resource failures originate:
 //
-//   alloc         — ResourceBudget::ChargeMemory (tracked allocation)
-//   cache_insert  — SharedCache::Insert (memo-cache publication)
-//   solver_pivot  — the exact simplex pivot loop
-//   manifest_io   — batch-runner file reads
+//   alloc                — ResourceBudget::ChargeMemory (tracked
+//                          allocation)
+//   cache_insert         — SharedCache::Insert (memo-cache publication)
+//   solver_pivot         — the exact simplex pivot loop
+//   manifest_io          — batch-runner file reads
+//   socket_accept        — serve accept loop (connection dropped after
+//                          the kernel handshake, as an accept-time RST)
+//   cache_snapshot_write — serve/snapshot.cc writer (fails before the
+//                          temp file; the previous snapshot survives)
+//   cache_snapshot_read  — serve/snapshot.cc loader (drops individual
+//                          records, as a checksum mismatch would)
 //
 // Tests (and the CLI via --fault-inject / the XMLVERIFY_FAULT_INJECT
 // environment variable) arm the injector with a spec naming which

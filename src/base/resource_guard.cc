@@ -58,6 +58,13 @@ void ResourceBudget::ReleaseMemory(int64_t bytes) const {
 
 Status ResourceBudget::CheckDeadline(const char* site) const {
   if (!deadline_.Expired()) return Status::OK();
+  // Cancellation rides the deadline axis (base/cancel.h): same code,
+  // same propagation paths, same never-a-definitive-verdict policy —
+  // only the message and the counter name the real cause.
+  if (deadline_.cancelled()) {
+    trace::Count("resource/cancelled");
+    return Status::DeadlineExceeded(std::string("cancelled at ") + site);
+  }
   return Status::DeadlineExceeded(std::string("deadline exceeded at ") + site);
 }
 

@@ -110,6 +110,15 @@ class SharedCache {
     return entries_.size();
   }
 
+  /// Visits every entry as `fn(key, value)` under the cache lock (so
+  /// keep `fn` cheap — the snapshot writer copies entries out and does
+  /// its IO outside). Iteration order is unspecified.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, value] : entries_) fn(key, *value);
+  }
+
   void Clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();

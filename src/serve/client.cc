@@ -4,18 +4,51 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "trace/trace.h"
+
 namespace xmlverify {
+
+namespace {
+
+/// splitmix64 step: a full-period 64-bit mixer, good enough to
+/// decorrelate backoff jitter across clients and deterministic given
+/// the seed (no global RNG state, no clock).
+uint64_t NextJitter(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// True when `response` is a serve-protocol error marked retryable.
+/// Substring probing is deliberate: the values involved are fixed
+/// protocol tokens the server emits, never client-controlled text.
+bool IsRetryableResponse(const std::string& response) {
+  return response.find("\"error\"") != std::string::npos &&
+         response.find("\"retryable\":true") != std::string::npos;
+}
+
+}  // namespace
 
 ServeClient::~ServeClient() { Close(); }
 
 ServeClient::ServeClient(ServeClient&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      options_(other.options_),
+      jitter_state_(other.jitter_state_),
+      recv_timeout_millis_(other.recv_timeout_millis_) {
   other.fd_ = -1;
 }
 
@@ -24,12 +57,18 @@ ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
     Close();
     fd_ = other.fd_;
     buffer_ = std::move(other.buffer_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    options_ = other.options_;
+    jitter_state_ = other.jitter_state_;
+    recv_timeout_millis_ = other.recv_timeout_millis_;
     other.fd_ = -1;
   }
   return *this;
 }
 
-Result<ServeClient> ServeClient::Connect(const std::string& host, int port) {
+Result<ServeClient> ServeClient::Connect(const std::string& host, int port,
+                                         ClientOptions options) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -53,16 +92,116 @@ Result<ServeClient> ServeClient::Connect(const std::string& host, int port) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   ServeClient client;
   client.fd_ = fd;
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
+  client.jitter_state_ = options.jitter_seed ^ 0x6a09e667f3bcc908ULL;
   return client;
 }
 
-Status ServeClient::SendLine(const std::string& line) {
+Status ServeClient::Reconnect() {
+  if (host_.empty()) return Status::Internal("never connected");
+  Result<ServeClient> fresh = Connect(host_, port_, options_);
+  if (!fresh.ok()) return fresh.status();
+  // Keep the jitter stream running across reconnects so retry timing
+  // stays deterministic from the seed, not from the failure pattern.
+  uint64_t jitter = jitter_state_;
+  int64_t recv_timeout = recv_timeout_millis_;
+  *this = std::move(fresh).value();
+  jitter_state_ = jitter;
+  if (recv_timeout > 0) {
+    RETURN_IF_ERROR(set_recv_timeout_millis(recv_timeout));
+  }
+  return Status();
+}
+
+Status ServeClient::set_recv_timeout_millis(int64_t millis) {
   if (fd_ < 0) return Status::Internal("not connected");
+  timeval tv{};
+  if (millis > 0) {
+    tv.tv_sec = static_cast<time_t>(millis / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(std::string("setsockopt(SO_RCVTIMEO): ") +
+                            std::strerror(errno));
+  }
+  recv_timeout_millis_ = millis > 0 ? millis : 0;
+  return Status();
+}
+
+Result<std::string> ServeClient::CallWithRetry(
+    const std::string& request_line) {
+  Result<std::string> last = Status::Internal("no attempt made");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      trace::Count("serve_client/retries");
+      // Capped exponential backoff with full deterministic jitter:
+      // sleep a uniform slice of the doubled window so a herd of
+      // shed clients does not return in lockstep.
+      int64_t window = options_.base_backoff_millis;
+      for (int i = 1; i < attempt && window < options_.max_backoff_millis; ++i) {
+        window *= 2;
+      }
+      if (window > options_.max_backoff_millis) {
+        window = options_.max_backoff_millis;
+      }
+      if (window > 0) {
+        int64_t sleep_millis = static_cast<int64_t>(
+            NextJitter(&jitter_state_) % static_cast<uint64_t>(window) + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_millis));
+      }
+    }
+    if (fd_ < 0) {
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        last = reconnected;
+        continue;
+      }
+    }
+    Status sent = SendLine(request_line);
+    if (!sent.ok()) {
+      last = sent;
+      Close();  // transport is suspect; next attempt redials
+      continue;
+    }
+    Result<std::string> response = ReadLine();
+    if (!response.ok()) {
+      last = std::move(response);
+      Close();
+      continue;
+    }
+    if (IsRetryableResponse(*response)) {
+      last = std::move(response);  // server shed us; same conn is fine
+      continue;
+    }
+    if (attempt > 0) trace::Count("serve_client/retry_recovered");
+    return response;
+  }
+  trace::Count("serve_client/retry_exhausted");
+  return last;
+}
+
+void ServeClient::Abort() {
+  if (fd_ < 0) return;
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  Close();
+}
+
+Status ServeClient::SendLine(const std::string& line) {
   std::string framed = line;
   if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
+  return SendRaw(framed);
+}
+
+Status ServeClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::Internal("not connected");
   size_t sent = 0;
-  while (sent < framed.size()) {
-    ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -86,6 +225,12 @@ Result<std::string> ServeClient::ReadLine() {
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+          recv_timeout_millis_ > 0) {
+        return Status::DeadlineExceeded(
+            "no response within " + std::to_string(recv_timeout_millis_) +
+            "ms");
+      }
       return Status::Internal(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) {

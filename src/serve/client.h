@@ -3,14 +3,35 @@
 // client wraps one TCP connection; SendLine/ReadLine frame on '\n'.
 // Not thread-safe: give each concurrent client its own instance (the
 // server handles any number of connections).
+//
+// The server sheds load with RETRYABLE error responses (queue full,
+// connection cap) and may drop a connection outright (restart, fault
+// injection). CallWithRetry owns the client half of that contract:
+// capped exponential backoff with deterministic jitter, reconnecting
+// when the transport itself failed. Retries are bounded and off by
+// default (ClientOptions::max_retries = 0 preserves the old
+// single-shot behavior).
 #ifndef XMLVERIFY_SERVE_CLIENT_H_
 #define XMLVERIFY_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "base/status.h"
 
 namespace xmlverify {
+
+struct ClientOptions {
+  /// Additional attempts after the first (0: single-shot).
+  int max_retries = 0;
+  /// First backoff; each retry doubles it up to max_backoff_millis.
+  int64_t base_backoff_millis = 10;
+  int64_t max_backoff_millis = 1000;
+  /// Seed for the deterministic jitter stream (so a fleet of bench
+  /// clients seeded differently desynchronizes, while a test seeded
+  /// identically reproduces byte-for-byte).
+  uint64_t jitter_seed = 0;
+};
 
 class ServeClient {
  public:
@@ -22,18 +43,48 @@ class ServeClient {
   ServeClient& operator=(const ServeClient&) = delete;
 
   /// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1").
-  static Result<ServeClient> Connect(const std::string& host, int port);
+  static Result<ServeClient> Connect(const std::string& host, int port,
+                                     ClientOptions options = ClientOptions());
 
   /// Writes `line`, appending the terminating '\n' if missing.
   Status SendLine(const std::string& line);
 
+  /// Writes `bytes` exactly as given — no newline framing. For tests
+  /// and the chaos harness, which need to leave a request half-sent.
+  Status SendRaw(const std::string& bytes);
+
   /// Blocks until one full line arrives; the '\n' is stripped.
-  /// kNotFound on clean EOF before any byte of a new line.
+  /// kNotFound on clean EOF before any byte of a new line,
+  /// kDeadlineExceeded when a recv timeout (set_recv_timeout_millis)
+  /// elapsed first.
   Result<std::string> ReadLine();
+
+  /// One request/response exchange with the retry policy applied:
+  /// a transport failure (send/recv error, clean close before the
+  /// response) reconnects and retries; a RETRYABLE error response
+  /// backs off and retries on the same connection. Returns the final
+  /// response line (which may still be a RETRYABLE error once the
+  /// budget is exhausted) or the final transport error. Counters:
+  /// serve_client/retries, serve_client/retry_recovered,
+  /// serve_client/retry_exhausted.
+  Result<std::string> CallWithRetry(const std::string& request_line);
+
+  /// Drops the current connection (if any) and dials the remembered
+  /// host:port again.
+  Status Reconnect();
 
   /// Half-closes the write side (the server sees EOF and finishes
   /// pending responses before closing).
   void FinishWriting();
+
+  /// Hard abort: arranges an immediate RST (SO_LINGER 0) and closes.
+  /// The server-visible effect is a recv error, not a clean EOF —
+  /// this is how tests and the chaos harness simulate a client that
+  /// died mid-request.
+  void Abort();
+
+  /// Bounds every subsequent ReadLine recv; <= 0 restores blocking.
+  Status set_recv_timeout_millis(int64_t millis);
 
   void Close();
   bool connected() const { return fd_ >= 0; }
@@ -41,6 +92,11 @@ class ServeClient {
  private:
   int fd_ = -1;
   std::string buffer_;  // bytes read past the last returned line
+  std::string host_;
+  int port_ = 0;
+  ClientOptions options_;
+  uint64_t jitter_state_ = 0;
+  int64_t recv_timeout_millis_ = 0;
 };
 
 }  // namespace xmlverify

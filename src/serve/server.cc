@@ -1,8 +1,10 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,8 +15,10 @@
 #include <thread>
 #include <utility>
 
+#include "base/fault_injection.h"
 #include "checker/document_checker.h"
 #include "core/canonical.h"
+#include "serve/snapshot.h"
 #include "core/diagnosis.h"
 #include "core/implication_engine.h"
 #include "core/specification.h"
@@ -39,6 +43,23 @@ std::string RawCacheKey(const ServeRequest& request) {
 constexpr size_t kHistoryPerDtd = 4;
 constexpr size_t kHistoryDtds = 1024;
 
+// Poll slice for the reader/writer loops: long enough that an idle
+// server burns no measurable CPU, short enough that stop_ and the
+// idle/write deadlines are observed promptly.
+constexpr int kPollSliceMillis = 100;
+
+// Milliseconds left on `deadline`, clamped into [0, slice] for use as
+// a poll() timeout. An infinite deadline polls a full slice.
+int PollTimeout(const Deadline& deadline) {
+  if (deadline.is_infinite()) return kPollSliceMillis;
+  auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       deadline.Remaining())
+                       .count();
+  if (remaining <= 0) return 0;
+  return static_cast<int>(
+      std::min<int64_t>(remaining, kPollSliceMillis));
+}
+
 }  // namespace
 
 ServeServer::Connection::~Connection() {
@@ -53,6 +74,20 @@ ServeServer::~ServeServer() { Shutdown(); }
 
 Status ServeServer::Start() {
   if (started_.exchange(true)) return Status::Internal("already started");
+
+  // Warm-start before the port opens, so the first request already
+  // sees the restored cache. A bad snapshot is a degraded start, not
+  // a fatal one: the loader skips bad records individually, and even
+  // a wholesale-unreadable file only costs the warm start.
+  if (!options_.cache_snapshot_path.empty()) {
+    std::unique_ptr<TraceSession> session;
+    if (options_.stats != nullptr) {
+      session = std::make_unique<TraceSession>(options_.stats);
+    }
+    Result<SnapshotLoadStats> loaded =
+        LoadVerdictSnapshot(&cache_, options_.cache_snapshot_path);
+    if (!loaded.ok()) trace::Count("serve/cache_snapshot_load_failures");
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -103,6 +138,10 @@ Status ServeServer::Start() {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  if (!options_.cache_snapshot_path.empty() &&
+      options_.snapshot_interval_millis > 0) {
+    snapshotter_ = std::thread([this] { SnapshotLoop(); });
+  }
   return Status();
 }
 
@@ -165,9 +204,45 @@ void ServeServer::Shutdown() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  if (snapshotter_.joinable()) snapshotter_.join();
+
+  // Drain snapshot, after the workers have stopped mutating the
+  // cache. Retried a few times so a transiently failing disk (or an
+  // armed `cache_snapshot_write` probability fault) does not silently
+  // discard the warm state accumulated over the whole run.
+  if (!options_.cache_snapshot_path.empty()) {
+    std::unique_ptr<TraceSession> session;
+    if (options_.stats != nullptr) {
+      session = std::make_unique<TraceSession>(options_.stats);
+    }
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      if (WriteVerdictSnapshot(cache_, options_.cache_snapshot_path, nullptr)
+              .ok()) {
+        break;
+      }
+    }
+  }
 
   std::lock_guard<std::mutex> lock(connections_mutex_);
   connections_.clear();
+}
+
+void ServeServer::SnapshotLoop() {
+  std::unique_ptr<TraceSession> session;
+  if (options_.stats != nullptr) {
+    session = std::make_unique<TraceSession>(options_.stats);
+  }
+  const auto interval =
+      std::chrono::milliseconds(options_.snapshot_interval_millis);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(wait_mutex_);
+      if (wait_cv_.wait_for(lock, interval, [this] { return stop_.load(); })) {
+        return;  // the drain write in Shutdown captures the final state
+      }
+    }
+    WriteVerdictSnapshot(cache_, options_.cache_snapshot_path, nullptr);
+  }
 }
 
 void ServeServer::AcceptLoop() {
@@ -185,8 +260,44 @@ void ServeServer::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // Fault point `socket_accept`: the handshake "fails" after the
+    // kernel accepted — the fd is dropped on the floor exactly as an
+    // accept-time RST would leave it. The client sees a reset; the
+    // server carries on.
+    if (FaultInjector::ShouldFail("socket_accept")) {
+      trace::Count("serve/accept_faults");
+      ::close(fd);
+      continue;
+    }
+    if (options_.max_connections > 0) {
+      size_t open;
+      {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        open = connections_.size();
+      }
+      if (open >= static_cast<size_t>(options_.max_connections)) {
+        // Shed at the door with the same RETRYABLE contract as a full
+        // queue — the client owns the retry policy. Best-effort write
+        // on the still-blocking fd; the connection never enters the
+        // tracked set and is not counted in responses_sent().
+        trace::Count("serve/connections_rejected");
+        std::string line = FormatErrorResponse(
+            "", "RETRYABLE",
+            "connection limit (" + std::to_string(options_.max_connections) +
+                " open); retry with backoff",
+            true);
+        (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Non-blocking from here on: the reader paces itself with poll()
+    // (idle deadline), and the writer can bound how long a stalled
+    // peer may hold the response path (write deadline).
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
     auto conn = std::make_shared<Connection>(fd);
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -220,14 +331,45 @@ void ServeServer::ReadLoop(std::shared_ptr<Connection> conn) {
   }
   std::string buffer;
   bool discarding = false;
+  bool peer_failed = false;
   char chunk[16384];
+  Deadline idle = options_.idle_timeout_millis > 0
+                      ? Deadline::AfterMillis(options_.idle_timeout_millis)
+                      : Deadline::Infinite();
   while (!stop_.load()) {
-    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
+    pollfd pfd{};
+    pfd.fd = conn->fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, PollTimeout(idle));
+    if (ready < 0) {
       if (errno == EINTR) continue;
+      peer_failed = true;
       break;
     }
-    if (n == 0) break;  // client finished writing
+    if (ready == 0) {
+      if (idle.Expired()) {
+        // Slowloris defense: a connection that goes silent for the
+        // idle budget is cancelled and reclaimed; its in-flight
+        // checks abandon through the cooperative deadline polls.
+        trace::Count("serve/idle_timeouts");
+        peer_failed = true;
+        break;
+      }
+      continue;
+    }
+    ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      peer_failed = true;  // reset or worse: nobody is reading answers
+      break;
+    }
+    // n == 0 is a clean half-close: the peer finished writing but may
+    // still be reading. Responses for queued requests keep flowing —
+    // this must NOT cancel (pipelined clients depend on it).
+    if (n == 0) break;
+    if (options_.idle_timeout_millis > 0) {
+      idle = Deadline::AfterMillis(options_.idle_timeout_millis);
+    }
     size_t begin = 0;
     for (ssize_t i = 0; i < n; ++i) {
       if (chunk[i] != '\n') continue;
@@ -270,9 +412,13 @@ void ServeServer::ReadLoop(std::shared_ptr<Connection> conn) {
       }
     }
   }
+  if (peer_failed) {
+    trace::Count("serve/connections_cancelled");
+    conn->cancel.Cancel();
+  }
   // A final unterminated line is still a request (netcat piping a
   // file without a trailing newline).
-  if (!discarding && !buffer.empty() && !stop_.load()) {
+  if (!peer_failed && !discarding && !buffer.empty() && !stop_.load()) {
     HandleLine(conn, buffer);
   }
   std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -298,6 +444,14 @@ void ServeServer::HandleLine(const std::shared_ptr<Connection>& conn,
   Job job;
   job.request = *std::move(request);
   job.conn = conn;
+  // The client's own timeout starts here, at admission: time spent
+  // queued counts against it, so a job that outwaits its client is
+  // shed at pickup instead of being solved for nobody. The server
+  // ceiling is still stamped at pickup (see HandleRequest).
+  if (job.request.timeout_millis > 0) {
+    job.has_client_deadline = true;
+    job.client_deadline = Deadline::AfterMillis(job.request.timeout_millis);
+  }
   std::string id = job.request.id;
   if (!TryEnqueue(std::move(job))) {
     trace::Count("serve/shed");
@@ -347,24 +501,32 @@ void ServeServer::WorkerLoop() {
   }
 }
 
-int64_t ServeServer::EffectiveTimeout(const ServeRequest& request) const {
-  int64_t timeout = options_.timeout_millis;
-  if (request.timeout_millis > 0 &&
-      (timeout <= 0 || request.timeout_millis < timeout)) {
-    timeout = request.timeout_millis;
+int64_t ServeServer::EffectiveTimeout(const Job& job) const {
+  int64_t timeout = options_.timeout_millis;  // server ceiling, stamped now
+  if (job.has_client_deadline) {
+    // What remains of the enqueue-stamped client budget; the expired
+    // case is shed before this is called, so clamp to 1ms as a race
+    // guard rather than re-deciding here.
+    int64_t remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            job.client_deadline.Remaining())
+                            .count();
+    if (remaining < 1) remaining = 1;
+    if (timeout <= 0 || remaining < timeout) timeout = remaining;
   }
   return timeout;
 }
 
 ConsistencyChecker::Options ServeServer::StampedCheckOptions(
-    int64_t timeout_millis) const {
+    int64_t timeout_millis, const CancelToken* cancel) const {
   ConsistencyChecker::Options check = options_.check;
   check.build_witness = true;  // cached entries carry the witness
   ResourceBudget budget;
-  if (timeout_millis > 0) {
-    check.deadline = Deadline::AfterMillis(timeout_millis);
-    budget.set_deadline(check.deadline);
+  check.deadline = timeout_millis > 0 ? Deadline::AfterMillis(timeout_millis)
+                                      : Deadline::Infinite();
+  if (cancel != nullptr) {
+    check.deadline = check.deadline.WithCancelToken(*cancel);
   }
+  if (!check.deadline.is_infinite()) budget.set_deadline(check.deadline);
   if (options_.memory_limit_bytes > 0) {
     budget.set_memory_limit_bytes(options_.memory_limit_bytes);
   }
@@ -375,12 +537,13 @@ ConsistencyChecker::Options ServeServer::StampedCheckOptions(
 
 std::string ServeServer::ComputeCoreText(const Specification& spec,
                                          int64_t timeout_millis,
+                                         const CancelToken* cancel,
                                          ConstraintSet* core_out) {
   // The minimization runs |Sigma|+1 probe checks; it gets one fresh
   // request-sized budget here, and MinimizeInconsistentCore derives a
   // fresh per-probe budget from it (core/diagnosis.cc).
   DiagnosisOptions diagnosis;
-  diagnosis.checker = StampedCheckOptions(timeout_millis);
+  diagnosis.checker = StampedCheckOptions(timeout_millis, cancel);
   diagnosis.checker.build_witness = false;  // probes only need verdicts
   Result<ConstraintSet> core =
       MinimizeInconsistentCore(spec.dtd, spec.constraints, diagnosis);
@@ -458,6 +621,28 @@ bool ServeServer::TryIncremental(const Specification& spec,
 
 void ServeServer::HandleRequest(const Job& job) {
   const ServeRequest& request = job.request;
+
+  // Pickup admission: a job whose connection died while it queued is
+  // dropped outright (nobody is listening), and one that outwaited
+  // its own client timeout is answered with a cheap DEADLINE_EXCEEDED
+  // instead of a full solve whose answer would arrive too late.
+  if (job.conn->cancel.cancelled()) {
+    trace::Count("serve/cancelled");
+    return;
+  }
+  if (job.has_client_deadline && job.client_deadline.Expired()) {
+    trace::Count("serve/queue_expired");
+    WriteResponse(job.conn,
+                  FormatVerdictResponse(
+                      request.id, ConsistencyOutcome::kDeadlineExceeded,
+                      "request timeout_ms of " +
+                          std::to_string(request.timeout_millis) +
+                          " expired while queued",
+                      /*fingerprint=*/"", /*cached=*/false,
+                      /*witness_xml=*/"", /*include_witness=*/false));
+    return;
+  }
+
   const std::string raw_key = RawCacheKey(request);
 
   // Raw tier first: a byte-identical repeat skips even the parse —
@@ -501,7 +686,8 @@ void ServeServer::HandleRequest(const Job& job) {
         hit->outcome == ConsistencyOutcome::kInconsistent &&
         core_text.empty()) {
       ConstraintSet core;
-      core_text = ComputeCoreText(*spec, EffectiveTimeout(request), &core);
+      core_text = ComputeCoreText(*spec, EffectiveTimeout(job),
+                                  &job.conn->cancel, &core);
       if (!core_text.empty()) {
         cache_.AttachCore(canonical, raw_key, core_text);
         HistoryEntry entry;
@@ -536,7 +722,8 @@ void ServeServer::HandleRequest(const Job& job) {
       if (request.want_core &&
           confirmed.outcome == ConsistencyOutcome::kInconsistent) {
         ConstraintSet core;
-        core_text = ComputeCoreText(*spec, EffectiveTimeout(request), &core);
+        core_text = ComputeCoreText(*spec, EffectiveTimeout(job),
+                                    &job.conn->cancel, &core);
         if (!core_text.empty()) {
           cache_.AttachCore(canonical, raw_key, core_text);
           confirmed.core = core;
@@ -557,11 +744,22 @@ void ServeServer::HandleRequest(const Job& job) {
     }
   }
 
-  // Budgets are stamped when the worker picks the job up, so queueing
-  // time is not charged against the request (batch-runner contract).
-  ConsistencyChecker checker(StampedCheckOptions(EffectiveTimeout(request)));
+  // The server ceiling is stamped when the worker picks the job up
+  // (queueing time is not charged against it; batch-runner contract),
+  // tightened by what remains of the enqueue-stamped client deadline.
+  // The connection's cancel token rides on the deadline, so the check
+  // aborts cooperatively the moment the reader declares the peer dead.
+  ConsistencyChecker checker(
+      StampedCheckOptions(EffectiveTimeout(job), &job.conn->cancel));
   Result<ConsistencyVerdict> verdict = checker.Check(*spec);
   if (!verdict.ok()) {
+    if (job.conn->cancel.cancelled()) {
+      // The client is gone; its budget-shaped failure is nobody's
+      // business and the socket is dead anyway.
+      trace::Count("serve/cancelled");
+      trace::Count("serve/cancelled_inflight");
+      return;
+    }
     trace::Count("serve/check_errors");
     bool retryable =
         verdict.status().code() == StatusCode::kDeadlineExceeded ||
@@ -586,7 +784,8 @@ void ServeServer::HandleRequest(const Job& job) {
   bool has_core = false;
   if (request.want_core &&
       verdict->outcome == ConsistencyOutcome::kInconsistent) {
-    core_text = ComputeCoreText(*spec, EffectiveTimeout(request), &core);
+    core_text = ComputeCoreText(*spec, EffectiveTimeout(job),
+                                &job.conn->cancel, &core);
     if (!core_text.empty()) {
       cache_.AttachCore(canonical, raw_key, core_text);
       has_core = true;
@@ -602,6 +801,14 @@ void ServeServer::HandleRequest(const Job& job) {
     entry.witness_xml = witness_xml;
     RecordHistory(spec->dtd.ToString(), std::move(entry));
   }
+  if (job.conn->cancel.cancelled()) {
+    // The client died after the solve finished. The definitive result
+    // was banked in the cache and history above — the work is not
+    // wasted — but there is nobody to write to.
+    trace::Count("serve/cancelled");
+    trace::Count("serve/cancelled_inflight");
+    return;
+  }
   WriteResponse(job.conn,
                 FormatVerdictResponse(request.id, verdict->outcome,
                                       verdict->note, fingerprint,
@@ -614,14 +821,41 @@ void ServeServer::WriteResponse(const std::shared_ptr<Connection>& conn,
                                 const std::string& line) {
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);
+    // The fd is non-blocking; a peer that stops draining its socket
+    // surfaces as EAGAIN, and the write deadline bounds how long it
+    // may hold this connection's response path. On expiry the
+    // connection is cancelled: a client too stalled to read one
+    // response will not absorb further work either.
+    Deadline write_deadline =
+        options_.write_timeout_millis > 0
+            ? Deadline::AfterMillis(options_.write_timeout_millis)
+            : Deadline::Infinite();
     size_t sent = 0;
     while (sent < line.size()) {
       ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
                          MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (stop_.load() || write_deadline.Expired()) {
+            trace::Count("serve/write_timeouts");
+            conn->cancel.Cancel();
+            break;
+          }
+          pollfd pfd{};
+          pfd.fd = conn->fd;
+          pfd.events = POLLOUT;
+          int ready = ::poll(&pfd, 1, PollTimeout(write_deadline));
+          if (ready < 0 && errno != EINTR) {
+            trace::Count("serve/write_errors");
+            conn->cancel.Cancel();
+            break;
+          }
+          continue;
+        }
         trace::Count("serve/write_errors");
-        break;  // client went away; drop the response
+        conn->cancel.Cancel();  // client went away; drop the response
+        break;
       }
       sent += static_cast<size_t>(n);
     }

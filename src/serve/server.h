@@ -19,10 +19,23 @@
 // answers immediately with the distinct RETRYABLE error instead of
 // queueing (load shedding — the client owns the retry policy, the
 // server never builds unbounded backlog). Per-request budgets ride on
-// the existing Deadline/ResourceBudget machinery: every check gets a
-// fresh deadline when a worker picks it up (queueing time is not
-// charged, as in the batch runner), and the degradation ladder of
+// the existing Deadline/ResourceBudget machinery: the server ceiling
+// is stamped when a worker picks the job up (queueing time is not
+// charged, as in the batch runner), while a request that carries its
+// own `timeout_ms` is additionally stamped at enqueue, so a job that
+// already outwaited its client is shed cheaply at pickup instead of
+// being solved for nobody. The degradation ladder of
 // docs/robustness.md applies unchanged.
+//
+// Hostile-client hardening (docs/serving.md, "Connection hardening"):
+// per-connection idle and write deadlines bound how long a silent or
+// stalled peer can hold a reader thread or the response path, a
+// connection cap sheds accepts beyond `max_connections` with a
+// RETRYABLE line, and every connection carries a CancelToken
+// (base/cancel.h) that the reader trips when the peer is gone —
+// workers observe it through the ordinary cooperative deadline polls
+// and abandon the check. Cancellation, like RESOURCE_EXHAUSTED, is
+// never a definitive verdict and never enters the caches.
 #ifndef XMLVERIFY_SERVE_SERVER_H_
 #define XMLVERIFY_SERVE_SERVER_H_
 
@@ -39,6 +52,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
+#include "base/deadline.h"
 #include "base/status.h"
 #include "core/consistency.h"
 #include "serve/protocol.h"
@@ -73,6 +88,30 @@ struct ServeOptions {
   /// (0: serve forever). Lets tests and benches run a bounded session
   /// without signal choreography.
   int64_t max_requests = 0;
+  /// Per-connection idle deadline in milliseconds; <= 0 disables. A
+  /// connection that sends no bytes for this long is cancelled and
+  /// closed (its reader thread is reclaimed), so slowloris peers
+  /// cannot pin readers forever.
+  int64_t idle_timeout_millis = 0;
+  /// Per-response write deadline in milliseconds; <= 0 disables. A
+  /// peer that stops draining its socket for this long has its
+  /// connection cancelled and the response dropped, so a stalled
+  /// client cannot wedge the shared response path.
+  int64_t write_timeout_millis = 0;
+  /// Open-connection cap; <= 0 means unlimited. An accept beyond the
+  /// cap is answered with a single RETRYABLE error line and closed
+  /// immediately — a distinct shed from queue-full, visible as
+  /// serve/connections_rejected.
+  int max_connections = 0;
+  /// Durable warm cache (serve/snapshot.h): when non-empty, the
+  /// canonical verdict-cache tier is loaded from this path at Start
+  /// and written back on drain (and periodically, below), so a
+  /// restart begins warm. Corrupt or stale records are skipped
+  /// individually at load.
+  std::string cache_snapshot_path;
+  /// Periodic snapshot interval in milliseconds; <= 0 writes only on
+  /// drain. Ignored when cache_snapshot_path is empty.
+  int64_t snapshot_interval_millis = 0;
   /// Base checker options; budgets/deadline stamped per request.
   ConsistencyChecker::Options check;
   /// Incremental re-verification (docs/implication.md): on a verdict
@@ -135,11 +174,25 @@ class ServeServer {
     ~Connection();
     int fd;
     std::mutex write_mutex;
+    /// Tripped by the reader when the peer is gone (recv error, idle
+    /// timeout) or by the writer on a write error/timeout. In-flight
+    /// checks for this connection observe it through their deadline
+    /// polls and abandon the work; queued jobs are skipped at pickup.
+    /// A clean half-close (EOF after the last request) does NOT trip
+    /// it: pipelined clients legitimately shut down their write side
+    /// and then read the remaining responses.
+    CancelToken cancel;
   };
 
   struct Job {
     ServeRequest request;
     std::shared_ptr<Connection> conn;
+    /// Stamped at enqueue when the request carries its own
+    /// timeout_ms, so queue wait counts against the client's budget
+    /// and an already-expired job is shed cheaply at pickup. The
+    /// server ceiling is still stamped at pickup (unchanged).
+    bool has_client_deadline = false;
+    Deadline client_deadline;
   };
 
   /// One solved specification remembered for the incremental path:
@@ -157,6 +210,7 @@ class ServeServer {
   void AcceptLoop();
   void ReadLoop(std::shared_ptr<Connection> conn);
   void WorkerLoop();
+  void SnapshotLoop();
   void HandleLine(const std::shared_ptr<Connection>& conn,
                   const std::string& line);
   void HandleRequest(const Job& job);
@@ -165,18 +219,21 @@ class ServeServer {
                      const std::string& line);
   void RequestStop();
 
-  /// Per-request checker options with freshly stamped budgets
-  /// (queueing time is never charged; see HandleRequest).
+  /// Per-request checker options with freshly stamped budgets; the
+  /// connection's cancel token rides on the deadline so the check
+  /// aborts cooperatively when the client goes away.
   ConsistencyChecker::Options StampedCheckOptions(
-      int64_t timeout_millis) const;
-  /// Effective per-request timeout: the server ceiling tightened by
-  /// the request's own timeout_ms.
-  int64_t EffectiveTimeout(const ServeRequest& request) const;
+      int64_t timeout_millis, const CancelToken* cancel) const;
+  /// Effective per-request timeout at pickup: the server ceiling
+  /// (stamped now) tightened by what remains of the client deadline
+  /// (stamped at enqueue).
+  int64_t EffectiveTimeout(const Job& job) const;
   /// Minimizes an unsat core for an INCONSISTENT spec under a fresh
   /// request-sized budget; returns the rendered constraint text ("" on
   /// failure) and the core set itself via `core_out` (when non-null).
   std::string ComputeCoreText(const Specification& spec,
                               int64_t timeout_millis,
+                              const CancelToken* cancel,
                               ConstraintSet* core_out);
   /// Remembers a definitive verdict for the incremental path
   /// (bounded per DTD and globally; replaces an entry with the same
@@ -199,6 +256,7 @@ class ServeServer {
   int port_ = 0;
 
   std::thread acceptor_;
+  std::thread snapshotter_;
   std::vector<std::thread> workers_;
   // Reader threads, reaped opportunistically by the acceptor (a slot
   // whose `done` flag is set joins instantly) and finally in

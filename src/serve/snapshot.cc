@@ -1,0 +1,301 @@
+#include "serve/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "base/fault_injection.h"
+#include "core/canonical.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+
+namespace {
+
+constexpr char kMagic[] = "XVCSNAP1\n";
+
+/// 64-bit FNV-1a over the record's identifying fields and payloads.
+/// Not cryptographic — it catches torn writes and bit rot, and the
+/// loader's fingerprint re-verification independently catches stale
+/// canonical text, so collisions here cost at most one bogus entry
+/// that the fingerprint check then rejects.
+uint64_t RecordChecksum(int outcome, const std::string& fingerprint,
+                        const std::string& canonical, const std::string& note,
+                        const std::string& witness, const std::string& core) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  auto mix = [&hash](const char* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      hash = (hash ^ static_cast<unsigned char>(data[i])) * 0x100000001b3ULL;
+    }
+  };
+  char outcome_byte = static_cast<char>('0' + outcome);
+  mix(&outcome_byte, 1);
+  mix(fingerprint.data(), fingerprint.size());
+  mix(canonical.data(), canonical.size());
+  mix(note.data(), note.size());
+  mix(witness.data(), witness.size());
+  mix(core.data(), core.size());
+  return hash;
+}
+
+std::string ToHex(uint64_t value) {
+  static const char kHexDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int nibble = 0; nibble < 16; ++nibble) {
+    out[15 - nibble] = kHexDigits[(value >> (4 * nibble)) & 0xf];
+  }
+  return out;
+}
+
+int OutcomeTag(ConsistencyOutcome outcome) {
+  switch (outcome) {
+    case ConsistencyOutcome::kConsistent:
+      return 1;
+    case ConsistencyOutcome::kInconsistent:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+/// Parses one "R ..." header line starting at `pos` (which points at
+/// the 'R'). On success fills the fields and sets `payload_start` to
+/// the byte after the header's newline. Returns false on any
+/// malformation without consuming anything.
+struct RecordHeader {
+  int outcome = 0;
+  std::string fingerprint;
+  size_t len_canonical = 0;
+  size_t len_note = 0;
+  size_t len_witness = 0;
+  size_t len_core = 0;
+  uint64_t checksum = 0;
+  size_t payload_start = 0;
+};
+
+bool ParseHeader(const std::string& data, size_t pos, RecordHeader* header) {
+  size_t line_end = data.find('\n', pos);
+  if (line_end == std::string::npos) return false;
+  std::istringstream line(data.substr(pos, line_end - pos));
+  std::string tag, checksum_hex;
+  unsigned long long lens[4] = {0, 0, 0, 0};
+  if (!(line >> tag >> header->outcome >> header->fingerprint >> lens[0] >>
+        lens[1] >> lens[2] >> lens[3] >> checksum_hex) ||
+      tag != "R") {
+    return false;
+  }
+  std::string trailing;
+  if (line >> trailing) return false;  // junk after the checksum
+  if (header->outcome != 1 && header->outcome != 2) return false;
+  if (checksum_hex.size() != 16) return false;
+  char* end = nullptr;
+  header->checksum = std::strtoull(checksum_hex.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') return false;
+  header->len_canonical = static_cast<size_t>(lens[0]);
+  header->len_note = static_cast<size_t>(lens[1]);
+  header->len_witness = static_cast<size_t>(lens[2]);
+  header->len_core = static_cast<size_t>(lens[3]);
+  header->payload_start = line_end + 1;
+  return true;
+}
+
+/// Next plausible record boundary at or after `pos`: the byte after a
+/// "\nR " sequence. Used to resynchronize after a corrupt record so
+/// one bad record does not take the rest of the snapshot with it.
+size_t Resync(const std::string& data, size_t pos) {
+  if (pos >= data.size()) return data.size();
+  size_t found = data.find("\nR ", pos);
+  if (found == std::string::npos) return data.size();
+  return found + 1;
+}
+
+}  // namespace
+
+Status WriteVerdictSnapshot(const VerdictCache& cache, const std::string& path,
+                            SnapshotWriteStats* stats) {
+  if (path.empty()) {
+    return Status::InvalidArgument("snapshot path is empty");
+  }
+  // Fault point `cache_snapshot_write`: the write fails before the
+  // temp file is created, so an existing snapshot is never damaged —
+  // exactly the guarantee a real ENOSPC/EIO at open time gives.
+  if (FaultInjector::ShouldFail("cache_snapshot_write")) {
+    trace::Count("serve/cache_snapshot_write_failures");
+    return Status::Internal("injected fault at cache_snapshot_write");
+  }
+
+  std::vector<std::pair<std::string, CachedVerdict>> entries =
+      cache.ExportCanonical();
+
+  std::string body(kMagic);
+  size_t records = 0;
+  for (const auto& [canonical, entry] : entries) {
+    int outcome = OutcomeTag(entry.outcome);
+    if (outcome == 0) continue;  // cache invariant; belt and braces
+    uint64_t checksum =
+        RecordChecksum(outcome, entry.fingerprint, canonical, entry.note,
+                       entry.witness_xml, entry.core_text);
+    body += "R ";
+    body += std::to_string(outcome);
+    body += ' ';
+    body += entry.fingerprint;
+    body += ' ';
+    body += std::to_string(canonical.size());
+    body += ' ';
+    body += std::to_string(entry.note.size());
+    body += ' ';
+    body += std::to_string(entry.witness_xml.size());
+    body += ' ';
+    body += std::to_string(entry.core_text.size());
+    body += ' ';
+    body += ToHex(checksum);
+    body += '\n';
+    body += canonical;
+    body += entry.note;
+    body += entry.witness_xml;
+    body += entry.core_text;
+    body += '\n';
+    ++records;
+  }
+
+  // Temp file in the same directory so rename() stays within one
+  // filesystem and is atomic; a crash between write and rename leaves
+  // the previous snapshot untouched and only a stray .tmp behind.
+  std::string temp_path = path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      trace::Count("serve/cache_snapshot_write_failures");
+      return Status::Internal("cannot open snapshot temp file " + temp_path);
+    }
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(temp_path.c_str());
+      trace::Count("serve/cache_snapshot_write_failures");
+      return Status::Internal("short write to snapshot temp file " + temp_path);
+    }
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    trace::Count("serve/cache_snapshot_write_failures");
+    return Status::Internal("cannot rename snapshot into place at " + path);
+  }
+
+  trace::Count("serve/cache_snapshot_writes");
+  if (stats != nullptr) {
+    stats->records_written = records;
+    stats->bytes_written = body.size();
+  }
+  return Status::OK();
+}
+
+Result<SnapshotLoadStats> LoadVerdictSnapshot(VerdictCache* cache,
+                                              const std::string& path) {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("snapshot load requires a cache");
+  }
+  if (path.empty()) {
+    return Status::InvalidArgument("snapshot path is empty");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Missing snapshot = clean cold start (first boot, or the
+    // operator pointed at a fresh path). Not an error.
+    return SnapshotLoadStats{};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read error on snapshot " + path);
+  }
+  std::string data = buffer.str();
+
+  if (data.size() < sizeof(kMagic) - 1 ||
+      data.compare(0, sizeof(kMagic) - 1, kMagic) != 0) {
+    // A foreign or pre-format file: refuse wholesale rather than
+    // guessing at record boundaries inside arbitrary bytes.
+    return Status::InvalidArgument("snapshot " + path +
+                                   " has no XVCSNAP1 header");
+  }
+
+  SnapshotLoadStats stats;
+  size_t pos = sizeof(kMagic) - 1;
+  while (pos < data.size()) {
+    RecordHeader header;
+    if (data[pos] != 'R' || !ParseHeader(data, pos, &header)) {
+      ++stats.records_skipped;
+      trace::Count("serve/cache_snapshot_skipped");
+      pos = Resync(data, pos + 1);
+      continue;
+    }
+    size_t payload_len = header.len_canonical + header.len_note +
+                         header.len_witness + header.len_core;
+    size_t record_end = header.payload_start + payload_len + 1;
+    if (record_end > data.size() ||
+        data[record_end - 1] != '\n') {  // truncated payload
+      ++stats.records_skipped;
+      trace::Count("serve/cache_snapshot_skipped");
+      pos = Resync(data, pos + 1);
+      continue;
+    }
+    size_t offset = header.payload_start;
+    std::string canonical = data.substr(offset, header.len_canonical);
+    offset += header.len_canonical;
+    std::string note = data.substr(offset, header.len_note);
+    offset += header.len_note;
+    std::string witness = data.substr(offset, header.len_witness);
+    offset += header.len_witness;
+    std::string core = data.substr(offset, header.len_core);
+
+    // From here on the framing is sound, so a bad record advances
+    // past its own payload — no resync scan needed.
+    pos = record_end;
+
+    if (RecordChecksum(header.outcome, header.fingerprint, canonical, note,
+                       witness, core) != header.checksum) {
+      ++stats.records_skipped;
+      trace::Count("serve/cache_snapshot_skipped");
+      continue;
+    }
+    // Stale-snapshot defense: if the canonicalizer (or fingerprint
+    // function) changed since this snapshot was written, the recorded
+    // fingerprint no longer matches and the entry must not be trusted
+    // to key the current canonical form.
+    if (FingerprintText(canonical) != header.fingerprint) {
+      ++stats.records_skipped;
+      trace::Count("serve/cache_snapshot_skipped");
+      continue;
+    }
+    // Fault point `cache_snapshot_read`: drop this record as if its
+    // checksum had failed. Exercises the skip path under load.
+    if (FaultInjector::ShouldFail("cache_snapshot_read")) {
+      ++stats.records_skipped;
+      trace::Count("serve/cache_snapshot_skipped");
+      continue;
+    }
+
+    CachedVerdict entry;
+    entry.outcome = header.outcome == 1 ? ConsistencyOutcome::kConsistent
+                                        : ConsistencyOutcome::kInconsistent;
+    entry.note = std::move(note);
+    entry.witness_xml = std::move(witness);
+    entry.core_text = std::move(core);
+    entry.fingerprint = header.fingerprint;
+    if (!cache->InsertLoaded(canonical, std::move(entry))) {
+      ++stats.records_skipped;
+      trace::Count("serve/cache_snapshot_skipped");
+      continue;
+    }
+    ++stats.records_loaded;
+    trace::Count("serve/cache_snapshot_loaded");
+  }
+  return stats;
+}
+
+}  // namespace xmlverify

@@ -69,4 +69,29 @@ std::shared_ptr<const CachedVerdict> VerdictCache::AttachCore(
   return shared;
 }
 
+std::vector<std::pair<std::string, CachedVerdict>>
+VerdictCache::ExportCanonical() const {
+  std::vector<std::pair<std::string, CachedVerdict>> entries;
+  canonical_.ForEach([&entries](const std::string& key,
+                                const CachedVerdict& value) {
+    entries.emplace_back(key, value);
+  });
+  return entries;
+}
+
+bool VerdictCache::InsertLoaded(const std::string& canonical_text,
+                                CachedVerdict entry) {
+  if (canonical_text.empty() || !Cacheable(entry.outcome)) return false;
+  if (entry.outcome != ConsistencyOutcome::kConsistent &&
+      !entry.witness_xml.empty()) {
+    return false;
+  }
+  if (entry.outcome != ConsistencyOutcome::kInconsistent &&
+      !entry.core_text.empty()) {
+    return false;
+  }
+  canonical_.Insert(canonical_text, std::move(entry));
+  return true;
+}
+
 }  // namespace xmlverify

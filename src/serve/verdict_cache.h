@@ -28,6 +28,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/shared_cache.h"
 #include "core/verdict.h"
@@ -89,6 +91,18 @@ class VerdictCache {
       const std::string& core_text);
 
   size_t size() const { return canonical_.size(); }
+
+  /// A copy of the canonical tier, for the durable snapshot writer
+  /// (serve/snapshot.h). The raw tier is deliberately not exported:
+  /// it refills from canonical-tier hits, and its keys are arbitrary
+  /// client bytes that may never recur across a restart.
+  std::vector<std::pair<std::string, CachedVerdict>> ExportCanonical() const;
+
+  /// Re-inserts a snapshot record into the canonical tier. Enforces
+  /// the same invariants as Insert/AttachCore (definitive outcomes
+  /// only, witness only on CONSISTENT, core only on INCONSISTENT);
+  /// returns false when the record violates them and was refused.
+  bool InsertLoaded(const std::string& canonical_text, CachedVerdict entry);
 
  private:
   SharedCache<CachedVerdict> raw_;

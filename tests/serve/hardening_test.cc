@@ -1,0 +1,269 @@
+// Hostile-connection hardening tests (docs/serving.md, "Connection
+// hardening"): idle-timeout reclaim of silent connections, in-flight
+// cancellation when a client dies mid-request, the connection cap,
+// the enqueue-stamped client deadline, and the client-side retry
+// policy. All tests are deterministic — every wait polls a condition
+// with a bound derived from the configured timeouts, never a blind
+// sleep longer than them.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "tests/test_util.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+// A tiny consistent specification: x keys the a-children of r.
+constexpr char kConsistentSpec[] =
+    "root r\n"
+    "<!ELEMENT r (a*)>\n"
+    "<!ELEMENT a (%)>\n"
+    "<!ATTLIST a x>\n"
+    "%%\n"
+    "r.a.x -> r.a\n";
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string SpecRequest(const std::string& id, const std::string& spec,
+                        const std::string& extra = "") {
+  return "{\"id\":\"" + id + "\",\"spec\":\"" + JsonEscape(spec) + "\"" +
+         extra + "}";
+}
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+class HardeningTest : public ::testing::Test {
+ protected:
+  void StartServer(ServeOptions options) {
+    options.stats = &stats_;
+    server_ = std::make_unique<ServeServer>(std::move(options));
+    ASSERT_OK(server_->Start());
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  Result<ServeClient> Connect(ClientOptions options = ClientOptions()) {
+    return ServeClient::Connect("127.0.0.1", server_->port(), options);
+  }
+
+  std::string RoundTrip(const std::string& request) {
+    Result<ServeClient> client = Connect();
+    EXPECT_TRUE(client.ok()) << client.status().message();
+    EXPECT_TRUE(client->SendLine(request).ok());
+    Result<std::string> response = client->ReadLine();
+    EXPECT_TRUE(response.ok()) << response.status().message();
+    return response.ok() ? *response : "";
+  }
+
+  /// Polls `predicate` every 5ms up to `limit_millis`.
+  bool WaitFor(const std::function<bool()>& predicate, int limit_millis) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(limit_millis);
+    while (!predicate()) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+
+  StatsRegistry stats_;
+  std::unique_ptr<ServeServer> server_;
+};
+
+TEST_F(HardeningTest, IdleTimeoutReclaimsSilentConnection) {
+  StartServer(ServeOptions{.jobs = 1, .idle_timeout_millis = 100});
+
+  // Half a request, then silence: the classic slowloris posture.
+  ASSERT_OK_AND_ASSIGN(ServeClient slow, Connect());
+  ASSERT_OK(slow.SendRaw("{\"id\":\"never-fini"));
+
+  // The server must reclaim the connection within the idle budget
+  // (plus poll-slice slack), not hold a reader thread forever.
+  EXPECT_TRUE(WaitFor([&] { return stats_.Counter("serve/idle_timeouts") >= 1; },
+                      2000))
+      << "idle timeout never fired";
+
+  // The reclaimed connection is really closed: the client sees EOF.
+  ASSERT_OK(slow.set_recv_timeout_millis(1000));
+  Result<std::string> nothing = slow.ReadLine();
+  EXPECT_FALSE(nothing.ok());
+
+  // And the server still serves new clients.
+  std::string response = RoundTrip(SpecRequest("after", kConsistentSpec));
+  EXPECT_TRUE(Contains(response, "\"verdict\":\"CONSISTENT\"")) << response;
+}
+
+TEST_F(HardeningTest, ClientDeathCancelsQueuedWork) {
+  // One worker with a deterministic handling delay: the first job
+  // occupies it long enough for the second to be queued, aborted,
+  // and observed as cancelled at pickup.
+  StartServer(ServeOptions{.jobs = 1, .debug_handle_delay_millis = 150});
+
+  ASSERT_OK_AND_ASSIGN(ServeClient busy, Connect());
+  ASSERT_OK(busy.SendLine(SpecRequest("busy", kConsistentSpec)));
+
+  // Queue a request from a client that then dies hard (RST, not a
+  // clean half-close — half-close must keep responses flowing).
+  ASSERT_OK_AND_ASSIGN(ServeClient doomed, Connect());
+  ASSERT_OK(doomed.SendLine(SpecRequest("doomed", kConsistentSpec)));
+  EXPECT_TRUE(WaitFor([&] { return stats_.Counter("serve/requests") >= 2; },
+                      2000));
+  doomed.Abort();
+
+  // The worker must skip the dead job rather than solving into a
+  // closed socket, and the first client still gets its answer.
+  Result<std::string> busy_response = busy.ReadLine();
+  ASSERT_TRUE(busy_response.ok()) << busy_response.status().message();
+  EXPECT_TRUE(Contains(*busy_response, "\"verdict\":\"CONSISTENT\""));
+  EXPECT_TRUE(WaitFor([&] { return stats_.Counter("serve/cancelled") >= 1; },
+                      2000))
+      << "cancelled job was not skipped";
+
+  // Worker recovered: a fresh request round-trips.
+  std::string response = RoundTrip(SpecRequest("after", kConsistentSpec));
+  EXPECT_TRUE(Contains(response, "\"verdict\":\"CONSISTENT\"")) << response;
+}
+
+TEST_F(HardeningTest, ConnectionCapShedsWithRetryableResponse) {
+  StartServer(ServeOptions{.jobs = 1, .max_connections = 1});
+
+  // Occupy the single slot, and prove it is registered by completing
+  // a round trip on it.
+  ASSERT_OK_AND_ASSIGN(ServeClient holder, Connect());
+  ASSERT_OK(holder.SendLine(SpecRequest("hold", kConsistentSpec)));
+  ASSERT_OK_AND_ASSIGN(std::string held, holder.ReadLine());
+  EXPECT_TRUE(Contains(held, "\"verdict\":\"CONSISTENT\"")) << held;
+
+  // The next connection is shed at the door with the RETRYABLE
+  // contract (the same one queue-full sheds use).
+  ASSERT_OK_AND_ASSIGN(ServeClient rejected, Connect());
+  ASSERT_OK(rejected.set_recv_timeout_millis(2000));
+  ASSERT_OK_AND_ASSIGN(std::string shed, rejected.ReadLine());
+  EXPECT_TRUE(Contains(shed, "\"error\":\"RETRYABLE\"")) << shed;
+  EXPECT_TRUE(Contains(shed, "\"retryable\":true")) << shed;
+  EXPECT_GE(stats_.Counter("serve/connections_rejected"), 1);
+
+  // Releasing the slot re-opens the door.
+  holder.Close();
+  EXPECT_TRUE(WaitFor(
+      [&] {
+        Result<ServeClient> retry = Connect();
+        if (!retry.ok()) return false;
+        if (!retry->SendLine(SpecRequest("again", kConsistentSpec)).ok()) {
+          return false;
+        }
+        if (!retry->set_recv_timeout_millis(2000).ok()) return false;
+        Result<std::string> response = retry->ReadLine();
+        return response.ok() &&
+               Contains(*response, "\"verdict\":\"CONSISTENT\"");
+      },
+      3000))
+      << "slot was never released";
+}
+
+TEST_F(HardeningTest, QueueWaitCountsAgainstClientTimeout) {
+  // Regression for the enqueue-stamp fix: a request carrying its own
+  // timeout_ms starts that clock at admission, so one that outwaits
+  // its client in the queue is shed cheaply at pickup.
+  StartServer(ServeOptions{.jobs = 1, .debug_handle_delay_millis = 200});
+
+  ASSERT_OK_AND_ASSIGN(ServeClient client, Connect());
+  // Pipelined on one connection: "front" occupies the worker through
+  // the 200ms debug delay; "late" waits in the queue with a 100ms
+  // client budget that expires long before pickup.
+  ASSERT_OK(client.SendLine(SpecRequest("front", kConsistentSpec)));
+  ASSERT_OK(client.SendLine(
+      SpecRequest("late", kConsistentSpec, ",\"timeout_ms\":100")));
+
+  ASSERT_OK_AND_ASSIGN(std::string front, client.ReadLine());
+  EXPECT_TRUE(Contains(front, "\"id\":\"front\"")) << front;
+  EXPECT_TRUE(Contains(front, "\"verdict\":\"CONSISTENT\"")) << front;
+
+  ASSERT_OK_AND_ASSIGN(std::string late, client.ReadLine());
+  EXPECT_TRUE(Contains(late, "\"id\":\"late\"")) << late;
+  EXPECT_TRUE(Contains(late, "\"verdict\":\"DEADLINE_EXCEEDED\"")) << late;
+  EXPECT_TRUE(Contains(late, "expired while queued")) << late;
+  EXPECT_GE(stats_.Counter("serve/queue_expired"), 1);
+
+  // The server ceiling is untouched: a request whose own budget has
+  // not expired still gets a full solve (cache hit here, fine).
+  ASSERT_OK(client.SendLine(
+      SpecRequest("fresh", kConsistentSpec, ",\"timeout_ms\":5000")));
+  ASSERT_OK_AND_ASSIGN(std::string fresh, client.ReadLine());
+  EXPECT_TRUE(Contains(fresh, "\"verdict\":\"CONSISTENT\"")) << fresh;
+}
+
+TEST_F(HardeningTest, ClientRetryRecoversFromConnectionCapShed) {
+  StartServer(ServeOptions{.jobs = 1, .max_connections = 1});
+
+  // Count the client-side counters into the test's registry.
+  TraceSession session(&stats_);
+
+  ASSERT_OK_AND_ASSIGN(ServeClient holder, Connect());
+  ASSERT_OK(holder.SendLine(SpecRequest("hold", kConsistentSpec)));
+  ASSERT_OK_AND_ASSIGN(std::string held, holder.ReadLine());
+  EXPECT_TRUE(Contains(held, "\"verdict\":\"CONSISTENT\"")) << held;
+
+  // Release the slot shortly after the retrying client's first
+  // attempt has been shed.
+  std::thread releaser([&holder] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    holder.Close();
+  });
+
+  ClientOptions retry;
+  retry.max_retries = 10;
+  retry.base_backoff_millis = 20;
+  retry.max_backoff_millis = 100;
+  retry.jitter_seed = 7;
+  ASSERT_OK_AND_ASSIGN(ServeClient client, Connect(retry));
+  ASSERT_OK(client.set_recv_timeout_millis(2000));
+  Result<std::string> response =
+      client.CallWithRetry(SpecRequest("retry", kConsistentSpec));
+  releaser.join();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_TRUE(Contains(*response, "\"verdict\":\"CONSISTENT\"")) << *response;
+  EXPECT_GE(stats_.Counter("serve_client/retries"), 1);
+  EXPECT_GE(stats_.Counter("serve_client/retry_recovered"), 1);
+}
+
+TEST_F(HardeningTest, HalfCloseStillDrainsResponses) {
+  // The cancellation machinery must not break the documented
+  // half-close contract: EOF after the last request is NOT a dead
+  // peer, and every queued response still flows.
+  StartServer(ServeOptions{.jobs = 1, .debug_handle_delay_millis = 50});
+
+  ASSERT_OK_AND_ASSIGN(ServeClient client, Connect());
+  ASSERT_OK(client.SendLine(SpecRequest("p1", kConsistentSpec)));
+  ASSERT_OK(client.SendLine(SpecRequest("p2", kConsistentSpec)));
+  client.FinishWriting();
+
+  ASSERT_OK_AND_ASSIGN(std::string first, client.ReadLine());
+  ASSERT_OK_AND_ASSIGN(std::string second, client.ReadLine());
+  EXPECT_TRUE(Contains(first + second, "\"id\":\"p1\""));
+  EXPECT_TRUE(Contains(first + second, "\"id\":\"p2\""));
+  EXPECT_EQ(stats_.Counter("serve/cancelled"), 0);
+}
+
+}  // namespace
+}  // namespace xmlverify

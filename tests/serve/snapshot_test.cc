@@ -1,0 +1,282 @@
+// Durable verdict-snapshot tests (serve/snapshot.h): round-trip
+// fidelity, cold starts, per-record corruption tolerance, stale
+// fingerprints, truncation, foreign files, write-fault atomicity, and
+// the server-level warm restart.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/fault_injection.h"
+#include "core/canonical.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/verdict_cache.h"
+#include "tests/test_util.h"
+#include "trace/trace.h"
+
+namespace xmlverify {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+/// A scratch path under the test's working directory, removed on
+/// destruction so runs do not contaminate each other.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& name)
+      : path_("snapshot_test_" + name + ".xvcsnap") {
+    std::remove(path_.c_str());
+  }
+  ~ScratchFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Populates `cache` with one CONSISTENT entry (with witness) and one
+/// INCONSISTENT entry (with core), both with honest fingerprints so
+/// the loader's staleness check passes.
+void FillCache(VerdictCache* cache) {
+  const std::string consistent = "canonical consistent spec text\n";
+  cache->Insert(consistent, "raw-a", FingerprintText(consistent),
+                ConsistencyOutcome::kConsistent, "witness validated",
+                "<r><a x=\"1\"/></r>");
+  const std::string inconsistent = "canonical inconsistent spec text\n";
+  cache->Insert(inconsistent, "raw-b", FingerprintText(inconsistent),
+                ConsistencyOutcome::kInconsistent, "implication closure", "");
+  cache->AttachCore(inconsistent, "raw-b", "r.a.x -> r.a\nr.a -> r.a.x\n");
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryField) {
+  ScratchFile file("roundtrip");
+  VerdictCache source;
+  FillCache(&source);
+
+  SnapshotWriteStats written;
+  ASSERT_OK(WriteVerdictSnapshot(source, file.path(), &written));
+  EXPECT_EQ(written.records_written, 2u);
+  EXPECT_GT(written.bytes_written, 0u);
+
+  VerdictCache restored;
+  ASSERT_OK_AND_ASSIGN(SnapshotLoadStats loaded,
+                       LoadVerdictSnapshot(&restored, file.path()));
+  EXPECT_EQ(loaded.records_loaded, 2u);
+  EXPECT_EQ(loaded.records_skipped, 0u);
+
+  const std::string consistent = "canonical consistent spec text\n";
+  auto entry = restored.LookupCanonical(consistent, consistent);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->outcome, ConsistencyOutcome::kConsistent);
+  EXPECT_EQ(entry->note, "witness validated");
+  EXPECT_EQ(entry->witness_xml, "<r><a x=\"1\"/></r>");
+  EXPECT_EQ(entry->fingerprint, FingerprintText(consistent));
+
+  const std::string inconsistent = "canonical inconsistent spec text\n";
+  auto core_entry = restored.LookupCanonical(inconsistent, inconsistent);
+  ASSERT_NE(core_entry, nullptr);
+  EXPECT_EQ(core_entry->outcome, ConsistencyOutcome::kInconsistent);
+  EXPECT_EQ(core_entry->core_text, "r.a.x -> r.a\nr.a -> r.a.x\n");
+}
+
+TEST(SnapshotTest, MissingFileIsACleanColdStart) {
+  VerdictCache cache;
+  ASSERT_OK_AND_ASSIGN(
+      SnapshotLoadStats loaded,
+      LoadVerdictSnapshot(&cache, "snapshot_test_does_not_exist.xvcsnap"));
+  EXPECT_EQ(loaded.records_loaded, 0u);
+  EXPECT_EQ(loaded.records_skipped, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotTest, CorruptRecordIsSkippedIndividually) {
+  ScratchFile file("corrupt");
+  VerdictCache source;
+  FillCache(&source);
+  ASSERT_OK(WriteVerdictSnapshot(source, file.path()));
+
+  // Flip one payload byte of the first record: its checksum now
+  // disagrees, but the loader must resync and keep the second.
+  std::string bytes = ReadFile(file.path());
+  size_t at = bytes.find("consistent spec");
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] = 'X';
+  WriteFile(file.path(), bytes);
+
+  VerdictCache restored;
+  ASSERT_OK_AND_ASSIGN(SnapshotLoadStats loaded,
+                       LoadVerdictSnapshot(&restored, file.path()));
+  EXPECT_EQ(loaded.records_loaded, 1u);
+  EXPECT_EQ(loaded.records_skipped, 1u);
+  EXPECT_EQ(restored.size(), 1u);
+}
+
+TEST(SnapshotTest, StaleFingerprintIsSkipped) {
+  ScratchFile file("stale");
+  VerdictCache source;
+  // An entry whose stored fingerprint does not match the canonical
+  // text models a snapshot written by an older canonicalizer. The
+  // record is internally consistent (checksum passes) but must still
+  // be refused, or a wrong verdict could be served under a new
+  // canonical identity.
+  const std::string text = "canonical text from an older era\n";
+  source.Insert(text, "raw", FingerprintText("something else entirely"),
+                ConsistencyOutcome::kConsistent, "", "<r/>");
+  ASSERT_OK(WriteVerdictSnapshot(source, file.path()));
+
+  VerdictCache restored;
+  ASSERT_OK_AND_ASSIGN(SnapshotLoadStats loaded,
+                       LoadVerdictSnapshot(&restored, file.path()));
+  EXPECT_EQ(loaded.records_loaded, 0u);
+  EXPECT_EQ(loaded.records_skipped, 1u);
+}
+
+TEST(SnapshotTest, TruncatedFileLoadsThePrefix) {
+  ScratchFile file("truncated");
+  VerdictCache source;
+  FillCache(&source);
+  ASSERT_OK(WriteVerdictSnapshot(source, file.path()));
+
+  // Cut the file mid-way through the last record, as a crash during a
+  // non-atomic copy would. The intact prefix must survive.
+  std::string bytes = ReadFile(file.path());
+  WriteFile(file.path(), bytes.substr(0, bytes.size() - 10));
+
+  VerdictCache restored;
+  ASSERT_OK_AND_ASSIGN(SnapshotLoadStats loaded,
+                       LoadVerdictSnapshot(&restored, file.path()));
+  EXPECT_EQ(loaded.records_loaded, 1u);
+  EXPECT_EQ(loaded.records_skipped, 1u);
+}
+
+TEST(SnapshotTest, ForeignFileIsRefusedOutright) {
+  ScratchFile file("foreign");
+  WriteFile(file.path(), "this is not a snapshot\n");
+  VerdictCache cache;
+  Result<SnapshotLoadStats> loaded = LoadVerdictSnapshot(&cache, file.path());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SnapshotTest, WriteFaultLeavesPreviousSnapshotIntact) {
+  ScratchFile file("writefault");
+  VerdictCache source;
+  FillCache(&source);
+  ASSERT_OK(WriteVerdictSnapshot(source, file.path()));
+  std::string good = ReadFile(file.path());
+  ASSERT_FALSE(good.empty());
+
+  Status armed = FaultInjector::Arm("cache_snapshot_write");
+  if (armed.code() == StatusCode::kUnsupported) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  ASSERT_OK(armed);
+  Status write = WriteVerdictSnapshot(source, file.path());
+  FaultInjector::Disarm();
+  EXPECT_FALSE(write.ok());
+  // Atomicity contract: the fault fires before the temp file exists,
+  // so the previous snapshot is byte-identical.
+  EXPECT_EQ(ReadFile(file.path()), good);
+  EXPECT_EQ(ReadFile(file.path() + ".tmp"), "");
+}
+
+TEST(SnapshotTest, ReadFaultDropsRecordsIndividually) {
+  ScratchFile file("readfault");
+  VerdictCache source;
+  FillCache(&source);
+  ASSERT_OK(WriteVerdictSnapshot(source, file.path()));
+
+  Status armed = FaultInjector::Arm("cache_snapshot_read=1");
+  if (armed.code() == StatusCode::kUnsupported) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  ASSERT_OK(armed);
+  VerdictCache restored;
+  Result<SnapshotLoadStats> loaded = LoadVerdictSnapshot(&restored, file.path());
+  FaultInjector::Disarm();
+  ASSERT_OK(loaded.status());
+  EXPECT_EQ(loaded->records_loaded, 1u);
+  EXPECT_EQ(loaded->records_skipped, 1u);
+}
+
+TEST(SnapshotTest, ServerRestartStartsWarm) {
+  ScratchFile file("restart");
+  StatsRegistry stats;
+
+  constexpr char kSpec[] =
+      "root r\n"
+      "<!ELEMENT r (a*)>\n"
+      "<!ELEMENT a (%)>\n"
+      "<!ATTLIST a x>\n"
+      "%%\n"
+      "r.a.x -> r.a\n";
+  std::string spec_json;
+  for (char c : std::string(kSpec)) {
+    if (c == '\n') {
+      spec_json += "\\n";
+    } else {
+      spec_json += c;
+    }
+  }
+  const std::string request =
+      "{\"id\":\"warm\",\"spec\":\"" + spec_json + "\"}";
+
+  // First life: solve once, then drain — Shutdown writes the final
+  // snapshot even without a periodic interval configured.
+  {
+    ServeOptions options;
+    options.jobs = 1;
+    options.stats = &stats;
+    options.cache_snapshot_path = file.path();
+    ServeServer server(options);
+    ASSERT_OK(server.Start());
+    ASSERT_OK_AND_ASSIGN(
+        ServeClient client,
+        ServeClient::Connect("127.0.0.1", server.port()));
+    ASSERT_OK(client.SendLine(request));
+    ASSERT_OK_AND_ASSIGN(std::string response, client.ReadLine());
+    ASSERT_NE(response.find("\"verdict\":\"CONSISTENT\""), std::string::npos)
+        << response;
+    EXPECT_EQ(response.find("\"cached\":true"), std::string::npos) << response;
+    server.Shutdown();
+  }
+  EXPECT_GE(stats.Counter("serve/cache_snapshot_writes"), 1);
+  ASSERT_FALSE(ReadFile(file.path()).empty());
+
+  // Second life: the very first request is served from the restored
+  // cache without re-solving.
+  StatsRegistry restart_stats;
+  ServeOptions options;
+  options.jobs = 1;
+  options.stats = &restart_stats;
+  options.cache_snapshot_path = file.path();
+  ServeServer server(options);
+  ASSERT_OK(server.Start());
+  EXPECT_GE(restart_stats.Counter("serve/cache_snapshot_loaded"), 1);
+  ASSERT_OK_AND_ASSIGN(
+      ServeClient client,
+      ServeClient::Connect("127.0.0.1", server.port()));
+  ASSERT_OK(client.SendLine(request));
+  ASSERT_OK_AND_ASSIGN(std::string response, client.ReadLine());
+  EXPECT_NE(response.find("\"verdict\":\"CONSISTENT\""), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("\"cached\":true"), std::string::npos) << response;
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace xmlverify
