@@ -3,9 +3,13 @@
 // paper figure — it calibrates where encoder-level costs end and
 // solver-level costs begin, and tracks the solver fast path against
 // the legacy reference pipeline (see docs/performance.md):
-//   * fast   — presolve + sparse two-tier (int64/BigInt) simplex
-//   * legacy — no presolve, dense BigInt tableau
-// BENCH_solver.json records the before/after numbers.
+//   * fast   — presolve + sparse two-tier (int64/BigInt) simplex,
+//              dual-simplex warm starts (the default pipeline)
+//   * legacy — no presolve, dense BigInt tableau, cold re-solves
+// Branch-and-bound ablations isolate the warm-start and parallel
+// layers (ColdStart = fast minus warm starts; Parallel = fast at
+// jobs=4). BENCH_solver.json records the before/after numbers; the
+// gated end-to-end comparison lives in bench_solver_parallel.
 #include <benchmark/benchmark.h>
 
 #include "ilp/simplex.h"
@@ -146,7 +150,30 @@ BENCHMARK(BM_BranchAndBound_Fast)
 BENCHMARK(BM_BranchAndBound_Legacy)
     ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
     ->Unit(benchmark::kMillisecond);
+// Ablation: the fast pipeline with warm starts disabled — every node
+// re-solves its LP from scratch. The gap to Fast is the per-node
+// saving of resuming from the parent's final tableau.
+void BM_BranchAndBound_ColdStart(benchmark::State& state) {
+  SolverOptions options = PipelineOptions(/*fast=*/true);
+  options.warm_start = false;
+  BranchAndBoundBench(state, options);
+}
+// Ablation: the fast pipeline under the work-stealing node pool.
+// Same verdicts and witnesses as serial (canonical node order); the
+// timing delta is thread overhead vs. useful overlap at this core
+// count.
+void BM_BranchAndBound_Parallel(benchmark::State& state) {
+  SolverOptions options = PipelineOptions(/*fast=*/true);
+  options.jobs = 4;
+  BranchAndBoundBench(state, options);
+}
 BENCHMARK(BM_BranchAndBound_SparseNoPresolve)
+    ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BranchAndBound_ColdStart)
+    ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BranchAndBound_Parallel)
     ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
     ->Unit(benchmark::kMillisecond);
 

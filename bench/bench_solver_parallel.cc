@@ -1,0 +1,304 @@
+// Gate benchmark for the parallel branch-and-bound solver core and
+// its dual-simplex warm starts: the production configuration
+// (--solver-jobs=4, warm starts on) must beat the previous default
+// (serial, cold re-solves) by the acceptance floor end to end, with
+// byte-identical verdicts on every instance.
+//
+// Two instance families:
+//   * Fig-3 multi-attribute key specs (KeyWidth) decided through the
+//     full ConsistencyChecker — the end-to-end path the paper's
+//     figure measures;
+//   * knapsack-style equality programs hitting IlpSolver directly —
+//     the branch-heavy substrate where warm starts pay per node.
+//
+// Four configurations run per instance: baseline (jobs=1, cold),
+// warm-serial and parallel-cold ablations, and the new default
+// (jobs=4, warm). The gate compares aggregate baseline time against
+// aggregate new-default time. Verdict identity is asserted between
+// every configuration, and witness identity between job counts at
+// fixed warm setting (the canonical-order determinism contract).
+//
+// Writes BENCH_solver_parallel.json (--out=PATH to override) and
+// exits 2 below the speedup floor (--min-speedup=X, default 1.5), 1
+// on any verdict or witness mismatch. Standalone driver (paired
+// cross-configuration measurements, like bench_implication_ablation).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/consistency.h"
+#include "core/specification.h"
+#include "ilp/solver.h"
+
+namespace xmlverify {
+namespace {
+
+struct BenchConfig {
+  int reps = 5;
+  double min_speedup = 1.5;
+  std::string out = "BENCH_solver_parallel.json";
+};
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SolverConfig {
+  const char* name;
+  bool warm;
+  int jobs;
+};
+
+constexpr SolverConfig kBaseline{"baseline", false, 1};
+constexpr SolverConfig kWarmSerial{"warm_serial", true, 1};
+constexpr SolverConfig kParallelCold{"parallel_cold", false, 4};
+constexpr SolverConfig kNewDefault{"parallel_warm", true, 4};
+
+SolverOptions MakeSolverOptions(const SolverConfig& config) {
+  SolverOptions options;
+  options.warm_start = config.warm;
+  options.jobs = config.jobs;
+  return options;
+}
+
+// Fig 3, column 2: one element type with a k-attribute primary key,
+// each attribute a foreign key into a 2-value pool; 2^k - 1 elements
+// fill the product space exactly (consistent, and the solver has to
+// prove it through the prequadratic encoding).
+Specification KeyWidthSpec(int k) {
+  std::string attrs;
+  std::string keys = "p[";
+  std::string constraints;
+  for (int a = 0; a < k; ++a) {
+    attrs += " a" + std::to_string(a);
+    if (a > 0) keys += ",";
+    keys += "a" + std::to_string(a);
+    constraints += "fk p.a" + std::to_string(a) + " <= q.v\n";
+  }
+  keys += "] -> p\n";
+  int elements = (1 << k) - 1;
+  std::string dtd_text = "<!ELEMENT r (q,q";
+  for (int e = 0; e < elements; ++e) dtd_text += ",p";
+  dtd_text += ")>\n<!ATTLIST p" + attrs + ">\n<!ATTLIST q v>\n";
+  return Specification::Parse(dtd_text, keys + constraints).ValueOrDie();
+}
+
+// Branch-heavy substrate: 0/1 knapsack equality with a target that
+// forces search (same family bench_solver tracks).
+IntegerProgram KnapsackProgram(int n) {
+  IntegerProgram program;
+  LinearExpr sum;
+  for (int v = 0; v < n; ++v) {
+    VarId var = program.NewVariable("x" + std::to_string(v));
+    program.SetUpperBound(var, BigInt(1));
+    sum.Add(var, BigInt(2 * v + 3));
+  }
+  int64_t total = 0;
+  for (int v = 0; v < n; ++v) total += 2 * v + 3;
+  program.AddLinear(std::move(sum), Relation::kEq, BigInt(total / 2 + 1));
+  return program;
+}
+
+// One instance = a closure that runs the workload under a solver
+// configuration and reports (verdict code, witness fingerprint).
+struct RunOutcome {
+  int verdict = -1;
+  std::string witness;  // empty when the config has no witness to pin
+};
+
+struct Instance {
+  std::string name;
+  std::string family;
+  RunOutcome (*run)(const void* payload, const SolverConfig& config);
+  const void* payload;
+};
+
+RunOutcome RunChecker(const void* payload, const SolverConfig& config) {
+  const Specification& spec = *static_cast<const Specification*>(payload);
+  ConsistencyChecker::Options options;
+  options.solver = MakeSolverOptions(config);
+  ConsistencyVerdict verdict =
+      ConsistencyChecker(options).Check(spec).ValueOrDie();
+  // Witness documents vary legitimately between warm settings (the
+  // LP reaches different vertices); identity across job counts is
+  // asserted at the solver layer below.
+  return RunOutcome{static_cast<int>(verdict.outcome), ""};
+}
+
+RunOutcome RunSolver(const void* payload, const SolverConfig& config) {
+  const IntegerProgram& program =
+      *static_cast<const IntegerProgram*>(payload);
+  SolveResult result =
+      IlpSolver(MakeSolverOptions(config)).Solve(program);
+  std::string witness;
+  for (const BigInt& value : result.assignment) {
+    witness += value.ToString();
+    witness += ",";
+  }
+  return RunOutcome{static_cast<int>(result.outcome), witness};
+}
+
+struct Measurement {
+  std::string name;
+  std::string family;
+  double baseline_us = 0;
+  double warm_serial_us = 0;
+  double parallel_cold_us = 0;
+  double parallel_warm_us = 0;
+  double speedup = 0;
+};
+
+// Best-of-reps wall time: the gate is about algorithmic cost, and the
+// minimum is the most schedule-noise-resistant point estimate.
+double TimeConfig(const Instance& instance, const SolverConfig& config,
+                  int reps) {
+  double best = -1;
+  for (int rep = 0; rep < reps; ++rep) {
+    int64_t begin = NowMicros();
+    RunOutcome outcome = instance.run(instance.payload, config);
+    double us = static_cast<double>(NowMicros() - begin);
+    if (outcome.verdict < 0) return -1;
+    if (best < 0 || us < best) best = us;
+  }
+  return best;
+}
+
+int Run(const BenchConfig& config) {
+  Specification key3 = KeyWidthSpec(3);
+  Specification key4 = KeyWidthSpec(4);
+  IntegerProgram knap12 = KnapsackProgram(12);
+  IntegerProgram knap18 = KnapsackProgram(18);
+  std::vector<Instance> instances = {
+      {"fig3-keywidth-3", "fig3", RunChecker, &key3},
+      {"fig3-keywidth-4", "fig3", RunChecker, &key4},
+      {"knapsack-12", "solver", RunSolver, &knap12},
+      {"knapsack-18", "solver", RunSolver, &knap18},
+  };
+
+  std::vector<Measurement> measurements;
+  for (const Instance& instance : instances) {
+    // Correctness first: all four configurations agree on the
+    // verdict, and witnesses are identical across job counts at a
+    // fixed warm setting (canonical node order).
+    RunOutcome baseline = instance.run(instance.payload, kBaseline);
+    for (const SolverConfig* other :
+         {&kWarmSerial, &kParallelCold, &kNewDefault}) {
+      RunOutcome outcome = instance.run(instance.payload, *other);
+      if (outcome.verdict != baseline.verdict) {
+        std::fprintf(stderr, "%s: verdict mismatch baseline=%d %s=%d\n",
+                     instance.name.c_str(), baseline.verdict, other->name,
+                     outcome.verdict);
+        return 1;
+      }
+    }
+    RunOutcome cold4 = instance.run(instance.payload, kParallelCold);
+    RunOutcome warm1 = instance.run(instance.payload, kWarmSerial);
+    RunOutcome warm4 = instance.run(instance.payload, kNewDefault);
+    if (cold4.witness != baseline.witness || warm4.witness != warm1.witness) {
+      std::fprintf(stderr, "%s: witness diverges across job counts\n",
+                   instance.name.c_str());
+      return 1;
+    }
+
+    Measurement m;
+    m.name = instance.name;
+    m.family = instance.family;
+    m.baseline_us = TimeConfig(instance, kBaseline, config.reps);
+    m.warm_serial_us = TimeConfig(instance, kWarmSerial, config.reps);
+    m.parallel_cold_us = TimeConfig(instance, kParallelCold, config.reps);
+    m.parallel_warm_us = TimeConfig(instance, kNewDefault, config.reps);
+    if (m.baseline_us < 0 || m.warm_serial_us < 0 ||
+        m.parallel_cold_us < 0 || m.parallel_warm_us < 0) {
+      std::fprintf(stderr, "%s: a configuration failed\n",
+                   instance.name.c_str());
+      return 1;
+    }
+    m.speedup = m.parallel_warm_us > 0 ? m.baseline_us / m.parallel_warm_us
+                                       : 0;
+    measurements.push_back(m);
+  }
+
+  double baseline_total = 0;
+  double new_total = 0;
+  for (const Measurement& m : measurements) {
+    baseline_total += m.baseline_us;
+    new_total += m.parallel_warm_us;
+  }
+  double aggregate = new_total > 0 ? baseline_total / new_total : 0;
+
+  std::printf("solver parallel gate: %zu instances, reps=%d, "
+              "hardware_concurrency=%u\n",
+              measurements.size(), config.reps,
+              std::thread::hardware_concurrency());
+  for (const Measurement& m : measurements) {
+    std::printf("  %-18s base %9.0fus  warm1 %9.0fus  cold4 %9.0fus  "
+                "warm4 %9.0fus  %5.2fx\n",
+                m.name.c_str(), m.baseline_us, m.warm_serial_us,
+                m.parallel_cold_us, m.parallel_warm_us, m.speedup);
+  }
+  std::printf("  aggregate speedup: %.2fx (acceptance: >= %.2fx)\n",
+              aggregate, config.min_speedup);
+
+  std::ofstream out(config.out);
+  out << "{\n"
+      << "  \"bench\": \"solver_parallel\",\n"
+      << "  \"config\": {\"reps\": " << config.reps
+      << ", \"jobs\": 4, \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "},\n"
+      << "  \"instances\": [\n";
+  for (size_t i = 0; i < measurements.size(); ++i) {
+    const Measurement& m = measurements[i];
+    char line[320];
+    std::snprintf(line, sizeof(line),
+                  "    {\"name\": \"%s\", \"family\": \"%s\", "
+                  "\"baseline_us\": %.0f, \"warm_serial_us\": %.0f, "
+                  "\"parallel_cold_us\": %.0f, \"parallel_warm_us\": %.0f, "
+                  "\"speedup\": %.2f}%s\n",
+                  m.name.c_str(), m.family.c_str(), m.baseline_us,
+                  m.warm_serial_us, m.parallel_cold_us, m.parallel_warm_us,
+                  m.speedup, i + 1 < measurements.size() ? "," : "");
+    out << line;
+  }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"aggregate_speedup\": %.2f,\n  \"gate\": %.2f\n}\n",
+                aggregate, config.min_speedup);
+  out << tail;
+  std::printf("  wrote %s\n", config.out.c_str());
+  return aggregate < config.min_speedup ? 2 : 0;
+}
+
+}  // namespace
+}  // namespace xmlverify
+
+int main(int argc, char** argv) {
+  xmlverify::BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value("--reps=")) {
+      config.reps = std::atoi(v);
+    } else if (const char* v = value("--min-speedup=")) {
+      config.min_speedup = std::atof(v);
+    } else if (const char* v = value("--out=")) {
+      config.out = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_solver_parallel [--reps=N] "
+                   "[--min-speedup=X] [--out=PATH]\n");
+      return 1;
+    }
+  }
+  return xmlverify::Run(config);
+}

@@ -120,6 +120,28 @@ bool IntegerProgram::IsSatisfied(const std::vector<BigInt>& assignment) const {
   return true;
 }
 
+namespace {
+
+// Inline object header plus heap limb storage, rounded up to bytes.
+int64_t ApproxBigIntBytes(const BigInt& value) {
+  return 16 + static_cast<int64_t>((value.BitLength() + 7) / 8);
+}
+
+}  // namespace
+
+int64_t ApproxConstraintBytes(const LinearConstraint& constraint) {
+  // Struct body, label characters, and the bound's limbs...
+  int64_t bytes = 64 + static_cast<int64_t>(constraint.label.size()) +
+                  ApproxBigIntBytes(constraint.rhs);
+  // ...plus one map node (pointers + key) per term and each
+  // coefficient's limbs.
+  for (const auto& [var, coeff] : constraint.lhs.terms()) {
+    (void)var;
+    bytes += 48 + ApproxBigIntBytes(coeff);
+  }
+  return bytes;
+}
+
 std::string IntegerProgram::ToString() const {
   std::string out;
   for (const LinearConstraint& constraint : linear_) {

@@ -9,6 +9,7 @@
 #ifndef XMLVERIFY_ILP_LINEAR_H_
 #define XMLVERIFY_ILP_LINEAR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -57,6 +58,13 @@ struct LinearConstraint {
   bool IsSatisfied(const std::vector<BigInt>& assignment) const;
   std::string ToString(const std::vector<std::string>& variable_names) const;
 };
+
+/// Approximate resident footprint of one constraint in bytes, sized
+/// by the actual limb storage of its BigInt coefficients and bound —
+/// a branch bound carrying a 4096-bit value costs what it holds, not
+/// a flat per-row estimate. Used by the solver's search-node memory
+/// accounting (see SolverOptions::budget).
+int64_t ApproxConstraintBytes(const LinearConstraint& constraint);
 
 /// (antecedent >= 1) -> consequent. Encodes the paper's
 /// "(|ext(tau)| > 0) -> (|ext(tau.l)| > 0)" constraints.

@@ -1,7 +1,9 @@
 #include "ilp/simplex.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "base/deadline.h"
@@ -191,13 +193,19 @@ class DenseTableau {
   std::vector<int> basis_;
 };
 
+}  // namespace
+
 // ---------------------------------------------------------------------
 // Sparse phase-1 tableau over two-tier rationals. Rows are sorted
 // (column, value) pair vectors holding nonzeros only; row combination
 // is a merge walk that drops exact cancellations, so sparsity survives
 // pivoting wherever the arithmetic allows. Cells start in the int64
 // tier and promote to BigInt individually on overflow. Column layout
-// matches the dense engine: vars, slack/surplus, artificials.
+// matches the dense engine: vars, slack/surplus, artificials. Lives in
+// a named namespace (not the anonymous one) because SimplexWarmState —
+// an external-linkage type — embeds a finished tableau by value.
+namespace simplex_detail {
+
 class SparseTableau {
  public:
   using Cell = std::pair<int, TwoTierRational>;
@@ -338,6 +346,126 @@ class SparseTableau {
     return solution;
   }
 
+  // Appends one inequality row to an already-optimized tableau with
+  // the row's fresh slack as its basic variable. The slack enters at
+  // coefficient +1 (kGe rows are negated into kLe form first) with
+  // zero phase-1 cost, so the reduced-cost row and objective are
+  // untouched: a dual-feasible basis stays dual feasible, which is the
+  // warm-start invariant DualReoptimize relies on. The new row is
+  // brought into reduced form by eliminating every currently-basic
+  // column (each appears in exactly its own pivot row, so one pass
+  // suffices). Requires relation != kEq — an equality row would need
+  // an artificial, destroying dual feasibility; callers fall back to a
+  // cold solve instead.
+  void AppendRelaxedRow(const LinearConstraint& constraint) {
+    const bool flip = constraint.relation == Relation::kGe;
+    SparseRow row;
+    row.reserve(constraint.lhs.terms().size() + 1);
+    for (const auto& [var, coeff] : constraint.lhs.terms()) {
+      TwoTierRational value(coeff);
+      if (flip) value.Negate();
+      row.emplace_back(var, std::move(value));
+    }
+    TwoTierRational rhs(constraint.rhs);
+    if (flip) rhs.Negate();
+
+    // Column -> pivot row of the current basis.
+    std::vector<int> basic_row(num_cols_, -1);
+    for (int i = 0; i < num_rows_; ++i) basic_row[basis_[i]] = i;
+    std::vector<int> original_cols;
+    original_cols.reserve(row.size());
+    for (const Cell& cell : row) original_cols.push_back(cell.first);
+    for (int col : original_cols) {
+      int pivot_row = basic_row[col];
+      if (pivot_row < 0) continue;
+      // Re-read: an earlier elimination may have changed (or
+      // cancelled) this column's coefficient.
+      const TwoTierRational* current = Find(row, col);
+      if (current == nullptr || current->is_zero()) continue;
+      TwoTierRational factor = *current;
+      // The basic column's own-row coefficient is 1 by the pivot
+      // normalization invariant; divide anyway so the elimination
+      // stays exact even if that invariant ever drifts.
+      const TwoTierRational* diagonal = Find(rows_[pivot_row], col);
+      if (diagonal != nullptr) factor /= *diagonal;
+      RowSubMul(&row, factor, rows_[pivot_row]);
+      rhs.SubMul(factor, rhs_[pivot_row]);
+    }
+
+    int slack_col = num_cols_++;
+    row.emplace_back(slack_col, TwoTierRational(int64_t{1}));
+    rows_.push_back(std::move(row));
+    rhs_.push_back(std::move(rhs));
+    basis_.push_back(slack_col);
+    reduced_.push_back(TwoTierRational());
+    ++num_rows_;
+  }
+
+  enum class DualStatus {
+    kPrimalFeasible,  // all rhs >= 0: hand over to the primal epilogue
+    kInfeasible,      // a row refutes the system (sound: no artificials
+                      // were introduced by AppendRelaxedRow)
+    kGaveUp,          // pivot valve tripped: caller re-solves cold
+  };
+
+  // Dual simplex from a dual-feasible basis with (a few) negative
+  // right-hand sides, as left behind by AppendRelaxedRow. Bland's
+  // rule on both choices: leaving row = the negative-rhs row whose
+  // basic variable has the smallest index; entering column = among
+  // the row's negative entries, the smallest index minimizing
+  // reduced_j / -a_rj, which keeps every reduced cost nonnegative. A
+  // row with a negative rhs and no negative entry proves infeasibility
+  // outright. The pivot valve bounds degenerate chains (possible only
+  // if the parent basis was not dual feasible, a cannot-happen path
+  // handled defensively): the caller falls back to a cold solve.
+  // Observes the same deadline/fault contract as Optimize; when either
+  // out-flag is set the status carries no verdict.
+  DualStatus DualReoptimize(int64_t* pivots, const Deadline& deadline,
+                            bool* deadline_exceeded,
+                            bool* resource_exhausted) {
+    PeriodicDeadlineCheck check(deadline, /*stride=*/16);
+    const int64_t valve = 32 + static_cast<int64_t>(num_rows_) + num_cols_;
+    int64_t steps = 0;
+    while (true) {
+      if (check.Expired()) {
+        *deadline_exceeded = true;
+        return DualStatus::kPrimalFeasible;
+      }
+      if (FaultInjector::ShouldFail("solver_pivot")) {
+        *resource_exhausted = true;
+        return DualStatus::kPrimalFeasible;
+      }
+      int leaving = -1;
+      for (int i = 0; i < num_rows_; ++i) {
+        if (rhs_[i].is_negative() &&
+            (leaving < 0 || basis_[i] < basis_[leaving])) {
+          leaving = i;
+        }
+      }
+      if (leaving < 0) return DualStatus::kPrimalFeasible;
+      if (steps >= valve) return DualStatus::kGaveUp;
+      int entering = -1;
+      std::optional<TwoTierRational> best_ratio;
+      // Rows are sorted by column, so the strict `<` keeps the
+      // smallest column on ties (Bland).
+      for (const Cell& cell : rows_[leaving]) {
+        if (cell.second.sign() >= 0) continue;
+        TwoTierRational ratio = reduced_[cell.first];
+        TwoTierRational denominator = cell.second;
+        denominator.Negate();
+        ratio /= denominator;
+        if (entering < 0 || ratio.Compare(*best_ratio) < 0) {
+          entering = cell.first;
+          best_ratio = std::move(ratio);
+        }
+      }
+      if (entering < 0) return DualStatus::kInfeasible;
+      Pivot(leaving, entering);
+      ++*pivots;
+      ++steps;
+    }
+  }
+
  private:
   // Binary search for a column's cell; nullptr when structurally zero.
   static const TwoTierRational* Find(const SparseRow& row, int col) {
@@ -421,12 +549,29 @@ class SparseTableau {
   std::vector<int> basis_;
 };
 
+}  // namespace simplex_detail
+
+// Definition of the header's opaque warm-state handle: a finished
+// sparse tableau, immutable once wrapped in shared_ptr<const>.
+struct SimplexWarmState {
+  simplex_detail::SparseTableau tableau;
+};
+
+int64_t WarmStateBytes(const SimplexWarmState& state) {
+  return state.tableau.ApproxBytes();
+}
+
+namespace {
+
+using simplex_detail::SparseTableau;
+
 // Shared solve driver: budget charge, optimize, counters.
 template <typename TableauT>
 SimplexResult RunWithTableau(int num_vars,
                              const std::vector<LinearConstraint>& constraints,
                              const Deadline& deadline,
-                             const ResourceBudget* budget) {
+                             const ResourceBudget* budget,
+                             const SimplexOptions& options) {
   SimplexResult result;
   TableauT tableau(num_vars, constraints);
   trace::Count("simplex/nnz", tableau.Nonzeros());
@@ -461,6 +606,12 @@ SimplexResult RunWithTableau(int num_vars,
   trace::Count("simplex/calls");
   trace::Count("simplex/pivots", result.pivots);
   if (!result.feasible) trace::Count("simplex/infeasible");
+  if constexpr (std::is_same_v<TableauT, SparseTableau>) {
+    if (result.feasible && options.export_warm_state) {
+      result.warm_state = std::make_shared<const SimplexWarmState>(
+          SimplexWarmState{std::move(tableau)});
+    }
+  }
   return result;
 }
 
@@ -473,10 +624,113 @@ SimplexResult SolveLp(int num_vars,
   if (options.sparse) {
     trace::Count("simplex/sparse_calls");
     return RunWithTableau<SparseTableau>(num_vars, constraints, deadline,
-                                         budget);
+                                         budget, options);
   }
   trace::Count("simplex/dense_calls");
-  return RunWithTableau<DenseTableau>(num_vars, constraints, deadline, budget);
+  return RunWithTableau<DenseTableau>(num_vars, constraints, deadline, budget,
+                                      options);
+}
+
+SimplexResult ResolveLp(const std::shared_ptr<const SimplexWarmState>& parent,
+                        const std::vector<LinearConstraint>& constraints,
+                        int delta, int num_vars, const Deadline& deadline,
+                        const ResourceBudget* budget,
+                        const SimplexOptions& options) {
+  bool warm_eligible = options.sparse && parent != nullptr && delta > 0 &&
+                       delta <= static_cast<int>(constraints.size());
+  if (warm_eligible) {
+    for (size_t i = constraints.size() - delta; i < constraints.size(); ++i) {
+      if (constraints[i].relation == Relation::kEq) {
+        warm_eligible = false;
+        break;
+      }
+    }
+  }
+  if (!warm_eligible) {
+    SimplexResult cold =
+        SolveLp(num_vars, constraints, deadline, budget, options);
+    cold.warm_fallback = true;
+    trace::Count("simplex/warm_fallbacks");
+    return cold;
+  }
+
+  trace::Count("simplex/warm_calls");
+  SimplexResult result;
+  int64_t warm_pivots = 0;
+  {
+    SparseTableau tableau(parent->tableau);  // deep copy
+    for (size_t i = constraints.size() - delta; i < constraints.size(); ++i) {
+      tableau.AppendRelaxedRow(constraints[i]);
+    }
+    std::optional<ScopedMemoryCharge> charge;
+    if (budget != nullptr) {
+      charge.emplace(*budget, tableau.ApproxBytes(), "simplex/tableau");
+      if (!charge->status().ok()) {
+        result.resource_exhausted = true;
+        result.note = charge->status().message();
+        trace::Count("simplex/resource_exhausted");
+        return result;
+      }
+    }
+    SparseTableau::DualStatus dual = tableau.DualReoptimize(
+        &result.pivots, deadline, &result.deadline_exceeded,
+        &result.resource_exhausted);
+    trace::Count("simplex/dual_pivots", result.pivots);
+    if (result.deadline_exceeded) {
+      trace::Count("simplex/deadline_exceeded");
+      return result;
+    }
+    if (result.resource_exhausted) {
+      result.note = "injected fault at solver_pivot";
+      trace::Count("simplex/resource_exhausted");
+      return result;
+    }
+    if (dual != SparseTableau::DualStatus::kGaveUp) {
+      if (dual == SparseTableau::DualStatus::kInfeasible) {
+        result.feasible = false;
+      } else {
+        // Primal epilogue from the restored feasible basis. Normally
+        // every reduced cost is already nonnegative and this is a
+        // single optimality scan deciding objective == 0; it only
+        // pivots further on the defensive not-dual-feasible path.
+        result.feasible =
+            tableau.Optimize(&result.pivots, deadline,
+                             &result.deadline_exceeded,
+                             &result.resource_exhausted);
+        if (result.deadline_exceeded) {
+          result.feasible = false;
+          trace::Count("simplex/deadline_exceeded");
+          return result;
+        }
+        if (result.resource_exhausted) {
+          result.feasible = false;
+          result.note = "injected fault at solver_pivot";
+          trace::Count("simplex/resource_exhausted");
+          return result;
+        }
+        if (result.feasible) result.solution = tableau.Solution();
+      }
+      result.warm_used = true;
+      trace::Count("simplex/calls");
+      trace::Count("simplex/pivots", result.pivots);
+      if (!result.feasible) trace::Count("simplex/infeasible");
+      if (result.feasible && options.export_warm_state) {
+        result.warm_state = std::make_shared<const SimplexWarmState>(
+            SimplexWarmState{std::move(tableau)});
+      }
+      return result;
+    }
+    warm_pivots = result.pivots;
+  }
+  // Pivot valve tripped: the dual chain degenerated (only reachable
+  // when the parent basis was not dual feasible). Re-solve cold; the
+  // wasted dual pivots stay in the count.
+  trace::Count("simplex/warm_fallbacks");
+  SimplexResult cold = SolveLp(num_vars, constraints, deadline, budget,
+                               options);
+  cold.pivots += warm_pivots;
+  cold.warm_fallback = true;
+  return cold;
 }
 
 }  // namespace xmlverify

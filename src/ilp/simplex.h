@@ -14,6 +14,7 @@
 #ifndef XMLVERIFY_ILP_SIMPLEX_H_
 #define XMLVERIFY_ILP_SIMPLEX_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,10 +25,26 @@
 
 namespace xmlverify {
 
+/// Opaque snapshot of a feasible sparse solve's final tableau, used to
+/// warm-start the re-solve of a nearby system (same rows plus a few
+/// extra bounds) through a short dual-simplex run instead of a
+/// from-scratch phase-1. Produced only by the sparse engine, on
+/// request (SimplexOptions::export_warm_state); immutable once built,
+/// so siblings in a branch-and-bound tree — including ones solved on
+/// different threads — may share one snapshot.
+struct SimplexWarmState;
+
+/// Approximate resident footprint of a warm-state snapshot.
+int64_t WarmStateBytes(const SimplexWarmState& state);
+
 struct SimplexOptions {
   /// Use the sparse two-tier tableau. Off selects the legacy dense
   /// BigInt tableau (slower; used as the difftest reference).
   bool sparse = true;
+  /// On a feasible sparse solve, move the final tableau into
+  /// SimplexResult::warm_state so the caller can warm-start re-solves
+  /// of child systems via ResolveLp. No effect on the dense engine.
+  bool export_warm_state = false;
 };
 
 struct SimplexResult {
@@ -47,6 +64,15 @@ struct SimplexResult {
   int64_t pivots = 0;
   // Diagnostic detail for resource_exhausted.
   std::string note;
+  // Final tableau of a feasible sparse solve, when
+  // SimplexOptions::export_warm_state asked for it.
+  std::shared_ptr<const SimplexWarmState> warm_state;
+  // ResolveLp only: the verdict came from the warm dual re-solve.
+  bool warm_used = false;
+  // ResolveLp only: the warm path was unusable (equality delta row,
+  // dense engine, degenerate dual chain) and the system was re-solved
+  // cold from scratch.
+  bool warm_fallback = false;
 };
 
 /// Finds a nonnegative rational point satisfying all `constraints`
@@ -62,6 +88,26 @@ SimplexResult SolveLp(int num_vars,
                       const Deadline& deadline = Deadline(),
                       const ResourceBudget* budget = nullptr,
                       const SimplexOptions& options = {});
+
+/// Re-solves a system that extends `parent`'s by the trailing `delta`
+/// rows of `constraints` (which must list the parent's rows followed
+/// by exactly the delta rows). Each inequality delta row is appended
+/// to a copy of the parent's final tableau with its slack basic — no
+/// artificials, so the parent's phase-1 optimality is preserved as
+/// dual feasibility — and a Bland-rule dual simplex restores primal
+/// feasibility in typically a handful of pivots. Falls back to a cold
+/// SolveLp over `constraints` (setting warm_fallback) when the warm
+/// path does not apply: null/absent parent state, dense engine, an
+/// equality delta row, or a degenerate dual chain exceeding the pivot
+/// valve. Either way the result is exactly equivalent to a cold solve
+/// in its feasibility verdict, and observes the same deadline, budget,
+/// and fault-injection contracts as SolveLp.
+SimplexResult ResolveLp(const std::shared_ptr<const SimplexWarmState>& parent,
+                        const std::vector<LinearConstraint>& constraints,
+                        int delta, int num_vars,
+                        const Deadline& deadline = Deadline(),
+                        const ResourceBudget* budget = nullptr,
+                        const SimplexOptions& options = {});
 
 }  // namespace xmlverify
 

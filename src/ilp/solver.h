@@ -68,6 +68,31 @@ struct SolverOptions {
   /// Use the sparse two-tier simplex for LP relaxations; off selects
   /// the legacy dense BigInt tableau.
   bool use_sparse_simplex = true;
+  /// Dual-simplex warm starts: each branch child re-solves its LP from
+  /// the parent's final tableau (the child differs by one or two bound
+  /// rows) through a short dual-simplex run instead of a from-scratch
+  /// phase-1. Sparse engine only — with use_sparse_simplex off the
+  /// flag is ignored, so the legacy pipeline stays the cold,
+  /// difftest-comparable reference. Equality delta rows and degenerate
+  /// dual chains fall back to cold solves automatically (counted as
+  /// solver/warm_start_fallbacks). Retained parent tableaus are shared
+  /// between siblings and bounded by the branch depth; they are
+  /// charged to the budget transiently during each re-solve.
+  bool warm_start = true;
+  /// Worker threads exploring branch-and-bound subtrees within a
+  /// single Solve call, as a work-stealing node pool. 1 (default)
+  /// keeps the serial loop. Verdicts are deterministic at any job
+  /// count on limit-free runs: every node carries a canonical
+  /// exploration-order key (its branch path; lexicographic order is
+  /// exactly serial DFS preorder) and the canonically-first definitive
+  /// leaf wins, so kSat witnesses are identical to the serial
+  /// search's. Which non-verdict limit (deadline / node / memory)
+  /// fires first may vary with scheduling, as it already does across
+  /// machines.
+  int jobs = 1;
+  /// Seed for the steal-victim rotation. Scheduling diversification
+  /// only; never affects the result (see `jobs`).
+  uint64_t seed = 0;
 };
 
 class IlpSolver {

@@ -100,6 +100,29 @@ fk p.y <= q.v
   EXPECT_OK(CheckDocument(*verdict.witness, spec.dtd, spec.constraints));
 }
 
+TEST(AbsoluteTest, MultiAttributeKeysSolveFromDegenerateDeepeningCap) {
+  // deepening_initial_cap = 1 used to pin the iterative-deepening loop
+  // at its cap-squaring fixed point (1*1 = 1) and spin forever. The
+  // deadline is purely a hang guard; the verdict must be definitive.
+  Specification spec = Parse(R"(
+<!ELEMENT r (p, p, p, p, q, q)>
+<!ATTLIST p x y>
+<!ATTLIST q v>
+)",
+                             R"(
+p[x,y] -> p
+fk p.x <= q.v
+fk p.y <= q.v
+)");
+  AbsoluteCheckOptions options;
+  options.deepening_initial_cap = BigInt(1);
+  options.solver.deadline = Deadline::AfterMillis(10000);
+  ASSERT_OK_AND_ASSIGN(
+      ConsistencyVerdict verdict,
+      CheckAbsoluteConsistency(spec.dtd, spec.constraints, options));
+  EXPECT_EQ(verdict.outcome, ConsistencyOutcome::kConsistent) << verdict.note;
+}
+
 TEST(AbsoluteTest, MultiAttributeKeyTooTightIsInconsistent) {
   // Five p's but the product space |ext(p.x)| * |ext(p.y)| is capped
   // at 2 * 2 = 4 by the foreign keys into the two q values.

@@ -70,6 +70,29 @@ TEST(IntegerProgramTest, IsSatisfiedCoversAllConstraintClasses) {
   EXPECT_FALSE(program.IsSatisfied({BigInt(9), BigInt(9), BigInt(0)}));
 }
 
+TEST(LinearConstraintTest, ApproxBytesTrackLimbFootprint) {
+  LinearConstraint small;
+  small.lhs.Add(0, BigInt(3));
+  small.relation = Relation::kLe;
+  small.rhs = BigInt(7);
+  const int64_t small_bytes = ApproxConstraintBytes(small);
+  EXPECT_GT(small_bytes, 0);
+
+  // A 4096-bit coefficient must cost at least its limb storage more
+  // than the small twin — the accounting is per-value, not per-row.
+  LinearConstraint big = small;
+  big.lhs.Add(1, BigInt::Pow2(4096));
+  EXPECT_GE(ApproxConstraintBytes(big), small_bytes + 4096 / 8);
+
+  LinearConstraint big_rhs = small;
+  big_rhs.rhs = BigInt::Pow2(4096);
+  EXPECT_GE(ApproxConstraintBytes(big_rhs), small_bytes + 4096 / 8);
+
+  LinearConstraint labeled = small;
+  labeled.label.assign(200, 'x');
+  EXPECT_GE(ApproxConstraintBytes(labeled), small_bytes + 200);
+}
+
 TEST(IntegerProgramTest, UpperBoundsKeepTheTightest) {
   IntegerProgram program;
   VarId x = program.NewVariable("x");

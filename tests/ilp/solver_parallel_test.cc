@@ -1,0 +1,250 @@
+// Parallel branch-and-bound: the work-stealing node pool must be a
+// determinism-preserving drop-in for the serial loop. Verdicts AND
+// kSat witnesses are identical at any job count (canonical node
+// order: the first definitive leaf in serial DFS preorder wins), and
+// the shared exploration-order convention — the >= / growth child
+// first, for all three branch kinds — is locked down here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/deadline.h"
+#include "ilp/solver.h"
+
+namespace xmlverify {
+namespace {
+
+SolveResult SolveWithJobs(const IntegerProgram& program, int jobs,
+                          uint64_t seed = 0) {
+  SolverOptions options;
+  options.jobs = jobs;
+  options.seed = seed;
+  return IlpSolver(options).Solve(program);
+}
+
+void ExpectSameDecision(const IntegerProgram& program) {
+  SolveResult serial = SolveWithJobs(program, 1);
+  for (int jobs : {2, 4, 8}) {
+    SolveResult parallel = SolveWithJobs(program, jobs, /*seed=*/jobs);
+    ASSERT_EQ(parallel.outcome, serial.outcome) << "jobs=" << jobs;
+    // The canonical-order rule makes the witness itself deterministic,
+    // not just the verdict.
+    EXPECT_EQ(parallel.assignment, serial.assignment) << "jobs=" << jobs;
+  }
+}
+
+TEST(SolverParallelTest, LinearSweepMatchesSerial) {
+  struct Case {
+    int64_t a, b, c;
+  };
+  const Case cases[] = {{3, 5, 17}, {3, 5, 1},  {3, 5, 2},   {4, 6, 7},
+                        {4, 6, 10}, {7, 11, 13}, {2, 4, 98},  {9, 12, 30},
+                        {9, 12, 31}, {1, 1, 0}};
+  for (const Case& item : cases) {
+    IntegerProgram program;
+    VarId x = program.NewVariable("x");
+    VarId y = program.NewVariable("y");
+    LinearExpr expr;
+    expr.Add(x, BigInt(item.a)).Add(y, BigInt(item.b));
+    program.AddLinear(std::move(expr), Relation::kEq, BigInt(item.c));
+    program.SetUpperBound(x, BigInt(50));
+    program.SetUpperBound(y, BigInt(50));
+    ExpectSameDecision(program);
+  }
+}
+
+TEST(SolverParallelTest, ConditionalProgramsMatchSerial) {
+  // x >= 1 triggers (x >= 1) -> (y >= 3); y's bound decides SAT/UNSAT.
+  for (int64_t y_cap : {2, 5}) {
+    IntegerProgram program;
+    VarId x = program.NewVariable("x");
+    VarId y = program.NewVariable("y");
+    LinearExpr xe;
+    xe.Add(x, BigInt(1));
+    program.AddLinear(std::move(xe), Relation::kGe, BigInt(1));
+    LinearExpr ye;
+    ye.Add(y, BigInt(1));
+    program.AddConditional(x, std::move(ye), Relation::kGe, BigInt(3));
+    program.SetUpperBound(y, BigInt(y_cap));
+    ExpectSameDecision(program);
+  }
+}
+
+TEST(SolverParallelTest, PrequadraticDeepeningMatchesSerial) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  VarId z = program.NewVariable("z");
+  LinearExpr xe;
+  xe.Add(x, BigInt(1));
+  program.AddLinear(std::move(xe), Relation::kEq, BigInt(6));
+  program.AddPrequadratic(x, y, z);
+  LinearExpr sum;
+  sum.Add(y, BigInt(1)).Add(z, BigInt(1));
+  program.AddLinear(std::move(sum), Relation::kLe, BigInt(5));
+
+  SolverOptions serial_options;
+  serial_options.jobs = 1;
+  SolveResult serial = IlpSolver(serial_options).SolveWithDeepening(
+      program, BigInt(8), BigInt(1024));
+  ASSERT_EQ(serial.outcome, SolveOutcome::kSat);
+  for (int jobs : {2, 4}) {
+    SolverOptions options;
+    options.jobs = jobs;
+    options.seed = static_cast<uint64_t>(jobs);
+    SolveResult parallel = IlpSolver(options).SolveWithDeepening(
+        program, BigInt(8), BigInt(1024));
+    ASSERT_EQ(parallel.outcome, SolveOutcome::kSat) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.assignment, serial.assignment) << "jobs=" << jobs;
+  }
+}
+
+// Locks the unified child-order convention (the >= / growth child is
+// explored first, order bit 0) for the fractional branch. With
+// presolve off, { 2x >= 1, x + y >= 2 } roots at the vertex
+// (1/2, 3/2): branching on x, the <= child (x <= 0) contradicts
+// 2x >= 1 outright, while the >= child (x >= 1) solves integrally at
+// (1, 1). Exploring >= first reaches SAT at node 2 and the discard
+// rule drains the <= child unprocessed; the historical <=-first order
+// would have to process the infeasible child, making 3 nodes.
+TEST(SolverParallelTest, NodeOrderConventionPrefersGrowthChild) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  LinearExpr half;
+  half.Add(x, BigInt(2));
+  program.AddLinear(std::move(half), Relation::kGe, BigInt(1));
+  LinearExpr sum;
+  sum.Add(x, BigInt(1)).Add(y, BigInt(1));
+  program.AddLinear(std::move(sum), Relation::kGe, BigInt(2));
+
+  for (int jobs : {1, 4}) {
+    SolverOptions options;
+    options.use_presolve = false;
+    options.jobs = jobs;
+    SolveResult result = IlpSolver(options).Solve(program);
+    ASSERT_EQ(result.outcome, SolveOutcome::kSat) << "jobs=" << jobs;
+    EXPECT_EQ(result.assignment[x], BigInt(1)) << "jobs=" << jobs;
+    EXPECT_EQ(result.assignment[y], BigInt(1)) << "jobs=" << jobs;
+    EXPECT_EQ(result.nodes_explored, 2) << "jobs=" << jobs;
+  }
+}
+
+// Same lock for the prequadratic branch, which historically explored
+// the <= child first (the opposite of the fractional branch). The
+// root candidate is (x=6, y=0, z=0) with x <= y*z violated; the
+// <= child pins y <= 0 and linearizes to x <= 0, contradicting x = 6,
+// while the >= child (y >= 1) solves to a pq-satisfying integral
+// vertex immediately. Growth-first finds SAT at node 2; the
+// historical order would need a third node for the infeasible child.
+TEST(SolverParallelTest, PrequadraticBranchExploresGrowthFirst) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  VarId z = program.NewVariable("z");
+  LinearExpr xe;
+  xe.Add(x, BigInt(1));
+  program.AddLinear(std::move(xe), Relation::kEq, BigInt(6));
+  program.AddPrequadratic(x, y, z);
+  LinearExpr sum;
+  sum.Add(y, BigInt(1)).Add(z, BigInt(1));
+  program.AddLinear(std::move(sum), Relation::kLe, BigInt(7));
+
+  SolverOptions options;
+  options.variable_cap = BigInt(16);
+  SolveResult serial = IlpSolver(options).Solve(program);
+  ASSERT_EQ(serial.outcome, SolveOutcome::kSat);
+  EXPECT_TRUE(program.IsSatisfied(serial.assignment));
+  EXPECT_EQ(serial.nodes_explored, 2);
+  for (int jobs : {2, 4}) {
+    SolverOptions parallel_options = options;
+    parallel_options.jobs = jobs;
+    SolveResult parallel = IlpSolver(parallel_options).Solve(program);
+    ASSERT_EQ(parallel.outcome, SolveOutcome::kSat) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.assignment, serial.assignment) << "jobs=" << jobs;
+  }
+}
+
+// A fully forced UNSAT tree (x pinned to 1/2, both children LP-
+// infeasible) explores exactly root + two children. UNSAT requires a
+// full drain, so the count is schedule-independent. Presolve is off:
+// it would refute the fractional fixpoint before any search.
+TEST(SolverParallelTest, UnsatNodeCountIsDeterministicAcrossJobs) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  LinearExpr ge;
+  ge.Add(x, BigInt(2));
+  program.AddLinear(std::move(ge), Relation::kGe, BigInt(1));
+  LinearExpr le;
+  le.Add(x, BigInt(2));
+  program.AddLinear(std::move(le), Relation::kLe, BigInt(1));
+
+  auto solve = [&program](int jobs) {
+    SolverOptions options;
+    options.use_presolve = false;
+    options.jobs = jobs;
+    options.seed = 7;
+    return IlpSolver(options).Solve(program);
+  };
+  SolveResult serial = solve(1);
+  ASSERT_EQ(serial.outcome, SolveOutcome::kUnsat);
+  EXPECT_EQ(serial.nodes_explored, 3);
+  for (int jobs : {2, 4}) {
+    SolveResult parallel = solve(jobs);
+    EXPECT_EQ(parallel.outcome, SolveOutcome::kUnsat) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.nodes_explored, serial.nodes_explored)
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(SolverParallelTest, ParallelRespectsNodeLimit) {
+  // The unbounded thin strip from the serial node-limit test: no
+  // verdict is reachable, so the limit must fire under any schedule.
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  VarId z = program.NewVariable("z");
+  LinearExpr strip;
+  strip.Add(x, BigInt(1)).Add(y, BigInt(1)).Add(z, BigInt(-2));
+  program.AddLinear(std::move(strip), Relation::kEq, BigInt(1));
+  LinearExpr diag;
+  diag.Add(x, BigInt(1)).Add(y, BigInt(-1));
+  program.AddLinear(std::move(diag), Relation::kEq, BigInt(0));
+  SolverOptions options;
+  options.max_nodes = 10;
+  options.jobs = 4;
+  SolveResult result = IlpSolver(options).Solve(program);
+  EXPECT_EQ(result.outcome, SolveOutcome::kUnknown);
+  EXPECT_LE(result.nodes_explored, 10 + 4);  // at most one overshoot per worker
+}
+
+TEST(SolverParallelTest, ParallelRespectsExpiredDeadline) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  LinearExpr expr;
+  expr.Add(x, BigInt(3));
+  program.AddLinear(std::move(expr), Relation::kEq, BigInt(9));
+  SolverOptions options;
+  options.jobs = 4;
+  options.deadline = Deadline::AfterMillis(0);
+  SolveResult result = IlpSolver(options).Solve(program);
+  EXPECT_EQ(result.outcome, SolveOutcome::kDeadlineExceeded);
+}
+
+TEST(SolverParallelTest, JobsAboveNodeCountStillDrain) {
+  // More workers than the tree has nodes: idle workers must park and
+  // exit cleanly once the pool drains.
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  LinearExpr expr;
+  expr.Add(x, BigInt(2)).Add(x, BigInt(1));
+  program.AddLinear(std::move(expr), Relation::kEq, BigInt(9));
+  SolveResult result = SolveWithJobs(program, 8);
+  ASSERT_EQ(result.outcome, SolveOutcome::kSat);
+  EXPECT_EQ(result.assignment[x], BigInt(3));
+}
+
+}  // namespace
+}  // namespace xmlverify

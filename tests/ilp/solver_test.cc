@@ -210,6 +210,58 @@ TEST(IlpSolverTest, PrequadraticForcesGrowth) {
   EXPECT_GE(result.assignment[y], BigInt(3));
 }
 
+TEST(IlpSolverTest, DeepeningTerminatesFromDegenerateInitialCaps) {
+  // 0 and 1 are fixed points of cap-squaring: before the growth
+  // clamp, SolveWithDeepening(program, BigInt(1), ...) re-ran the
+  // same capped search forever. The deadline is a hang guard only —
+  // the solve must reach the definitive verdict well before it.
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  LinearExpr xe;
+  xe.Add(x, BigInt(1));
+  program.AddLinear(std::move(xe), Relation::kEq, BigInt(9));
+  program.AddPrequadratic(x, y, y);
+  for (int64_t initial : {0, 1}) {
+    SolverOptions options;
+    options.deadline = Deadline::AfterMillis(5000);
+    SolveResult result = IlpSolver(options).SolveWithDeepening(
+        program, BigInt(initial), BigInt(1024));
+    ASSERT_EQ(result.outcome, SolveOutcome::kSat)
+        << "initial cap " << initial << ": " << result.note;
+    EXPECT_GE(result.assignment[y], BigInt(3));
+  }
+}
+
+TEST(IlpSolverTest, BigCoefficientBranchRowsChargeTheirRealFootprint) {
+  // Identical shape, wildly different limb footprints: 2x is pinned
+  // to an odd value, so the search must branch on x = B + 1/2 and the
+  // branch bound rows carry B-sized integers. The memory accounting
+  // sizes constraints by actual limb storage (not a flat per-row
+  // guess), so the small twin fits in a budget the huge twin cannot.
+  auto build = [](const BigInt& odd_rhs) {
+    IntegerProgram program;
+    VarId x = program.NewVariable("x");
+    LinearExpr ge;
+    ge.Add(x, BigInt(2));
+    program.AddLinear(std::move(ge), Relation::kGe, odd_rhs);
+    LinearExpr le;
+    le.Add(x, BigInt(2));
+    program.AddLinear(std::move(le), Relation::kLe, odd_rhs);
+    return program;
+  };
+  SolverOptions options;
+  // Presolve off: its domain propagation would refute the huge twin
+  // before the search ever materializes a node.
+  options.use_presolve = false;
+  options.budget.set_memory_limit_bytes(8 * 1024);
+  SolveResult small = IlpSolver(options).Solve(build(BigInt(9)));
+  EXPECT_EQ(small.outcome, SolveOutcome::kUnsat);
+  BigInt huge = BigInt::Pow2(200000) + BigInt(1);
+  SolveResult big = IlpSolver(options).Solve(build(huge));
+  EXPECT_EQ(big.outcome, SolveOutcome::kResourceExhausted) << big.note;
+}
+
 TEST(IlpSolverTest, NodeLimitYieldsUnknown) {
   IntegerProgram program;
   VarId x = program.NewVariable("x");

@@ -1,0 +1,266 @@
+// Dual-simplex warm starts (ResolveLp): verdict equivalence with a
+// cold solve, fallback triggers, and solver-level warm-vs-cold
+// agreement. The warm path re-solves a child system from the parent's
+// exported tableau; its feasibility verdicts must be exactly those of
+// a from-scratch phase-1 on the same rows.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ilp/simplex.h"
+#include "ilp/solver.h"
+
+namespace xmlverify {
+namespace {
+
+LinearConstraint Make(std::vector<std::pair<VarId, int64_t>> terms,
+                      Relation relation, int64_t rhs) {
+  LinearConstraint constraint;
+  for (auto& [var, coeff] : terms) constraint.lhs.Add(var, BigInt(coeff));
+  constraint.relation = relation;
+  constraint.rhs = BigInt(rhs);
+  return constraint;
+}
+
+bool SatisfiedBy(const LinearConstraint& constraint,
+                 const std::vector<Rational>& point) {
+  Rational lhs(0);
+  for (const auto& [var, coeff] : constraint.lhs.terms()) {
+    lhs += point[var] * Rational(coeff);
+  }
+  Rational rhs = Rational(constraint.rhs);
+  switch (constraint.relation) {
+    case Relation::kLe:
+      return lhs <= rhs;
+    case Relation::kGe:
+      return lhs >= rhs;
+    case Relation::kEq:
+      return lhs == rhs;
+  }
+  return false;
+}
+
+bool AllSatisfied(const std::vector<LinearConstraint>& constraints,
+                  const std::vector<Rational>& point) {
+  for (const LinearConstraint& constraint : constraints) {
+    if (!SatisfiedBy(constraint, point)) return false;
+  }
+  for (const Rational& value : point) {
+    if (value < Rational(0)) return false;
+  }
+  return true;
+}
+
+SimplexOptions Exporting() {
+  SimplexOptions options;
+  options.export_warm_state = true;
+  return options;
+}
+
+TEST(WarmStartTest, ExportProducesStateOnFeasibleSparseSolves) {
+  std::vector<LinearConstraint> constraints = {
+      Make({{0, 1}, {1, 1}}, Relation::kGe, 3),
+      Make({{0, 1}}, Relation::kLe, 4),
+      Make({{1, 1}}, Relation::kLe, 4),
+  };
+  SimplexResult exported =
+      SolveLp(2, constraints, Deadline(), nullptr, Exporting());
+  ASSERT_TRUE(exported.feasible);
+  ASSERT_NE(exported.warm_state, nullptr);
+  EXPECT_GT(WarmStateBytes(*exported.warm_state), 0);
+
+  // Without the option nothing is exported; the dense engine never
+  // exports regardless.
+  EXPECT_EQ(SolveLp(2, constraints).warm_state, nullptr);
+  SimplexOptions dense = Exporting();
+  dense.sparse = false;
+  EXPECT_EQ(SolveLp(2, constraints, Deadline(), nullptr, dense).warm_state,
+            nullptr);
+}
+
+TEST(WarmStartTest, WarmResolveMatchesColdOnBoundTightening) {
+  std::vector<LinearConstraint> base = {
+      Make({{0, 1}, {1, 1}}, Relation::kGe, 3),
+      Make({{0, 1}}, Relation::kLe, 4),
+      Make({{1, 1}}, Relation::kLe, 4),
+  };
+  SimplexResult parent = SolveLp(2, base, Deadline(), nullptr, Exporting());
+  ASSERT_TRUE(parent.feasible);
+  ASSERT_NE(parent.warm_state, nullptr);
+
+  // Tightening x <= 1 keeps the system feasible (x=1, y=2).
+  std::vector<LinearConstraint> feasible_child = base;
+  feasible_child.push_back(Make({{0, 1}}, Relation::kLe, 1));
+  SimplexResult warm = ResolveLp(parent.warm_state, feasible_child,
+                                 /*delta=*/1, /*num_vars=*/2);
+  EXPECT_TRUE(warm.warm_used);
+  EXPECT_FALSE(warm.warm_fallback);
+  ASSERT_TRUE(warm.feasible);
+  EXPECT_TRUE(AllSatisfied(feasible_child, warm.solution));
+
+  // x <= 0 and y <= 2 cannot reach x + y >= 3: warm infeasibility
+  // must match the cold verdict.
+  std::vector<LinearConstraint> infeasible_child = base;
+  infeasible_child.push_back(Make({{0, 1}}, Relation::kLe, 0));
+  infeasible_child.push_back(Make({{1, 1}}, Relation::kLe, 2));
+  SimplexResult warm_infeasible =
+      ResolveLp(parent.warm_state, infeasible_child, /*delta=*/2,
+                /*num_vars=*/2);
+  EXPECT_FALSE(warm_infeasible.feasible);
+  EXPECT_FALSE(SolveLp(2, infeasible_child).feasible);
+}
+
+TEST(WarmStartTest, EqualityDeltaRowFallsBackCold) {
+  std::vector<LinearConstraint> base = {
+      Make({{0, 1}, {1, 1}}, Relation::kLe, 10),
+  };
+  SimplexResult parent = SolveLp(2, base, Deadline(), nullptr, Exporting());
+  ASSERT_NE(parent.warm_state, nullptr);
+  std::vector<LinearConstraint> child = base;
+  child.push_back(Make({{0, 1}}, Relation::kEq, 3));
+  SimplexResult result =
+      ResolveLp(parent.warm_state, child, /*delta=*/1, /*num_vars=*/2);
+  EXPECT_TRUE(result.warm_fallback);
+  EXPECT_FALSE(result.warm_used);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(AllSatisfied(child, result.solution));
+}
+
+TEST(WarmStartTest, NullParentFallsBackCold) {
+  std::vector<LinearConstraint> child = {
+      Make({{0, 2}}, Relation::kGe, 1),
+      Make({{0, 2}}, Relation::kLe, 5),
+  };
+  SimplexResult result = ResolveLp(nullptr, child, /*delta=*/1,
+                                   /*num_vars=*/1);
+  EXPECT_TRUE(result.warm_fallback);
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(WarmStartTest, DenseEngineFallsBackCold) {
+  std::vector<LinearConstraint> base = {
+      Make({{0, 1}}, Relation::kLe, 5),
+  };
+  SimplexResult parent = SolveLp(1, base, Deadline(), nullptr, Exporting());
+  ASSERT_NE(parent.warm_state, nullptr);
+  std::vector<LinearConstraint> child = base;
+  child.push_back(Make({{0, 1}}, Relation::kGe, 2));
+  SimplexOptions dense;
+  dense.sparse = false;
+  SimplexResult result = ResolveLp(parent.warm_state, child, /*delta=*/1,
+                                   /*num_vars=*/1, Deadline(), nullptr, dense);
+  EXPECT_TRUE(result.warm_fallback);
+  EXPECT_TRUE(result.feasible);
+}
+
+// Seeded sweep: random base systems, random bound-row deltas (the
+// exact shape branch-and-bound generates), warm verdict must equal the
+// cold verdict on every instance, and feasible warm points must
+// satisfy the full child system.
+TEST(WarmStartTest, RandomizedSweepAgreesWithCold) {
+  uint64_t state = 0x51ed270b0f0162c5ull;
+  auto next = [&state](int64_t bound) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<int64_t>((state >> 33) % static_cast<uint64_t>(bound));
+  };
+  const int kVars = 3;
+  int warm_hits = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<LinearConstraint> base;
+    const int rows = 2 + static_cast<int>(next(4));
+    for (int row = 0; row < rows; ++row) {
+      std::vector<std::pair<VarId, int64_t>> terms;
+      for (VarId var = 0; var < kVars; ++var) {
+        int64_t coeff = next(7) - 3;
+        if (coeff != 0) terms.emplace_back(var, coeff);
+      }
+      Relation relation = next(4) == 0 ? Relation::kEq
+                          : next(2) == 0 ? Relation::kLe
+                                         : Relation::kGe;
+      base.push_back(Make(std::move(terms), relation, next(13) - 4));
+    }
+    SimplexResult parent =
+        SolveLp(kVars, base, Deadline(), nullptr, Exporting());
+    if (!parent.feasible || parent.warm_state == nullptr) continue;
+
+    std::vector<LinearConstraint> child = base;
+    const int delta = 1 + static_cast<int>(next(2));
+    for (int extra = 0; extra < delta; ++extra) {
+      VarId var = static_cast<VarId>(next(kVars));
+      Relation relation = next(2) == 0 ? Relation::kLe : Relation::kGe;
+      child.push_back(Make({{var, 1}}, relation, next(5)));
+    }
+    SimplexResult warm =
+        ResolveLp(parent.warm_state, child, delta, kVars);
+    SimplexResult cold = SolveLp(kVars, child);
+    ASSERT_EQ(warm.feasible, cold.feasible)
+        << "trial " << trial << ": warm and cold verdicts diverge";
+    if (warm.warm_used) ++warm_hits;
+    if (warm.feasible) {
+      EXPECT_TRUE(AllSatisfied(child, warm.solution)) << "trial " << trial;
+    }
+  }
+  // The sweep must actually exercise the warm path, not just its
+  // fallbacks.
+  EXPECT_GT(warm_hits, 50);
+}
+
+// Solver-level agreement: warm starts may route the search through
+// different LP vertices, but the verdict must match the cold pipeline
+// on every program, and kSat witnesses must satisfy the program.
+TEST(WarmStartTest, SolverVerdictsMatchColdPipeline) {
+  struct Case {
+    int64_t a, b, c;
+  };
+  const Case cases[] = {{3, 5, 17}, {3, 5, 2},  {4, 6, 7}, {4, 6, 10},
+                        {7, 11, 13}, {9, 12, 30}, {9, 12, 31}, {2, 4, 98}};
+  for (const Case& item : cases) {
+    IntegerProgram program;
+    VarId x = program.NewVariable("x");
+    VarId y = program.NewVariable("y");
+    LinearExpr expr;
+    expr.Add(x, BigInt(item.a)).Add(y, BigInt(item.b));
+    program.AddLinear(std::move(expr), Relation::kEq, BigInt(item.c));
+    program.SetUpperBound(x, BigInt(50));
+    program.SetUpperBound(y, BigInt(50));
+
+    SolverOptions warm_options;
+    warm_options.warm_start = true;
+    SolverOptions cold_options;
+    cold_options.warm_start = false;
+    SolveResult warm = IlpSolver(warm_options).Solve(program);
+    SolveResult cold = IlpSolver(cold_options).Solve(program);
+    EXPECT_EQ(warm.outcome, cold.outcome)
+        << item.a << "x + " << item.b << "y = " << item.c;
+    if (warm.outcome == SolveOutcome::kSat) {
+      EXPECT_TRUE(program.IsSatisfied(warm.assignment));
+    }
+  }
+}
+
+TEST(WarmStartTest, ConditionalProgramsAgreeWarmVsCold) {
+  IntegerProgram program;
+  VarId x = program.NewVariable("x");
+  VarId y = program.NewVariable("y");
+  LinearExpr xe;
+  xe.Add(x, BigInt(1));
+  program.AddLinear(std::move(xe), Relation::kGe, BigInt(1));
+  LinearExpr ye;
+  ye.Add(y, BigInt(1));
+  program.AddConditional(x, std::move(ye), Relation::kGe, BigInt(3));
+  program.SetUpperBound(y, BigInt(2));
+
+  SolverOptions warm_options;
+  warm_options.warm_start = true;
+  SolverOptions cold_options;
+  cold_options.warm_start = false;
+  EXPECT_EQ(IlpSolver(warm_options).Solve(program).outcome,
+            SolveOutcome::kUnsat);
+  EXPECT_EQ(IlpSolver(cold_options).Solve(program).outcome,
+            SolveOutcome::kUnsat);
+}
+
+}  // namespace
+}  // namespace xmlverify
