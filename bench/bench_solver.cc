@@ -12,6 +12,7 @@
 // gated end-to-end comparison lives in bench_solver_parallel.
 #include <benchmark/benchmark.h>
 
+#include "base/bigint.h"
 #include "ilp/simplex.h"
 #include "ilp/solver.h"
 
@@ -177,10 +178,14 @@ BENCHMARK(BM_BranchAndBound_Parallel)
     ->Arg(6)->Arg(10)->Arg(14)->Arg(18)
     ->Unit(benchmark::kMillisecond);
 
-// Coefficient growth: the same system scaled by 10^k. Small scales sit
-// in the int64 tier; large scales force promotion to BigInt cells, so
-// the fast/legacy gap narrows as digits grow.
-void BigCoefficientsBench(benchmark::State& state, SolverOptions options) {
+// Coefficient growth: a small system scaled by 10^k plus a chained
+// tail whose pivots keep remixing the scaled coefficients. Small
+// scales sit in the int64 tier; large scales force promotion to BigInt
+// cells, so the fast/legacy gap narrows as digits grow and the
+// arithmetic-kernel ablation below widens instead (hundreds of digits
+// is where Karatsuba/Knuth-D/Stein carry the verdict).
+void BigCoefficientsBench(benchmark::State& state, SolverOptions options,
+                          bool reference_kernels = false) {
   const int scale_digits = static_cast<int>(state.range(0));
   BigInt scale = BigInt::Pow(BigInt(10), scale_digits);
   IntegerProgram program;
@@ -190,10 +195,36 @@ void BigCoefficientsBench(benchmark::State& state, SolverOptions options) {
   a.Add(x, BigInt(3) * scale);
   a.Add(y, BigInt(5) * scale);
   program.AddLinear(std::move(a), Relation::kEq, BigInt(17) * scale);
+  // Chained tail: each row couples two neighbors with scaled,
+  // offset coefficients so eliminations multiply and divide
+  // many-hundred-digit rationals instead of cancelling early.
+  constexpr int kTail = 6;
+  std::vector<VarId> tail;
+  for (int v = 0; v < kTail; ++v) {
+    tail.push_back(program.NewVariable("t" + std::to_string(v)));
+  }
+  for (int v = 0; v + 1 < kTail; ++v) {
+    LinearExpr row;
+    row.Add(tail[v], BigInt(2 * v + 3) * scale + BigInt(v + 1));
+    row.Add(tail[v + 1], BigInt(2 * v + 5) * scale - BigInt(v + 2));
+    program.AddLinear(std::move(row), Relation::kGe, BigInt(v + 1) * scale);
+  }
+  // Verdict identity across kernel suites is asserted before timing:
+  // an ablation speedup from a wrong answer would be meaningless.
+  SolveResult fast_result = IlpSolver(options).Solve(program);
+  BigInt::ForceReferenceKernels(true);
+  SolveResult ref_result = IlpSolver(options).Solve(program);
+  BigInt::ForceReferenceKernels(false);
+  if (fast_result.outcome != ref_result.outcome) {
+    state.SkipWithError("fast and reference kernels disagree on verdict");
+    return;
+  }
+  BigInt::ForceReferenceKernels(reference_kernels);
   for (auto _ : state) {
     SolveResult result = IlpSolver(options).Solve(program);
     benchmark::DoNotOptimize(result.outcome);
   }
+  BigInt::ForceReferenceKernels(false);
 }
 
 void BM_BigCoefficients_Fast(benchmark::State& state) {
@@ -202,11 +233,22 @@ void BM_BigCoefficients_Fast(benchmark::State& state) {
 void BM_BigCoefficients_Legacy(benchmark::State& state) {
   BigCoefficientsBench(state, PipelineOptions(/*fast=*/false));
 }
+// Ablation: the fast pipeline with the schoolbook reference arithmetic
+// forced on (BigInt::ForceReferenceKernels) — the gap to Fast is what
+// the sub-quadratic BigInt kernels contribute end to end at identical
+// verdicts.
+void BM_BigCoefficients_ReferenceArithmetic(benchmark::State& state) {
+  BigCoefficientsBench(state, PipelineOptions(/*fast=*/true),
+                       /*reference_kernels=*/true);
+}
 BENCHMARK(BM_BigCoefficients_Fast)
-    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)
+    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_BigCoefficients_Legacy)
-    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)
+    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BigCoefficients_ReferenceArithmetic)
+    ->Arg(0)->Arg(10)->Arg(30)->Arg(60)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -5,8 +5,14 @@
 // multiplicatively during pivoting, and Papadimitriou-style solution
 // bounds are themselves exponential), so the solver is built on this
 // sign-magnitude big integer. Magnitudes are little-endian vectors of
-// 32-bit limbs; arithmetic is schoolbook, which is ample for the
-// instance sizes produced by the encodings.
+// 32-bit limbs. Values at or below two limbs take dedicated machine-
+// word fast paths; above that the magnitude kernels are sub-quadratic
+// (Karatsuba multiply, Knuth Algorithm-D divmod, binary Stein GCD)
+// computed over transient 64-bit word views of the limb array. The
+// original schoolbook multiply / binary long division / Euclid GCD
+// remain compiled in as a differential reference, selected by
+// ForceReferenceKernels or the XMLVERIFY_BIGINT_REFERENCE environment
+// variable (see docs/performance.md, "BigInt kernels").
 #ifndef XMLVERIFY_BASE_BIGINT_H_
 #define XMLVERIFY_BASE_BIGINT_H_
 
@@ -26,6 +32,22 @@ namespace internal_bigint {
 /// to 64 bits. The exact simplex creates and destroys enormous
 /// numbers of small BigInts; avoiding heap traffic for the common
 /// single/double-limb case is the dominant performance lever.
+// Whether LimbVector recycles heap blocks through the thread-local
+// one-slot cache below. Disabled under AddressSanitizer so every
+// allocation stays visible to the tool (recycled blocks would mask
+// use-after-free between arithmetic temporaries).
+#if defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kRecycleLimbBlocks = false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+inline constexpr bool kRecycleLimbBlocks = false;
+#else
+inline constexpr bool kRecycleLimbBlocks = true;
+#endif
+#else
+inline constexpr bool kRecycleLimbBlocks = true;
+#endif
+
 class LimbVector {
  public:
   LimbVector() = default;
@@ -65,7 +87,8 @@ class LimbVector {
     data()[size_++] = limb;
   }
   /// Pre-sizes the backing store so a known run of push_backs cannot
-  /// reallocate mid-loop (used by the schoolbook multiply paths).
+  /// reallocate mid-loop (used by the multiply kernels to place the
+  /// whole product before the carry passes run).
   void reserve(size_t count) { Reserve(count); }
   void pop_back() { --size_; }
   void clear() { size_ = 0; }
@@ -75,21 +98,88 @@ class LimbVector {
     for (size_t i = 0; i < count; ++i) d[i] = value;
     size_ = count;
   }
+  /// Like resize but leaves any grown tail uninitialized. Only for
+  /// kernel staging buffers that overwrite the whole extent before
+  /// reading it (the multiply product); never expose uninitialized
+  /// limbs to callers.
+  void resize_uninitialized(size_t count) {
+    Reserve(count);
+    size_ = count;
+  }
+  /// Grows (zero- or value-filling the new tail) or shrinks to
+  /// `count` limbs. Existing limbs are preserved; used by the
+  /// in-place shift and compound-assignment kernels.
+  void resize(size_t count, uint32_t value = 0) {
+    if (count <= size_) {
+      size_ = count;
+      return;
+    }
+    Reserve(count);
+    uint32_t* d = data();
+    for (size_t i = size_; i < count; ++i) d[i] = value;
+    size_ = count;
+  }
 
  private:
   static constexpr size_t kInline = 3;
+  // Largest block the recycler will hold on to (limbs). Bigger blocks
+  // are freed outright so one huge temporary cannot pin 100s of KB per
+  // thread for the life of the thread.
+  static constexpr size_t kMaxRecycledCapacity = 4096;
+
+  // Thread-local one-slot block cache. Arithmetic churns short-lived
+  // heap-backed temporaries in tight alloc-free-alloc patterns
+  // (multiply results, simplex row updates); a single cached block
+  // absorbs the allocator round trip on that pattern, which is worth
+  // ~40ns per multiply at 32 limbs. The slot keeps the larger of the
+  // cached and released block so it converges on the working-set size.
+  struct BlockCache {
+    uint32_t* block = nullptr;
+    size_t capacity = 0;
+    ~BlockCache() { delete[] block; }
+  };
+  static BlockCache& TlsBlockCache() {
+    static thread_local BlockCache cache;
+    return cache;
+  }
+  // Returns a block of at least *capacity limbs, updating *capacity to
+  // the actual capacity handed out.
+  static uint32_t* AcquireBlock(size_t* capacity) {
+    if (kRecycleLimbBlocks) {
+      BlockCache& cache = TlsBlockCache();
+      if (cache.block != nullptr && cache.capacity >= *capacity) {
+        uint32_t* block = cache.block;
+        *capacity = cache.capacity;
+        cache.block = nullptr;
+        cache.capacity = 0;
+        return block;
+      }
+    }
+    return new uint32_t[*capacity];
+  }
+  static void ReleaseBlock(uint32_t* block, size_t capacity) {
+    if (block == nullptr) return;
+    if (kRecycleLimbBlocks && capacity <= kMaxRecycledCapacity) {
+      BlockCache& cache = TlsBlockCache();
+      if (cache.capacity < capacity) {
+        std::swap(cache.block, block);
+        std::swap(cache.capacity, capacity);
+      }
+    }
+    delete[] block;
+  }
 
   void Reserve(size_t count) {
     if (count <= capacity_) return;
     size_t new_capacity = capacity_ * 2 < count ? count : capacity_ * 2;
-    uint32_t* fresh = new uint32_t[new_capacity];
+    uint32_t* fresh = AcquireBlock(&new_capacity);
     std::memcpy(fresh, data(), size_ * sizeof(uint32_t));
-    delete[] heap_;
+    if (heap_ != nullptr) ReleaseBlock(heap_, capacity_);
     heap_ = fresh;
     capacity_ = new_capacity;
   }
   void Reset() {
-    delete[] heap_;
+    if (heap_ != nullptr) ReleaseBlock(heap_, capacity_);
     heap_ = nullptr;
     size_ = 0;
     capacity_ = kInline;
@@ -168,9 +258,47 @@ class BigInt {
   /// Remainder with the sign of the dividend (C++ semantics).
   BigInt operator%(const BigInt& other) const;
 
-  BigInt& operator+=(const BigInt& other) { return *this = *this + other; }
-  BigInt& operator-=(const BigInt& other) { return *this = *this - other; }
-  BigInt& operator*=(const BigInt& other) { return *this = *this * other; }
+  // True in-place compound assignment: the carry/borrow passes run
+  // over this value's existing limb storage instead of expanding to
+  // `*this = *this + other` (which allocated a fresh magnitude per
+  // call — measurable on the simplex pivot inner loop). All three are
+  // safe under aliasing (x += x doubles, x -= x zeroes, x *= x
+  // squares).
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+
+  /// Fused in-place update *this = *this * multiplier + addend. For
+  /// nonnegative *this, multiplier and addend this is a single carry
+  /// pass over the existing limbs (no temporary) — the scalar
+  /// accumulation kernel behind FromString and digit-chunked loops;
+  /// other sign combinations fall back to the operator forms.
+  BigInt& MulAddSmall(int64_t multiplier, int64_t addend);
+
+  /// Fused in-place update *this -= b * c (the simplex row-combination
+  /// pattern). Safe when b or c aliases *this.
+  BigInt& SubMul(const BigInt& b, const BigInt& c);
+
+  /// Shifts the magnitude left by `bits` bit positions, in place
+  /// (value *= 2^bits; the sign is preserved).
+  BigInt& ShlBits(uint64_t bits);
+  /// Shifts the magnitude right by `bits` bit positions, in place
+  /// (truncating toward zero; shifting out every bit yields zero).
+  BigInt& ShrBits(uint64_t bits);
+
+  /// Number of consecutive zero low bits of the magnitude (0 for zero
+  /// and for odd values).
+  size_t TrailingZeroBits() const;
+
+  /// Forces the pre-sub-quadratic reference kernels (schoolbook
+  /// multiply, binary long division, Euclid GCD) process-wide, for
+  /// differential cross-checks of the fast kernels. Also armed by
+  /// setting the XMLVERIFY_BIGINT_REFERENCE environment variable to a
+  /// nonempty value other than "0" before process start. Thread-safe;
+  /// intended for test/bench harnesses, not concurrent toggling
+  /// mid-computation.
+  static void ForceReferenceKernels(bool on);
+  static bool ReferenceKernelsForced();
 
   /// Floor division: quotient rounds toward negative infinity.
   BigInt FloorDiv(const BigInt& other) const;
@@ -222,6 +350,9 @@ class BigInt {
   // Requires |a| >= |b|.
   static Limbs SubMagnitude(const Limbs& a, const Limbs& b);
   static Limbs MulMagnitude(const Limbs& a, const Limbs& b);
+  // Shared signed accumulate for += / -= (`other` taken with the given
+  // effective sign); requires this != &other.
+  BigInt& AddSigned(const BigInt& other, bool other_negative);
   void Normalize();
 
   // Little-endian 32-bit limbs; empty means zero.

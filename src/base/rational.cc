@@ -153,6 +153,22 @@ Rational& Rational::operator*=(const Rational& other) {
   return *this;
 }
 
+Rational& Rational::SubMul(const Rational& b, const Rational& c) {
+  if (is_integer() && b.is_integer() && c.is_integer()) {
+    numerator_.SubMul(b.numerator_, c.numerator_);
+    return *this;
+  }
+  // Cross products are materialized before any member mutates, so b or
+  // c aliasing *this reads consistent values.
+  BigInt product_num = b.numerator_ * c.numerator_;
+  BigInt product_den = b.denominator_ * c.denominator_;
+  numerator_ *= product_den;
+  numerator_.SubMul(product_num, denominator_);
+  denominator_ *= product_den;
+  Normalize();
+  return *this;
+}
+
 Rational& Rational::operator/=(const Rational& other) {
   if (other.is_zero()) {
     std::fprintf(stderr, "Rational: division by zero\n");

@@ -64,6 +64,12 @@ class Rational {
   Rational& operator*=(const Rational& other);
   Rational& operator/=(const Rational& other);
 
+  /// Fused in-place update *this -= b * c — the simplex row-combination
+  /// pattern. On the all-integer path this is a single BigInt::SubMul
+  /// (one product + one in-place signed accumulate, no Rational
+  /// temporaries). Safe when b or c aliases *this.
+  Rational& SubMul(const Rational& b, const Rational& c);
+
   int Compare(const Rational& other) const;
 
   bool operator==(const Rational& other) const { return Compare(other) == 0; }

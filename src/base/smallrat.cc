@@ -197,7 +197,14 @@ TwoTierRational& TwoTierRational::operator+=(const TwoTierRational& other) {
     Promote(small_.ToRational() + other.small_.ToRational());
     return *this;
   }
-  SetBig(ToRational() + other.ToRational());
+  // Big-tier path: mutate *big_ in place (Rational's compound ops are
+  // aliasing-safe) instead of rebuilding a fresh Rational per call.
+  if (small()) SetBig(small_.ToRational());
+  if (other.small()) {
+    *big_ += other.small_.ToRational();
+  } else {
+    *big_ += *other.big_;
+  }
   TryDemote();
   return *this;
 }
@@ -212,7 +219,12 @@ TwoTierRational& TwoTierRational::operator-=(const TwoTierRational& other) {
     Promote(small_.ToRational() - other.small_.ToRational());
     return *this;
   }
-  SetBig(ToRational() - other.ToRational());
+  if (small()) SetBig(small_.ToRational());
+  if (other.small()) {
+    *big_ -= other.small_.ToRational();
+  } else {
+    *big_ -= *other.big_;
+  }
   TryDemote();
   return *this;
 }
@@ -227,7 +239,12 @@ TwoTierRational& TwoTierRational::operator*=(const TwoTierRational& other) {
     Promote(small_.ToRational() * other.small_.ToRational());
     return *this;
   }
-  SetBig(ToRational() * other.ToRational());
+  if (small()) SetBig(small_.ToRational());
+  if (other.small()) {
+    *big_ *= other.small_.ToRational();
+  } else {
+    *big_ *= *other.big_;
+  }
   TryDemote();
   return *this;
 }
@@ -242,7 +259,12 @@ TwoTierRational& TwoTierRational::operator/=(const TwoTierRational& other) {
     Promote(small_.ToRational() / other.small_.ToRational());
     return *this;
   }
-  SetBig(ToRational() / other.ToRational());
+  if (small()) SetBig(small_.ToRational());
+  if (other.small()) {
+    *big_ /= other.small_.ToRational();
+  } else {
+    *big_ /= *other.big_;
+  }
   TryDemote();
   return *this;
 }
@@ -258,7 +280,16 @@ TwoTierRational& TwoTierRational::SubMul(const TwoTierRational& b,
     Promote(small_.ToRational() - b.small_.ToRational() * c.small_.ToRational());
     return *this;
   }
-  SetBig(ToRational() - b.ToRational() * c.ToRational());
+  // Big-tier fused path: one Rational::SubMul over *big_. Scratch
+  // copies only materialize for small-tier operands; big-tier b/c are
+  // passed by reference (SubMul reads both before mutating, so b or c
+  // aliasing *big_ is fine).
+  if (small()) SetBig(small_.ToRational());
+  Rational b_scratch;
+  Rational c_scratch;
+  const Rational& rb = b.small() ? (b_scratch = b.small_.ToRational()) : *b.big_;
+  const Rational& rc = c.small() ? (c_scratch = c.small_.ToRational()) : *c.big_;
+  big_->SubMul(rb, rc);
   TryDemote();
   return *this;
 }

@@ -16,8 +16,11 @@ namespace xmlverify {
 namespace {
 
 // ---------------------------------------------------------------------
-// Legacy dense phase-1 tableau over BigInt rationals. Kept byte-for-
-// byte as the reference engine for --solver=legacy differential runs.
+// Legacy dense phase-1 tableau over BigInt rationals. Kept
+// semantically frozen as the reference engine for --solver=legacy
+// differential runs (the row updates below now go through the fused
+// Rational::SubMul kernel, which computes the identical exact values
+// without per-cell temporaries).
 // Columns: structural vars, slack/surplus vars, artificial vars, then
 // the right-hand side.
 class DenseTableau {
@@ -163,16 +166,16 @@ class DenseTableau {
       Rational factor = rows_[i][pivot_col];
       for (int j = 0; j < num_cols_; ++j) {
         if (!rows_[pivot_row][j].is_zero()) {
-          rows_[i][j] -= factor * rows_[pivot_row][j];
+          rows_[i][j].SubMul(factor, rows_[pivot_row][j]);
         }
       }
-      rhs_[i] -= factor * rhs_[pivot_row];
+      rhs_[i].SubMul(factor, rhs_[pivot_row]);
     }
     if (!reduced_[pivot_col].is_zero()) {
       Rational factor = reduced_[pivot_col];
       for (int j = 0; j < num_cols_; ++j) {
         if (!rows_[pivot_row][j].is_zero()) {
-          reduced_[j] -= factor * rows_[pivot_row][j];
+          reduced_[j].SubMul(factor, rows_[pivot_row][j]);
         }
       }
       // z_new = z_old + r_entering * t  (t = normalized pivot rhs).

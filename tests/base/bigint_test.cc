@@ -236,5 +236,214 @@ TEST(BigIntTest, ShortDivisorBoundaries) {
   EXPECT_EQ(quotient * three_limb + remainder, dividend);
 }
 
+// ---------------------------------------------------------------------
+// In-place kernels: shifts, compound assignment, and fused updates.
+
+TEST(BigIntTest, ShlShrBitsBoundaries) {
+  // Shift amounts straddling every limb-boundary special case: 0 bits,
+  // 31/32/33 (around one limb), 63/64/65 (around two limbs).
+  const uint64_t shifts[] = {0, 1, 31, 32, 33, 63, 64, 65, 95, 96, 127};
+  for (uint64_t s : shifts) {
+    for (int64_t seed : {1, 3, 0x7fffffff, -5}) {
+      BigInt value = BigInt(seed) * BigInt::Pow2(17) + BigInt(seed < 0 ? -1 : 1);
+      BigInt shifted = value;
+      shifted.ShlBits(s);
+      EXPECT_EQ(shifted, value * BigInt::Pow2(s)) << "s=" << s;
+      // Round trip: (v << s) >> s == v (no bits shifted out).
+      shifted.ShrBits(s);
+      EXPECT_EQ(shifted, value) << "s=" << s;
+    }
+  }
+}
+
+TEST(BigIntTest, ShrBitsTruncatesTowardZero) {
+  BigInt value = BigInt::Pow2(100) + BigInt(7);
+  BigInt v = value;
+  v.ShrBits(3);  // drops the low 7's bits
+  EXPECT_EQ(v, (BigInt::Pow2(100) + BigInt(7)).FloorDiv(BigInt(8)));
+  // Shifting out every significant bit yields exactly zero.
+  v = BigInt(12345);
+  v.ShrBits(14);
+  EXPECT_TRUE(v.is_zero());
+  v = -BigInt::Pow2(64);
+  v.ShrBits(65);
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_FALSE(v.is_negative());
+  // Negative magnitudes shift as magnitudes (sign preserved while
+  // nonzero).
+  v = BigInt(-40);
+  v.ShrBits(2);
+  EXPECT_EQ(v, BigInt(-10));
+}
+
+TEST(BigIntTest, ShlBitsTopLimbOverflow) {
+  // A full top limb shifted by 31 bits must carry into a fresh limb
+  // (this is the path a missed top-limb overflow would corrupt).
+  BigInt value = BigInt::Pow2(96) - BigInt(1);  // three full limbs
+  BigInt v = value;
+  v.ShlBits(31);
+  EXPECT_EQ(v, value * BigInt::Pow2(31));
+  EXPECT_EQ(v.BitLength(), 96u + 31u);
+  v = value;
+  v.ShlBits(32);  // pure limb shift, no bit spill
+  EXPECT_EQ(v, value * BigInt::Pow2(32));
+}
+
+TEST(BigIntTest, TrailingZeroBits) {
+  EXPECT_EQ(BigInt(0).TrailingZeroBits(), 0u);
+  EXPECT_EQ(BigInt(1).TrailingZeroBits(), 0u);
+  EXPECT_EQ(BigInt(8).TrailingZeroBits(), 3u);
+  EXPECT_EQ(BigInt(-8).TrailingZeroBits(), 3u);
+  EXPECT_EQ(BigInt::Pow2(32).TrailingZeroBits(), 32u);
+  EXPECT_EQ(BigInt::Pow2(100).TrailingZeroBits(), 100u);
+  EXPECT_EQ((BigInt::Pow2(100) + BigInt::Pow2(33)).TrailingZeroBits(), 33u);
+}
+
+TEST(BigIntTest, CompoundAssignmentMatchesValueForms) {
+  const int shifts[] = {1, 32, 64, 100, 200};
+  for (int sa : shifts) {
+    for (int sb : shifts) {
+      for (int64_t da : {-1, 0, 1}) {
+        for (int64_t db : {-1, 0, 1}) {
+          BigInt a = BigInt::Pow2(sa) + BigInt(da);
+          BigInt b = BigInt::Pow2(sb) + BigInt(db);
+          for (const BigInt& x : {a, -a}) {
+            for (const BigInt& y : {b, -b}) {
+              BigInt t = x;
+              t += y;
+              EXPECT_EQ(t, x + y);
+              t = x;
+              t -= y;
+              EXPECT_EQ(t, x - y);
+              t = x;
+              t *= y;
+              EXPECT_EQ(t, x * y);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BigIntTest, CompoundAssignmentAliasing) {
+  // x += x, x -= x, x *= x must read consistent values even though the
+  // in-place kernels mutate this->limbs_ mid-pass.
+  for (int shift : {1, 32, 64, 150}) {
+    for (int64_t delta : {-1, 0, 1}) {
+      BigInt value = BigInt::Pow2(shift) + BigInt(delta);
+      for (const BigInt& seed : {value, -value}) {
+        BigInt x = seed;
+        x += x;
+        EXPECT_EQ(x, seed + seed);
+        x = seed;
+        x -= x;
+        EXPECT_TRUE(x.is_zero());
+        EXPECT_FALSE(x.is_negative());
+        x = seed;
+        x *= x;
+        EXPECT_EQ(x, seed * seed);
+      }
+    }
+  }
+}
+
+TEST(BigIntTest, MulAddSmallMatchesOperators) {
+  const int64_t multipliers[] = {0, 1, 2, 1000000000, INT64_MAX, -3};
+  const int64_t addends[] = {0, 1, 999999999, INT64_MAX, -7};
+  for (int shift : {0, 1, 33, 90}) {
+    for (int64_t m : multipliers) {
+      for (int64_t add : addends) {
+        for (int64_t sign : {1, -1}) {
+          BigInt seed = (BigInt::Pow2(shift) + BigInt(5)) * BigInt(sign);
+          BigInt expect = seed * BigInt(m) + BigInt(add);
+          BigInt got = seed;
+          got.MulAddSmall(m, add);
+          EXPECT_EQ(got, expect)
+              << "shift=" << shift << " m=" << m << " add=" << add
+              << " sign=" << sign;
+        }
+      }
+    }
+  }
+}
+
+TEST(BigIntTest, SubMulFusedAndAliased) {
+  BigInt a = BigInt::Pow2(100) + BigInt(17);
+  BigInt b = BigInt::Pow2(70) - BigInt(3);
+  BigInt c = BigInt(-12345);
+  BigInt t = a;
+  t.SubMul(b, c);
+  EXPECT_EQ(t, a - b * c);
+  // b aliases *this.
+  t = a;
+  t.SubMul(t, c);
+  EXPECT_EQ(t, a - a * c);
+  // c aliases *this.
+  t = a;
+  t.SubMul(b, t);
+  EXPECT_EQ(t, a - b * a);
+  // Both alias: t -= t * t.
+  t = a;
+  t.SubMul(t, t);
+  EXPECT_EQ(t, a - a * a);
+}
+
+// Hand-derived Knuth-D add-back vector: with B = 2^64,
+//   u = (B/2 - 1)·B^3 + (B/2)·B^2  =  2^255 - 2^192 + 2^191
+//   v = (B/2)·B^2 + 1              =  2^191 + 1
+// the two-word test accepts qhat = B - 1 which overestimates the true
+// quotient digit, forcing the add-back branch (reachable only for
+// divisors of >= 3 words; the 2-word estimate is exact below that).
+TEST(BigIntTest, KnuthDivModAddBackPath) {
+  BigInt u = BigInt::Pow2(255) - BigInt::Pow2(192) + BigInt::Pow2(191);
+  BigInt v = BigInt::Pow2(191) + BigInt(1);
+  BigInt q;
+  BigInt r;
+  ASSERT_OK(u.DivMod(v, &q, &r));
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+  EXPECT_FALSE(r.is_negative());
+  // The same vector must agree with the reference long division.
+  BigInt::ForceReferenceKernels(true);
+  BigInt q_ref;
+  BigInt r_ref;
+  ASSERT_OK(u.DivMod(v, &q_ref, &r_ref));
+  BigInt::ForceReferenceKernels(false);
+  EXPECT_EQ(q, q_ref);
+  EXPECT_EQ(r, r_ref);
+}
+
+TEST(BigIntTest, ReferenceKernelToggle) {
+  EXPECT_FALSE(BigInt::ReferenceKernelsForced());
+  BigInt a = BigInt::Pow2(200) - BigInt(9);
+  BigInt b = BigInt::Pow2(130) + BigInt(5);
+  BigInt fast_product = a * b;
+  BigInt fast_gcd = BigInt::Gcd(a * b, b * BigInt(21));
+  BigInt::ForceReferenceKernels(true);
+  EXPECT_TRUE(BigInt::ReferenceKernelsForced());
+  EXPECT_EQ(a * b, fast_product);
+  EXPECT_EQ(BigInt::Gcd(a * b, b * BigInt(21)), fast_gcd);
+  BigInt::ForceReferenceKernels(false);
+  EXPECT_FALSE(BigInt::ReferenceKernelsForced());
+}
+
+TEST(BigIntTest, GcdLargeOperands) {
+  // gcd(g*x, g*y) == g for coprime x, y — exercised at sizes that take
+  // the Stein loop rather than the native fallback.
+  BigInt g = BigInt::Pow2(90) + BigInt(123);
+  BigInt x = BigInt::Pow2(80) + BigInt(1);   // odd
+  BigInt y = BigInt::Pow2(80) - BigInt(1);   // odd, coprime with x
+  BigInt gcd = BigInt::Gcd(g * x, g * y);
+  EXPECT_TRUE((g % gcd).is_zero());
+  EXPECT_TRUE(((g * x) % gcd).is_zero());
+  EXPECT_TRUE(((g * y) % gcd).is_zero());
+  // Power-of-two common factors flow through the common_twos path.
+  EXPECT_EQ(BigInt::Gcd(BigInt::Pow2(100), BigInt::Pow2(70)),
+            BigInt::Pow2(70));
+  // Wildly mismatched sizes take the initial balancing division.
+  EXPECT_EQ(BigInt::Gcd(BigInt::Pow2(300) + BigInt(2), BigInt(2)), BigInt(2));
+}
+
 }  // namespace
 }  // namespace xmlverify
